@@ -1,0 +1,235 @@
+package rpls_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/crossing"
+	"rpls/internal/experiments"
+	"rpls/internal/field"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/mst"
+	"rpls/internal/schemes/uniform"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per experiment (E1–E17); each regenerates its DESIGN.md
+// table in quick mode. `go test -bench 'E[0-9]+' -benchtime 1x` reproduces
+// the full sweep cheaply.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		table, err := spec.Run(42, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE1Compiler(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2EqualityProtocol(b *testing.B)  { benchExperiment(b, "E2") }
+func BenchmarkE3Universal(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkE4LowerBound(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5CrossingDet(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6CrossingRand(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7MST(b *testing.B)               { benchExperiment(b, "E7") }
+func BenchmarkE8Biconnectivity(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9CycleAtLeast(b *testing.B)      { benchExperiment(b, "E9") }
+func BenchmarkE10IteratedCrossing(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11CycleAtMost(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Boosting(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13KFlow(b *testing.B)            { benchExperiment(b, "E13") }
+func BenchmarkE14Symmetry(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15SelfStab(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16SharedRandomness(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17STConnectivity(b *testing.B)   { benchExperiment(b, "E17") }
+func BenchmarkE18LabelShape(b *testing.B)       { benchExperiment(b, "E18") }
+
+// ---------------------------------------------------------------------------
+// Operational micro-benchmarks: the costs a deployment would care about.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFingerprint measures one Lemma A.1 certificate generation as a
+// function of the fingerprinted string length.
+func BenchmarkFingerprint(b *testing.B) {
+	for _, lambda := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("lambda=%d", lambda), func(b *testing.B) {
+			rng := prng.New(1)
+			bits := make([]byte, lambda)
+			for i := range bits {
+				bits[i] = rng.Bit()
+			}
+			s := bitstring.FromBits(bits)
+			p := field.PrimeForLength(lambda)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fp := field.NewFingerprint(s, p, rng)
+				if !fp.Matches(s) {
+					b.Fatal("self-mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerificationRound measures a full distributed verification round
+// (goroutine per node) for the two MST schemes — the paper's headline
+// predicate — across network sizes.
+func BenchmarkVerificationRound(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		cfg, err := experiments.BuildMSTConfig(n, uint64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := mst.NewPLS()
+		detLabels, err := det.Label(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rand := mst.NewRPLS()
+		randLabels, err := rand.Label(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("det/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !runtime.VerifyPLS(det, cfg, detLabels).Accepted {
+					b.Fatal("rejected")
+				}
+			}
+			b.ReportMetric(float64(core.MaxBits(detLabels)), "labelbits")
+		})
+		b.Run(fmt.Sprintf("rand/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !runtime.VerifyRPLS(rand, cfg, randLabels, uint64(i)).Accepted {
+					b.Fatal("rejected")
+				}
+			}
+			b.ReportMetric(float64(runtime.MaxCertBitsOver(rand, cfg, randLabels, 1, 1)), "certbits")
+		})
+	}
+}
+
+// BenchmarkProver measures certificate construction (the prover side) for
+// the heaviest scheme, the Borůvka hierarchy.
+func BenchmarkProver(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		cfg, err := experiments.BuildMSTConfig(n, uint64(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("mst/n=%d", n), func(b *testing.B) {
+			det := mst.NewPLS()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Label(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossingAttack measures the full Proposition 4.3 pipeline:
+// prove, collide, cross, re-verify.
+func BenchmarkCrossingAttack(b *testing.B) {
+	cfg := graph.NewConfig(graph.Path(210))
+	gadgets := crossing.PathGadgets(210)
+	s := crossing.ModularDistPLS{Bits: 3}
+	for i := 0; i < b.N; i++ {
+		atk, err := crossing.AttackPLS(s, acyclicity.Predicate{}, cfg, gadgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !atk.Fooled {
+			b.Fatal("attack failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations for the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationRoundExecution compares the goroutine-per-node round to
+// the sequential fast path (identical semantics; see runtime).
+func BenchmarkAblationRoundExecution(b *testing.B) {
+	cfg := experiments.BuildUniformConfig(512, 32, 9)
+	s := uniform.NewRPLS()
+	labels, err := s.Label(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !runtime.VerifyRPLS(s, cfg, labels, uint64(i)).Accepted {
+				b.Fatal("rejected")
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if runtime.EstimateAcceptance(s, cfg, labels, 1, uint64(i)) != 1.0 {
+				b.Fatal("rejected")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBoost measures how certificate size and round cost scale
+// with the boosting factor t (footnote 1: linear cost, exponential
+// confidence).
+func BenchmarkAblationBoost(b *testing.B) {
+	cfg := experiments.BuildUniformConfig(128, 32, 11)
+	for _, t := range []int{1, 4, 16} {
+		s := core.Boost(uniform.NewRPLS(), t)
+		labels, err := s.Label(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !runtime.VerifyRPLS(s, cfg, labels, uint64(i)).Accepted {
+					b.Fatal("rejected")
+				}
+			}
+			b.ReportMetric(float64(runtime.MaxCertBitsOver(s, cfg, labels, 1, 2)), "certbits")
+		})
+	}
+}
+
+// BenchmarkAblationFieldSize measures the ε-obliviousness knob: smaller
+// target error ⇒ larger field ⇒ marginally larger certificates (§1).
+func BenchmarkAblationFieldSize(b *testing.B) {
+	rng := prng.New(13)
+	bits := make([]byte, 4096)
+	for i := range bits {
+		bits[i] = rng.Bit()
+	}
+	s := bitstring.FromBits(bits)
+	for _, eps := range []float64{1.0 / 3, 0.01, 0.0001} {
+		p := field.PrimeForError(s.Len(), eps)
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fp := field.NewFingerprint(s, p, rng)
+				if !fp.Matches(s) {
+					b.Fatal("self-mismatch")
+				}
+			}
+			b.ReportMetric(float64(field.Fingerprint{P: p}.Bits()), "certbits")
+		})
+	}
+}

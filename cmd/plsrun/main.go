@@ -1,0 +1,108 @@
+// Command plsrun builds a configuration for one of the catalogued
+// predicates, certifies it, runs a verification round, and reports the
+// measured verification complexity.
+//
+// Usage:
+//
+//	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200]
+//	plsrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpls/internal/core"
+	"rpls/internal/experiments"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "plsrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scheme := flag.String("scheme", "", "catalog entry to run (see -list)")
+	n := flag.Int("n", 32, "approximate number of nodes")
+	seed := flag.Uint64("seed", 1, "seed for generation and coins")
+	mode := flag.String("mode", "both", "det, rand, or both")
+	corrupt := flag.Bool("corrupt", false, "corrupt the configuration after labeling")
+	trials := flag.Int("trials", 200, "Monte-Carlo trials for randomized acceptance")
+	list := flag.Bool("list", false, "list available schemes")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Catalog() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Description)
+		}
+		return nil
+	}
+	entry, ok := experiments.LookupCatalog(*scheme)
+	if !ok {
+		return fmt.Errorf("unknown scheme %q (try -list)", *scheme)
+	}
+	if entry.Det == nil {
+		return fmt.Errorf("scheme %q is parameterized; drive it from Go (see examples/)", *scheme)
+	}
+
+	cfg, err := entry.Build(*n, *seed)
+	if err != nil {
+		return fmt.Errorf("build configuration: %w", err)
+	}
+	fmt.Printf("configuration: n=%d m=%d maxdeg=%d predicate=%s\n",
+		cfg.G.N(), cfg.G.M(), cfg.G.MaxDegree(), entry.Pred.Name())
+
+	var detLabels, randLabels []core.Label
+	if *mode == "det" || *mode == "both" {
+		detLabels, err = entry.Det.Label(cfg)
+		if err != nil {
+			return fmt.Errorf("deterministic prover: %w", err)
+		}
+	}
+	if (*mode == "rand" || *mode == "both") && entry.Rand != nil {
+		randLabels, err = entry.Rand.Label(cfg)
+		if err != nil {
+			return fmt.Errorf("randomized prover: %w", err)
+		}
+	}
+
+	if *corrupt {
+		if err := entry.Corrupt(cfg, prng.New(*seed+1)); err != nil {
+			return fmt.Errorf("corrupt: %w", err)
+		}
+		fmt.Printf("configuration corrupted; predicate now %v\n", entry.Pred.Eval(cfg))
+	}
+
+	if detLabels != nil {
+		res := runtime.VerifyPLS(entry.Det, cfg, detLabels)
+		fmt.Printf("[det ] scheme=%s accepted=%v labelBits=%d wireBits=%d messages=%d\n",
+			entry.Det.Name(), res.Accepted, res.Stats.MaxLabelBits,
+			res.Stats.TotalWireBits, res.Stats.Messages)
+		if !res.Accepted {
+			fmt.Printf("[det ] rejecting nodes: %v\n", rejectors(res.Votes))
+		}
+	}
+	if randLabels != nil {
+		res := runtime.VerifyRPLS(entry.Rand, cfg, randLabels, *seed+2)
+		rate := runtime.EstimateAcceptance(entry.Rand, cfg, randLabels, *trials, *seed+3)
+		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d acceptance=%.3f (%d trials)\n",
+			entry.Rand.Name(), res.Accepted, res.Stats.MaxCertBits,
+			res.Stats.MaxLabelBits, rate, *trials)
+	}
+	return nil
+}
+
+func rejectors(votes []bool) []int {
+	var out []int
+	for v, vote := range votes {
+		if !vote {
+			out = append(out, v)
+		}
+	}
+	return out
+}

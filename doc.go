@@ -1,0 +1,28 @@
+// Package rpls is a complete, executable reproduction of "Randomized
+// Proof-Labeling Schemes" (Baruch, Fraigniaud, Patt-Shamir, PODC 2015).
+//
+// A proof-labeling scheme certifies a global predicate of a network
+// configuration with per-node labels checked in one communication round; a
+// randomized scheme exchanges only short random certificates derived from
+// the labels. This module implements the full stack: the network model with
+// port numberings, deterministic and randomized schemes for every predicate
+// the paper studies (spanning tree, acyclicity, MST, biconnectivity, cycle
+// thresholds, k-flow, symmetry, uniformity, coloring, leader), the
+// Theorem 3.1 compiler that shrinks any deterministic scheme's
+// communication exponentially, the universal schemes of Lemma 3.3 and
+// Corollary 3.4, the edge-crossing lower-bound machinery of §4 with
+// constructive pigeonhole attacks, a goroutine-per-node verification
+// runtime, and a self-stabilization monitor.
+//
+// Entry points:
+//
+//   - internal/core       — the PLS/RPLS model, compiler, universal schemes, boosting
+//   - internal/schemes/…  — one package per predicate
+//   - internal/runtime    — distributed verification rounds
+//   - internal/crossing   — lower-bound attacks
+//   - internal/experiments — the E1–E15 harness behind EXPERIMENTS.md
+//   - cmd/plsrun, cmd/experiments, cmd/crossattack — CLIs
+//   - examples/           — runnable walkthroughs
+//
+// See README.md for a tour and DESIGN.md for the paper-to-code map.
+package rpls

@@ -1,0 +1,66 @@
+// crossingattack: the paper's §4 lower-bound technique as a live exploit.
+//
+// A verifier whose labels are shorter than log(r)/2s bits cannot tell r
+// independent gadgets apart: two of them must carry identical labels
+// (pigeonhole). Crossing their edges (Definition 4.2, Figure 1) rewires the
+// graph — here, splicing a cycle out of a path — while every node's local
+// view stays bit-identical, so the verifier's decision cannot change. The
+// honest Θ(log n) scheme survives; the 3-bit scheme is fooled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpls/internal/crossing"
+	"rpls/internal/graph"
+	"rpls/internal/schemes/acyclicity"
+)
+
+func main() {
+	const n = 210
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	fmt.Printf("instance: %d-node path (acyclic); gadget family: r = %d edges {u_3i, u_3i+1}\n",
+		n, len(gadgets))
+	fmt.Printf("Theorem 4.4 threshold: schemes below ½·log₂(r) ≈ %.1f bits per node are doomed\n\n",
+		0.5*log2f(len(gadgets)))
+
+	for _, bits := range []int{2, 3, 4, 8} {
+		weak := crossing.ModularDistPLS{Bits: bits}
+		atk, err := crossing.AttackPLS(weak, acyclicity.Predicate{}, cfg, gadgets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		describe(fmt.Sprintf("%d-bit scheme", bits), atk)
+	}
+
+	honest := acyclicity.NewPLS()
+	atk, err := crossing.AttackPLS(honest, acyclicity.Predicate{}, cfg, gadgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("honest Θ(log n) scheme", atk)
+}
+
+func describe(name string, atk crossing.Attack) {
+	fmt.Printf("%-24s labels=%3d bits  ", name, atk.LabelBits)
+	if !atk.Collision {
+		fmt.Println("no collision -> attack fails, scheme survives")
+		return
+	}
+	fmt.Printf("gadgets %d,%d collide -> crossed graph has a cycle -> ", atk.I, atk.J)
+	if atk.Fooled {
+		fmt.Println("verifier STILL ACCEPTS (fooled)")
+	} else {
+		fmt.Println("verifier rejects")
+	}
+}
+
+func log2f(n int) float64 {
+	b := 0.0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,270 @@
+// Package bitstring implements bit-exact binary strings used as
+// proof-labeling-scheme labels and certificates.
+//
+// The verification complexity of a proof-labeling scheme (Definition 2.1 in
+// the paper) is the maximum length, in bits, of the strings exchanged between
+// neighbors. Byte-granular encodings would distort measurements by up to 7
+// bits per field, so labels are built with a bit-level writer and decoded
+// with a bit-level reader.
+package bitstring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// String is an immutable sequence of bits. The zero value is the empty
+// string. Bits are stored most-significant-first within each byte.
+type String struct {
+	data []byte
+	n    int // number of valid bits
+}
+
+// FromBytes wraps b as a bit string of 8*len(b) bits. The slice is copied.
+func FromBytes(b []byte) String {
+	d := make([]byte, len(b))
+	copy(d, b)
+	return String{data: d, n: 8 * len(b)}
+}
+
+// FromBits builds a String from individual bits (0 or 1 values).
+func FromBits(bits []byte) String {
+	var w Writer
+	for _, b := range bits {
+		w.WriteBit(b & 1)
+	}
+	return w.String()
+}
+
+// Len returns the length in bits.
+func (s String) Len() int { return s.n }
+
+// Bytes returns a copy of the underlying storage. The final byte is
+// zero-padded if Len is not a multiple of 8.
+func (s String) Bytes() []byte {
+	d := make([]byte, len(s.data))
+	copy(d, s.data)
+	return d
+}
+
+// Bit returns the i-th bit (0-indexed). It panics if i is out of range;
+// callers index only within Len, which is an invariant of decoding.
+func (s String) Bit(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstring: bit index %d out of range [0,%d)", i, s.n))
+	}
+	return (s.data[i>>3] >> (7 - uint(i&7))) & 1
+}
+
+// Equal reports whether two strings have identical length and content.
+func (s String) Equal(t String) bool {
+	if s.n != t.n {
+		return false
+	}
+	full := s.n >> 3
+	for i := 0; i < full; i++ {
+		if s.data[i] != t.data[i] {
+			return false
+		}
+	}
+	if rem := uint(s.n & 7); rem != 0 {
+		mask := byte(0xFF) << (8 - rem)
+		if s.data[full]&mask != t.data[full]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// Truncate returns the prefix of s of at most n bits. Truncation models an
+// adversarially constrained label budget in the lower-bound experiments.
+func (s String) Truncate(n int) String {
+	if n >= s.n {
+		return s
+	}
+	if n < 0 {
+		n = 0
+	}
+	nb := (n + 7) / 8
+	d := make([]byte, nb)
+	copy(d, s.data[:nb])
+	if rem := uint(n & 7); rem != 0 {
+		d[nb-1] &= byte(0xFF) << (8 - rem)
+	}
+	return String{data: d, n: n}
+}
+
+// Concat returns the concatenation of s followed by t.
+func Concat(ss ...String) String {
+	var w Writer
+	for _, s := range ss {
+		for i := 0; i < s.n; i++ {
+			w.WriteBit(s.Bit(i))
+		}
+	}
+	return w.String()
+}
+
+// String renders the bits as a 0/1 text string, for diagnostics.
+func (s String) String() string {
+	out := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = '0' + s.Bit(i)
+	}
+	return string(out)
+}
+
+// Key returns a comparable representation usable as a map key. Two strings
+// have equal keys iff Equal reports true.
+func (s String) Key() string {
+	// Normalize trailing padding before converting.
+	t := s.Truncate(s.n)
+	return fmt.Sprintf("%d:%s", t.n, string(t.data))
+}
+
+// UintBits returns the minimum number of bits needed to represent v,
+// with UintBits(0) == 1.
+func UintBits(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return bits.Len64(v)
+}
+
+// Writer incrementally assembles a String. The zero value is ready to use.
+type Writer struct {
+	data []byte
+	n    int
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b byte) {
+	if w.n&7 == 0 {
+		w.data = append(w.data, 0)
+	}
+	if b&1 == 1 {
+		w.data[w.n>>3] |= 1 << (7 - uint(w.n&7))
+	}
+	w.n++
+}
+
+// WriteUint appends the width lowest bits of v, most significant first.
+// It panics if v does not fit in width bits; label layouts are fixed by the
+// scheme designer and a misfit is a programming error, not an input error.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitstring: invalid width %d", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("bitstring: value %d does not fit in %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(byte(v >> uint(i)))
+	}
+}
+
+// WriteInt appends a signed value as a sign bit followed by width magnitude
+// bits.
+func (w *Writer) WriteInt(v int64, width int) {
+	if v < 0 {
+		w.WriteBit(1)
+		w.WriteUint(uint64(-v), width)
+		return
+	}
+	w.WriteBit(0)
+	w.WriteUint(uint64(v), width)
+}
+
+// WriteString appends another bit string.
+func (w *Writer) WriteString(s String) {
+	for i := 0; i < s.n; i++ {
+		w.WriteBit(s.Bit(i))
+	}
+}
+
+// WriteBytes appends 8*len(b) bits.
+func (w *Writer) WriteBytes(b []byte) {
+	for _, x := range b {
+		w.WriteUint(uint64(x), 8)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.n }
+
+// String finalizes the writer into an immutable String. The writer may
+// continue to be used; the returned value is a snapshot.
+func (w *Writer) String() String {
+	d := make([]byte, len(w.data))
+	copy(d, w.data)
+	return String{data: d, n: w.n}
+}
+
+// Reader consumes a String sequentially. Reads past the end return an error
+// rather than panicking: decoded labels come from (possibly adversarial)
+// peers and must be rejected, not crash the verifier.
+type Reader struct {
+	s   String
+	pos int
+}
+
+// NewReader returns a Reader positioned at the first bit of s.
+func NewReader(s String) *Reader { return &Reader{s: s} }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.s.n - r.pos }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (byte, error) {
+	if r.pos >= r.s.n {
+		return 0, fmt.Errorf("bitstring: read past end at bit %d", r.pos)
+	}
+	b := r.s.Bit(r.pos)
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes width bits as an unsigned integer.
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitstring: invalid read width %d", width)
+	}
+	if r.Remaining() < width {
+		return 0, fmt.Errorf("bitstring: need %d bits, have %d", width, r.Remaining())
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, _ := r.ReadBit()
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadInt consumes a sign bit plus width magnitude bits.
+func (r *Reader) ReadInt(width int) (int64, error) {
+	sign, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	mag, err := r.ReadUint(width)
+	if err != nil {
+		return 0, err
+	}
+	if sign == 1 {
+		return -int64(mag), nil
+	}
+	return int64(mag), nil
+}
+
+// ReadString consumes n bits as a sub-string.
+func (r *Reader) ReadString(n int) (String, error) {
+	if r.Remaining() < n {
+		return String{}, fmt.Errorf("bitstring: need %d bits, have %d", n, r.Remaining())
+	}
+	var w Writer
+	for i := 0; i < n; i++ {
+		b, _ := r.ReadBit()
+		w.WriteBit(b)
+	}
+	return w.String(), nil
+}

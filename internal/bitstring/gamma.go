@@ -1,0 +1,55 @@
+package bitstring
+
+import "fmt"
+
+// Elias-gamma coding of non-negative integers. A value v is stored as
+// gamma(v+1): ⌊log₂(v+1)⌋ zeros, then the binary expansion of v+1. The code
+// is self-delimiting and costs 2⌊log₂(v+1)⌋+1 bits, which keeps the
+// O(log κ) certificate bound of Theorem 3.1 intact when certificates must
+// carry the length of the string they fingerprint.
+
+// WriteGamma appends the Elias-gamma code of v (v >= 0).
+func (w *Writer) WriteGamma(v uint64) {
+	if v == ^uint64(0) {
+		panic("bitstring: gamma value overflow")
+	}
+	x := v + 1
+	n := UintBits(x)
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteUint(x, n)
+}
+
+// GammaBits returns the encoded size of v in bits.
+func GammaBits(v uint64) int {
+	return 2*UintBits(v+1) - 1
+}
+
+// ReadGamma consumes an Elias-gamma code.
+func (r *Reader) ReadGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, fmt.Errorf("gamma prefix: %w", err)
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, fmt.Errorf("gamma prefix too long (%d zeros)", zeros)
+		}
+	}
+	// The leading 1 already read is the top bit of x.
+	x := uint64(1)
+	for i := 0; i < zeros; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, fmt.Errorf("gamma suffix: %w", err)
+		}
+		x = x<<1 | uint64(b)
+	}
+	return x - 1, nil
+}

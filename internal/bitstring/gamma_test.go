@@ -1,0 +1,106 @@
+package bitstring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaRoundTripSmall(t *testing.T) {
+	for v := uint64(0); v < 1000; v++ {
+		var w Writer
+		w.WriteGamma(v)
+		if got := w.Len(); got != GammaBits(v) {
+			t.Fatalf("GammaBits(%d) = %d but encoder wrote %d", v, GammaBits(v), got)
+		}
+		r := NewReader(w.String())
+		got, err := r.ReadGamma()
+		if err != nil {
+			t.Fatalf("ReadGamma(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("gamma(%d) left %d bits unread", v, r.Remaining())
+		}
+	}
+}
+
+func TestGammaRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == ^uint64(0) {
+			return true // documented overflow panic case
+		}
+		var w Writer
+		w.WriteGamma(v)
+		got, err := NewReader(w.String()).ReadGamma()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSelfDelimiting(t *testing.T) {
+	// Several gamma codes followed by payload bits decode unambiguously.
+	var w Writer
+	vals := []uint64{0, 1, 7, 255, 100000}
+	for _, v := range vals {
+		w.WriteGamma(v)
+	}
+	w.WriteUint(0b1011, 4)
+	r := NewReader(w.String())
+	for _, v := range vals {
+		got, err := r.ReadGamma()
+		if err != nil || got != v {
+			t.Fatalf("decode %d: got %d err %v", v, got, err)
+		}
+	}
+	tail, err := r.ReadUint(4)
+	if err != nil || tail != 0b1011 {
+		t.Fatalf("payload after gammas: got %d err %v", tail, err)
+	}
+}
+
+func TestGammaBitsIsLogarithmic(t *testing.T) {
+	if GammaBits(0) != 1 {
+		t.Errorf("GammaBits(0) = %d, want 1", GammaBits(0))
+	}
+	for _, c := range []struct {
+		v    uint64
+		want int
+	}{{1, 3}, {2, 3}, {3, 5}, {7, 7}, {255, 17}} {
+		if got := GammaBits(c.v); got != c.want {
+			t.Errorf("GammaBits(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestReadGammaRejectsGarbage(t *testing.T) {
+	// All-zero prefix with no terminating one.
+	r := NewReader(FromBits(make([]byte, 70)))
+	if _, err := r.ReadGamma(); err == nil {
+		t.Error("70 zero bits decoded as a gamma code")
+	}
+	// Truncated suffix.
+	var w Writer
+	w.WriteGamma(1000)
+	trunc := w.String().Truncate(w.Len() - 3)
+	if _, err := NewReader(trunc).ReadGamma(); err == nil {
+		t.Error("truncated gamma code decoded")
+	}
+	// Empty input.
+	if _, err := NewReader(String{}).ReadGamma(); err == nil {
+		t.Error("empty input decoded")
+	}
+}
+
+func TestWriteGammaPanicsOnMaxUint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteGamma(MaxUint64) should panic (v+1 overflows)")
+		}
+	}()
+	var w Writer
+	w.WriteGamma(^uint64(0))
+}

@@ -1,0 +1,156 @@
+// Package commcc implements 2-party communication complexity protocols for
+// the EQUALITY predicate, the engine behind both the compiler of Theorem 3.1
+// and the lower bound of Theorem 3.5.
+//
+// Lemma 3.2 (Kushilevitz–Nisan): the randomized communication complexity of
+// EQ over λ-bit strings is Θ(log λ). Lemma A.1 realizes the upper bound:
+// Alice views her string as a polynomial over GF(p), 3λ < p < 6λ, picks a
+// uniform point x, and sends (x, A(x)) in O(log λ) bits; Bob accepts iff his
+// polynomial agrees there. Equal strings always pass; distinct ones pass
+// with probability at most (λ−1)/p < 1/3.
+//
+// The package also provides the deterministic baseline (λ bits) and an
+// adversarially truncated variant whose field is too small, which makes the
+// Ω(log λ) lower bound observable: below the bound the protocol is fooled
+// more than a third of the time on worst-case inputs.
+package commcc
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/field"
+	"rpls/internal/prng"
+)
+
+// Transcript records the communication cost of one protocol run.
+type Transcript struct {
+	Bits     int // total bits exchanged
+	Messages int // number of messages
+}
+
+// EQProtocol decides whether two bit strings of equal length are identical.
+type EQProtocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Run executes the protocol on Alice's input a and Bob's input b.
+	Run(a, b bitstring.String, rng *prng.Rand) (equal bool, tr Transcript)
+}
+
+// Deterministic returns the trivial protocol: Alice ships her whole string.
+// Communication λ bits; never errs.
+func Deterministic() EQProtocol { return deterministicEQ{} }
+
+type deterministicEQ struct{}
+
+func (deterministicEQ) Name() string { return "eq-deterministic" }
+
+func (deterministicEQ) Run(a, b bitstring.String, _ *prng.Rand) (bool, Transcript) {
+	// Alice → Bob: the full string (λ bits); Bob replies with the verdict.
+	return a.Equal(b), Transcript{Bits: a.Len() + 1, Messages: 2}
+}
+
+// Randomized returns the Lemma A.1 protocol with the paper's parameters:
+// p ∈ (3λ, 6λ), one-sided error < 1/3.
+func Randomized() EQProtocol {
+	return fingerprintEQ{name: "eq-randomized", prime: field.PrimeForLength}
+}
+
+// RandomizedWithError returns the protocol tuned for per-run error below
+// eps (ε-obliviousness: only the field size changes).
+func RandomizedWithError(eps float64) EQProtocol {
+	return fingerprintEQ{
+		name:  fmt.Sprintf("eq-randomized(ε=%g)", eps),
+		prime: func(lambda int) uint64 { return field.PrimeForError(lambda, eps) },
+	}
+}
+
+// Truncated returns an adversarially under-provisioned protocol whose field
+// has only fieldBits bits, regardless of the input length. When
+// 2^fieldBits ≪ 3λ the soundness guarantee collapses — the constructive
+// form of the Ω(log λ) lower bound (Theorem 3.5 / Lemma 3.2).
+func Truncated(fieldBits int) EQProtocol {
+	if fieldBits < 2 {
+		fieldBits = 2
+	}
+	p := field.NextPrime(1 << uint(fieldBits-1))
+	return fingerprintEQ{
+		name:  fmt.Sprintf("eq-truncated(%d-bit field)", fieldBits),
+		prime: func(int) uint64 { return p },
+	}
+}
+
+type fingerprintEQ struct {
+	name  string
+	prime func(lambda int) uint64
+}
+
+func (f fingerprintEQ) Name() string { return f.name }
+
+func (f fingerprintEQ) Run(a, b bitstring.String, rng *prng.Rand) (bool, Transcript) {
+	if a.Len() != b.Len() {
+		// Lengths are part of the problem statement for EQ; a length
+		// mismatch is decided for free (both parties know λ).
+		return false, Transcript{Bits: 0, Messages: 0}
+	}
+	p := f.prime(a.Len())
+	fp := field.NewFingerprint(a, p, rng)
+	// Alice → Bob: (x, A(x)); Bob replies with the verdict bit.
+	return fp.Matches(b), Transcript{Bits: fp.Bits() + 1, Messages: 2}
+}
+
+// MeasureError estimates the probability that the protocol errs on the
+// given input pair over `trials` runs.
+func MeasureError(pr EQProtocol, a, b bitstring.String, trials int, seed uint64) float64 {
+	truth := a.Equal(b)
+	rng := prng.New(seed)
+	wrong := 0
+	for t := 0; t < trials; t++ {
+		got, _ := pr.Run(a, b, rng)
+		if got != truth {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(trials)
+}
+
+// WorstCasePair returns a pair of distinct λ-bit strings whose difference
+// polynomial has many roots modulo moderately sized fields: a is the zero
+// string and b has ones in the low ⌈λ/2⌉ positions, so A−B vanishes on the
+// (λ/2)-th roots of unity present in the field.
+func WorstCasePair(lambda int) (bitstring.String, bitstring.String) {
+	za := make([]byte, lambda)
+	zb := make([]byte, lambda)
+	for i := 0; i < (lambda+1)/2; i++ {
+		zb[i] = 1
+	}
+	return bitstring.FromBits(za), bitstring.FromBits(zb)
+}
+
+// FoolingPair returns two distinct λ-bit strings that are *perfectly*
+// indistinguishable by polynomial fingerprints over GF(p): by Fermat's
+// little theorem x^p ≡ x for every x in GF(p), so the strings with a single
+// one-bit at position 1 and at position p induce the same function on the
+// whole field. Requires λ > p; this is the constructive heart of the
+// Ω(log λ) lower bound (Lemma 3.2 / Theorem 3.5): a field too small for the
+// input length admits inputs it can never tell apart.
+func FoolingPair(lambda int, p uint64) (bitstring.String, bitstring.String, error) {
+	if uint64(lambda) <= p {
+		return bitstring.String{}, bitstring.String{}, fmt.Errorf(
+			"commcc: FoolingPair needs λ > p, got λ=%d p=%d", lambda, p)
+	}
+	za := make([]byte, lambda)
+	zb := make([]byte, lambda)
+	za[1] = 1
+	zb[p] = 1
+	return bitstring.FromBits(za), bitstring.FromBits(zb), nil
+}
+
+// TruncatedPrime exposes the field modulus a Truncated(fieldBits) protocol
+// uses, so experiments can build tailored fooling pairs.
+func TruncatedPrime(fieldBits int) uint64 {
+	if fieldBits < 2 {
+		fieldBits = 2
+	}
+	return field.NextPrime(1 << uint(fieldBits-1))
+}

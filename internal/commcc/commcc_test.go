@@ -1,0 +1,180 @@
+package commcc
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/prng"
+)
+
+func randomString(rng *prng.Rand, lambda int) bitstring.String {
+	bits := make([]byte, lambda)
+	for i := range bits {
+		bits[i] = rng.Bit()
+	}
+	return bitstring.FromBits(bits)
+}
+
+func flipOne(s bitstring.String, pos int) bitstring.String {
+	bits := make([]byte, s.Len())
+	for i := range bits {
+		bits[i] = s.Bit(i)
+	}
+	bits[pos] = 1 - bits[pos]
+	return bitstring.FromBits(bits)
+}
+
+func TestDeterministicExact(t *testing.T) {
+	rng := prng.New(1)
+	p := Deterministic()
+	for trial := 0; trial < 50; trial++ {
+		a := randomString(rng, 1+rng.Intn(100))
+		eq, tr := p.Run(a, a, rng)
+		if !eq {
+			t.Fatal("deterministic EQ rejected equal strings")
+		}
+		if tr.Bits != a.Len()+1 {
+			t.Errorf("transcript %d bits, want %d", tr.Bits, a.Len()+1)
+		}
+		if a.Len() > 0 {
+			b := flipOne(a, rng.Intn(a.Len()))
+			if eq, _ := p.Run(a, b, rng); eq {
+				t.Fatal("deterministic EQ accepted distinct strings")
+			}
+		}
+	}
+}
+
+func TestRandomizedOneSided(t *testing.T) {
+	// Equal strings must always be accepted (Lemma A.1).
+	rng := prng.New(2)
+	p := Randomized()
+	for trial := 0; trial < 300; trial++ {
+		a := randomString(rng, 1+rng.Intn(300))
+		if eq, _ := p.Run(a, a, rng); !eq {
+			t.Fatal("randomized EQ rejected equal strings")
+		}
+	}
+}
+
+func TestRandomizedSoundnessBelowThird(t *testing.T) {
+	for _, lambda := range []int{8, 64, 512} {
+		a, b := WorstCasePair(lambda)
+		if rate := MeasureError(Randomized(), a, b, 3000, 3); rate >= 1.0/3 {
+			t.Errorf("λ=%d: error rate %v >= 1/3", lambda, rate)
+		}
+	}
+}
+
+func TestRandomizedTranscriptLogarithmic(t *testing.T) {
+	rng := prng.New(4)
+	p := Randomized()
+	prev := 0
+	for _, lambda := range []int{8, 64, 512, 4096, 1 << 15} {
+		a := randomString(rng, lambda)
+		_, tr := p.Run(a, a, rng)
+		if tr.Bits > 2*(log2ceil(lambda)+3)+1 {
+			t.Errorf("λ=%d: transcript %d bits, want <= 2(log λ + 3)+1", lambda, tr.Bits)
+		}
+		if prev > 0 && tr.Bits > prev+8 {
+			t.Errorf("λ=%d: transcript jumped %d -> %d", lambda, prev, tr.Bits)
+		}
+		prev = tr.Bits
+	}
+}
+
+func TestRandomizedWithErrorTunesField(t *testing.T) {
+	// Tighter ε costs more bits but errs less: the §1 obliviousness knob.
+	const lambda = 256
+	a, b := WorstCasePair(lambda)
+	loose := MeasureError(RandomizedWithError(0.3), a, b, 4000, 5)
+	tight := MeasureError(RandomizedWithError(0.01), a, b, 4000, 6)
+	if tight >= 0.01 {
+		t.Errorf("ε=0.01 protocol errs at %v", tight)
+	}
+	if loose >= 0.3 {
+		t.Errorf("ε=0.3 protocol errs at %v, violating its contract", loose)
+	}
+	rng := prng.New(7)
+	s := randomString(rng, lambda)
+	_, trLoose := RandomizedWithError(0.3).Run(s, s, rng)
+	_, trTight := RandomizedWithError(0.01).Run(s, s, rng)
+	if trTight.Bits <= trLoose.Bits {
+		t.Errorf("tighter ε should cost more bits: %d vs %d", trTight.Bits, trLoose.Bits)
+	}
+}
+
+func TestTruncatedProtocolIsFooled(t *testing.T) {
+	// The constructive lower bound: a field far below 3λ admits a pair of
+	// distinct inputs it can NEVER distinguish (x vs x^p by Fermat), so the
+	// truncated protocol errs with probability 1 on that pair.
+	const lambda = 4096
+	p := TruncatedPrime(4)
+	a, b, err := FoolingPair(lambda, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("fooling pair must be distinct strings")
+	}
+	rate := MeasureError(Truncated(4), a, b, 500, 8)
+	if rate != 1.0 {
+		t.Errorf("4-bit field on λ=%d: error rate %v, want exactly 1 (perfect fooling)", lambda, rate)
+	}
+	// And with the properly sized field the same pair is handled.
+	if ok := MeasureError(Randomized(), a, b, 2000, 9); ok >= 1.0/3 {
+		t.Errorf("full protocol errs at %v on the same pair", ok)
+	}
+}
+
+func TestTruncatedErrorDecreasesWithFieldBits(t *testing.T) {
+	// Fix the pair fooling the 4-bit field and grow the field: the error
+	// rate must fall off as (#roots of x^p − x in GF(q))/q.
+	const lambda = 1024
+	p := TruncatedPrime(4)
+	a, b, err := FoolingPair(lambda, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.1
+	for _, bits := range []int{4, 8, 12, 16} {
+		rate := MeasureError(Truncated(bits), a, b, 2000, uint64(10+bits))
+		if rate > prev+0.05 {
+			t.Errorf("field %d bits: error rate %v rose from %v", bits, rate, prev)
+		}
+		prev = rate
+	}
+	if prev > 0.05 {
+		t.Errorf("16-bit field still errs at %v on the 4-bit fooling pair", prev)
+	}
+}
+
+func TestFoolingPairRequiresLongInput(t *testing.T) {
+	if _, _, err := FoolingPair(5, 11); err == nil {
+		t.Error("FoolingPair with λ <= p should fail")
+	}
+}
+
+func TestLengthMismatchDecidedForFree(t *testing.T) {
+	rng := prng.New(11)
+	a := randomString(rng, 10)
+	b := randomString(rng, 12)
+	eq, tr := Randomized().Run(a, b, rng)
+	if eq {
+		t.Error("length mismatch accepted")
+	}
+	if tr.Bits != 0 {
+		t.Errorf("length mismatch cost %d bits", tr.Bits)
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Boost implements footnote 1 of the paper: running the verification
+// procedure t times independently drives the error probability to 2^−Θ(t),
+// so confidence 1−δ costs a factor O(log 1/δ) in certificate size.
+//
+// For a one-sided scheme the combination rule is conjunction: legal
+// configurations still accept with probability 1, and an illegal one
+// survives only if every repetition accepts, probability ≤ (1−p_reject)^t.
+// For two-sided schemes each node takes the majority of its t outputs.
+// Boost(r, 1) returns r unchanged.
+func Boost(r RPLS, t int) RPLS {
+	if t <= 1 {
+		return r
+	}
+	return &boosted{inner: r, t: t}
+}
+
+type boosted struct {
+	inner RPLS
+	t     int
+}
+
+var _ RPLS = (*boosted)(nil)
+
+func (b *boosted) Name() string {
+	return fmt.Sprintf("%s×%d", b.inner.Name(), b.t)
+}
+
+func (b *boosted) OneSided() bool { return b.inner.OneSided() }
+
+func (b *boosted) Label(c *graph.Config) ([]Label, error) {
+	return b.inner.Label(c)
+}
+
+// Certs concatenates t independently drawn certificate vectors, each
+// sub-certificate framed with a gamma length prefix.
+func (b *boosted) Certs(view View, own Label, rng *prng.Rand) []Cert {
+	writers := make([]bitstring.Writer, view.Deg)
+	for rep := 0; rep < b.t; rep++ {
+		certs := b.inner.Certs(view, own, rng.Fork(uint64(rep)))
+		for i := 0; i < view.Deg; i++ {
+			var c Cert
+			if i < len(certs) {
+				c = certs[i]
+			}
+			writers[i].WriteGamma(uint64(c.Len()))
+			writers[i].WriteString(c)
+		}
+	}
+	out := make([]Cert, view.Deg)
+	for i := range out {
+		out[i] = writers[i].String()
+	}
+	return out
+}
+
+func (b *boosted) Decide(view View, own Label, received []Cert) bool {
+	if len(received) != view.Deg {
+		return false
+	}
+	readers := make([]*bitstring.Reader, view.Deg)
+	for i, c := range received {
+		readers[i] = bitstring.NewReader(c)
+	}
+	accepts := 0
+	for rep := 0; rep < b.t; rep++ {
+		round := make([]Cert, view.Deg)
+		for i := range readers {
+			n, err := readers[i].ReadGamma()
+			if err != nil {
+				return false
+			}
+			if n > 1<<30 {
+				return false
+			}
+			sub, err := readers[i].ReadString(int(n))
+			if err != nil {
+				return false
+			}
+			round[i] = sub
+		}
+		if b.inner.Decide(view, own, round) {
+			accepts++
+		} else if b.inner.OneSided() {
+			return false // conjunction rule: any rejection kills acceptance
+		}
+	}
+	for i := range readers {
+		if readers[i].Remaining() != 0 {
+			return false
+		}
+	}
+	if b.inner.OneSided() {
+		return true
+	}
+	return 2*accepts > b.t
+}

@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+// coinRPLS is a synthetic two-sided scheme used to exercise the majority
+// combination rule: each node sends `bits` random bits per port and accepts
+// iff every received word is all-zero. Per-vote acceptance at a node with
+// degree d is 2^(−bits·d), adjustable below or above 1/2 via `invert`.
+type coinRPLS struct {
+	bits   int
+	invert bool // accept iff NOT all-zero: flips the acceptance probability
+}
+
+func (c coinRPLS) Name() string   { return "coin" }
+func (c coinRPLS) OneSided() bool { return false }
+
+func (c coinRPLS) Label(cfg *graph.Config) ([]core.Label, error) {
+	return make([]core.Label, cfg.G.N()), nil
+}
+
+func (c coinRPLS) Certs(view core.View, _ core.Label, rng *prng.Rand) []core.Cert {
+	out := make([]core.Cert, view.Deg)
+	for i := range out {
+		var w bitstring.Writer
+		port := rng.Fork(uint64(i))
+		for b := 0; b < c.bits; b++ {
+			w.WriteBit(port.Bit())
+		}
+		out[i] = w.String()
+	}
+	return out
+}
+
+func (c coinRPLS) Decide(view core.View, _ core.Label, received []core.Cert) bool {
+	if len(received) != view.Deg {
+		return false
+	}
+	allZero := true
+	for _, cert := range received {
+		if cert.Len() != c.bits {
+			return false
+		}
+		for i := 0; i < cert.Len(); i++ {
+			if cert.Bit(i) == 1 {
+				allZero = false
+			}
+		}
+	}
+	if c.invert {
+		return !allZero
+	}
+	return allZero
+}
+
+func TestBoostIdentityForTOne(t *testing.T) {
+	inner := uniform.NewRPLS()
+	if got := core.Boost(inner, 1); got.Name() != inner.Name() {
+		t.Error("Boost(r, 1) should return r unchanged")
+	}
+	if got := core.Boost(inner, 0); got.Name() != inner.Name() {
+		t.Error("Boost(r, 0) should return r unchanged")
+	}
+}
+
+func TestBoostName(t *testing.T) {
+	b := core.Boost(uniform.NewRPLS(), 5)
+	if !strings.Contains(b.Name(), "×5") {
+		t.Errorf("boosted name = %q", b.Name())
+	}
+}
+
+func TestBoostPreservesOneSidedCompleteness(t *testing.T) {
+	c := graph.NewConfig(graph.Path(6))
+	for v := range c.States {
+		c.States[v].Data = []byte("same")
+	}
+	for _, reps := range []int{2, 5, 16} {
+		s := core.Boost(uniform.NewRPLS(), reps)
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := runtime.EstimateAcceptance(s, c, labels, 100, 1); rate != 1.0 {
+			t.Errorf("t=%d: acceptance %v on legal config, want 1.0", reps, rate)
+		}
+	}
+}
+
+func TestBoostConjunctionDrivesErrorDown(t *testing.T) {
+	// One-sided boosting: acceptance of an illegal config must be
+	// (weakly) decreasing in t and eventually negligible.
+	c := graph.NewConfig(graph.Path(4))
+	for v := range c.States {
+		c.States[v].Data = []byte{0x00, 0x00}
+	}
+	c.States[2].Data = []byte{0x00, 0x01}
+	labels := make([]core.Label, 4)
+	inner := uniform.NewRPLS()
+	prev := 1.1
+	for _, reps := range []int{1, 2, 4, 8} {
+		s := core.Boost(inner, reps)
+		rate := runtime.EstimateAcceptance(s, c, labels, 3000, 42)
+		if rate > prev+0.02 {
+			t.Errorf("t=%d: acceptance %v rose from %v", reps, rate, prev)
+		}
+		prev = rate
+	}
+	if prev > 0.01 {
+		t.Errorf("t=8: acceptance %v, want near 0", prev)
+	}
+}
+
+func TestBoostMajorityAmplifiesAdvantage(t *testing.T) {
+	// A two-sided vote with per-round acceptance p should move toward
+	// 0 (p < 1/2) or 1 (p > 1/2) under majority boosting.
+	cfg := graph.NewConfig(graph.Path(2))
+
+	// p = 1/4 per node per round.
+	low := coinRPLS{bits: 2}
+	labels := make([]core.Label, 2)
+	base := runtime.EstimateAcceptance(low, cfg, labels, 4000, 7)
+	boosted := runtime.EstimateAcceptance(core.Boost(low, 9), cfg, labels, 4000, 8)
+	if !(boosted < base) {
+		t.Errorf("below-half acceptance should shrink: base %v, boosted %v", base, boosted)
+	}
+
+	// p = 3/4 per node per round.
+	high := coinRPLS{bits: 2, invert: true}
+	base = runtime.EstimateAcceptance(high, cfg, labels, 4000, 9)
+	boosted = runtime.EstimateAcceptance(core.Boost(high, 9), cfg, labels, 4000, 10)
+	if !(boosted > base) {
+		t.Errorf("above-half acceptance should grow: base %v, boosted %v", base, boosted)
+	}
+	if boosted < 0.9 {
+		t.Errorf("boosted above-half acceptance %v, want > 0.9", boosted)
+	}
+}
+
+func TestBoostCertificateSizeScalesLinearly(t *testing.T) {
+	c := graph.NewConfig(graph.Path(3))
+	for v := range c.States {
+		c.States[v].Data = []byte("data")
+	}
+	inner := uniform.NewRPLS()
+	labels, err := inner.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.MaxCertBitsOver(inner, c, labels, 3, 3)
+	for _, reps := range []int{2, 4} {
+		s := core.Boost(inner, reps)
+		got := runtime.MaxCertBitsOver(s, c, labels, 3, 3)
+		// Linear in t with small framing overhead per repetition.
+		if got < reps*base || got > reps*(base+16) {
+			t.Errorf("t=%d: boosted cert %d bits, base %d", reps, got, base)
+		}
+	}
+}
+
+func TestBoostRejectsTruncatedCertificates(t *testing.T) {
+	c := graph.NewConfig(graph.Path(2))
+	for v := range c.States {
+		c.States[v].Data = []byte("d")
+	}
+	s := core.Boost(uniform.NewRPLS(), 3)
+	labels := make([]core.Label, 2)
+	view := core.ViewOf(c, 0)
+	certs := s.Certs(view, labels[0], prng.New(3))
+	truncated := certs[0].Truncate(certs[0].Len() / 2)
+	if s.Decide(view, labels[0], []core.Cert{truncated}) {
+		t.Error("truncated boosted certificate accepted")
+	}
+}

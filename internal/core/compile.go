@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/field"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Compile implements Theorem 3.1: given a deterministic PLS with
+// verification complexity κ, it returns a one-sided, edge-independent RPLS
+// with verification complexity O(log κ).
+//
+// Construction (Appendix A): the compiled prover replicates each node's
+// label onto all its neighbors — the new label of v is the vector
+// (ℓ(v), ℓ(w₁), …, ℓ(w_d)) ordered by port. During verification, v does not
+// send its label; instead, per port it draws a uniform x in GF(p) for a
+// prime 3κ < p < 6κ and sends the fingerprint (x, A(x)) of ℓ(v) viewed as a
+// polynomial (Lemma A.1). The receiver checks the fingerprint against its
+// stored replica of the sender's label and, if every replica passes, runs
+// the original deterministic verifier on the replicas.
+//
+// Equal strings always fingerprint-match, so legal configurations are
+// accepted with probability 1 (one-sided). On illegal configurations either
+// some replica is inconsistent — detected with probability > 2/3 on that
+// edge — or all replicas are faithful and the deterministic verifier
+// rejects outright.
+//
+// The transmitted certificate also carries the label length in Elias-gamma
+// form (2⌊log κ⌋+1 bits): a fingerprint alone cannot distinguish a string
+// from the same string with trailing zero bits, since both induce the same
+// polynomial.
+func Compile(p PLS) RPLS {
+	return &compiled{inner: p}
+}
+
+type compiled struct {
+	inner PLS
+}
+
+var _ RPLS = (*compiled)(nil)
+
+func (c *compiled) Name() string   { return c.inner.Name() + "+compiled" }
+func (c *compiled) OneSided() bool { return true }
+
+// Label builds the replicated label vector. Each sub-label is written with
+// a gamma length prefix so it can be decoded without trusting the content.
+func (c *compiled) Label(cfg *graph.Config) ([]Label, error) {
+	base, err := c.inner.Label(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", c.inner.Name(), err)
+	}
+	if len(base) != cfg.G.N() {
+		return nil, fmt.Errorf("compile %s: %d labels for %d nodes", c.inner.Name(), len(base), cfg.G.N())
+	}
+	out := make([]Label, cfg.G.N())
+	for v := range out {
+		var w bitstring.Writer
+		writeSub(&w, base[v])
+		for _, h := range cfg.G.Adj(v) {
+			writeSub(&w, base[h.To])
+		}
+		out[v] = w.String()
+	}
+	return out, nil
+}
+
+func writeSub(w *bitstring.Writer, s bitstring.String) {
+	w.WriteGamma(uint64(s.Len()))
+	w.WriteString(s)
+}
+
+func readSub(r *bitstring.Reader) (bitstring.String, error) {
+	n, err := r.ReadGamma()
+	if err != nil {
+		return bitstring.String{}, err
+	}
+	if n > 1<<30 {
+		return bitstring.String{}, fmt.Errorf("compiled label: implausible sub-label length %d", n)
+	}
+	return r.ReadString(int(n))
+}
+
+// splitLabel decodes the replicated vector: own label plus one replica per
+// port. Returns an error on malformed (adversarial) labels.
+func (c *compiled) splitLabel(own Label, deg int) (self Label, replicas []Label, err error) {
+	r := bitstring.NewReader(own)
+	self, err = readSub(r)
+	if err != nil {
+		return Label{}, nil, fmt.Errorf("own sub-label: %w", err)
+	}
+	replicas = make([]Label, deg)
+	for i := 0; i < deg; i++ {
+		replicas[i], err = readSub(r)
+		if err != nil {
+			return Label{}, nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	if r.Remaining() != 0 {
+		return Label{}, nil, fmt.Errorf("trailing bits in compiled label")
+	}
+	return self, replicas, nil
+}
+
+// Certs fingerprints the node's own sub-label once per port with
+// independent coins (edge independence, Definition 4.5).
+func (c *compiled) Certs(view View, own Label, rng *prng.Rand) []Cert {
+	self, _, err := c.splitLabel(own, view.Deg)
+	if err != nil {
+		// A node with a malformed label sends empty certificates; its
+		// neighbors reject them, and the node itself rejects in Decide.
+		return make([]Cert, view.Deg)
+	}
+	p := field.PrimeForLength(self.Len())
+	certs := make([]Cert, view.Deg)
+	for i := range certs {
+		fp := field.NewFingerprint(self, p, rng.Fork(uint64(i)))
+		var w bitstring.Writer
+		w.WriteGamma(uint64(self.Len()))
+		fp.Encode(&w)
+		certs[i] = w.String()
+	}
+	return certs
+}
+
+// Decide checks every received fingerprint against the stored replica of
+// that neighbor's label, then runs the original deterministic verifier on
+// the replicas.
+func (c *compiled) Decide(view View, own Label, received []Cert) bool {
+	self, replicas, err := c.splitLabel(own, view.Deg)
+	if err != nil {
+		return false
+	}
+	if len(received) != view.Deg {
+		return false
+	}
+	for i, cert := range received {
+		r := bitstring.NewReader(cert)
+		n, err := r.ReadGamma()
+		if err != nil {
+			return false
+		}
+		if int(n) != replicas[i].Len() {
+			return false // length mismatch: replica cannot equal sender's label
+		}
+		p := field.PrimeForLength(int(n))
+		fp, err := field.DecodeFingerprint(r, p)
+		if err != nil {
+			return false
+		}
+		if r.Remaining() != 0 {
+			return false
+		}
+		if !fp.Matches(replicas[i]) {
+			return false
+		}
+	}
+	return c.inner.Verify(view, self, replicas)
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/field"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+func uniformConfig(g *graph.Graph, payload []byte) *graph.Config {
+	c := graph.NewConfig(g)
+	for v := range c.States {
+		d := make([]byte, len(payload))
+		copy(d, payload)
+		c.States[v].Data = d
+	}
+	return c
+}
+
+func TestCompileName(t *testing.T) {
+	s := core.Compile(uniform.NewPLS())
+	if !strings.Contains(s.Name(), "compiled") {
+		t.Errorf("compiled name = %q", s.Name())
+	}
+	if !s.OneSided() {
+		t.Error("Theorem 3.1 compilation must be one-sided")
+	}
+}
+
+func TestCompiledCompleteness(t *testing.T) {
+	// Legal configurations with honest labels accept with probability 1.
+	rng := prng.New(1)
+	s := core.Compile(uniform.NewPLS())
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(15)
+		c := uniformConfig(graph.RandomConnected(n, rng.Intn(n), rng), []byte("corpus"))
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := runtime.EstimateAcceptance(s, c, labels, 50, uint64(trial)); rate != 1.0 {
+			t.Fatalf("trial %d: acceptance %v on legal config, want 1.0", trial, rate)
+		}
+	}
+}
+
+func TestCompiledSoundnessOnIllegalConfig(t *testing.T) {
+	// Transplant honest labels from a legal twin onto an illegal config.
+	// The replicas are then internally consistent, so detection must come
+	// from the embedded deterministic verifier — and it is deterministic:
+	// acceptance probability must be far below 1/3... in fact 0, because
+	// with faithful replicas the deterministic uniform verifier at the
+	// deviant node rejects its own label/state mismatch with certainty.
+	legal := uniformConfig(graph.Path(6), []byte("main"))
+	s := core.Compile(uniform.NewPLS())
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := legal.Clone()
+	illegal.States[3].Data = []byte("evil")
+	if rate := runtime.EstimateAcceptance(s, illegal, labels, 200, 7); rate != 0 {
+		t.Errorf("acceptance = %v on illegal config with transplanted labels", rate)
+	}
+}
+
+func TestCompiledSoundnessAgainstInconsistentReplicas(t *testing.T) {
+	// The adversary lies in the replicas: node 3's replica of node 2's label
+	// diverges from what node 2 actually holds. The fingerprint exchange
+	// must catch this with probability > 2/3.
+	c := uniformConfig(graph.Path(6), []byte("main"))
+	det := uniform.NewPLS()
+	s := core.Compile(det)
+	honest, err := s.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the configuration illegal at node 2 and craft labels where every
+	// node *claims* node 2 still matches: node 2's own sub-label and all its
+	// replicas elsewhere assert the original payload. Node 2's label/state
+	// check would fail, so the adversary must instead lie to node 2's
+	// neighbors about node 2's sub-label — producing replica inconsistency.
+	illegal := c.Clone()
+	illegal.States[2].Data = []byte("evil")
+	labels := make([]core.Label, len(honest))
+	copy(labels, honest)
+	// Rebuild node 2's composite label so its own sub-label says "evil"
+	// (passing its local check) while neighbors keep replicas saying "main".
+	evil := bitstring.FromBytes([]byte("evil"))
+	main := bitstring.FromBytes([]byte("main"))
+	var w bitstring.Writer
+	w.WriteGamma(uint64(evil.Len()))
+	w.WriteString(evil)
+	for i := 0; i < illegal.G.Degree(2); i++ {
+		w.WriteGamma(uint64(main.Len()))
+		w.WriteString(main)
+	}
+	labels[2] = w.String()
+	rate := runtime.EstimateAcceptance(s, illegal, labels, 2000, 11)
+	if rate > 1.0/3 {
+		t.Errorf("acceptance = %v with inconsistent replicas, want <= 1/3", rate)
+	}
+	if rate == 0 {
+		t.Log("note: fingerprints caught every trial (allowed; bound is 1/3)")
+	}
+}
+
+func TestCompiledCertificatesAreLogarithmicInKappa(t *testing.T) {
+	// κ = payload bits; compiled certificates must grow like O(log κ).
+	s := core.Compile(uniform.NewPLS())
+	type row struct{ kappa, bits int }
+	var rows []row
+	for _, kBytes := range []int{1, 4, 32, 256, 2048} {
+		c := uniformConfig(graph.Path(4), make([]byte, kBytes))
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := runtime.MaxCertBitsOver(s, c, labels, 3, 5)
+		rows = append(rows, row{kappa: kBytes * 8, bits: bits})
+	}
+	for _, r := range rows {
+		if r.bits > 6*log2ceil(r.kappa)+20 {
+			t.Errorf("κ=%d: certificate %d bits, exceeds O(log κ) envelope", r.kappa, r.bits)
+		}
+	}
+	// Exponential κ growth must produce ~linear certificate growth.
+	if rows[len(rows)-1].bits > rows[0].bits+60 {
+		t.Errorf("certificates grew too fast: %v", rows)
+	}
+}
+
+func TestCompiledRejectsMalformedLabels(t *testing.T) {
+	c := uniformConfig(graph.Path(3), []byte("ab"))
+	s := core.Compile(uniform.NewPLS())
+	view := core.ViewOf(c, 1)
+	garbage := bitstring.FromBytes([]byte{0xFF, 0xFF, 0xFF})
+	rng := prng.New(9)
+	certs := s.Certs(view, garbage, rng)
+	if len(certs) != view.Deg {
+		t.Fatalf("Certs returned %d certificates for degree %d", len(certs), view.Deg)
+	}
+	if s.Decide(view, garbage, certs) {
+		t.Error("malformed label accepted")
+	}
+	// Wrong number of received certificates.
+	honest, err := s.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Decide(view, honest[1], nil) {
+		t.Error("missing certificates accepted")
+	}
+}
+
+func TestCompiledRejectsLengthLie(t *testing.T) {
+	// A certificate claiming a different label length must be rejected even
+	// if the fingerprint would match (trailing-zero ambiguity).
+	c := uniformConfig(graph.Path(2), []byte{0x00}) // payload 0x00: all-zero bits
+	s := core.Compile(uniform.NewPLS())
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := core.ViewOf(c, 0)
+	// Forge a certificate for a 4-bit all-zero label: polynomial identical
+	// (zero), but length differs from the true 8 bits.
+	var w bitstring.Writer
+	w.WriteGamma(4)
+	p := field.PrimeForLength(4)
+	wWidth := bitstring.UintBits(p - 1)
+	w.WriteUint(2%p, wWidth) // x
+	w.WriteUint(0, wWidth)   // A(x) = 0 for the zero polynomial
+	if s.Decide(view, labels[0], []core.Cert{w.String()}) {
+		t.Error("length lie accepted despite matching zero polynomial")
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

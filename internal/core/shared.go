@@ -1,0 +1,37 @@
+package core
+
+import "rpls/internal/prng"
+
+// SharedRPLS is the shared-randomness variant of an RPLS, one of the open
+// models named in the paper's conclusion ("what about the model that allows
+// shared randomness between nodes?"). In each verification round every node
+// observes one public random string — modeled as an identically seeded coin
+// stream handed to every node — in addition to its private coins.
+//
+// Shared coins change the accounting: with a public evaluation point x, a
+// fingerprint certificate needs only the value A(x), not the pair (x, A(x)),
+// halving the exchanged bits. They also void Theorem 4.7's edge-independence
+// hypothesis — certificates on different edges become correlated by design —
+// which is precisely why the paper lists the model as open.
+type SharedRPLS interface {
+	Prover
+	// Name identifies the scheme in reports.
+	Name() string
+	// CertsShared generates one certificate per port. All nodes receive
+	// byte-identical `shared` streams; draws from it must not depend on
+	// node identity, or the coins stop being shared. `private` is the
+	// node's own stream.
+	CertsShared(view View, own Label, shared, private *prng.Rand) []Cert
+	// DecideShared is the node's output; `shared` replays the same public
+	// stream the certificate generators saw.
+	DecideShared(view View, own Label, received []Cert, shared *prng.Rand) bool
+	// OneSided reports whether legal configurations are accepted with
+	// probability 1.
+	OneSided() bool
+}
+
+// SharedCoins derives the public stream for a round from the round seed.
+// Every participant must construct it identically.
+func SharedCoins(roundSeed uint64) *prng.Rand {
+	return prng.New(roundSeed).Fork(0xC0157A11ED)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/graph"
+)
+
+// UniversalPLS implements the universal scheme of Lemma 3.3 (Appendix B):
+// for any sequentially decidable predicate P, the prover hands every node
+// the full representation R of the configuration plus the node's own index
+// in R; each node checks that
+//
+//  1. R is well-formed, connected, and satisfies P;
+//  2. its own record in R matches its actual state and degree exactly;
+//  3. every neighbor carries a bit-identical copy of R, and the neighbor on
+//     port i is the node R claims sits across that port.
+//
+// If every node accepts, the identity-matching makes the map node→index an
+// injective local isomorphism into R; since R is connected and degrees
+// match, it is onto, so the actual configuration is isomorphic to R and
+// satisfies P. Label size is O(min(n², m log n) + nk) bits.
+func UniversalPLS(pred Predicate) PLS {
+	return &universal{pred: pred}
+}
+
+// UniversalRPLS is Corollary 3.4: the compiled universal scheme, with
+// certificates of O(log n + log k) bits.
+func UniversalRPLS(pred Predicate) RPLS {
+	return Compile(UniversalPLS(pred))
+}
+
+type universal struct {
+	pred Predicate
+}
+
+var _ PLS = (*universal)(nil)
+
+func (u *universal) Name() string { return "universal[" + u.pred.Name() + "]" }
+
+func (u *universal) Label(c *graph.Config) ([]Label, error) {
+	if !u.pred.Eval(c) {
+		return nil, ErrIllegalConfig
+	}
+	enc := c.Encode()
+	out := make([]Label, c.G.N())
+	for v := range out {
+		var w bitstring.Writer
+		w.WriteUint(uint64(v), 32)
+		w.WriteString(enc)
+		out[v] = w.String()
+	}
+	return out, nil
+}
+
+// parseUniversalLabel splits a label into (index, R-bits, decoded config).
+func parseUniversalLabel(l Label) (int, bitstring.String, *graph.Config, error) {
+	r := bitstring.NewReader(l)
+	idx, err := r.ReadUint(32)
+	if err != nil {
+		return 0, bitstring.String{}, nil, fmt.Errorf("universal label index: %w", err)
+	}
+	rep, err := r.ReadString(r.Remaining())
+	if err != nil {
+		return 0, bitstring.String{}, nil, err
+	}
+	cfg, err := graph.DecodeConfig(rep)
+	if err != nil {
+		return 0, bitstring.String{}, nil, fmt.Errorf("universal label config: %w", err)
+	}
+	return int(idx), rep, cfg, nil
+}
+
+func (u *universal) Verify(view View, own Label, nbrs []Label) bool {
+	idx, rep, cfg, err := parseUniversalLabel(own)
+	if err != nil {
+		return false
+	}
+	if idx >= cfg.G.N() {
+		return false
+	}
+	if !cfg.G.IsConnected() {
+		return false
+	}
+	if !u.pred.Eval(cfg) {
+		return false
+	}
+	// Own record must match reality bit for bit.
+	if cfg.G.Degree(idx) != view.Deg {
+		return false
+	}
+	if !statesEqual(cfg.States[idx], view.State) {
+		return false
+	}
+	if len(nbrs) != view.Deg {
+		return false
+	}
+	// Each neighbor must hold the same R and sit where R says it sits.
+	for i, nl := range nbrs {
+		r := bitstring.NewReader(nl)
+		nIdx, err := r.ReadUint(32)
+		if err != nil {
+			return false
+		}
+		nRep, err := r.ReadString(r.Remaining())
+		if err != nil {
+			return false
+		}
+		if !nRep.Equal(rep) {
+			return false
+		}
+		h := cfg.G.Neighbor(idx, i+1)
+		if int(nIdx) != h.To {
+			return false
+		}
+	}
+	return true
+}
+
+func statesEqual(a, b graph.State) bool {
+	if a.ID != b.ID || a.Parent != b.Parent || a.Color != b.Color || a.Flags != b.Flags {
+		return false
+	}
+	if len(a.Weights) != len(b.Weights) {
+		return false
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return bytes.Equal(a.Data, b.Data)
+}

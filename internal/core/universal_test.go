@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+// alwaysTrue accepts every configuration; with it, the universal scheme is
+// certifying pure structure, which isolates the consistency machinery.
+type alwaysTrue struct{}
+
+func (alwaysTrue) Name() string              { return "true" }
+func (alwaysTrue) Eval(_ *graph.Config) bool { return true }
+
+func TestUniversalPLSCompleteness(t *testing.T) {
+	rng := prng.New(1)
+	s := core.UniversalPLS(uniform.Predicate{})
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		c := uniformConfig(graph.RandomConnected(n, rng.Intn(n), rng), []byte("zz"))
+		c.AssignRandomIDs(rng)
+		res, err := runtime.RunPLS(s, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d: legal config rejected, votes %v", trial, res.Votes)
+		}
+	}
+}
+
+func TestUniversalProverRefusesIllegal(t *testing.T) {
+	c := uniformConfig(graph.Path(4), []byte("a"))
+	c.States[1].Data = []byte("b")
+	if _, err := core.UniversalPLS(uniform.Predicate{}).Label(c); err == nil {
+		t.Error("universal prover labeled an illegal configuration")
+	}
+}
+
+func TestUniversalSoundTransplantFromLegalTwin(t *testing.T) {
+	// Labels describe a legal twin configuration; the actual config differs
+	// in one node's state. That node's record check must fail.
+	legal := uniformConfig(graph.Path(5), []byte("x"))
+	s := core.UniversalPLS(uniform.Predicate{})
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := legal.Clone()
+	illegal.States[2].Data = []byte("y")
+	res := runtime.VerifyPLS(s, illegal, labels)
+	if res.Accepted {
+		t.Error("universal scheme fooled by legal-twin transplant")
+	}
+	if res.Votes[2] {
+		t.Error("node 2 must reject: its R record mismatches its state")
+	}
+}
+
+func TestUniversalSoundAgainstHonestRButIllegalConfig(t *testing.T) {
+	// Labels honestly describe the *illegal* configuration: every structural
+	// check passes but P(R) is false, so every node must reject.
+	illegal := uniformConfig(graph.Path(4), []byte("x"))
+	illegal.States[3].Data = []byte("y")
+	enc := illegal.Encode()
+	labels := make([]core.Label, 4)
+	for v := range labels {
+		var w bitstring.Writer
+		w.WriteUint(uint64(v), 32)
+		w.WriteString(enc)
+		labels[v] = w.String()
+	}
+	s := core.UniversalPLS(uniform.Predicate{})
+	res := runtime.VerifyPLS(s, illegal, labels)
+	if res.Accepted {
+		t.Fatal("illegal config accepted with honest self-description")
+	}
+	for v, vote := range res.Votes {
+		if vote {
+			t.Errorf("node %d accepted even though P(R) is false", v)
+		}
+	}
+}
+
+func TestUniversalSoundAgainstIndexSwap(t *testing.T) {
+	// Swapping two nodes' labels makes their claimed indices disagree with
+	// their actual identities.
+	legal := uniformConfig(graph.Path(5), []byte("x"))
+	s := core.UniversalPLS(uniform.Predicate{})
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels[0], labels[4] = labels[4], labels[0]
+	if runtime.VerifyPLS(s, legal, labels).Accepted {
+		t.Error("index swap accepted")
+	}
+}
+
+func TestUniversalSoundAgainstDisagreeingR(t *testing.T) {
+	// Two halves of the network hold different (each internally consistent)
+	// representations; some frontier node must reject the mismatch.
+	cfgA := uniformConfig(graph.Path(6), []byte("x"))
+	cfgB := cfgA.Clone()
+	cfgB.States[5].Flags = graph.FlagMarked // a legal but different config
+	s := core.UniversalPLS(alwaysTrue{})
+	labelsA, err := s.Label(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelsB, err := s.Label(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := make([]core.Label, 6)
+	copy(mixed, labelsA[:3])
+	copy(mixed[3:], labelsB[3:])
+	// Run on cfgB: nodes 0..2 describe cfgA, nodes 3..5 describe cfgB.
+	res := runtime.VerifyPLS(s, cfgB, mixed)
+	if res.Accepted {
+		t.Error("disagreeing representations accepted")
+	}
+}
+
+func TestUniversalSoundAgainstPhantomNodes(t *testing.T) {
+	// R describes a *larger* legal configuration that contains the actual
+	// one as an induced prefix. The extra claimed neighbor at the boundary
+	// must be missed by the degree check.
+	small := uniformConfig(graph.Path(3), []byte("x"))
+	big := uniformConfig(graph.Path(5), []byte("x"))
+	s := core.UniversalPLS(uniform.Predicate{})
+	bigLabels, err := s.Label(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := bigLabels[:3]
+	res := runtime.VerifyPLS(s, small, labels)
+	if res.Accepted {
+		t.Error("phantom-node representation accepted")
+	}
+	if res.Votes[2] {
+		t.Error("boundary node must reject: R claims degree 2, reality is 1")
+	}
+}
+
+func TestUniversalRejectsGarbageLabels(t *testing.T) {
+	c := uniformConfig(graph.Path(3), []byte("x"))
+	s := core.UniversalPLS(uniform.Predicate{})
+	garbage := make([]core.Label, 3)
+	for i := range garbage {
+		garbage[i] = bitstring.FromBytes([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	}
+	res := runtime.VerifyPLS(s, c, garbage)
+	if res.Accepted {
+		t.Error("garbage labels accepted")
+	}
+	for v, vote := range res.Votes {
+		if vote {
+			t.Errorf("node %d accepted garbage", v)
+		}
+	}
+}
+
+func TestUniversalRPLSCertificateSize(t *testing.T) {
+	// Corollary 3.4: certificates are O(log n + log k) even though labels
+	// are Ω(n + k) — measure both to exhibit the gap.
+	rng := prng.New(2)
+	s := core.UniversalRPLS(uniform.Predicate{})
+	for _, n := range []int{4, 8, 16} {
+		c := uniformConfig(graph.RandomConnected(n, n/2, rng), make([]byte, 16))
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelBits := core.MaxBits(labels)
+		certBits := runtime.MaxCertBitsOver(s, c, labels, 3, 3)
+		if labelBits < n*100 {
+			t.Errorf("n=%d: universal labels suspiciously small (%d bits)", n, labelBits)
+		}
+		if certBits > 6*log2ceil(labelBits)+20 {
+			t.Errorf("n=%d: certificates %d bits for κ=%d, want O(log κ)", n, certBits, labelBits)
+		}
+		if rate := runtime.EstimateAcceptance(s, c, labels, 20, 4); rate != 1.0 {
+			t.Errorf("n=%d: acceptance %v on legal config", n, rate)
+		}
+	}
+}
+
+func TestUniversalRPLSSoundOnIllegal(t *testing.T) {
+	legal := uniformConfig(graph.Path(5), []byte("x"))
+	s := core.UniversalRPLS(uniform.Predicate{})
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := legal.Clone()
+	illegal.States[2].Data = []byte("y")
+	if rate := runtime.EstimateAcceptance(s, illegal, labels, 200, 5); rate > 1.0/3 {
+		t.Errorf("acceptance %v on illegal config, want <= 1/3", rate)
+	}
+}

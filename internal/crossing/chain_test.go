@@ -1,0 +1,104 @@
+package crossing_test
+
+import (
+	"testing"
+
+	"rpls/internal/crossing"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/cycle"
+)
+
+func TestModularChainCompleteness(t *testing.T) {
+	for _, tc := range []struct{ n, c, bits int }{
+		{16, 4, 1}, {24, 4, 3}, {32, 8, 2},
+	} {
+		g, err := graph.ChainOfCycles(tc.n, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := graph.NewConfig(g)
+		s := crossing.ModularChainCyclePLS{C: tc.c, Bits: tc.bits}
+		res, err := runtime.RunPLS(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Errorf("n=%d c=%d bits=%d: legal chain rejected, votes %v",
+				tc.n, tc.c, tc.bits, res.Votes)
+		}
+	}
+}
+
+func TestModularChainAttackBelowBound(t *testing.T) {
+	// Theorem 5.6 constructive: r = 8 cycles, 1-bit ids → cycles 0 and 2
+	// share id; crossing them fuses a 2c-cycle the verifier cannot see.
+	const n, c, bits = 32, 4, 1
+	g, err := graph.ChainOfCycles(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	s := crossing.ModularChainCyclePLS{C: c, Bits: bits}
+	pred := cycle.AtMostPredicate{C: c}
+	gadgets := crossing.ChainGadgets(n, c)
+	atk, err := crossing.AttackPLS(s, pred, cfg, gadgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Collision {
+		t.Fatal("no id collision among 8 cycles with 1-bit ids")
+	}
+	if atk.CrossedLegal {
+		t.Fatal("crossing failed to create a long cycle")
+	}
+	if !atk.Fooled {
+		t.Error("weak chain scheme not fooled below the Ω(log n/c) bound")
+	}
+}
+
+func TestModularChainResistsAboveBound(t *testing.T) {
+	// With 2^bits >= r all ids are distinct: no collision, no fooling.
+	const n, c, bits = 32, 4, 4 // 8 cycles, 16 ids
+	g, err := graph.ChainOfCycles(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	s := crossing.ModularChainCyclePLS{C: c, Bits: bits}
+	atk, err := crossing.AttackPLS(s, cycle.AtMostPredicate{C: c}, cfg, crossing.ChainGadgets(n, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Collision {
+		t.Error("distinct ids collided")
+	}
+	if atk.Fooled {
+		t.Error("scheme above the bound was fooled")
+	}
+}
+
+func TestModularChainRejectsManualSplice(t *testing.T) {
+	// Direct check without the attack machinery: cross two DIFFERENT-id
+	// cycles; the splice edge connects distinct ids at ring positions, so
+	// the nodes there see only 1 same-id ring neighbor and reject.
+	const n, c, bits = 16, 4, 2 // 4 cycles, ids 0..3 distinct
+	g, err := graph.ChainOfCycles(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	s := crossing.ModularChainCyclePLS{C: c, Bits: bits}
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gadgets := crossing.ChainGadgets(n, c)
+	crossed, err := cfg.CrossConfigAll([]graph.EdgePair{crossing.Pair(gadgets[0], gadgets[1])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.VerifyPLS(s, crossed, labels).Accepted {
+		t.Error("splice across distinct ids accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package crossing implements the generic lower-bound machinery of §4 of
+// the paper and makes it constructive: given a configuration containing r
+// pairwise independent isomorphic single-edge gadgets, it hunts for the
+// pigeonhole collision the proofs of Propositions 4.3, 4.6 and 4.8
+// guarantee, performs the edge crossing of Definition 4.2, and re-runs the
+// verifier to observe the fooling.
+//
+//   - For deterministic schemes (Prop 4.3): if κ < log(r)/2s, two gadgets
+//     carry identical label vectors; crossing them changes the predicate's
+//     value but not a single local view, so the verifier's decision cannot
+//     change.
+//
+//   - For one-sided randomized schemes (Prop 4.8): if κ < (1/2s)·log log r,
+//     two gadgets have identical certificate *supports*; swapping
+//     certificates edge by edge shows the crossed configuration is accepted
+//     with probability 1.
+//
+//   - For edge-independent two-sided schemes (Prop 4.6): ε-rounded
+//     certificate distributions collide, bounding the acceptance gap.
+//
+// Run against honest schemes the attack fails (labels are long enough);
+// run against the deliberately under-provisioned schemes in this package
+// (labels below the bound) it succeeds every time — the observable form of
+// Theorems 4.4, 4.7, 5.4, 5.5 and 5.6.
+package crossing
+
+import (
+	"fmt"
+	"sort"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+// Gadget is a single-edge subgraph H_i = {U, V}; the isomorphisms map the
+// U of one gadget to the U of another (and V to V), so gadget families must
+// be built port-preservingly (the generators in package graph are).
+type Gadget struct {
+	U, V int
+}
+
+// PathGadgets returns the gadget family from the proof of Theorem 5.1 on
+// the n-node path: H_i = {u_{3i}, u_{3i+1}} for i = 1..⌊n/3⌋−1. Spacing by
+// three keeps every pair of gadgets independent (Definition 4.1).
+func PathGadgets(n int) []Gadget {
+	var out []Gadget
+	for i := 1; 3*i+1 < n; i++ {
+		out = append(out, Gadget{U: 3 * i, V: 3*i + 1})
+	}
+	return out
+}
+
+// RingGadgets returns the family used by Theorems 5.2 and 5.4 on graphs
+// whose first c nodes form a consistently ported ring (CycleWithChords,
+// CycleWithHub): H_i = {v_{3i}, v_{3i+1}}, i = 1..⌊c/3⌋−1.
+func RingGadgets(c int) []Gadget {
+	var out []Gadget
+	for i := 1; 3*i+1 < c; i++ {
+		out = append(out, Gadget{U: 3 * i, V: 3*i + 1})
+	}
+	return out
+}
+
+// ChainGadgets returns the Theorem 5.6 family on ChainOfCycles(n, c): one
+// edge {base+1, base+2} inside each cycle, away from the chain joints.
+func ChainGadgets(n, c int) []Gadget {
+	var out []Gadget
+	for _, base := range graph.CycleBases(n, c) {
+		out = append(out, Gadget{U: base + 1, V: base + 2})
+	}
+	return out
+}
+
+// Pair converts a gadget pair into the EdgePair of the crossing operator,
+// honoring the σ_j ∘ σ_i⁻¹ orientation (U→U, V→V).
+func Pair(a, b Gadget) graph.EdgePair {
+	return graph.EdgePair{U1: a.U, V1: a.V, U2: b.U, V2: b.V}
+}
+
+// Attack reports the outcome of one crossing attack.
+type Attack struct {
+	Collision      bool    // a colliding, independent, port-preserving pair exists
+	I, J           int     // indices of the collided gadgets
+	Gadgets        int     // r: size of the family searched
+	LabelBits      int     // κ under attack (max label bits)
+	CrossedLegal   bool    // predicate value of the crossed configuration
+	Fooled         bool    // verifier's decision did not change despite the predicate changing
+	AcceptanceRate float64 // randomized attacks: acceptance of the crossed configuration
+}
+
+// AttackPLS performs the Proposition 4.3 attack on a deterministic scheme:
+// label the legal configuration honestly, find two gadgets whose label
+// vectors collide, cross them, and re-run the verifier with the unchanged
+// labels.
+func AttackPLS(s core.PLS, pred core.Predicate, cfg *graph.Config, gadgets []Gadget) (Attack, error) {
+	labels, err := s.Label(cfg)
+	if err != nil {
+		return Attack{}, fmt.Errorf("attack prover: %w", err)
+	}
+	atk := Attack{Gadgets: len(gadgets), LabelBits: core.MaxBits(labels)}
+	i, j, ok := findLabelCollision(cfg, labels, gadgets)
+	if !ok {
+		return atk, nil // labels are long enough; the pigeonhole has room
+	}
+	atk.Collision, atk.I, atk.J = true, i, j
+	crossed, err := cfg.CrossConfigAll([]graph.EdgePair{Pair(gadgets[i], gadgets[j])})
+	if err != nil {
+		return atk, fmt.Errorf("crossing: %w", err)
+	}
+	atk.CrossedLegal = pred.Eval(crossed)
+	res := runtime.VerifyPLS(s, crossed, labels)
+	// The original configuration is legal and honestly labeled, hence
+	// accepted; the attack succeeds when the crossed one is accepted too
+	// although the predicate flipped.
+	atk.Fooled = res.Accepted && !atk.CrossedLegal
+	return atk, nil
+}
+
+// findLabelCollision searches for gadgets i < j whose concatenated label
+// vectors (in σ-order: U then V) are identical, the crossing is
+// port-preserving, and the gadgets are independent.
+func findLabelCollision(cfg *graph.Config, labels []core.Label, gadgets []Gadget) (int, int, bool) {
+	seen := make(map[string][]int)
+	for idx, g := range gadgets {
+		key := labels[g.U].Key() + "\x00" + labels[g.V].Key()
+		seen[key] = append(seen[key], idx)
+	}
+	var keys []string
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := seen[k]
+		for a := 0; a < len(group); a++ {
+			for b := a + 1; b < len(group); b++ {
+				i, j := group[a], group[b]
+				p := Pair(gadgets[i], gadgets[j])
+				if !cfg.G.PortPreserving(p) {
+					continue
+				}
+				if !cfg.G.Independent(
+					[]int{p.U1, p.V1}, []int{p.U2, p.V2}) {
+					continue
+				}
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// AttackRPLSOneSided performs the Proposition 4.8 attack: estimate the
+// certificate support of each gadget's edge (both directions) by sampling,
+// find two gadgets with identical supports, cross them, and measure the
+// acceptance probability of the crossed configuration under the original
+// labels.
+func AttackRPLSOneSided(s core.RPLS, pred core.Predicate, cfg *graph.Config, gadgets []Gadget, samples, trials int, seed uint64) (Attack, error) {
+	labels, err := s.Label(cfg)
+	if err != nil {
+		return Attack{}, fmt.Errorf("attack prover: %w", err)
+	}
+	atk := Attack{Gadgets: len(gadgets), LabelBits: core.MaxBits(labels)}
+	i, j, ok := findSupportCollision(s, cfg, labels, gadgets, samples, seed)
+	if !ok {
+		return atk, nil
+	}
+	atk.Collision, atk.I, atk.J = true, i, j
+	crossed, err := cfg.CrossConfigAll([]graph.EdgePair{Pair(gadgets[i], gadgets[j])})
+	if err != nil {
+		return atk, fmt.Errorf("crossing: %w", err)
+	}
+	atk.CrossedLegal = pred.Eval(crossed)
+	atk.AcceptanceRate = runtime.EstimateAcceptance(s, crossed, labels, trials, seed+1)
+	atk.Fooled = !atk.CrossedLegal && atk.AcceptanceRate > 1.0/2
+	return atk, nil
+}
+
+// findSupportCollision matches gadgets by the sampled support of the
+// certificates their endpoints send across the gadget edge.
+func findSupportCollision(s core.RPLS, cfg *graph.Config, labels []core.Label, gadgets []Gadget, samples int, seed uint64) (int, int, bool) {
+	seen := make(map[string][]int)
+	for idx, g := range gadgets {
+		key := supportKey(s, cfg, labels, g.U, g.V, samples, seed) + "\x00" +
+			supportKey(s, cfg, labels, g.V, g.U, samples, seed)
+		seen[key] = append(seen[key], idx)
+	}
+	var keys []string
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := seen[k]
+		for a := 0; a < len(group); a++ {
+			for b := a + 1; b < len(group); b++ {
+				i, j := group[a], group[b]
+				p := Pair(gadgets[i], gadgets[j])
+				if !cfg.G.PortPreserving(p) {
+					continue
+				}
+				if !cfg.G.Independent([]int{p.U1, p.V1}, []int{p.U2, p.V2}) {
+					continue
+				}
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// supportKey samples the certificates node `from` sends toward node `to`
+// and returns a canonical encoding of the observed support set.
+func supportKey(s core.RPLS, cfg *graph.Config, labels []core.Label, from, to, samples int, seed uint64) string {
+	port, ok := cfg.G.PortTo(from, to)
+	if !ok {
+		return "?"
+	}
+	set := make(map[string]bool)
+	view := core.ViewOf(cfg, from)
+	rng := prng.New(seed).Fork(uint64(from) * 2654435761)
+	for t := 0; t < samples; t++ {
+		certs := s.Certs(view, labels[from], rng.Fork(uint64(t)))
+		if port-1 < len(certs) {
+			set[certs[port-1].Key()] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "\x01"
+	}
+	return out
+}
+
+// Distribution is an empirical certificate distribution over one directed
+// gadget edge.
+type Distribution map[string]float64
+
+// EmpiricalDistribution samples the certificate node `from` sends toward
+// `to` and returns the relative frequencies.
+func EmpiricalDistribution(s core.RPLS, cfg *graph.Config, labels []core.Label, from, to, samples int, seed uint64) Distribution {
+	port, ok := cfg.G.PortTo(from, to)
+	if !ok {
+		return nil
+	}
+	counts := make(map[string]int)
+	view := core.ViewOf(cfg, from)
+	rng := prng.New(seed).Fork(uint64(from) * 0x9E3779B9)
+	for t := 0; t < samples; t++ {
+		certs := s.Certs(view, labels[from], rng.Fork(uint64(t)))
+		if port-1 < len(certs) {
+			counts[certs[port-1].Key()]++
+		}
+	}
+	d := make(Distribution, len(counts))
+	for k, c := range counts {
+		d[k] = float64(c) / float64(samples)
+	}
+	return d
+}
+
+// RoundedKey returns the ε-rounded signature of the distribution used in
+// the proof of Proposition 4.6: every probability is rounded down to a
+// multiple of eps; distributions with equal signatures differ by at most
+// |support|·eps on every event.
+func (d Distribution) RoundedKey(eps float64) string {
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		bucket := int(d[k] / eps)
+		if bucket > 0 { // zero buckets are indistinguishable from absence
+			out += fmt.Sprintf("%s=%d;", k, bucket)
+		}
+	}
+	return out
+}
+
+// TotalVariation returns the total-variation distance between two
+// empirical distributions.
+func TotalVariation(a, b Distribution) float64 {
+	sum := 0.0
+	for k, pa := range a {
+		diff := pa - b[k]
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+	}
+	for k, pb := range b {
+		if _, ok := a[k]; !ok {
+			sum += pb
+		}
+	}
+	return sum / 2
+}

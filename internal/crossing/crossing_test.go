@@ -1,0 +1,310 @@
+package crossing_test
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/crossing"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/cycle"
+)
+
+func TestGadgetFamiliesAreIndependentAndPortPreserving(t *testing.T) {
+	p := graph.Path(40)
+	gs := crossing.PathGadgets(40)
+	if len(gs) < 10 {
+		t.Fatalf("only %d path gadgets", len(gs))
+	}
+	for i := 0; i < len(gs); i++ {
+		for j := i + 1; j < len(gs); j++ {
+			pair := crossing.Pair(gs[i], gs[j])
+			if !p.PortPreserving(pair) {
+				t.Fatalf("pair (%d,%d) not port-preserving", i, j)
+			}
+			if !p.Independent([]int{pair.U1, pair.V1}, []int{pair.U2, pair.V2}) {
+				t.Fatalf("pair (%d,%d) not independent", i, j)
+			}
+		}
+	}
+
+	hub, err := graph.CycleWithHub(30, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range crossing.RingGadgets(24) {
+		if _, ok := hub.PortTo(g.U, g.V); !ok {
+			t.Fatalf("ring gadget {%d,%d} is not an edge", g.U, g.V)
+		}
+	}
+
+	chain, err := graph.ChainOfCycles(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range crossing.ChainGadgets(24, 8) {
+		if _, ok := chain.PortTo(g.U, g.V); !ok {
+			t.Fatalf("chain gadget {%d,%d} is not an edge", g.U, g.V)
+		}
+	}
+}
+
+func TestModularDistCompletenessOnPaths(t *testing.T) {
+	for _, bits := range []int{2, 3, 5} {
+		s := crossing.ModularDistPLS{Bits: bits}
+		c := graph.NewConfig(graph.Path(50))
+		res, err := runtime.RunPLS(s, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Errorf("bits=%d: legal path rejected; votes %v", bits, res.Votes)
+		}
+	}
+}
+
+func TestModularDistRejectsShortCycles(t *testing.T) {
+	// Cycles of length not divisible by 2^bits are rejected under the
+	// honest prover's path labels (and any labels, by the local-max
+	// argument).
+	s := crossing.ModularDistPLS{Bits: 3}
+	g, err := graph.Cycle(10) // 10 mod 8 != 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := graph.NewConfig(g)
+	pathLabels, err := s.Label(graph.NewConfig(graph.Path(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.VerifyPLS(s, illegal, pathLabels).Accepted {
+		t.Error("10-cycle accepted by mod-8 scheme")
+	}
+}
+
+func TestAttackPLSBelowTheBoundAlwaysFools(t *testing.T) {
+	// Proposition 4.3/Theorem 4.4 made constructive: κ = 2·bits per gadget
+	// (two nodes); with r gadgets and 2κ < log₂ r a collision is forced.
+	// bits=3 → gadget label vectors have 6 bits → 64 patterns; r = 69
+	// gadgets on a 210-node path forces a collision, and the crossing
+	// splices out a cycle of length ≡ 0 (mod 8) that the verifier accepts.
+	const n = 210
+	const bits = 3
+	s := crossing.ModularDistPLS{Bits: bits}
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	if len(gadgets) < 1<<(2*bits) {
+		t.Fatalf("need > %d gadgets for the pigeonhole, have %d", 1<<(2*bits), len(gadgets))
+	}
+	atk, err := crossing.AttackPLS(s, acyclicity.Predicate{}, cfg, gadgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Collision {
+		t.Fatal("pigeonhole collision not found despite r > 2^{2κ}")
+	}
+	if atk.CrossedLegal {
+		t.Fatal("crossing produced a legal configuration; gadget family broken")
+	}
+	if !atk.Fooled {
+		t.Error("verifier was not fooled below the lower bound")
+	}
+}
+
+func TestAttackPLSAboveTheBoundFails(t *testing.T) {
+	// The honest Θ(log n) acyclicity scheme assigns distinct distances
+	// along a path: no collision exists and the attack reports failure.
+	const n = 210
+	cfg := graph.NewConfig(graph.Path(n))
+	atk, err := crossing.AttackPLS(acyclicity.NewPLS(), acyclicity.Predicate{}, cfg, crossing.PathGadgets(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Collision {
+		t.Error("honest scheme produced colliding labels on a path")
+	}
+	if atk.Fooled {
+		t.Error("honest scheme was fooled")
+	}
+}
+
+func TestAttackThresholdSweep(t *testing.T) {
+	// Sweep the label budget across the pigeonhole threshold: below it the
+	// attack must succeed, and the transition must be monotone in spirit —
+	// once labels are long enough to give every gadget a distinct vector,
+	// the attack finds nothing.
+	const n = 210
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	r := len(gadgets) // 69
+	fooledAt := -1
+	safeAt := -1
+	for _, bits := range []int{2, 3, 8} {
+		atk, err := crossing.AttackPLS(crossing.ModularDistPLS{Bits: bits}, acyclicity.Predicate{}, cfg, gadgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 1<<(2*bits) < r {
+			// Below the bound: collision guaranteed.
+			if !atk.Collision || !atk.Fooled {
+				t.Errorf("bits=%d (below bound, r=%d): collision=%v fooled=%v",
+					bits, r, atk.Collision, atk.Fooled)
+			}
+			fooledAt = bits
+		} else if !atk.Collision {
+			safeAt = bits
+		}
+	}
+	if fooledAt == -1 || safeAt == -1 {
+		t.Errorf("sweep did not observe both regimes: fooled at %d, safe at %d", fooledAt, safeAt)
+	}
+}
+
+func TestAttackRPLSOneSidedBelowBound(t *testing.T) {
+	// Proposition 4.8: the compiled mod-dist scheme inherits the collision
+	// (identical labels ⇒ identical certificate supports); the crossed
+	// configuration is accepted with probability 1.
+	const n = 210
+	const bits = 3
+	s := core.Compile(crossing.ModularDistPLS{Bits: bits})
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	atk, err := crossing.AttackRPLSOneSided(s, acyclicity.Predicate{}, cfg, gadgets, 120, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Collision {
+		t.Fatal("support collision not found")
+	}
+	if atk.CrossedLegal {
+		t.Fatal("crossed configuration unexpectedly legal")
+	}
+	if atk.AcceptanceRate != 1.0 {
+		t.Errorf("crossed acceptance %v, want 1.0 (one-sided support swap)", atk.AcceptanceRate)
+	}
+	if !atk.Fooled {
+		t.Error("one-sided RPLS not fooled below the bound")
+	}
+}
+
+func TestAttackRPLSHonestSchemeResists(t *testing.T) {
+	const n = 120
+	s := acyclicity.NewRPLS()
+	cfg := graph.NewConfig(graph.Path(n))
+	atk, err := crossing.AttackRPLSOneSided(s, acyclicity.Predicate{}, cfg, crossing.PathGadgets(n), 60, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Fooled {
+		t.Error("honest randomized scheme fooled")
+	}
+}
+
+func TestAttackCycleAtLeastTheorem54(t *testing.T) {
+	// Theorem 5.4 scenario on the hub graph: the mod-index scheme with
+	// 2^bits | c accepts the crossed configuration although every simple
+	// cycle shrank below c.
+	const n = 40
+	const c = 32 // divisible by 8 = 2^3
+	const bits = 3
+	g, err := graph.CycleWithHub(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	s := crossing.ModularIndexCyclePLS{C: c, Bits: bits, FindCycle: cycle.FindCycleAtLeast}
+	pred := cycle.AtLeastPredicate{C: c}
+	gadgets := crossing.RingGadgets(c)
+	atk, err := crossing.AttackPLS(s, pred, cfg, gadgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Collision {
+		t.Fatal("no index collision on the ring")
+	}
+	if atk.CrossedLegal {
+		t.Fatal("crossing left a >= c cycle")
+	}
+	if !atk.Fooled {
+		t.Error("mod-index scheme not fooled (Theorem 5.4 demonstration failed)")
+	}
+	// The honest scheme on the same instance resists.
+	honest, err := crossing.AttackPLS(cycle.NewPLS(c), pred, cfg, gadgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.Fooled {
+		t.Error("honest cycle-at-least scheme fooled")
+	}
+}
+
+func TestEpsRoundedDistributionsCollide(t *testing.T) {
+	// Proposition 4.6 ingredient: gadgets with equal labels have equal
+	// (hence equal ε-rounded) certificate distributions, and distributions
+	// with equal rounded keys are close in total variation.
+	const n = 210
+	const bits = 3
+	s := core.Compile(crossing.ModularDistPLS{Bits: bits})
+	cfg := graph.NewConfig(graph.Path(n))
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gadgets := crossing.PathGadgets(n)
+	// Gadgets 1 and 1+2^bits·? : positions 3 and 3+24k... find a genuinely
+	// colliding pair via the attack machinery first.
+	atk, err := crossing.AttackPLS(crossing.ModularDistPLS{Bits: bits}, acyclicity.Predicate{}, cfg, gadgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atk.Collision {
+		t.Fatal("no collision")
+	}
+	gi, gj := gadgets[atk.I], gadgets[atk.J]
+	const samples = 400
+	di := crossing.EmpiricalDistribution(s, cfg, labels, gi.U, gi.V, samples, 3)
+	dj := crossing.EmpiricalDistribution(s, cfg, labels, gj.U, gj.V, samples, 3)
+	if tv := crossing.TotalVariation(di, dj); tv > 0.15 {
+		t.Errorf("colliding gadgets have TV distance %v", tv)
+	}
+	const eps = 0.05
+	if di.RoundedKey(eps) != dj.RoundedKey(eps) {
+		t.Log("rounded keys differ (sampling noise at bucket boundaries is allowed)")
+	}
+	// A non-colliding pair (different residues) must be far apart.
+	other := gadgets[(atk.I+1)%len(gadgets)]
+	dk := crossing.EmpiricalDistribution(s, cfg, labels, other.U, other.V, samples, 3)
+	if tv := crossing.TotalVariation(di, dk); tv < 0.5 {
+		t.Errorf("distinct-residue gadgets have TV distance only %v", tv)
+	}
+}
+
+func TestAttackChainOfCyclesTheorem56(t *testing.T) {
+	// Theorem 5.6 (Figure 5): on the chain of c-cycles, crossing two edges
+	// from distinct cycles fuses them into a 2c-cycle. The mod-dist
+	// acyclicity machinery does not apply; here we check the crossing
+	// geometry and that the honest universal scheme's predicate flips.
+	const n = 24
+	const c = 8
+	g, err := graph.ChainOfCycles(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	pred := cycle.AtMostPredicate{C: c}
+	if !pred.Eval(cfg) {
+		t.Fatal("chain should satisfy cycle-at-most-c")
+	}
+	gadgets := crossing.ChainGadgets(n, c)
+	crossed, err := cfg.CrossConfigAll([]graph.EdgePair{crossing.Pair(gadgets[0], gadgets[1])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Eval(crossed) {
+		t.Error("crossing two cycles should create a cycle longer than c")
+	}
+	if got := cycle.LongestCycle(crossed.G); got != 2*c {
+		t.Errorf("fused cycle has %d nodes, want %d", got, 2*c)
+	}
+}

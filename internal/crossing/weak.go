@@ -1,0 +1,319 @@
+package crossing
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// This file holds deliberately under-provisioned schemes: correct provers
+// paired with verifiers whose labels are shorter than the lower bounds of
+// §4 and §5 allow. They are the objects the crossing attacks demolish,
+// turning the paper's pigeonhole arguments into observable events.
+
+// ModularDistPLS is a b-bit scheme for acyclicity that stores distances
+// modulo M = 2^b. Every node checks that all neighbors sit at d±1 (mod M)
+// and that at most one neighbor sits at d−1 (mod M). Forests are always
+// accepted; a cycle is accepted if and only if its length is ≡ 0 (mod M) —
+// so when b < log(r)/2s the crossing attack of Proposition 4.3 finds two
+// path positions with equal residues and splices out an accepted cycle.
+type ModularDistPLS struct {
+	Bits int
+}
+
+var _ core.PLS = ModularDistPLS{}
+
+// Name implements core.PLS.
+func (s ModularDistPLS) Name() string {
+	return fmt.Sprintf("acyclicity-mod-dist(%d bits)", s.Bits)
+}
+
+func (s ModularDistPLS) modulus() uint64 { return 1 << uint(s.Bits) }
+
+// Label assigns BFS depth mod 2^b per component.
+func (s ModularDistPLS) Label(c *graph.Config) ([]core.Label, error) {
+	if s.Bits < 2 || s.Bits > 30 {
+		return nil, fmt.Errorf("crossing: ModularDistPLS needs 2 <= bits <= 30, got %d", s.Bits)
+	}
+	if c.G.M() != c.G.N()-len(c.G.Components()) {
+		return nil, core.ErrIllegalConfig // not a forest
+	}
+	m := s.modulus()
+	out := make([]core.Label, c.G.N())
+	for _, comp := range c.G.Components() {
+		dist := c.G.BFSDist(comp[0])
+		for _, v := range comp {
+			var w bitstring.Writer
+			w.WriteUint(uint64(dist[v])%m, s.Bits)
+			out[v] = w.String()
+		}
+	}
+	return out, nil
+}
+
+// Verify implements core.PLS.
+func (s ModularDistPLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	m := s.modulus()
+	d, ok := readMod(own, s.Bits, m)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	preds := 0
+	for _, nl := range nbrs {
+		nd, ok := readMod(nl, s.Bits, m)
+		if !ok {
+			return false
+		}
+		switch nd {
+		case (d + 1) % m:
+			// successor; several allowed (tree branching)
+		case (d + m - 1) % m:
+			preds++
+		default:
+			return false
+		}
+		// With m == 2 the two cases coincide; treat as a predecessor too.
+		if m == 2 && nd == (d+1)%m {
+			continue
+		}
+	}
+	return preds <= 1
+}
+
+func readMod(l core.Label, bits int, m uint64) (uint64, bool) {
+	r := bitstring.NewReader(l)
+	v, err := r.ReadUint(bits)
+	if err != nil || r.Remaining() != 0 || v >= m {
+		return 0, false
+	}
+	return v, true
+}
+
+// ModularIndexCyclePLS is a scheme for cycle-at-least-c that stores cycle
+// indices modulo M = 2^b (plus an exact 32-bit distance-to-cycle, which is
+// not where the Theorem 5.4 bound bites). The wrap check degenerates to
+// +1 (mod M), so any cycle whose length is divisible by M verifies — the
+// verifier can no longer count to c. The prover only labels instances
+// whose witness cycle length is divisible by M.
+type ModularIndexCyclePLS struct {
+	C    int
+	Bits int
+	// FindCycle locates a witness cycle of length >= C; injected to avoid
+	// an import cycle with the schemes package. It must return the cycle
+	// as an ordered node sequence or nil.
+	FindCycle func(g *graph.Graph, c int) []int
+}
+
+var _ core.PLS = ModularIndexCyclePLS{}
+
+// Name implements core.PLS.
+func (s ModularIndexCyclePLS) Name() string {
+	return fmt.Sprintf("cycle-at-least-%d-mod-index(%d bits)", s.C, s.Bits)
+}
+
+func (s ModularIndexCyclePLS) modulus() uint64 { return 1 << uint(s.Bits) }
+
+// Label marks a witness cycle with indices mod 2^b and BFS distances to it.
+func (s ModularIndexCyclePLS) Label(c *graph.Config) ([]core.Label, error) {
+	if s.Bits < 1 || s.Bits > 30 {
+		return nil, fmt.Errorf("crossing: ModularIndexCyclePLS needs 1 <= bits <= 30")
+	}
+	if s.FindCycle == nil {
+		return nil, fmt.Errorf("crossing: ModularIndexCyclePLS.FindCycle not set")
+	}
+	cyc := s.FindCycle(c.G, s.C)
+	if cyc == nil {
+		return nil, core.ErrIllegalConfig
+	}
+	m := s.modulus()
+	if uint64(len(cyc))%m != 0 {
+		return nil, fmt.Errorf("crossing: witness cycle length %d not divisible by modulus %d", len(cyc), m)
+	}
+	n := c.G.N()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, v := range cyc {
+		idx[v] = i
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := append([]int(nil), cyc...)
+	for _, v := range cyc {
+		dist[v] = 0
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= c.G.Degree(v); p++ {
+			u := c.G.Neighbor(v, p).To
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	out := make([]core.Label, n)
+	for v := 0; v < n; v++ {
+		if dist[v] == -1 {
+			return nil, fmt.Errorf("crossing: configuration not connected")
+		}
+		var w bitstring.Writer
+		w.WriteUint(uint64(dist[v]), 32)
+		if idx[v] >= 0 {
+			w.WriteUint(uint64(idx[v])%m, s.Bits)
+		} else {
+			w.WriteUint(0, s.Bits)
+		}
+		out[v] = w.String()
+	}
+	return out, nil
+}
+
+// ModularChainCyclePLS is a scheme for cycle-at-most-c on ChainOfCycles
+// configurations that identifies each constituent cycle by its index
+// modulo M = 2^b. A node is labeled (cycle id mod M, position in cycle);
+// locally it checks that exactly two neighbors share its id with positions
+// ±1 (mod c) — its ring — and that every other neighbor carries a
+// different id. With M ≥ r = n/c ids are distinct and crossing two rings
+// is always caught at the splice (ids differ); with M < r two rings share
+// an id, and crossing them fuses a 2c-cycle whose splice looks exactly
+// like a ring edge — the Theorem 5.6 Ω(log n/c) bound made constructive.
+type ModularChainCyclePLS struct {
+	C    int
+	Bits int
+}
+
+var _ core.PLS = ModularChainCyclePLS{}
+
+// Name implements core.PLS.
+func (s ModularChainCyclePLS) Name() string {
+	return fmt.Sprintf("cycle-at-most-%d-mod-chain(%d bits)", s.C, s.Bits)
+}
+
+func (s ModularChainCyclePLS) modulus() uint64 { return 1 << uint(s.Bits) }
+
+// Label assigns (cycle index mod 2^b, position) on a ChainOfCycles(n, C)
+// configuration; every constituent cycle must have exactly C nodes.
+func (s ModularChainCyclePLS) Label(c *graph.Config) ([]core.Label, error) {
+	if s.Bits < 1 || s.Bits > 30 {
+		return nil, fmt.Errorf("crossing: ModularChainCyclePLS needs 1 <= bits <= 30")
+	}
+	n := c.G.N()
+	if n%s.C != 0 {
+		return nil, fmt.Errorf("crossing: %d nodes do not form whole %d-cycles", n, s.C)
+	}
+	m := s.modulus()
+	out := make([]core.Label, n)
+	for idx, base := range graph.CycleBases(n, s.C) {
+		for pos := 0; pos < s.C; pos++ {
+			var w bitstring.Writer
+			w.WriteUint(uint64(idx)%m, s.Bits)
+			w.WriteUint(uint64(pos), 32)
+			out[base+pos] = w.String()
+		}
+	}
+	return out, nil
+}
+
+type chainLabel struct {
+	cid uint64
+	pos uint64
+}
+
+func (s ModularChainCyclePLS) decodeChain(l core.Label) (chainLabel, bool) {
+	r := bitstring.NewReader(l)
+	var out chainLabel
+	var err error
+	if out.cid, err = r.ReadUint(s.Bits); err != nil {
+		return out, false
+	}
+	if out.pos, err = r.ReadUint(32); err != nil || r.Remaining() != 0 {
+		return out, false
+	}
+	return out, out.pos < uint64(s.C)
+}
+
+// Verify implements core.PLS.
+func (s ModularChainCyclePLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := s.decodeChain(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ringNeighbors := 0
+	cc := uint64(s.C)
+	for _, nl := range nbrs {
+		n, ok := s.decodeChain(nl)
+		if !ok {
+			return false
+		}
+		if n.cid == me.cid {
+			if n.pos != (me.pos+1)%cc && (n.pos+1)%cc != me.pos {
+				return false // same ring but not adjacent on it
+			}
+			ringNeighbors++
+		}
+	}
+	return ringNeighbors == 2
+}
+
+type modIdxLabel struct {
+	dist uint64
+	idx  uint64
+}
+
+func (s ModularIndexCyclePLS) decode(l core.Label) (modIdxLabel, bool) {
+	r := bitstring.NewReader(l)
+	var out modIdxLabel
+	var err error
+	if out.dist, err = r.ReadUint(32); err != nil {
+		return out, false
+	}
+	if out.idx, err = r.ReadUint(s.Bits); err != nil || r.Remaining() != 0 {
+		return out, false
+	}
+	return out, true
+}
+
+// Verify implements core.PLS.
+func (s ModularIndexCyclePLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := s.decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ns := make([]modIdxLabel, view.Deg)
+	for i, nl := range nbrs {
+		n, ok := s.decode(nl)
+		if !ok {
+			return false
+		}
+		ns[i] = n
+	}
+	m := s.modulus()
+	if me.dist > 0 {
+		for _, n := range ns {
+			if n.dist == me.dist-1 {
+				return true
+			}
+		}
+		return false
+	}
+	hasSucc, hasPred := false, false
+	for _, n := range ns {
+		if n.dist != 0 {
+			continue
+		}
+		if n.idx == (me.idx+1)%m {
+			hasSucc = true
+		}
+		if me.idx == (n.idx+1)%m {
+			hasPred = true
+		}
+	}
+	return hasSucc && hasPred
+}

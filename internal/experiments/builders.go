@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/mst"
+)
+
+// Shared configuration builders for the experiment sweeps.
+
+// BuildTreeConfig returns a random connected graph whose parent pointers
+// form a BFS spanning tree rooted at 0.
+func BuildTreeConfig(n int, seed uint64) *graph.Config {
+	rng := prng.New(seed)
+	g := graph.RandomConnected(n, n/2, rng)
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(rng)
+	for v, p := range g.SpanningTreeParents(0) {
+		c.States[v].Parent = p
+	}
+	return c
+}
+
+// BuildMSTConfig returns a weighted random connected graph whose parent
+// pointers encode the canonical minimum spanning tree.
+func BuildMSTConfig(n int, seed uint64) (*graph.Config, error) {
+	rng := prng.New(seed)
+	g := graph.RandomConnected(n, n, rng)
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(rng)
+	graph.AssignRandomWeights(c, int64(n)*int64(n)*4, rng)
+	if err := installMST(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// installMST orients the canonical MST toward root 0 in the parent ports.
+func installMST(c *graph.Config) error {
+	tree, err := mst.Kruskal(c)
+	if err != nil {
+		return err
+	}
+	adj := make([][]int, c.G.N())
+	for _, e := range tree {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range c.States {
+		c.States[v].Parent = 0
+	}
+	visited := make([]bool, c.G.N())
+	visited[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				p, ok := c.G.PortTo(u, v)
+				if !ok {
+					return fmt.Errorf("experiments: tree edge {%d,%d} missing", u, v)
+				}
+				c.States[u].Parent = p
+				queue = append(queue, u)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildBiconnConfig returns a random biconnected configuration.
+func BuildBiconnConfig(n int, seed uint64) (*graph.Config, error) {
+	rng := prng.New(seed)
+	g, err := graph.RandomBiconnected(n, n/2, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(rng)
+	return c, nil
+}
+
+// BuildUniformConfig returns a connected configuration whose nodes all
+// carry the same kBytes-byte payload.
+func BuildUniformConfig(n, kBytes int, seed uint64) *graph.Config {
+	rng := prng.New(seed)
+	g := graph.RandomConnected(n, n/2, rng)
+	c := graph.NewConfig(g)
+	payload := make([]byte, kBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	for v := range c.States {
+		d := make([]byte, kBytes)
+		copy(d, payload)
+		c.States[v].Data = d
+	}
+	return c
+}
+
+// BuildFlowConfig returns a random connected configuration with s = 0 and
+// t = n−1 marked.
+func BuildFlowConfig(n, extra int, seed uint64) *graph.Config {
+	rng := prng.New(seed)
+	g := graph.RandomConnected(n, extra, rng)
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(rng)
+	c.States[0].Flags |= graph.FlagSource
+	c.States[n-1].Flags |= graph.FlagTarget
+	return c
+}
+
+// ringCycleLengths traverses only the ring edges (the first two ports of
+// the first c nodes of a CycleWithHub/CycleWithChords graph, which the
+// generators lay down before any chord) and returns the cycle lengths the
+// crossing operator has cut the ring into.
+func ringCycleLengths(g *graph.Graph, c int) []int {
+	onRing := func(v int) bool { return v < c }
+	visited := make([]bool, g.N())
+	var lengths []int
+	for start := 0; start < c; start++ {
+		if visited[start] {
+			continue
+		}
+		length := 0
+		prev := -1
+		v := start
+		for !visited[v] {
+			visited[v] = true
+			length++
+			next := -1
+			for p := 1; p <= 2 && p <= g.Degree(v); p++ {
+				u := g.Neighbor(v, p).To
+				if u != prev && onRing(u) {
+					next = u
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			prev, v = v, next
+		}
+		lengths = append(lengths, length)
+	}
+	return lengths
+}

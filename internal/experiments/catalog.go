@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/biconn"
+	"rpls/internal/schemes/coloring"
+	"rpls/internal/schemes/cycle"
+	"rpls/internal/schemes/flow"
+	"rpls/internal/schemes/leader"
+	"rpls/internal/schemes/mst"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/symmetry"
+	"rpls/internal/schemes/uniform"
+)
+
+// CatalogEntry bundles a predicate with its schemes and generators so the
+// CLI tools can drive every scheme uniformly.
+type CatalogEntry struct {
+	Name        string
+	Description string
+	// Build returns a legal configuration of roughly n nodes.
+	Build func(n int, seed uint64) (*graph.Config, error)
+	// Corrupt mutates a legal configuration into an illegal one.
+	Corrupt func(c *graph.Config, rng *prng.Rand) error
+	Pred    core.Predicate
+	Det     core.PLS
+	Rand    core.RPLS
+}
+
+// Catalog returns every certified predicate, sorted by name.
+func Catalog() []CatalogEntry {
+	entries := []CatalogEntry{
+		{
+			Name:        "spanningtree",
+			Description: "parent pointers form a spanning tree (§1 example)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				return BuildTreeConfig(n, seed), nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				for attempt := 0; attempt < 100; attempt++ {
+					v := rng.Intn(c.G.N())
+					if c.States[v].Parent != 0 {
+						c.States[v].Parent = 0 // second root: a forest now
+						return nil
+					}
+				}
+				return fmt.Errorf("no non-root node found")
+			},
+			Pred: spanningtree.Predicate{},
+			Det:  spanningtree.NewPLS(),
+			Rand: spanningtree.NewRPLS(),
+		},
+		{
+			Name:        "acyclicity",
+			Description: "the network is a forest (Theorem 5.1 machinery)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				return graph.NewConfig(graph.RandomTree(n, prng.New(seed))), nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				n := c.G.N()
+				for attempt := 0; attempt < 200; attempt++ {
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v && !c.G.HasEdge(u, v) {
+						return c.G.AddEdge(u, v) // closes a cycle in a tree
+					}
+				}
+				return fmt.Errorf("could not add a cycle edge")
+			},
+			Pred: acyclicity.Predicate{},
+			Det:  acyclicity.NewPLS(),
+			Rand: acyclicity.NewRPLS(),
+		},
+		{
+			Name:        "mst",
+			Description: "parent pointers form a minimum spanning tree (Theorem 5.1)",
+			Build:       BuildMSTConfig,
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				corruptMSTWeight(c)
+				if (mst.Predicate{}).Eval(c) {
+					return fmt.Errorf("weight corruption kept the tree minimum")
+				}
+				return nil
+			},
+			Pred: mst.Predicate{},
+			Det:  mst.NewPLS(),
+			Rand: mst.NewRPLS(),
+		},
+		{
+			Name:        "biconnectivity",
+			Description: "no articulation point (Theorem 5.2)",
+			Build:       BuildBiconnConfig,
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				// Splice a pendant node onto node 0: 0 becomes articulation.
+				g := graph.New(c.G.N() + 1)
+				for _, e := range c.G.Edges() {
+					g.MustAddEdge(e.U, e.V)
+				}
+				g.MustAddEdge(0, c.G.N())
+				st := make([]graph.State, g.N())
+				copy(st, c.States)
+				st[g.N()-1] = graph.State{ID: maxID(c) + 1}
+				c.G, c.States = g, st
+				return nil
+			},
+			Pred: biconn.Predicate{},
+			Det:  biconn.NewPLS(),
+			Rand: biconn.NewRPLS(),
+		},
+		{
+			Name:        "cycleatleast",
+			Description: "a simple cycle of >= n/2 nodes exists (Theorem 5.3)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				g, err := graph.CycleWithHub(n, n/2)
+				if err != nil {
+					return nil, err
+				}
+				c := graph.NewConfig(g)
+				c.AssignRandomIDs(prng.New(seed))
+				return c, nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				// Crossing two ring edges destroys every long cycle.
+				crossed, err := c.CrossConfig(graph.EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+				if err != nil {
+					return err
+				}
+				c.G, c.States = crossed.G, crossed.States
+				return nil
+			},
+			Pred: cycle.AtLeastPredicate{C: 0}, // C fixed per run by the caller
+			Det:  nil,                          // parameterized; see NewPLS(c)
+			Rand: nil,
+		},
+		{
+			Name:        "flow",
+			Description: "maximum s-t flow equals k (§5.2)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				return BuildFlowConfig(n, 2*n, seed), nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				// Remove an edge incident to t: flow drops.
+				t := -1
+				for v, s := range c.States {
+					if s.Flags&graph.FlagTarget != 0 {
+						t = v
+					}
+				}
+				if t == -1 || c.G.Degree(t) == 0 {
+					return fmt.Errorf("no target edge to remove")
+				}
+				u := c.G.Neighbor(t, 1).To
+				g, err := c.G.RemoveEdge(t, u)
+				if err != nil {
+					return err
+				}
+				c.G = g
+				for v := range c.States {
+					c.States[v].Weights = nil
+				}
+				return nil
+			},
+			Pred: flow.Predicate{K: 0},
+			Det:  nil,
+			Rand: nil,
+		},
+		{
+			Name:        "uniform",
+			Description: "all nodes carry identical payloads (Lemma C.3)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				return BuildUniformConfig(n, 32, seed), nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				v := rng.Intn(c.G.N())
+				c.States[v].Data[0] ^= 0xFF
+				return nil
+			},
+			Pred: uniform.Predicate{},
+			Det:  uniform.NewPLS(),
+			Rand: uniform.NewRPLS(),
+		},
+		{
+			Name:        "coloring",
+			Description: "adjacent nodes have distinct colors (§1 example)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				rng := prng.New(seed)
+				c := graph.NewConfig(graph.RandomConnected(n, n, rng))
+				greedyColor(c)
+				return c, nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				v := rng.Intn(c.G.N())
+				if c.G.Degree(v) == 0 {
+					return fmt.Errorf("isolated node")
+				}
+				u := c.G.Neighbor(v, 1).To
+				c.States[v].Color = c.States[u].Color
+				return nil
+			},
+			Pred: coloring.Predicate{},
+			Det:  coloring.NewPLS(),
+			Rand: nil, // needs m; see coloring.NewRPLS(m)
+		},
+		{
+			Name:        "leader",
+			Description: "exactly one node is flagged leader",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				rng := prng.New(seed)
+				c := graph.NewConfig(graph.RandomConnected(n, n/2, rng))
+				c.AssignRandomIDs(rng)
+				c.States[rng.Intn(n)].Flags |= graph.FlagLeader
+				return c, nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				for v := range c.States {
+					c.States[v].Flags &^= graph.FlagLeader
+				}
+				return nil
+			},
+			Pred: leader.Predicate{},
+			Det:  leader.NewPLS(),
+			Rand: leader.NewRPLS(),
+		},
+		{
+			Name:        "symmetry",
+			Description: "some edge splits the graph into isomorphic halves (Appendix C)",
+			Build: func(n int, seed uint64) (*graph.Config, error) {
+				lambda := n / 4
+				if lambda < 1 {
+					lambda = 1
+				}
+				rng := prng.New(seed)
+				zb := make([]byte, lambda)
+				for i := range zb {
+					zb[i] = rng.Bit()
+				}
+				z := bitstring.FromBits(zb)
+				g, err := symmetry.GZZ(z, z)
+				if err != nil {
+					return nil, err
+				}
+				return graph.NewConfig(g), nil
+			},
+			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
+				// Add one pendant node to half 0: halves stop being isomorphic.
+				g := graph.New(c.G.N() + 1)
+				for _, e := range c.G.Edges() {
+					g.MustAddEdge(e.U, e.V)
+				}
+				g.MustAddEdge(0, c.G.N())
+				st := make([]graph.State, g.N())
+				copy(st, c.States)
+				st[g.N()-1] = graph.State{ID: maxID(c) + 1}
+				c.G, c.States = g, st
+				return nil
+			},
+			Pred: symmetry.Predicate{},
+			Det:  symmetry.NewPLS(),
+			Rand: symmetry.NewRPLS(),
+		},
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries
+}
+
+// LookupCatalog finds a catalog entry by name.
+func LookupCatalog(name string) (CatalogEntry, bool) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return CatalogEntry{}, false
+}
+
+func maxID(c *graph.Config) uint64 {
+	var max uint64
+	for _, s := range c.States {
+		if s.ID > max {
+			max = s.ID
+		}
+	}
+	return max
+}
+
+func greedyColor(c *graph.Config) {
+	for v := 0; v < c.G.N(); v++ {
+		used := make(map[int64]bool)
+		for _, h := range c.G.Adj(v) {
+			if h.To < v {
+				used[c.States[h.To].Color] = true
+			}
+		}
+		col := int64(0)
+		for used[col] {
+			col++
+		}
+		c.States[v].Color = col
+	}
+}

@@ -1,0 +1,65 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"rpls/internal/experiments"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+func TestCatalogEntriesAreSelfConsistent(t *testing.T) {
+	for _, e := range experiments.Catalog() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(12, 99)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("built config invalid: %v", err)
+			}
+			if e.Pred != nil && e.Det != nil {
+				if !e.Pred.Eval(cfg) && e.Name != "cycleatleast" && e.Name != "flow" {
+					t.Fatal("built config does not satisfy its predicate")
+				}
+			}
+			if e.Det != nil {
+				res, err := runtime.RunPLS(e.Det, cfg)
+				if err != nil {
+					t.Fatalf("det run: %v", err)
+				}
+				if !res.Accepted {
+					t.Error("deterministic scheme rejected its own legal config")
+				}
+			}
+			if e.Rand != nil {
+				labels, err := e.Rand.Label(cfg)
+				if err != nil {
+					t.Fatalf("rand prover: %v", err)
+				}
+				if rate := runtime.EstimateAcceptance(e.Rand, cfg, labels, 10, 5); rate != 1.0 {
+					t.Errorf("randomized acceptance %v on legal config", rate)
+				}
+			}
+			if e.Corrupt != nil && e.Pred != nil && e.Name != "cycleatleast" && e.Name != "flow" {
+				bad := cfg.Clone()
+				if err := e.Corrupt(bad, prng.New(7)); err != nil {
+					t.Fatalf("corrupt: %v", err)
+				}
+				if e.Pred.Eval(bad) {
+					t.Error("corruption left the configuration legal")
+				}
+			}
+		})
+	}
+}
+
+func TestLookupCatalog(t *testing.T) {
+	if _, ok := experiments.LookupCatalog("mst"); !ok {
+		t.Error("mst missing from catalog")
+	}
+	if _, ok := experiments.LookupCatalog("nonsense"); ok {
+		t.Error("lookup invented an entry")
+	}
+}

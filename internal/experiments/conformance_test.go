@@ -1,0 +1,200 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/experiments"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+// The conformance suite drives every catalogued scheme through the same
+// adversarial gauntlet: garbage labels, bit-flipped honest labels, and
+// transplants, checking that verifiers reject without ever panicking —
+// labels are attacker-controlled input in this model.
+
+func fuzzLabels(rng *prng.Rand, n, maxBits int) []core.Label {
+	out := make([]core.Label, n)
+	for i := range out {
+		bits := make([]byte, rng.Intn(maxBits+1))
+		for j := range bits {
+			bits[j] = rng.Bit()
+		}
+		out[i] = bitstring.FromBits(bits)
+	}
+	return out
+}
+
+func flipRandomBit(l core.Label, rng *prng.Rand) core.Label {
+	if l.Len() == 0 {
+		return bitstring.FromBits([]byte{1})
+	}
+	pos := rng.Intn(l.Len())
+	bits := make([]byte, l.Len())
+	for i := range bits {
+		bits[i] = l.Bit(i)
+	}
+	bits[pos] ^= 1
+	return bitstring.FromBits(bits)
+}
+
+func TestConformanceGarbageLabelsNeverPanic(t *testing.T) {
+	for _, e := range experiments.Catalog() {
+		if e.Det == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(10, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := prng.New(17)
+			for trial := 0; trial < 50; trial++ {
+				labels := fuzzLabels(rng, cfg.G.N(), 300)
+				// A panic here fails the test via the testing framework.
+				_ = runtime.VerifyPLS(e.Det, cfg, labels)
+				if e.Rand != nil {
+					_ = runtime.VerifyRPLS(e.Rand, cfg, labels, uint64(trial))
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceIllegalConfigsRejectGarbage(t *testing.T) {
+	for _, e := range experiments.Catalog() {
+		if e.Det == nil || e.Corrupt == nil || e.Pred == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(10, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := cfg.Clone()
+			if err := e.Corrupt(bad, prng.New(7)); err != nil {
+				t.Skipf("corruption unavailable: %v", err)
+			}
+			if e.Pred.Eval(bad) {
+				t.Skip("corruption did not flip the predicate for this instance")
+			}
+			rng := prng.New(23)
+			for trial := 0; trial < 60; trial++ {
+				labels := fuzzLabels(rng, bad.G.N(), 200)
+				if runtime.VerifyPLS(e.Det, bad, labels).Accepted {
+					t.Fatalf("garbage labels accepted on an illegal %s configuration", e.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceBitFlippedHonestLabels(t *testing.T) {
+	// Flip one bit of one honest label on an ILLEGAL configuration built by
+	// transplant: still must reject. (On a legal configuration a flipped
+	// bit may or may not matter; on an illegal one acceptance is a
+	// soundness bug regardless.)
+	for _, e := range experiments.Catalog() {
+		if e.Det == nil || e.Corrupt == nil || e.Pred == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(10, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			honest, err := e.Det.Label(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := cfg.Clone()
+			if err := e.Corrupt(bad, prng.New(13)); err != nil {
+				t.Skipf("corruption unavailable: %v", err)
+			}
+			if e.Pred.Eval(bad) || bad.G.N() != cfg.G.N() {
+				t.Skip("corruption changed size or kept predicate")
+			}
+			rng := prng.New(29)
+			for trial := 0; trial < 60; trial++ {
+				labels := make([]core.Label, len(honest))
+				copy(labels, honest)
+				v := rng.Intn(len(labels))
+				labels[v] = flipRandomBit(labels[v], rng)
+				if runtime.VerifyPLS(e.Det, bad, labels).Accepted {
+					t.Fatalf("bit-flipped transplant accepted on illegal %s config", e.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceRandSchemesRejectGarbageCerts(t *testing.T) {
+	// Feed each randomized verifier garbage *certificates* directly: must
+	// reject (and not panic) — certificates cross the wire and are
+	// attacker-visible in the fault model.
+	for _, e := range experiments.Catalog() {
+		if e.Rand == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(8, 31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels, err := e.Rand.Label(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := prng.New(37)
+			for v := 0; v < cfg.G.N(); v++ {
+				view := core.ViewOf(cfg, v)
+				garbage := make([]core.Cert, view.Deg)
+				for i := range garbage {
+					bits := make([]byte, rng.Intn(100))
+					for j := range bits {
+						bits[j] = rng.Bit()
+					}
+					garbage[i] = bitstring.FromBits(bits)
+				}
+				if view.Deg > 0 && e.Rand.Decide(view, labels[v], garbage) {
+					// Unstructured garbage passing a fingerprint check is
+					// astronomically unlikely; treat as failure.
+					t.Fatalf("node %d accepted garbage certificates", v)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceStatsAreConsistent(t *testing.T) {
+	// Wire statistics must match the declared topology: 2m messages, and
+	// certificate bits within the measured maximum.
+	for _, e := range experiments.Catalog() {
+		if e.Det == nil {
+			continue
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			cfg, err := e.Build(12, 41)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runtime.RunPLS(e.Det, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Messages != 2*cfg.G.M() {
+				t.Errorf("messages = %d, want 2m = %d", res.Stats.Messages, 2*cfg.G.M())
+			}
+			if res.Stats.TotalWireBits > int64(res.Stats.MaxLabelBits)*int64(res.Stats.Messages) {
+				t.Error("total wire bits exceed messages × max label size")
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/stconn"
+	"rpls/internal/schemes/uniform"
+)
+
+// E16SharedRandomness explores the open question of §6 ("the model that
+// allows shared randomness between nodes"): with a public evaluation point,
+// fingerprint certificates drop the point itself and shrink by roughly half,
+// at the price of leaving the edge-independent class of Definition 4.5.
+func E16SharedRandomness(seed uint64, quick bool) (Table, error) {
+	kBytes := []int{8, 64, 512, 4096}
+	trials := 1500
+	if quick {
+		kBytes = []int{8, 64}
+		trials = 300
+	}
+	t := Table{
+		ID:    "E16",
+		Title: "Shared randomness (extension; §6 open question)",
+		Claim: "Conclusion, open problems: 'what about the model that allows shared randomness between nodes?' — a public coin halves fingerprint certificates and abandons edge independence.",
+		Headers: []string{"payload bits", "private-coin cert bits",
+			"shared-coin cert bits", "shared legal acceptance", "shared illegal acceptance"},
+	}
+	for _, kb := range kBytes {
+		cfg := BuildUniformConfig(8, kb, seed+uint64(kb))
+		private := uniform.NewRPLS()
+		shared := uniform.NewSharedRPLS()
+		labels := make([]core.Label, cfg.G.N()) // both schemes are label-free
+		privBits := runtime.MaxCertBitsOver(private, cfg, labels, 3, seed)
+		sharedBits := runtime.VerifyShared(shared, cfg, labels, seed).Stats.MaxCertBits
+		legal := runtime.EstimateAcceptanceShared(shared, cfg, labels, trials/5, seed+1)
+
+		bad := cfg.Clone()
+		bad.States[3].Data[0] ^= 0x01
+		illegal := runtime.EstimateAcceptanceShared(shared, bad, labels, trials, seed+2)
+		t.Rows = append(t.Rows, []string{
+			itoa(kb * 8), itoa(privBits), itoa(sharedBits), ftoa(legal), ftoa(illegal)})
+	}
+	t.Notes = append(t.Notes,
+		"Certificates on different edges are correlated by construction (same public x), so Theorem 4.7's lower bound machinery does not apply — exactly why the paper leaves the model open.")
+	return t, nil
+}
+
+// E17STConnectivity measures the s-t k-vertex-connectivity scheme derived
+// from §5.2: O(k log n) at the terminals, O(log n) elsewhere, compiled to
+// O(log k + log log n).
+func E17STConnectivity(seed uint64, quick bool) (Table, error) {
+	type point struct{ n, extra int }
+	points := []point{{12, 24}, {24, 60}, {48, 140}, {96, 300}}
+	if quick {
+		points = []point{{12, 24}, {24, 60}}
+	}
+	t := Table{
+		ID:    "E17",
+		Title: "s-t vertex connectivity (extension; §5.2)",
+		Claim: "§5.2 via [31]: s-t k-connectivity verifiable with Θ(log n) labels (O(k log n) at the terminals); compilation gives O(log k + log log n) certificates.",
+		Headers: []string{"n", "k = κ(s,t)", "det label bits",
+			"rand cert bits", "underclaim k−1 rejected", "overclaim k+1 rejected"},
+	}
+	rng := prng.New(seed)
+	for _, p := range points {
+		cfg, k := buildSTConfig(p.n, p.extra, rng)
+		if cfg == nil {
+			continue
+		}
+		det := stconn.NewPLS(k)
+		labels, err := det.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		rand := stconn.NewRPLS(k)
+		randLabels, err := rand.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		// Wrong-k claims must be unprovable: the honest labels of the true
+		// k are the strongest available transplant.
+		under := !runtime.VerifyPLS(stconn.NewPLS(k-1), cfg, labels).Accepted
+		over := !runtime.VerifyPLS(stconn.NewPLS(k+1), cfg, labels).Accepted
+		t.Rows = append(t.Rows, []string{
+			itoa(p.n), itoa(k), itoa(core.MaxBits(labels)),
+			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 2, seed)),
+			fmt.Sprintf("%v", under), fmt.Sprintf("%v", over)})
+	}
+	return t, nil
+}
+
+// buildSTConfig finds a random configuration with non-adjacent terminals
+// and connectivity >= 2.
+func buildSTConfig(n, extra int, rng *prng.Rand) (*graph.Config, int) {
+	for attempt := 0; attempt < 50; attempt++ {
+		g := graph.RandomConnected(n, extra, rng)
+		if g.HasEdge(0, n-1) {
+			continue
+		}
+		cfg := graph.NewConfig(g)
+		cfg.AssignRandomIDs(rng)
+		cfg.States[0].Flags |= graph.FlagSource
+		cfg.States[n-1].Flags |= graph.FlagTarget
+		k, _, _, err := stconn.Connectivity(cfg)
+		if err != nil || k < 2 {
+			continue
+		}
+		return cfg, k
+	}
+	return nil, 0
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/commcc"
+	"rpls/internal/core"
+	"rpls/internal/crossing"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/biconn"
+	"rpls/internal/schemes/mst"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/uniform"
+)
+
+// E1Compiler measures Theorem 3.1: compiling a deterministic scheme with
+// κ-bit labels yields certificates of O(log κ) bits, across four schemes
+// and a sweep of network sizes.
+func E1Compiler(seed uint64, quick bool) (Table, error) {
+	sizes := []int{16, 64, 256, 1024}
+	if quick {
+		sizes = []int{16, 64}
+	}
+	t := Table{
+		ID:    "E1",
+		Title: "Det→Rand compilation",
+		Claim: "Theorem 3.1: PLS with κ-bit labels ⇒ one-sided RPLS with O(log κ)-bit certificates.",
+		Headers: []string{"scheme", "n", "κ = det label bits", "compiled cert bits",
+			"2(log₂ κ + 3) envelope"},
+	}
+	type entry struct {
+		name  string
+		build func(n int) (*graph.Config, core.PLS, error)
+	}
+	entries := []entry{
+		{"spanning-tree", func(n int) (*graph.Config, core.PLS, error) {
+			return BuildTreeConfig(n, seed), spanningtree.NewPLS(), nil
+		}},
+		{"acyclicity", func(n int) (*graph.Config, core.PLS, error) {
+			return graph.NewConfig(graph.RandomTree(n, prng.New(seed+7))), acyclicity.NewPLS(), nil
+		}},
+		{"mst", func(n int) (*graph.Config, core.PLS, error) {
+			c, err := BuildMSTConfig(n, seed+13)
+			return c, mst.NewPLS(), err
+		}},
+		{"biconnectivity", func(n int) (*graph.Config, core.PLS, error) {
+			c, err := BuildBiconnConfig(n, seed+19)
+			return c, biconn.NewPLS(), err
+		}},
+	}
+	for _, e := range entries {
+		for _, n := range sizes {
+			cfg, det, err := e.build(n)
+			if err != nil {
+				return t, fmt.Errorf("%s n=%d: %w", e.name, n, err)
+			}
+			labels, err := det.Label(cfg)
+			if err != nil {
+				return t, fmt.Errorf("%s n=%d prover: %w", e.name, n, err)
+			}
+			kappa := core.MaxBits(labels)
+			comp := core.Compile(det)
+			compLabels, err := comp.Label(cfg)
+			if err != nil {
+				return t, err
+			}
+			cert := runtime.MaxCertBitsOver(comp, cfg, compLabels, 3, seed)
+			envelope := 2 * (log2ceil(kappa) + 3)
+			t.Rows = append(t.Rows, []string{
+				e.name, itoa(n), itoa(kappa), itoa(cert), itoa(envelope)})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Certificates also carry an Elias-gamma length prefix, so the exact size is 2⌈log₂ p⌉ + (2⌊log₂ κ⌋+1) with 3κ < p < 6κ.")
+	return t, nil
+}
+
+// E2Equality measures Lemmas 3.2/A.1: the randomized EQ protocol exchanges
+// Θ(log λ) bits with one-sided error below 1/3, vs λ bits deterministically.
+func E2Equality(seed uint64, quick bool) (Table, error) {
+	lambdas := []int{8, 64, 512, 4096, 1 << 15}
+	trials := 4000
+	if quick {
+		lambdas = []int{8, 64, 512}
+		trials = 500
+	}
+	t := Table{
+		ID:    "E2",
+		Title: "Randomized EQ protocol",
+		Claim: "Lemma 3.2/A.1: EQ over λ-bit strings costs Θ(log λ) bits randomized (error < 1/3, one-sided) vs λ bits deterministic.",
+		Headers: []string{"λ", "deterministic bits", "randomized bits",
+			"error on equal", "error on worst-case distinct"},
+	}
+	rng := prng.New(seed)
+	det := commcc.Deterministic()
+	rand := commcc.Randomized()
+	for _, lambda := range lambdas {
+		bits := make([]byte, lambda)
+		for i := range bits {
+			bits[i] = rng.Bit()
+		}
+		s := bitstring.FromBits(bits)
+		_, trDet := det.Run(s, s, rng)
+		_, trRand := rand.Run(s, s, rng)
+		errEqual := commcc.MeasureError(rand, s, s, trials, seed+1)
+		a, b := commcc.WorstCasePair(lambda)
+		errDiff := commcc.MeasureError(rand, a, b, trials, seed+2)
+		t.Rows = append(t.Rows, []string{
+			itoa(lambda), itoa(trDet.Bits), itoa(trRand.Bits),
+			ftoa(errEqual), ftoa(errDiff)})
+	}
+	t.Notes = append(t.Notes, "Error on equal inputs is exactly 0: the protocol is one-sided.")
+	return t, nil
+}
+
+// E3Universal measures Lemma 3.3 and Corollary 3.4: universal labels of
+// O(min(n², m log n) + nk) bits vs universal certificates of
+// O(log n + log k) bits.
+func E3Universal(seed uint64, quick bool) (Table, error) {
+	type point struct{ n, kBytes int }
+	points := []point{{8, 8}, {16, 8}, {32, 8}, {16, 64}, {16, 512}}
+	if quick {
+		points = []point{{8, 8}, {16, 8}, {16, 64}}
+	}
+	t := Table{
+		ID:    "E3",
+		Title: "Universal schemes",
+		Claim: "Lemma 3.3: universal PLS with O(min(n²,m log n)+nk) bits; Corollary 3.4: universal RPLS with O(log n + log k) bits.",
+		Headers: []string{"n", "k (state bits)", "universal label bits",
+			"universal cert bits", "legal acceptance"},
+	}
+	for _, p := range points {
+		cfg := BuildUniformConfig(p.n, p.kBytes, seed+uint64(p.n*p.kBytes))
+		s := core.UniversalRPLS(uniform.Predicate{})
+		labels, err := s.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		labelBits := core.MaxBits(labels)
+		certBits := runtime.MaxCertBitsOver(s, cfg, labels, 3, seed)
+		rate := runtime.EstimateAcceptance(s, cfg, labels, 20, seed+3)
+		t.Rows = append(t.Rows, []string{
+			itoa(p.n), itoa(cfg.MaxStateBits()), itoa(labelBits),
+			itoa(certBits), ftoa(rate)})
+	}
+	t.Notes = append(t.Notes,
+		"Universal labels replicate the full configuration (Appendix B); the compiled certificates shrink to its logarithm.")
+	return t, nil
+}
+
+// E4LowerBound makes Theorem 3.5 constructive: below ~log k certificate
+// bits, there are state pairs the uniform scheme provably cannot
+// distinguish (Fermat fooling pairs), and the verifier accepts an illegal
+// configuration with probability 1.
+func E4LowerBound(seed uint64, quick bool) (Table, error) {
+	const lambda = 1024 // payload bits (so payloads need ~log₂ 3λ ≈ 12-bit fields)
+	trials := 400
+	if quick {
+		trials = 100
+	}
+	t := Table{
+		ID:    "E4",
+		Title: "Ω(log n + log k) lower bound",
+		Claim: "Theorem 3.5/Lemma C.3: any RPLS for Unif needs Ω(log k)-bit certificates; below the bound a fooling pair forces acceptance of an illegal configuration.",
+		Headers: []string{"field bits", "cert bits", "below bound?",
+			"acceptance of illegal config"},
+	}
+	p0 := commcc.TruncatedPrime(4)
+	a, b, err := commcc.FoolingPair(lambda, p0)
+	if err != nil {
+		return t, err
+	}
+	cfg := graph.NewConfig(graph.Path(2))
+	cfg.States[0].Data = bitsToBytes(a)
+	cfg.States[1].Data = bitsToBytes(b)
+	labels := make([]core.Label, 2)
+	for _, fieldBits := range []int{4, 8, 12, 16} {
+		s := uniform.NewTruncatedRPLS(fieldBits)
+		rate := runtime.EstimateAcceptance(s, cfg, labels, trials, seed)
+		certBits := runtime.MaxCertBitsOver(s, cfg, labels, 3, seed)
+		below := 1<<uint(fieldBits) < 3*lambda
+		t.Rows = append(t.Rows, []string{
+			itoa(fieldBits), itoa(certBits), fmt.Sprintf("%v", below), ftoa(rate)})
+	}
+	full := uniform.NewRPLS()
+	rate := runtime.EstimateAcceptance(full, cfg, labels, trials, seed+1)
+	certBits := runtime.MaxCertBitsOver(full, cfg, labels, 3, seed)
+	t.Rows = append(t.Rows, []string{
+		"properly sized (3λ<p<6λ)", itoa(certBits), "false", ftoa(rate)})
+	t.Notes = append(t.Notes,
+		"The fooling pair (x vs x^p, Fermat) is indistinguishable over the 4-bit field: acceptance 1.0 on a NO instance.")
+	return t, nil
+}
+
+// E5CrossingDet runs the Proposition 4.3 attack across label budgets on the
+// Theorem 5.1 path family.
+func E5CrossingDet(seed uint64, quick bool) (Table, error) {
+	n := 210
+	if quick {
+		n = 120
+	}
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	t := Table{
+		ID:    "E5",
+		Title: "Crossing attack on deterministic schemes",
+		Claim: "Prop 4.3/Thm 4.4: κ < log(r)/2s forces a label collision; crossing the collided gadgets flips the predicate without changing any local view.",
+		Headers: []string{"scheme", "κ (bits)", "r gadgets", "pigeonhole forced?",
+			"collision found", "crossed legal", "verifier fooled"},
+	}
+	for _, bits := range []int{2, 3, 4, 8} {
+		s := crossing.ModularDistPLS{Bits: bits}
+		atk, err := crossing.AttackPLS(s, acyclicity.Predicate{}, cfg, gadgets)
+		if err != nil {
+			return t, err
+		}
+		forced := 1<<(2*bits) < atk.Gadgets
+		t.Rows = append(t.Rows, []string{
+			s.Name(), itoa(atk.LabelBits), itoa(atk.Gadgets),
+			fmt.Sprintf("%v", forced), fmt.Sprintf("%v", atk.Collision),
+			fmt.Sprintf("%v", atk.CrossedLegal), fmt.Sprintf("%v", atk.Fooled)})
+	}
+	honest := acyclicity.NewPLS()
+	atk, err := crossing.AttackPLS(honest, acyclicity.Predicate{}, cfg, gadgets)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		honest.Name(), itoa(atk.LabelBits), itoa(atk.Gadgets), "false",
+		fmt.Sprintf("%v", atk.Collision), "-", fmt.Sprintf("%v", atk.Fooled)})
+	return t, nil
+}
+
+// E6CrossingRand runs the Proposition 4.8 support-collision attack on the
+// compiled under-provisioned scheme and on the honest one.
+func E6CrossingRand(seed uint64, quick bool) (Table, error) {
+	n := 210
+	samples, trials := 150, 80
+	if quick {
+		n, samples, trials = 120, 60, 30
+	}
+	cfg := graph.NewConfig(graph.Path(n))
+	gadgets := crossing.PathGadgets(n)
+	t := Table{
+		ID:    "E6",
+		Title: "Crossing attack on one-sided RPLS",
+		Claim: "Prop 4.8/Thm 4.7: κ < (1/2s)·log log r forces a certificate-support collision; swapping supports shows the crossed (illegal) configuration accepted with probability 1.",
+		Headers: []string{"scheme", "support collision", "crossed legal",
+			"acceptance of crossed config", "fooled"},
+	}
+	weak := core.Compile(crossing.ModularDistPLS{Bits: 3})
+	atk, err := crossing.AttackRPLSOneSided(weak, acyclicity.Predicate{}, cfg, gadgets, samples, trials, seed)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		weak.Name(), fmt.Sprintf("%v", atk.Collision), fmt.Sprintf("%v", atk.CrossedLegal),
+		ftoa(atk.AcceptanceRate), fmt.Sprintf("%v", atk.Fooled)})
+	honest := acyclicity.NewRPLS()
+	atk, err = crossing.AttackRPLSOneSided(honest, acyclicity.Predicate{}, cfg, gadgets, samples/2, trials/2, seed+1)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		honest.Name(), fmt.Sprintf("%v", atk.Collision), "-",
+		ftoa(atk.AcceptanceRate), fmt.Sprintf("%v", atk.Fooled)})
+	return t, nil
+}
+
+func bitsToBytes(s bitstring.String) []byte {
+	out := make([]byte, (s.Len()+7)/8)
+	for i := 0; i < s.Len(); i++ {
+		if s.Bit(i) == 1 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

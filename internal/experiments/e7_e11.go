@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/crossing"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/biconn"
+	"rpls/internal/schemes/cycle"
+	"rpls/internal/schemes/mst"
+)
+
+// E7MST measures Theorem 5.1: deterministic labels grow like log² n while
+// the compiled certificates grow like log log n, and corrupted MSTs are
+// detected.
+func E7MST(seed uint64, quick bool) (Table, error) {
+	sizes := []int{16, 64, 256, 1024}
+	trials := 100
+	if quick {
+		sizes = []int{16, 64}
+		trials = 30
+	}
+	t := Table{
+		ID:    "E7",
+		Title: "MST verification",
+		Claim: "Theorem 5.1: randomized verification complexity of MST is Θ(log log n); the deterministic Borůvka-hierarchy scheme uses O(log² n) bits.",
+		Headers: []string{"n", "det label bits", "log₂² n", "rand cert bits",
+			"2·log₂ log₂ n", "corrupt detection (det)", "corrupt detection (rand)"},
+	}
+	for _, n := range sizes {
+		cfg, err := BuildMSTConfig(n, seed+uint64(n))
+		if err != nil {
+			return t, err
+		}
+		det := mst.NewPLS()
+		labels, err := det.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		detBits := core.MaxBits(labels)
+		rand := mst.NewRPLS()
+		randLabels, err := rand.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		certBits := runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, seed)
+
+		// Corruption: make a non-tree edge the cheapest, so the certified
+		// tree is stale.
+		bad := cfg.Clone()
+		corruptMSTWeight(bad)
+		detCaught := !runtime.VerifyPLS(det, bad, labels).Accepted
+		randRate := runtime.EstimateAcceptance(rand, bad, randLabels, trials, seed+2)
+
+		logn := log2ceil(n)
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(detBits), itoa(logn * logn), itoa(certBits),
+			itoa(2 * log2ceil(logn)), fmt.Sprintf("%v", detCaught),
+			ftoa(1 - randRate)})
+	}
+	t.Notes = append(t.Notes,
+		"Shape check: doubling n four times multiplies det labels by ≈(log 2n / log n)², while rand certificates gain O(1) bits.")
+	return t, nil
+}
+
+func corruptMSTWeight(c *graph.Config) {
+	for _, e := range c.G.Edges() {
+		pu, _ := c.G.PortTo(e.U, e.V)
+		pv, _ := c.G.PortTo(e.V, e.U)
+		isTree := c.States[e.U].Parent == pu || c.States[e.V].Parent == pv
+		if !isTree {
+			_ = c.SetEdgeWeight(e.U, e.V, -1)
+			return
+		}
+	}
+}
+
+// E8Biconnectivity measures Theorem 5.2 and replays its Figure 2 lower
+// bound construction.
+func E8Biconnectivity(seed uint64, quick bool) (Table, error) {
+	sizes := []int{16, 64, 256, 1024}
+	trials := 100
+	if quick {
+		sizes = []int{16, 64}
+		trials = 30
+	}
+	t := Table{
+		ID:    "E8",
+		Title: "Biconnectivity",
+		Claim: "Theorem 5.2: deterministic verification Θ(log n), randomized Θ(log log n); crossing Figure 2(a) creates an articulation point.",
+		Headers: []string{"n", "det label bits", "rand cert bits",
+			"crossed Fig-2 still biconnected?", "honest det fooled by crossing?", "rand rejection of crossed"},
+	}
+	for _, n := range sizes {
+		g, err := graph.CycleWithChords(n)
+		if err != nil {
+			return t, err
+		}
+		cfg := graph.NewConfig(g)
+		det := biconn.NewPLS()
+		labels, err := det.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		rand := biconn.NewRPLS()
+		randLabels, err := rand.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		crossed, err := cfg.CrossConfig(graph.EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+		if err != nil {
+			return t, err
+		}
+		crossedLegal := (biconn.Predicate{}).Eval(crossed)
+		fooled := runtime.VerifyPLS(det, crossed, labels).Accepted
+		rejRate := 1 - runtime.EstimateAcceptance(rand, crossed, randLabels, trials, seed)
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(core.MaxBits(labels)),
+			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, seed)),
+			fmt.Sprintf("%v", crossedLegal), fmt.Sprintf("%v", fooled), ftoa(rejRate)})
+	}
+	return t, nil
+}
+
+// E9CycleAtLeast measures Theorems 5.3/5.4: honest O(log n)/O(log log n)
+// upper bounds, and the Ω(log c) lower bound via the mod-index attack on
+// the hub construction.
+func E9CycleAtLeast(seed uint64, quick bool) (Table, error) {
+	cs := []int{16, 32, 64}
+	if quick {
+		cs = []int{16, 32}
+	}
+	t := Table{
+		ID:    "E9",
+		Title: "cycle-at-least-c",
+		Claim: "Thm 5.3: O(log n) det / O(log log n) rand upper bounds; Thm 5.4: Ω(log c) det / Ω(log log c) rand — an index counter too small to count to c is crossed into accepting short cycles.",
+		Headers: []string{"c", "honest det bits", "honest cert bits",
+			"weak scheme bits", "weak fooled", "honest fooled"},
+	}
+	for _, c := range cs {
+		n := c + 8
+		g, err := graph.CycleWithHub(n, c)
+		if err != nil {
+			return t, err
+		}
+		cfg := graph.NewConfig(g)
+		pred := cycle.AtLeastPredicate{C: c}
+		gadgets := crossing.RingGadgets(c)
+
+		honestDet := cycle.NewPLS(c)
+		labels, err := honestDet.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		honestRand := cycle.NewRPLS(c)
+		randLabels, err := honestRand.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		certBits := runtime.MaxCertBitsOver(honestRand, cfg, randLabels, 3, seed)
+
+		// Weak scheme: index modulo M with M | c and M small enough that
+		// the ring gadget family (r ≈ c/3) must collide.
+		bits := weakIndexBits(c)
+		weak := crossing.ModularIndexCyclePLS{C: c, Bits: bits, FindCycle: cycle.FindCycleAtLeast}
+		weakAtk, err := crossing.AttackPLS(weak, pred, cfg, gadgets)
+		if err != nil {
+			return t, err
+		}
+		honestAtk, err := crossing.AttackPLS(honestDet, pred, cfg, gadgets)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(c), itoa(core.MaxBits(labels)), itoa(certBits),
+			itoa(weakAtk.LabelBits), fmt.Sprintf("%v", weakAtk.Fooled),
+			fmt.Sprintf("%v", honestAtk.Fooled)})
+	}
+	t.Notes = append(t.Notes,
+		"The weak scheme stores the cycle index mod 2^b with 2^b | c; crossing two ring edges whose positions agree mod 2^b yields cycles of length ≡ 0 (mod 2^b), all shorter than c yet accepted.")
+	return t, nil
+}
+
+// weakIndexBits picks the largest b with 2^b | c such that two gadget
+// indices congruent mod 2^b exist (so the pigeonhole collision is forced
+// within the ring family).
+func weakIndexBits(c int) int {
+	maxI := (c - 2) / 3 // gadget indices run 1..maxI
+	b := 1
+	for c%(1<<(b+1)) == 0 && (1<<(b+1))+1 <= maxI {
+		b++
+	}
+	return b
+}
+
+// E10IteratedCrossing replays Theorem 5.5: repeated crossings shrink every
+// ring cycle below c−1 while the under-provisioned verifier keeps
+// accepting with the original labels.
+func E10IteratedCrossing(seed uint64, quick bool) (Table, error) {
+	const c = 96
+	const bits = 3 // M = 8 divides 96 and all arc lengths used
+	n := c + 6
+	g, err := graph.CycleWithHub(n, c)
+	if err != nil {
+		return Table{}, err
+	}
+	cfg := graph.NewConfig(g)
+	weak := crossing.ModularIndexCyclePLS{C: c, Bits: bits, FindCycle: cycle.FindCycleAtLeast}
+	labels, err := weak.Label(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "E10",
+		Title: "Iterated crossing",
+		Claim: "Theorem 5.5: applying the crossing iteratively yields a graph whose cycles are all shorter than c−1, still accepted with the original labels.",
+		Headers: []string{"step", "ring cycle lengths", "longest ring cycle",
+			"weak verifier accepts", "all cycles < c−1"},
+	}
+	// Gadget pairs spaced 8 apart in index: positions ≡ (mod 24), so each
+	// excised arc has length divisible by M = 8.
+	pairs := [][2]int{{1, 9}, {17, 25}}
+	if quick {
+		pairs = pairs[:1]
+	}
+	gadgets := crossing.RingGadgets(c)
+	cur := cfg
+	record := func(step int) {
+		lengths := ringCycleLengths(cur.G, c)
+		longest := 0
+		for _, l := range lengths {
+			if l > longest {
+				longest = l
+			}
+		}
+		accepted := runtime.VerifyPLS(weak, cur, labels).Accepted
+		t.Rows = append(t.Rows, []string{
+			itoa(step), fmt.Sprintf("%v", lengths), itoa(longest),
+			fmt.Sprintf("%v", accepted), fmt.Sprintf("%v", longest < c-1)})
+	}
+	record(0)
+	for step, p := range pairs {
+		next, err := cur.CrossConfigAll([]graph.EdgePair{
+			crossing.Pair(gadgets[p[0]], gadgets[p[1]])})
+		if err != nil {
+			return t, err
+		}
+		cur = next
+		record(step + 1)
+	}
+	t.Notes = append(t.Notes,
+		"Simple cycles through the hub can exceed a ring piece by at most one node, so 'longest ring cycle < c−1' certifies cycle-at-least-c is false.")
+	return t, nil
+}
+
+// E11CycleAtMost measures Theorem 5.6 on the Figure 5 chain-of-cycles
+// family: the universal scheme's sizes, and the crossing that fuses two
+// c-cycles into a 2c-cycle.
+func E11CycleAtMost(seed uint64, quick bool) (Table, error) {
+	type point struct{ n, c int }
+	points := []point{{16, 4}, {24, 4}, {24, 8}, {48, 8}}
+	if quick {
+		points = []point{{16, 4}, {24, 8}}
+	}
+	t := Table{
+		ID:    "E11",
+		Title: "cycle-at-most-c on cycle chains",
+		Claim: "Theorem 5.6: Ω(log n/c) det and Ω(log log n/c) rand; the universal scheme is the best known (an efficient one would give NP = co-NP). Crossing two cycles fuses them into a 2c-cycle.",
+		Headers: []string{"n", "c", "r = n/c gadgets", "universal label bits",
+			"universal cert bits", "fused cycle after crossing", "stale labels rejected",
+			"weak id bits", "weak fooled"},
+	}
+	for _, p := range points {
+		g, err := graph.ChainOfCycles(p.n, p.c)
+		if err != nil {
+			return t, err
+		}
+		cfg := graph.NewConfig(g)
+		det := cycle.NewAtMostPLS(p.c)
+		labels, err := det.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		rand := cycle.NewAtMostRPLS(p.c)
+		randLabels, err := rand.Label(cfg)
+		if err != nil {
+			return t, err
+		}
+		gadgets := crossing.ChainGadgets(p.n, p.c)
+		crossed, err := cfg.CrossConfigAll([]graph.EdgePair{
+			crossing.Pair(gadgets[0], gadgets[1])})
+		if err != nil {
+			return t, err
+		}
+		fused := cycle.LongestCycle(crossed.G)
+		rejected := !runtime.VerifyPLS(det, crossed, labels).Accepted
+
+		// The Ω(log n/c) bound made constructive: cycle ids modulo 2^b
+		// with fewer than log₂ r bits collide, and the splice hides.
+		weakBits := 1
+		for 1<<(weakBits+1) < len(gadgets) {
+			weakBits++
+		}
+		weak := crossing.ModularChainCyclePLS{C: p.c, Bits: weakBits}
+		atk, err := crossing.AttackPLS(weak, cycle.AtMostPredicate{C: p.c}, cfg, gadgets)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(p.n), itoa(p.c), itoa(len(gadgets)), itoa(core.MaxBits(labels)),
+			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 2, seed)),
+			itoa(fused), fmt.Sprintf("%v", rejected),
+			itoa(atk.LabelBits), fmt.Sprintf("%v", atk.Fooled)})
+	}
+	t.Notes = append(t.Notes,
+		"The weak scheme labels each constituent cycle with its index mod 2^b; with 2^b < r two cycles collide and the crossing's splice is locally invisible.")
+	return t, nil
+}

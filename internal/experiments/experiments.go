@@ -1,0 +1,84 @@
+// Package experiments regenerates, as measured tables, every quantitative
+// claim of the paper (its "evaluation" is a set of theorems; see DESIGN.md
+// for the experiment index E1–E15). Each experiment is a pure function of a
+// seed, so cmd/experiments, the benchmarks in bench_test.go, and the test
+// suite all reproduce identical numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement being exercised
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "*Paper claim:* %s\n\n", t.Claim)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Spec names a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	// Run executes the experiment; quick mode shrinks sweeps for use under
+	// the benchmark harness.
+	Run func(seed uint64, quick bool) (Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Spec {
+	return []Spec{
+		{ID: "E1", Title: "Det→Rand compilation (Theorem 3.1)", Run: E1Compiler},
+		{ID: "E2", Title: "Randomized EQ protocol (Lemmas 3.2/A.1)", Run: E2Equality},
+		{ID: "E3", Title: "Universal schemes (Lemma 3.3, Corollary 3.4)", Run: E3Universal},
+		{ID: "E4", Title: "Ω(log n + log k) lower bound (Theorem 3.5)", Run: E4LowerBound},
+		{ID: "E5", Title: "Crossing attack on deterministic schemes (Prop 4.3/Thm 4.4)", Run: E5CrossingDet},
+		{ID: "E6", Title: "Crossing attack on one-sided RPLS (Prop 4.8/Thm 4.7)", Run: E6CrossingRand},
+		{ID: "E7", Title: "MST verification (Theorem 5.1)", Run: E7MST},
+		{ID: "E8", Title: "Biconnectivity (Theorem 5.2, Figure 2)", Run: E8Biconnectivity},
+		{ID: "E9", Title: "cycle-at-least-c (Theorems 5.3/5.4)", Run: E9CycleAtLeast},
+		{ID: "E10", Title: "Iterated crossing (Theorem 5.5)", Run: E10IteratedCrossing},
+		{ID: "E11", Title: "cycle-at-most-c on cycle chains (Theorem 5.6, Figure 5)", Run: E11CycleAtMost},
+		{ID: "E12", Title: "Confidence boosting (footnote 1)", Run: E12Boosting},
+		{ID: "E13", Title: "k-flow (§5.2)", Run: E13KFlow},
+		{ID: "E14", Title: "Sym and the EQ reduction (Lemma C.1, Claim C.2)", Run: E14Symmetry},
+		{ID: "E15", Title: "Self-stabilizing detection (§1)", Run: E15SelfStab},
+		{ID: "E16", Title: "Shared randomness (extension; §6 open question)", Run: E16SharedRandomness},
+		{ID: "E17", Title: "s-t vertex connectivity (extension; §5.2)", Run: E17STConnectivity},
+		{ID: "E18", Title: "Label-shape scaling (gamma-coded acyclicity)", Run: E18LabelShape},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }

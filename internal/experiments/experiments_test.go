@@ -1,0 +1,318 @@
+package experiments_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rpls/internal/experiments"
+)
+
+func runQuick(t *testing.T, id string) experiments.Table {
+	t.Helper()
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	table, err := spec.Run(42, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for i, row := range table.Rows {
+		if len(row) != len(table.Headers) {
+			t.Fatalf("%s row %d has %d cells for %d headers", id, i, len(row), len(table.Headers))
+		}
+	}
+	return table
+}
+
+func cellInt(t *testing.T, table experiments.Table, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(table.Rows[row][col])
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q is not an integer", row, col, table.Rows[row][col])
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, table experiments.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(table.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q is not a float", row, col, table.Rows[row][col])
+	}
+	return v
+}
+
+func TestAllRegistered(t *testing.T) {
+	specs := experiments.All()
+	if len(specs) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment %s", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if _, ok := experiments.Lookup("E0"); ok {
+		t.Error("Lookup invented an experiment")
+	}
+}
+
+func TestE1CompilerShape(t *testing.T) {
+	table := runQuick(t, "E1")
+	// Certificates must stay within the stated envelope on every row.
+	for i := range table.Rows {
+		cert := cellInt(t, table, i, 3)
+		env := cellInt(t, table, i, 4)
+		// Envelope covers the fingerprint; the gamma prefix adds <= 2logκ+1.
+		kappa := cellInt(t, table, i, 2)
+		if cert > env+2*log2(kappa)+1 {
+			t.Errorf("row %d: cert %d exceeds envelope %d", i, cert, env)
+		}
+	}
+}
+
+func TestE2EqualityShape(t *testing.T) {
+	table := runQuick(t, "E2")
+	for i := range table.Rows {
+		if e := cellFloat(t, table, i, 3); e != 0 {
+			t.Errorf("row %d: one-sided protocol errs on equal inputs (%v)", i, e)
+		}
+		if e := cellFloat(t, table, i, 4); e >= 1.0/3 {
+			t.Errorf("row %d: distinct-input error %v >= 1/3", i, e)
+		}
+		det := cellInt(t, table, i, 1)
+		rand := cellInt(t, table, i, 2)
+		if rand >= det && det > 32 {
+			t.Errorf("row %d: randomized bits %d not below deterministic %d", i, rand, det)
+		}
+	}
+}
+
+func TestE3UniversalShape(t *testing.T) {
+	table := runQuick(t, "E3")
+	for i := range table.Rows {
+		label := cellInt(t, table, i, 2)
+		cert := cellInt(t, table, i, 3)
+		if cert*16 > label {
+			t.Errorf("row %d: cert bits %d not far below label bits %d", i, cert, label)
+		}
+		if rate := cellFloat(t, table, i, 4); rate != 1.0 {
+			t.Errorf("row %d: legal acceptance %v", i, rate)
+		}
+	}
+}
+
+func TestE4LowerBoundShape(t *testing.T) {
+	table := runQuick(t, "E4")
+	// First row (4-bit field): perfect fooling.
+	if rate := cellFloat(t, table, 0, 3); rate != 1.0 {
+		t.Errorf("4-bit field acceptance %v, want 1.0", rate)
+	}
+	// Last row (properly sized): sound.
+	last := len(table.Rows) - 1
+	if rate := cellFloat(t, table, last, 3); rate > 1.0/3 {
+		t.Errorf("full scheme acceptance %v > 1/3", rate)
+	}
+}
+
+func TestE5E6CrossingShape(t *testing.T) {
+	t5 := runQuick(t, "E5")
+	// Rows with the pigeonhole forced must be fooled; honest row must not.
+	for i := range t5.Rows {
+		forced := t5.Rows[i][3] == "true"
+		fooled := t5.Rows[i][6] == "true"
+		if forced && !fooled {
+			t.Errorf("E5 row %d: pigeonhole forced but not fooled", i)
+		}
+	}
+	honest := t5.Rows[len(t5.Rows)-1]
+	if honest[6] != "false" {
+		t.Error("E5: honest scheme reported fooled")
+	}
+
+	t6 := runQuick(t, "E6")
+	if t6.Rows[0][4] != "true" {
+		t.Error("E6: weak compiled scheme not fooled")
+	}
+	if t6.Rows[1][4] != "false" {
+		t.Error("E6: honest compiled scheme fooled")
+	}
+}
+
+func TestE7MSTShape(t *testing.T) {
+	table := runQuick(t, "E7")
+	for i := range table.Rows {
+		if table.Rows[i][5] != "true" {
+			t.Errorf("row %d: deterministic scheme missed the corrupted MST", i)
+		}
+		if det := cellFloat(t, table, i, 6); det < 2.0/3 {
+			t.Errorf("row %d: randomized detection %v < 2/3", i, det)
+		}
+	}
+	// Rand cert bits must grow much slower than det label bits.
+	if len(table.Rows) >= 2 {
+		d0, d1 := cellInt(t, table, 0, 1), cellInt(t, table, len(table.Rows)-1, 1)
+		c0, c1 := cellInt(t, table, 0, 3), cellInt(t, table, len(table.Rows)-1, 3)
+		if d1-d0 <= c1-c0 {
+			t.Errorf("det growth %d not larger than cert growth %d", d1-d0, c1-c0)
+		}
+	}
+}
+
+func TestE9CycleShape(t *testing.T) {
+	table := runQuick(t, "E9")
+	for i := range table.Rows {
+		if table.Rows[i][4] != "true" {
+			t.Errorf("row %d: weak mod-index scheme not fooled", i)
+		}
+		if table.Rows[i][5] != "false" {
+			t.Errorf("row %d: honest scheme fooled", i)
+		}
+	}
+}
+
+func TestE10IteratedShape(t *testing.T) {
+	table := runQuick(t, "E10")
+	for i := range table.Rows {
+		if table.Rows[i][3] != "true" {
+			t.Errorf("step %d: weak verifier stopped accepting", i)
+		}
+	}
+	// The final step must have shrunk the longest ring cycle below c−1.
+	last := len(table.Rows) - 1
+	if last == 0 {
+		t.Fatal("no crossing steps recorded")
+	}
+	first := cellInt(t, table, 0, 2)
+	final := cellInt(t, table, last, 2)
+	if final >= first {
+		t.Errorf("longest cycle did not shrink: %d -> %d", first, final)
+	}
+}
+
+func TestE12BoostingShape(t *testing.T) {
+	table := runQuick(t, "E12")
+	prev := 1.1
+	for i := range table.Rows {
+		rate := cellFloat(t, table, i, 2)
+		if rate > prev+0.03 {
+			t.Errorf("row %d: illegal acceptance %v rose from %v", i, rate, prev)
+		}
+		prev = rate
+		if legal := cellFloat(t, table, i, 4); legal != 1.0 {
+			t.Errorf("row %d: legal acceptance %v under boosting", i, legal)
+		}
+	}
+}
+
+func TestE14SymmetryShape(t *testing.T) {
+	table := runQuick(t, "E14")
+	for i := range table.Rows {
+		if table.Rows[i][4] != "true" {
+			t.Errorf("row %d: equal strings rejected", i)
+		}
+		if rej := cellFloat(t, table, i, 5); rej < 2.0/3 {
+			t.Errorf("row %d: distinct strings rejected only at %v", i, rej)
+		}
+	}
+}
+
+func TestE15SelfStabShape(t *testing.T) {
+	table := runQuick(t, "E15")
+	for i := range table.Rows {
+		if alarms := cellFloat(t, table, i, 3); alarms != 0 {
+			t.Errorf("row %d: false alarms %v", i, alarms)
+		}
+	}
+	// Boosted latency must not exceed the unboosted one.
+	if len(table.Rows) >= 2 {
+		base := cellFloat(t, table, 0, 1)
+		boosted := cellFloat(t, table, len(table.Rows)-1, 1)
+		if boosted > base {
+			t.Errorf("boosted mean latency %v exceeds base %v", boosted, base)
+		}
+	}
+}
+
+func TestRemainingExperimentsRun(t *testing.T) {
+	for _, id := range []string{"E8", "E11", "E13"} {
+		runQuick(t, id)
+	}
+}
+
+func TestE16SharedShape(t *testing.T) {
+	table := runQuick(t, "E16")
+	for i := range table.Rows {
+		priv := cellInt(t, table, i, 1)
+		shared := cellInt(t, table, i, 2)
+		if shared >= priv {
+			t.Errorf("row %d: shared certs %d not below private %d", i, shared, priv)
+		}
+		if legal := cellFloat(t, table, i, 3); legal != 1.0 {
+			t.Errorf("row %d: shared legal acceptance %v", i, legal)
+		}
+		if illegal := cellFloat(t, table, i, 4); illegal > 1.0/3 {
+			t.Errorf("row %d: shared illegal acceptance %v > 1/3", i, illegal)
+		}
+	}
+}
+
+func TestE17STConnShape(t *testing.T) {
+	table := runQuick(t, "E17")
+	for i := range table.Rows {
+		if table.Rows[i][4] != "true" || table.Rows[i][5] != "true" {
+			t.Errorf("row %d: wrong-k transplant not rejected: %v", i, table.Rows[i])
+		}
+	}
+}
+
+func TestE18ShapeSeparation(t *testing.T) {
+	table := runQuick(t, "E18")
+	// Deterministic labels must grow measurably with n; certificates must
+	// grow strictly slower.
+	first := cellInt(t, table, 0, 1)
+	last := cellInt(t, table, len(table.Rows)-1, 1)
+	if last <= first {
+		t.Errorf("det labels did not grow: %d -> %d", first, last)
+	}
+	cFirst := cellInt(t, table, 0, 3)
+	cLast := cellInt(t, table, len(table.Rows)-1, 3)
+	if cLast-cFirst >= last-first {
+		t.Errorf("certs grew as fast as labels: Δ%d vs Δ%d", cLast-cFirst, last-first)
+	}
+	for i := range table.Rows {
+		det := cellInt(t, table, i, 1)
+		env := cellInt(t, table, i, 2)
+		if det > env {
+			t.Errorf("row %d: det labels %d exceed the 4log n envelope %d", i, det, env)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	table := runQuick(t, "E2")
+	md := table.Markdown()
+	for _, want := range []string{"### E2", "| λ |", "Paper claim"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func log2(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

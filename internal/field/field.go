@@ -1,0 +1,241 @@
+// Package field implements arithmetic over prime fields GF(p) and the
+// polynomial fingerprints at the heart of every randomized certificate in
+// the paper.
+//
+// Lemma A.1 views a λ-bit string a = a₀a₁…a_{λ−1} as the polynomial
+// A(x) = a₀ + a₁x + … + a_{λ−1}x^{λ−1} over GF(p) for a prime 3λ < p < 6λ,
+// and certifies equality by exchanging (x, A(x)) for a uniform x. Two
+// distinct strings agree on at most λ−1 of the p > 3λ points, so the
+// one-sided error is below 1/3. This package provides the prime selection,
+// the Horner evaluation, and a generalized error knob (choose p > λ/ε for
+// per-test error ε) supporting the paper's observation that all schemes are
+// oblivious to the confidence parameter.
+package field
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/prng"
+)
+
+// MulMod returns a*b mod m without overflow for any 64-bit operands.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a%m, b%m)
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// AddMod returns (a + b) mod m without overflow.
+func AddMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a >= m-b {
+		return a - (m - b)
+	}
+	return a + b
+}
+
+// PowMod returns a^e mod m by square-and-multiply.
+func PowMod(a, e, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, a, m)
+		}
+		a = MulMod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// millerRabinBases is a deterministic witness set for all 64-bit integers
+// (Sinclair 2011).
+var millerRabinBases = []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime, deterministically for all uint64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+witness:
+	for _, a := range millerRabinBases {
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. It panics on overflow, which
+// cannot occur for the field sizes used by the schemes (p = O(n·λ)).
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n&1 == 0 {
+		n++
+	}
+	for {
+		if IsPrime(n) {
+			return n
+		}
+		if n > n+2 {
+			panic("field: prime search overflow")
+		}
+		n += 2
+	}
+}
+
+// PrimeForLength returns a prime p with 3λ < p < 6λ as in Lemma A.1.
+// Bertrand's postulate guarantees one exists for λ >= 1; for tiny λ the
+// range is padded so the field is never trivially small.
+func PrimeForLength(lambda int) uint64 {
+	if lambda < 2 {
+		lambda = 2
+	}
+	lo := uint64(3*lambda) + 1
+	p := NextPrime(lo)
+	if p >= uint64(6*lambda) && lambda > 2 {
+		// Cannot happen by Bertrand (there is a prime in (3λ, 6λ)), but the
+		// invariant is cheap to defend.
+		panic(fmt.Sprintf("field: no prime in (3*%d, 6*%d)", lambda, lambda))
+	}
+	return p
+}
+
+// PrimeForError returns a prime p > λ/ε, so a polynomial fingerprint of a
+// λ-bit string errs with probability < ε. This is the ε-obliviousness knob
+// of §1: confidence is tuned purely through the field size.
+func PrimeForError(lambda int, eps float64) uint64 {
+	if lambda < 1 {
+		lambda = 1
+	}
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("field: error rate %v out of (0,1)", eps))
+	}
+	target := float64(lambda) / eps
+	if target < 5 {
+		target = 5
+	}
+	return NextPrime(uint64(target) + 1)
+}
+
+// Poly is a polynomial over GF(p) whose coefficients are the bits of a
+// string: coefficient i is bit i.
+type Poly struct {
+	bits bitstring.String
+	p    uint64
+}
+
+// NewPoly interprets s as a polynomial over GF(p).
+func NewPoly(s bitstring.String, p uint64) Poly {
+	return Poly{bits: s, p: p}
+}
+
+// Eval returns the polynomial evaluated at x via Horner's rule, treating
+// bit 0 as the constant coefficient: A(x) = a₀ + a₁x + … .
+//
+// Every scheme in this module uses p = O(n·λ) ≪ 2³¹, so the fast path with
+// native 64-bit products covers them; the 128-bit path keeps the function
+// correct for arbitrary moduli.
+func (poly Poly) Eval(x uint64) uint64 {
+	p := poly.p
+	n := poly.bits.Len()
+	if p < 1<<31 {
+		x %= p
+		acc := uint64(0)
+		for i := n - 1; i >= 0; i-- {
+			acc = acc * x % p
+			if poly.bits.Bit(i) == 1 {
+				acc++
+				if acc == p {
+					acc = 0
+				}
+			}
+		}
+		return acc
+	}
+	acc := uint64(0)
+	for i := n - 1; i >= 0; i-- {
+		acc = MulMod(acc, x, p)
+		if poly.bits.Bit(i) == 1 {
+			acc = AddMod(acc, 1, p)
+		}
+	}
+	return acc
+}
+
+// Fingerprint is an evaluation point with the value of a string's polynomial
+// there: the pair (x, A(x)) exchanged by Lemma A.1's protocol.
+type Fingerprint struct {
+	X, Y uint64
+	P    uint64 // field modulus, fixed by the scheme, not transmitted
+}
+
+// NewFingerprint draws a uniform x in GF(p) with rng and evaluates s there.
+func NewFingerprint(s bitstring.String, p uint64, rng *prng.Rand) Fingerprint {
+	x := rng.Uint64n(p)
+	return Fingerprint{X: x, Y: NewPoly(s, p).Eval(x), P: p}
+}
+
+// Matches reports whether the string t is consistent with the fingerprint,
+// i.e. whether t's polynomial passes through (X, Y).
+func (f Fingerprint) Matches(t bitstring.String) bool {
+	return NewPoly(t, f.P).Eval(f.X) == f.Y
+}
+
+// Bits returns the number of bits needed to transmit the fingerprint:
+// 2·⌈log₂ p⌉ (the modulus is part of the scheme description, not the
+// message). This is the quantity Definition 2.1 measures.
+func (f Fingerprint) Bits() int {
+	return 2 * bitstring.UintBits(f.P-1)
+}
+
+// Encode serializes the fingerprint into w using 2·⌈log₂ p⌉ bits.
+func (f Fingerprint) Encode(w *bitstring.Writer) {
+	width := bitstring.UintBits(f.P - 1)
+	w.WriteUint(f.X, width)
+	w.WriteUint(f.Y, width)
+}
+
+// DecodeFingerprint reads a fingerprint produced by Encode for modulus p.
+func DecodeFingerprint(r *bitstring.Reader, p uint64) (Fingerprint, error) {
+	width := bitstring.UintBits(p - 1)
+	x, err := r.ReadUint(width)
+	if err != nil {
+		return Fingerprint{}, fmt.Errorf("fingerprint x: %w", err)
+	}
+	y, err := r.ReadUint(width)
+	if err != nil {
+		return Fingerprint{}, fmt.Errorf("fingerprint y: %w", err)
+	}
+	if x >= p || y >= p {
+		return Fingerprint{}, fmt.Errorf("fingerprint out of field range (p=%d)", p)
+	}
+	return Fingerprint{X: x, Y: y, P: p}, nil
+}

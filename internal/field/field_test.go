@@ -1,0 +1,262 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/prng"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true,
+		17: true, 19: true, 23: true, 97: true, 101: true,
+		0: false, 1: false, 4: false, 9: false, 15: false, 21: false,
+		25: false, 49: false, 91: false, // 91 = 7*13
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeKnownLarge(t *testing.T) {
+	cases := map[uint64]bool{
+		(1 << 61) - 1:                true,  // Mersenne prime
+		(1 << 31) - 1:                true,  // Mersenne prime
+		1_000_000_007:                true,  // common prime
+		1_000_000_007 * 3:            false, // composite with large factor
+		4294967295:                   false, // 2^32-1 = 3*5*17*257*65537
+		18446744073709551557:         true,  // largest 64-bit prime
+		18446744073709551615:         false, // 2^64-1
+		2147483647 * 2147483647 >> 1: false,
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17}, {90, 97},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.in); got != c.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrimeForLengthInRange(t *testing.T) {
+	for _, lambda := range []int{1, 2, 3, 5, 10, 64, 1000, 1 << 16} {
+		p := PrimeForLength(lambda)
+		if !IsPrime(p) {
+			t.Errorf("PrimeForLength(%d) = %d is not prime", lambda, p)
+		}
+		if lambda >= 2 && (p <= uint64(3*lambda) || p >= uint64(6*lambda)) {
+			t.Errorf("PrimeForLength(%d) = %d outside (3λ, 6λ)", lambda, p)
+		}
+	}
+}
+
+func TestPrimeForError(t *testing.T) {
+	for _, c := range []struct {
+		lambda int
+		eps    float64
+	}{{10, 1.0 / 3}, {100, 0.01}, {1000, 0.001}} {
+		p := PrimeForError(c.lambda, c.eps)
+		if !IsPrime(p) {
+			t.Errorf("PrimeForError(%d, %v) = %d not prime", c.lambda, c.eps, p)
+		}
+		if float64(c.lambda)/float64(p) >= c.eps {
+			t.Errorf("PrimeForError(%d, %v) = %d gives error %v >= eps",
+				c.lambda, c.eps, p, float64(c.lambda)/float64(p))
+		}
+	}
+}
+
+func TestMulModAgainstWideMultiply(t *testing.T) {
+	f := func(a, b uint64) bool {
+		const m = 1_000_000_007
+		want := (a % m) * (b % m) % m // fits: (1e9)^2 < 2^63
+		return MulMod(a, b, m) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulModLargeModulus(t *testing.T) {
+	// With modulus near 2^63 the naive product overflows; MulMod must not.
+	m := uint64(9223372036854775783) // largest prime < 2^63
+	a := m - 1
+	b := m - 2
+	// (m-1)(m-2) mod m = (−1)(−2) mod m = 2
+	if got := MulMod(a, b, m); got != 2 {
+		t.Errorf("MulMod((m-1),(m-2),m) = %d, want 2", got)
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ a, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{5, 1, 7, 5},
+		{2, 61, (1 << 61) - 1, 1}, // Fermat: 2^(p-1) ≡ 1... actually 2^61 mod M61 = 2
+	}
+	// fix the last case properly: 2^61 mod (2^61 - 1) = 1... no: 2^61 = (2^61-1)+1 ≡ 1.
+	cases[3].want = 1
+	for _, c := range cases {
+		if got := PowMod(c.a, c.e, c.m); got != c.want {
+			t.Errorf("PowMod(%d,%d,%d) = %d, want %d", c.a, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+func TestPolyEvalKnown(t *testing.T) {
+	// bits 1,0,1 → A(x) = 1 + x². Over GF(7): A(3) = 1+9 = 10 ≡ 3.
+	s := bitstring.FromBits([]byte{1, 0, 1})
+	poly := NewPoly(s, 7)
+	if got := poly.Eval(3); got != 3 {
+		t.Errorf("A(3) = %d, want 3", got)
+	}
+	if got := poly.Eval(0); got != 1 {
+		t.Errorf("A(0) = %d, want 1", got)
+	}
+}
+
+func TestFingerprintEqualStringsAlwaysMatch(t *testing.T) {
+	// One-sidedness (Lemma A.1): equal strings never produce a mismatch.
+	rng := prng.New(8)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = rng.Bit()
+		}
+		s := bitstring.FromBits(bits)
+		p := PrimeForLength(n)
+		fp := NewFingerprint(s, p, rng)
+		if !fp.Matches(s) {
+			t.Fatalf("fingerprint of a string failed to match itself (n=%d)", n)
+		}
+	}
+}
+
+func TestFingerprintDistinctStringsErrorBelowThird(t *testing.T) {
+	// Soundness: distinct λ-bit strings collide with probability < 1/3 when
+	// p ∈ (3λ, 6λ). Empirically the rate should be well below 1/3.
+	rng := prng.New(9)
+	const lambda = 64
+	const trials = 3000
+	p := PrimeForLength(lambda)
+	collisions := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]byte, lambda)
+		b := make([]byte, lambda)
+		for i := range a {
+			a[i] = rng.Bit()
+			b[i] = rng.Bit()
+		}
+		// Force difference in at least one position.
+		pos := rng.Intn(lambda)
+		b[pos] = 1 - a[pos]
+		sa, sb := bitstring.FromBits(a), bitstring.FromBits(b)
+		fp := NewFingerprint(sa, p, rng)
+		if fp.Matches(sb) {
+			collisions++
+		}
+	}
+	rate := float64(collisions) / trials
+	if rate >= 1.0/3 {
+		t.Errorf("collision rate %v >= 1/3", rate)
+	}
+}
+
+func TestFingerprintAdversarialWorstCase(t *testing.T) {
+	// Worst case: strings differing in exactly the high coefficient produce
+	// polynomials differing by x^{λ−1}, which has λ−1 roots... only x=0 is a
+	// root of x^{λ-1}, so collision happens only at x = 0: rate ≈ 1/p.
+	// A denser disagreement pattern: a = 0^λ, b = 1^λ. A−B = -(1+x+...+x^{λ-1})
+	// has at most λ−1 roots in GF(p); measure the exact collision count.
+	const lambda = 32
+	p := PrimeForLength(lambda)
+	zero := bitstring.FromBits(make([]byte, lambda))
+	ones := make([]byte, lambda)
+	for i := range ones {
+		ones[i] = 1
+	}
+	one := bitstring.FromBits(ones)
+	pa, pb := NewPoly(zero, p), NewPoly(one, p)
+	agree := 0
+	for x := uint64(0); x < p; x++ {
+		if pa.Eval(x) == pb.Eval(x) {
+			agree++
+		}
+	}
+	if agree > lambda-1 {
+		t.Errorf("polynomials agree on %d points, bound is λ−1 = %d", agree, lambda-1)
+	}
+	if float64(agree)/float64(p) >= 1.0/3 {
+		t.Errorf("agreement fraction %d/%d >= 1/3", agree, p)
+	}
+}
+
+func TestFingerprintEncodeDecodeRoundTrip(t *testing.T) {
+	rng := prng.New(10)
+	s := bitstring.FromBits([]byte{1, 1, 0, 1, 0, 0, 1})
+	p := PrimeForLength(s.Len())
+	fp := NewFingerprint(s, p, rng)
+	var w bitstring.Writer
+	fp.Encode(&w)
+	if w.Len() != fp.Bits() {
+		t.Errorf("encoded length %d != Bits() %d", w.Len(), fp.Bits())
+	}
+	got, err := DecodeFingerprint(bitstring.NewReader(w.String()), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X != fp.X || got.Y != fp.Y {
+		t.Errorf("round trip: got (%d,%d), want (%d,%d)", got.X, got.Y, fp.X, fp.Y)
+	}
+}
+
+func TestDecodeFingerprintRejectsOutOfField(t *testing.T) {
+	var w bitstring.Writer
+	p := uint64(11)
+	width := bitstring.UintBits(p - 1) // 4 bits
+	w.WriteUint(13, width)             // 13 >= 11: invalid
+	w.WriteUint(3, width)
+	if _, err := DecodeFingerprint(bitstring.NewReader(w.String()), p); err == nil {
+		t.Error("decoding an out-of-field element should fail")
+	}
+}
+
+func TestFingerprintBitsIsLogarithmic(t *testing.T) {
+	// 2·⌈log₂ p⌉ with p < 6λ means certificate size ≈ 2(log₂ λ + 3).
+	for _, lambda := range []int{16, 256, 4096, 1 << 16} {
+		p := PrimeForLength(lambda)
+		fp := Fingerprint{X: 0, Y: 0, P: p}
+		maxBits := 2 * (bitstring.UintBits(uint64(lambda)) + 3)
+		if fp.Bits() > maxBits {
+			t.Errorf("λ=%d: fingerprint %d bits, want <= %d", lambda, fp.Bits(), maxBits)
+		}
+	}
+}
+
+func TestAddMod(t *testing.T) {
+	m := uint64(9223372036854775783)
+	if got := AddMod(m-1, m-1, m); got != m-2 {
+		t.Errorf("AddMod(m-1, m-1, m) = %d, want m-2", got)
+	}
+	if got := AddMod(0, 0, 5); got != 0 {
+		t.Errorf("AddMod(0,0,5) = %d", got)
+	}
+	if got := AddMod(7, 8, 5); got != 0 {
+		t.Errorf("AddMod(7,8,5) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/prng"
+)
+
+func TestStateEncodeDecodeRoundTrip(t *testing.T) {
+	states := []State{
+		{},
+		{ID: 42},
+		{ID: 7, Parent: 3, Color: -17, Flags: FlagLeader | FlagSource},
+		{ID: 1, Weights: []int64{5, -2, 1 << 40}},
+		{ID: 2, Data: []byte("hello world")},
+		{ID: 3, Parent: 65535, Color: 1<<62 - 1, Flags: ^uint64(0),
+			Weights: []int64{0}, Data: bytes.Repeat([]byte{0xAB}, 100)},
+	}
+	for i, s := range states {
+		var w bitstring.Writer
+		s.Encode(&w)
+		if w.Len() != s.EncodedBits() {
+			t.Errorf("state %d: encoded %d bits, EncodedBits says %d", i, w.Len(), s.EncodedBits())
+		}
+		got, err := DecodeState(bitstring.NewReader(w.String()))
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		if got.ID != s.ID || got.Parent != s.Parent || got.Color != s.Color || got.Flags != s.Flags {
+			t.Errorf("state %d scalar fields mismatched: %+v vs %+v", i, got, s)
+		}
+		if len(got.Weights) != len(s.Weights) {
+			t.Fatalf("state %d weights length %d vs %d", i, len(got.Weights), len(s.Weights))
+		}
+		for j := range s.Weights {
+			if got.Weights[j] != s.Weights[j] {
+				t.Errorf("state %d weight %d: %d vs %d", i, j, got.Weights[j], s.Weights[j])
+			}
+		}
+		if !bytes.Equal(got.Data, s.Data) {
+			t.Errorf("state %d data mismatch", i)
+		}
+	}
+}
+
+func TestStateCloneIsDeep(t *testing.T) {
+	s := State{ID: 1, Weights: []int64{1, 2}, Data: []byte{3, 4}}
+	c := s.Clone()
+	c.Weights[0] = 99
+	c.Data[0] = 99
+	if s.Weights[0] == 99 || s.Data[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestNewConfigAssignsDistinctIDs(t *testing.T) {
+	c := NewConfig(Path(10))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignRandomIDsDistinct(t *testing.T) {
+	c := NewConfig(Path(200))
+	c.AssignRandomIDs(prng.New(5))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range c.States {
+		if s.ID == 0 {
+			t.Errorf("node %d got zero ID", v)
+		}
+	}
+}
+
+func TestValidateRejectsDuplicateIDs(t *testing.T) {
+	c := NewConfig(Path(3))
+	c.States[2].ID = c.States[0].ID
+	if err := c.Validate(); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestValidateRejectsBadParentPort(t *testing.T) {
+	c := NewConfig(Path(3))
+	c.States[0].Parent = 5 // v0 has degree 1
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range parent port accepted")
+	}
+}
+
+func TestValidateRejectsAsymmetricWeights(t *testing.T) {
+	c := NewConfig(Path(3))
+	c.States[0].Weights = []int64{7}
+	c.States[1].Weights = []int64{8, 9}
+	c.States[2].Weights = []int64{9}
+	if err := c.Validate(); err == nil {
+		t.Error("asymmetric weights accepted")
+	}
+}
+
+func TestSetEdgeWeight(t *testing.T) {
+	c := NewConfig(Path(3))
+	if err := c.SetEdgeWeight(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetEdgeWeight(1, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.G.PortTo(1, 0)
+	if got := c.EdgeWeight(1, p); got != 5 {
+		t.Errorf("weight at node 1 toward 0 = %d, want 5", got)
+	}
+	if err := c.SetEdgeWeight(0, 2, 9); err == nil {
+		t.Error("weight on nonexistent edge accepted")
+	}
+}
+
+func TestConfigEncodeDecodeRoundTrip(t *testing.T) {
+	rng := prng.New(6)
+	g := RandomConnected(12, 8, rng)
+	c := NewConfig(g)
+	c.AssignRandomIDs(rng)
+	AssignRandomWeights(c, 1000, rng)
+	c.States[3].Data = []byte{1, 2, 3}
+	c.States[4].Flags = FlagLeader
+
+	enc := c.Encode()
+	got, err := DecodeConfig(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G.N() != c.G.N() || got.G.M() != c.G.M() {
+		t.Fatalf("decoded graph shape: %d/%d vs %d/%d", got.G.N(), got.G.M(), c.G.N(), c.G.M())
+	}
+	for v := range c.States {
+		if got.States[v].ID != c.States[v].ID {
+			t.Errorf("node %d ID mismatch", v)
+		}
+	}
+	for v := 0; v < c.G.N(); v++ {
+		for i, h := range c.G.adjView(v) {
+			if got.G.adj[v][i] != h {
+				t.Errorf("node %d port %d mismatch", v, i+1)
+			}
+		}
+	}
+}
+
+func TestDecodeConfigRejectsGarbage(t *testing.T) {
+	// Truncated streams and wild node counts must be rejected, not panic:
+	// this data arrives inside adversarial labels.
+	var w bitstring.Writer
+	w.WriteUint(1<<20+1, 32)
+	if _, err := DecodeConfig(w.String()); err == nil {
+		t.Error("implausible node count accepted")
+	}
+
+	var w2 bitstring.Writer
+	w2.WriteUint(3, 32)
+	w2.WriteUint(2, 16) // node 0 claims degree 2, then stream ends
+	if _, err := DecodeConfig(w2.String()); err == nil {
+		t.Error("truncated adjacency accepted")
+	}
+
+	// Structurally inconsistent: reverse ports that do not match.
+	var w3 bitstring.Writer
+	w3.WriteUint(2, 32)
+	// node 0: degree 1, to=1 revport=1
+	w3.WriteUint(1, 16)
+	w3.WriteUint(1, 32)
+	w3.WriteUint(1, 16)
+	// node 1: degree 1, to=0 revport=9 (bogus)
+	w3.WriteUint(1, 16)
+	w3.WriteUint(0, 32)
+	w3.WriteUint(9, 16)
+	// two zero states would follow; bogus revport must fail first or at Validate
+	s0 := State{ID: 1}
+	s0.Encode(&w3)
+	s1 := State{ID: 2}
+	s1.Encode(&w3)
+	if _, err := DecodeConfig(w3.String()); err == nil {
+		t.Error("inconsistent reverse port accepted")
+	}
+}
+
+func TestMaxStateBits(t *testing.T) {
+	c := NewConfig(Path(3))
+	base := c.MaxStateBits()
+	c.States[1].Data = make([]byte, 10)
+	if got := c.MaxStateBits(); got != base+80 {
+		t.Errorf("MaxStateBits = %d, want %d", got, base+80)
+	}
+}
+
+func TestCloneConfigIsDeep(t *testing.T) {
+	c := NewConfig(Path(4))
+	c.States[0].Data = []byte{1}
+	d := c.Clone()
+	d.States[0].Data[0] = 9
+	d.G.MustAddEdge(0, 3)
+	if c.States[0].Data[0] == 9 {
+		t.Error("Clone shares state data")
+	}
+	if c.G.HasEdge(0, 3) {
+		t.Error("Clone shares graph")
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import "fmt"
+
+// This file implements the edge-crossing operator of Definition 4.2, the
+// engine behind every lower bound in §4 and §5 of the paper.
+//
+// Given two independent isomorphic subgraphs H1, H2 of G with a
+// port-preserving isomorphism σ, the crossing σ⋈(G) replaces every pair of
+// edges {u,v} ∈ H1 and {σ(u),σ(v)} ∈ H2 by {u,σ(v)} and {σ(u),v}
+// (Figure 1). The replacement reuses the original port slots, so every
+// node's degree, port numbering, and — after a label collision — entire
+// local view are unchanged.
+
+// Independent reports whether the node sets a and b satisfy Definition 4.1:
+// disjoint, with no edge of g between them.
+func (g *Graph) Independent(a, b []int) bool {
+	inA := make(map[int]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	for _, v := range b {
+		if inA[v] {
+			return false
+		}
+	}
+	for _, u := range a {
+		for _, h := range g.adjView(u) {
+			for _, v := range b {
+				if h.To == v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// EdgePair names two edges of g to be crossed, each by its endpoints. The
+// isomorphism maps U1→U2 and V1→V2, so after crossing the new edges are
+// {U1,V2} and {U2,V1}.
+type EdgePair struct {
+	U1, V1 int
+	U2, V2 int
+}
+
+// PortPreserving reports whether the pair respects a port-preserving
+// isomorphism: the edge has the same port at U1 as at U2, and the same
+// port at V1 as at V2.
+func (g *Graph) PortPreserving(p EdgePair) bool {
+	pu1, ok1 := g.PortTo(p.U1, p.V1)
+	pu2, ok2 := g.PortTo(p.U2, p.V2)
+	pv1, ok3 := g.PortTo(p.V1, p.U1)
+	pv2, ok4 := g.PortTo(p.V2, p.U2)
+	return ok1 && ok2 && ok3 && ok4 && pu1 == pu2 && pv1 == pv2
+}
+
+// Cross returns σ⋈(G) for single-edge subgraphs H1 = {U1,V1},
+// H2 = {U2,V2}: a copy of g with the pair replaced by {U1,V2} and {U2,V1},
+// ports preserved. It validates Definition 4.1 independence and the
+// existence of both edges.
+func (g *Graph) Cross(p EdgePair) (*Graph, error) {
+	return g.CrossAll([]EdgePair{p})
+}
+
+// CrossAll applies a crossing over multi-edge subgraphs: every pair is
+// replaced simultaneously. Pairs must involve existing edges; the union of
+// H1 nodes must be independent from the union of H2 nodes.
+func (g *Graph) CrossAll(pairs []EdgePair) (*Graph, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("graph: empty crossing")
+	}
+	var nodes1, nodes2 []int
+	for _, p := range pairs {
+		nodes1 = append(nodes1, p.U1, p.V1)
+		nodes2 = append(nodes2, p.U2, p.V2)
+	}
+	if !g.Independent(nodes1, nodes2) {
+		return nil, fmt.Errorf("graph: subgraphs are not independent (Definition 4.1)")
+	}
+	c := g.Clone()
+	for _, p := range pairs {
+		if err := c.crossOne(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (g *Graph) crossOne(p EdgePair) error {
+	pu1, ok := g.PortTo(p.U1, p.V1)
+	if !ok {
+		return errNoEdge{p.U1, p.V1}
+	}
+	pu2, ok := g.PortTo(p.U2, p.V2)
+	if !ok {
+		return errNoEdge{p.U2, p.V2}
+	}
+	pv1, _ := g.PortTo(p.V1, p.U1)
+	pv2, _ := g.PortTo(p.V2, p.U2)
+
+	// New edge {U1, V2}: U1 keeps port pu1, V2 keeps port pv2.
+	g.setHalf(p.U1, pu1, Half{To: p.V2, RevPort: pv2})
+	g.setHalf(p.V2, pv2, Half{To: p.U1, RevPort: pu1})
+	// New edge {U2, V1}: U2 keeps port pu2, V1 keeps port pv1.
+	g.setHalf(p.U2, pu2, Half{To: p.V1, RevPort: pv1})
+	g.setHalf(p.V1, pv1, Half{To: p.U2, RevPort: pu2})
+	return nil
+}
+
+// CrossConfig crosses the underlying graph of a configuration, keeping all
+// node states: the crossed configuration has identical states and local
+// views, exactly the situation the lower-bound proofs exploit.
+func (c *Config) CrossConfig(p EdgePair) (*Config, error) {
+	return c.CrossConfigAll([]EdgePair{p})
+}
+
+// CrossConfigAll is CrossConfig over multi-edge subgraphs.
+func (c *Config) CrossConfigAll(pairs []EdgePair) (*Config, error) {
+	g2, err := c.G.CrossAll(pairs)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]State, len(c.States))
+	for i, s := range c.States {
+		states[i] = s.Clone()
+	}
+	return &Config{G: g2, States: states}, nil
+}

@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"testing"
+
+	"rpls/internal/prng"
+)
+
+func TestCrossPathMakesCycle(t *testing.T) {
+	// The Theorem 5.1 construction: crossing edges {u_{3i},u_{3i+1}} and
+	// {u_{3j},u_{3j+1}} of a path detaches the middle section as a cycle.
+	g := Path(12)
+	crossed, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crossed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// New edges {3,10} and {9,4} replace {3,4} and {9,10}.
+	if crossed.HasEdge(3, 4) || crossed.HasEdge(9, 10) {
+		t.Error("original edges survived the crossing")
+	}
+	if !crossed.HasEdge(3, 10) || !crossed.HasEdge(9, 4) {
+		t.Error("crossed edges missing")
+	}
+	comps := crossed.Components()
+	if len(comps) != 2 {
+		t.Fatalf("crossed path has %d components, want 2", len(comps))
+	}
+	// One component is the cycle 4..9, the other the path 0..3,10,11.
+	var cycle []int
+	for _, comp := range comps {
+		if containsInt(comp, 4) {
+			cycle = comp
+		}
+	}
+	if len(cycle) != 6 {
+		t.Fatalf("cycle component = %v, want the 6 nodes 4..9", cycle)
+	}
+	sub, _ := crossed.InducedSubgraph(cycle)
+	for v := 0; v < sub.N(); v++ {
+		if sub.Degree(v) != 2 {
+			t.Errorf("cycle node %v has degree %d", cycle[v], sub.Degree(v))
+		}
+	}
+}
+
+func TestCrossPreservesDegreesAndPorts(t *testing.T) {
+	g := Path(12)
+	crossed, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != crossed.Degree(v) {
+			t.Errorf("degree of %d changed: %d -> %d", v, g.Degree(v), crossed.Degree(v))
+		}
+	}
+	// Node 3's port that pointed to 4 now points to 10 — same slot.
+	p, ok := g.PortTo(3, 4)
+	if !ok {
+		t.Fatal("missing edge in original")
+	}
+	if got := crossed.Neighbor(3, p).To; got != 10 {
+		t.Errorf("port %d of node 3 now leads to %d, want 10", p, got)
+	}
+	// And the local views of untouched nodes are bit-identical.
+	for v := 0; v < g.N(); v++ {
+		if v == 3 || v == 4 || v == 9 || v == 10 {
+			continue
+		}
+		for i := range g.adjView(v) {
+			if g.adj[v][i] != crossed.adj[v][i] {
+				t.Errorf("untouched node %d changed its view", v)
+			}
+		}
+	}
+}
+
+func TestCrossRejectsNonIndependent(t *testing.T) {
+	// Adjacent gadgets violate Definition 4.1.
+	g := Path(12)
+	if _, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 4, V2: 5}); err == nil {
+		t.Error("shared node accepted")
+	}
+	if _, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 5, V2: 6}); err == nil {
+		t.Error("adjacent gadgets accepted (edge {4,5} joins them)")
+	}
+	// Distance >= 2 separation is fine.
+	if _, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 6, V2: 7}); err != nil {
+		t.Errorf("independent gadgets rejected: %v", err)
+	}
+}
+
+func TestCrossRejectsMissingEdge(t *testing.T) {
+	g := Path(12)
+	if _, err := g.Cross(EdgePair{U1: 0, V1: 5, U2: 8, V2: 9}); err == nil {
+		t.Error("nonexistent edge accepted")
+	}
+}
+
+func TestCrossAllMultiEdge(t *testing.T) {
+	// Cross two disjoint 2-edge subgraphs of a long cycle simultaneously.
+	g, err := Cycle(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []EdgePair{
+		{U1: 2, V1: 3, U2: 12, V2: 13},
+		{U1: 3, V1: 4, U2: 13, V2: 14},
+	}
+	crossed, err := g.CrossAll(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crossed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// H1 = path 2-3-4, H2 = path 12-13-14 crossed edge-wise: node 3's two
+	// cycle edges now lead to 13's old neighbors and vice versa, i.e. 3 and
+	// 13 swap places: still one big cycle of 20 nodes.
+	if !crossed.IsConnected() {
+		comps := crossed.Components()
+		t.Fatalf("expected swap to preserve connectivity, got %d components", len(comps))
+	}
+	for v := 0; v < 20; v++ {
+		if crossed.Degree(v) != 2 {
+			t.Errorf("node %d degree %d", v, crossed.Degree(v))
+		}
+	}
+	if !crossed.HasEdge(2, 13) || !crossed.HasEdge(12, 3) {
+		t.Error("first pair not crossed")
+	}
+	if !crossed.HasEdge(3, 14) || !crossed.HasEdge(13, 4) {
+		t.Error("second pair not crossed")
+	}
+}
+
+func TestCrossConfigKeepsStates(t *testing.T) {
+	g := Path(12)
+	c := NewConfig(g)
+	rng := prng.New(4)
+	c.AssignRandomIDs(rng)
+	AssignRandomWeights(c, 100, rng)
+	crossed, err := c.CrossConfig(EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range c.States {
+		if c.States[v].ID != crossed.States[v].ID {
+			t.Errorf("node %d identity changed", v)
+		}
+		for i, w := range c.States[v].Weights {
+			if crossed.States[v].Weights[i] != w {
+				t.Errorf("node %d weight slot %d changed", v, i)
+			}
+		}
+	}
+	// Mutating the crossed config must not leak back.
+	crossed.States[0].ID = 424242
+	if c.States[0].ID == 424242 {
+		t.Error("CrossConfig shares state storage with the original")
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	g := Path(10)
+	if !g.Independent([]int{0, 1}, []int{5, 6}) {
+		t.Error("distant segments reported dependent")
+	}
+	if g.Independent([]int{0, 1}, []int{1, 2}) {
+		t.Error("overlapping segments reported independent")
+	}
+	if g.Independent([]int{0, 1}, []int{2, 3}) {
+		t.Error("adjacent segments (edge {1,2}) reported independent")
+	}
+}
+
+func TestCrossOnCycleWithChordsBreaksBiconnectivity(t *testing.T) {
+	// The Theorem 5.2 lower-bound construction: crossing two cycle edges of
+	// Figure 2(a) splits the ring into two cycles joined only through v0,
+	// making v0 an articulation point.
+	g, err := CycleWithChords(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gadgets H_i = {v_{3i}, v_{3i+1}}: cross i=1 (3,4) with j=2 (6,7) — wait,
+	// adjacent; use i=1 (3,4) and j=3 (9,10).
+	crossed, err := g.Cross(EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crossed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !crossed.IsConnected() {
+		t.Fatal("crossed graph disconnected (chords should keep it connected)")
+	}
+	// v0 is now an articulation point: removing it disconnects {4..9} from the rest.
+	rest := make([]int, 0, 15)
+	for v := 1; v < 16; v++ {
+		rest = append(rest, v)
+	}
+	sub, _ := crossed.InducedSubgraph(rest)
+	if sub.IsConnected() {
+		t.Error("crossing failed to create an articulation point at v0")
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/prng"
+)
+
+// FuzzDecodeConfig hardens the configuration decoder against arbitrary
+// bytes: decoded labels come from adversarial peers, so the decoder must
+// either reject or produce a configuration that re-encodes consistently —
+// and never panic.
+func FuzzDecodeConfig(f *testing.F) {
+	// Seed corpus: valid encodings plus structured garbage.
+	rng := prng.New(1)
+	for _, n := range []int{1, 3, 8} {
+		c := NewConfig(RandomConnected(n, n, rng))
+		c.AssignRandomIDs(rng)
+		f.Add(c.Encode().Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(bitstring.FromBytes(data))
+		if err != nil {
+			return // rejection is fine
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoder produced an invalid configuration: %v", err)
+		}
+		// Round trip must be stable from the decoded form onward.
+		again, err := DecodeConfig(cfg.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.G.N() != cfg.G.N() || again.G.M() != cfg.G.M() {
+			t.Fatal("re-decode changed the graph shape")
+		}
+	})
+}
+
+// FuzzDecodeState does the same for single states.
+func FuzzDecodeState(f *testing.F) {
+	var w bitstring.Writer
+	(State{ID: 7, Parent: 1, Color: -3, Data: []byte("x")}).Encode(&w)
+	f.Add(w.String().Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeState(bitstring.NewReader(bitstring.FromBytes(data)))
+		if err != nil {
+			return
+		}
+		var w bitstring.Writer
+		s.Encode(&w)
+		s2, err := DecodeState(bitstring.NewReader(w.String()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.ID != s.ID || s2.Parent != s.Parent {
+			t.Fatal("state round trip unstable")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"fmt"
+
+	"rpls/internal/prng"
+)
+
+// Path returns the n-node path v0 − v1 − … − v_{n−1} with consistently
+// ordered ports: at every interior node, port 1 leads toward v0 and port 2
+// toward v_{n−1}. This is the configuration family used in the Theorem 5.1
+// lower bound (lines and cycles).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the n-node cycle v0 − v1 − … − v_{n−1} − v0 with ports
+// consistently ordered: at every node except v0, port 1 is the predecessor
+// and port 2 the successor. n must be at least 3.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs >= 3 nodes, got %d", n)
+	}
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(n-1, 0)
+	return g, nil
+}
+
+// CycleWithChords returns the Figure 2(a) graph used in the lower bound of
+// Theorem 5.2: an n-node cycle with port numbers consistently ordered, plus
+// chord edges {v0, vj} for j = 2..n−2. Chords are appended after cycle
+// edges, so cycle ports keep the path convention.
+func CycleWithChords(n int) (*Graph, error) {
+	g, err := Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	for j := 2; j <= n-2; j++ {
+		g.MustAddEdge(0, j)
+	}
+	return g, nil
+}
+
+// CycleWithHub returns the graph of the Theorem 5.4 proof: a c-node cycle
+// v0..v_{c−1}, plus edges {v0, vj} for every j = 2..n−1 with j ≠ c−1
+// (v1 and v_{c−1} are already cycle-adjacent to v0). Nodes c..n−1 hang off
+// v0 as a star. Requires 3 <= c <= n.
+func CycleWithHub(n, c int) (*Graph, error) {
+	if c < 3 || c > n {
+		return nil, fmt.Errorf("graph: CycleWithHub needs 3 <= c <= n, got c=%d n=%d", c, n)
+	}
+	g := New(n)
+	for i := 0; i+1 < c; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(c-1, 0)
+	for j := 2; j < n; j++ {
+		if j == c-1 {
+			continue
+		}
+		g.MustAddEdge(0, j)
+	}
+	return g, nil
+}
+
+// ChainOfCycles returns the Figure 5 graph of Theorem 5.6: ⌈n/c⌉ disjoint
+// cycles of c nodes each (the last possibly smaller, but at least 3), where
+// consecutive cycles are connected by an edge between their index-0 nodes.
+// Cycle edges are added before chain edges so each cycle keeps consistent
+// port ordering.
+func ChainOfCycles(n, c int) (*Graph, error) {
+	if c < 3 {
+		return nil, fmt.Errorf("graph: ChainOfCycles needs c >= 3, got %d", c)
+	}
+	if n < c {
+		return nil, fmt.Errorf("graph: ChainOfCycles needs n >= c, got n=%d c=%d", n, c)
+	}
+	if r := n % c; r != 0 && r < 3 {
+		return nil, fmt.Errorf("graph: ChainOfCycles remainder %d cannot form a cycle", r)
+	}
+	g := New(n)
+	var bases []int
+	for base := 0; base < n; {
+		size := c
+		if n-base < c {
+			size = n - base
+		}
+		for i := 0; i+1 < size; i++ {
+			g.MustAddEdge(base+i, base+i+1)
+		}
+		g.MustAddEdge(base+size-1, base)
+		bases = append(bases, base)
+		base += size
+	}
+	for i := 0; i+1 < len(bases); i++ {
+		g.MustAddEdge(bases[i], bases[i+1])
+	}
+	return g, nil
+}
+
+// CycleBases returns the starting node of each cycle in a ChainOfCycles
+// graph built with the same n and c.
+func CycleBases(n, c int) []int {
+	var bases []int
+	for base := 0; base < n; {
+		size := c
+		if n-base < c {
+			size = n - base
+		}
+		bases = append(bases, base)
+		base += size
+	}
+	return bases
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns the n-node star with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+// TwoCyclesSharingNode returns a "figure eight": a cycle of a nodes and a
+// cycle of b nodes sharing exactly node 0. Used as an adversarial instance
+// for the cycle-at-least-c soundness tests: its longest simple cycle is
+// max(a, b), not a+b−1.
+func TwoCyclesSharingNode(a, b int) (*Graph, error) {
+	if a < 3 || b < 3 {
+		return nil, fmt.Errorf("graph: cycles need >= 3 nodes, got %d and %d", a, b)
+	}
+	g := New(a + b - 1)
+	for i := 0; i+1 < a; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(a-1, 0)
+	// Second cycle: 0, a, a+1, ..., a+b-2, back to 0.
+	g.MustAddEdge(0, a)
+	for i := a; i+1 < a+b-1; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	g.MustAddEdge(a+b-2, 0)
+	return g, nil
+}
+
+// RandomTree returns a uniform-ish random tree on n nodes: each node v > 0
+// attaches to a uniform node among 0..v−1.
+func RandomTree(n int, rng *prng.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v)
+	}
+	return g
+}
+
+// RandomConnected returns a random connected graph: a random tree plus
+// extra distinct random non-tree edges (as many as fit).
+func RandomConnected(n, extraEdges int, rng *prng.Rand) *Graph {
+	g := RandomTree(n, rng)
+	maxExtra := n*(n-1)/2 - (n - 1)
+	if extraEdges > maxExtra {
+		extraEdges = maxExtra
+	}
+	for added := 0; added < extraEdges; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g
+}
+
+// RandomBiconnected returns a random 2-vertex-connected graph built as a
+// cycle on a random permutation plus extra chords, which is biconnected by
+// construction (a cycle is, and adding edges preserves it).
+func RandomBiconnected(n, extraEdges int, rng *prng.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: biconnected graphs need >= 3 nodes, got %d", n)
+	}
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(perm[i], perm[(i+1)%n])
+	}
+	maxExtra := n*(n-1)/2 - n
+	if extraEdges > maxExtra {
+		extraEdges = maxExtra
+	}
+	for added := 0; added < extraEdges; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+		added++
+	}
+	return g, nil
+}
+
+// AssignRandomWeights gives every edge of the configuration a distinct
+// pseudo-random weight in [1, maxW]. Distinctness (when the range allows it)
+// makes the MST unique, which the MST scheme's tests rely on; if the range
+// is too small, duplicates are permitted and ties are broken by the scheme.
+func AssignRandomWeights(c *Config, maxW int64, rng *prng.Rand) {
+	edges := c.G.Edges()
+	used := make(map[int64]bool, len(edges))
+	for _, e := range edges {
+		var w int64
+		if int64(len(used)) < maxW {
+			for {
+				w = 1 + int64(rng.Uint64n(uint64(maxW)))
+				if !used[w] {
+					used[w] = true
+					break
+				}
+			}
+		} else {
+			w = 1 + int64(rng.Uint64n(uint64(maxW)))
+		}
+		if err := c.SetEdgeWeight(e.U, e.V, w); err != nil {
+			panic(err) // edges come from the graph itself
+		}
+	}
+}

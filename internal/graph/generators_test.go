@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"testing"
+
+	"rpls/internal/prng"
+)
+
+func TestPathStructure(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 || !g.IsConnected() {
+		t.Fatalf("P5: M=%d connected=%v", g.M(), g.IsConnected())
+	}
+	// Interior nodes: port 1 toward v0, port 2 toward v4.
+	for v := 1; v <= 3; v++ {
+		if g.Neighbor(v, 1).To != v-1 {
+			t.Errorf("node %d port 1 -> %d, want %d", v, g.Neighbor(v, 1).To, v-1)
+		}
+		if g.Neighbor(v, 2).To != v+1 {
+			t.Errorf("node %d port 2 -> %d, want %d", v, g.Neighbor(v, 2).To, v+1)
+		}
+	}
+}
+
+func TestCycleStructure(t *testing.T) {
+	g, err := Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 6 {
+		t.Fatalf("C6 has %d edges", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Consistent ordering at non-zero nodes: port 1 = predecessor.
+	for v := 1; v <= 4; v++ {
+		if g.Neighbor(v, 1).To != v-1 || g.Neighbor(v, 2).To != v+1 {
+			t.Errorf("node %d ports: (%d, %d), want (%d, %d)",
+				v, g.Neighbor(v, 1).To, g.Neighbor(v, 2).To, v-1, v+1)
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) should fail")
+	}
+}
+
+func TestCycleCrossingGadgetsArePortPreserving(t *testing.T) {
+	// The Theorem 5.1 proof crosses edges {v_{3i}, v_{3i+1}}; the generator
+	// must make those gadgets port-preserving pairs.
+	g := Path(30)
+	pair := EdgePair{U1: 3, V1: 4, U2: 9, V2: 10}
+	if !g.PortPreserving(pair) {
+		t.Error("path gadget {3,4}/{9,10} is not port-preserving")
+	}
+	c, err := Cycle(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PortPreserving(pair) {
+		t.Error("cycle gadget {3,4}/{9,10} is not port-preserving")
+	}
+}
+
+func TestCycleWithChords(t *testing.T) {
+	g, err := CycleWithChords(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// n cycle edges + (n-3) chords.
+	if want := 8 + 5; g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+	if g.Degree(0) != 2+5 {
+		t.Errorf("deg(v0) = %d, want 7", g.Degree(0))
+	}
+	// v1 and v_{n-1} have no chords.
+	if g.Degree(1) != 2 || g.Degree(7) != 2 {
+		t.Errorf("deg(v1)=%d deg(v7)=%d, want 2, 2", g.Degree(1), g.Degree(7))
+	}
+}
+
+func TestCycleWithHub(t *testing.T) {
+	g, err := CycleWithHub(12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("CycleWithHub not connected")
+	}
+	// Satellite nodes 6..11 have degree 1.
+	for v := 6; v < 12; v++ {
+		if g.Degree(v) != 1 {
+			t.Errorf("satellite %d has degree %d", v, g.Degree(v))
+		}
+	}
+	// Cycle nodes v2..v4 have degree 3 (two cycle edges + chord).
+	for v := 2; v <= 4; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("cycle node %d has degree %d, want 3", v, g.Degree(v))
+		}
+	}
+	// v1 and v_{c-1}=v5 keep degree 2.
+	if g.Degree(1) != 2 || g.Degree(5) != 2 {
+		t.Errorf("deg(v1)=%d deg(v5)=%d, want 2", g.Degree(1), g.Degree(5))
+	}
+	if _, err := CycleWithHub(5, 6); err == nil {
+		t.Error("c > n should fail")
+	}
+}
+
+func TestChainOfCycles(t *testing.T) {
+	g, err := ChainOfCycles(24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("chain not connected")
+	}
+	// 3 cycles of 8 edges plus 2 chain edges.
+	if want := 24 + 2; g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+	bases := CycleBases(24, 8)
+	if len(bases) != 3 || bases[0] != 0 || bases[1] != 8 || bases[2] != 16 {
+		t.Errorf("bases = %v", bases)
+	}
+	// Chain edges connect the base nodes.
+	if !g.HasEdge(0, 8) || !g.HasEdge(8, 16) {
+		t.Error("chain edges missing")
+	}
+
+	// Remainder handling.
+	if _, err := ChainOfCycles(9, 8); err == nil {
+		t.Error("remainder 1 should fail")
+	}
+	g2, err := ChainOfCycles(11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.IsConnected() || g2.Validate() != nil {
+		t.Error("chain with remainder-3 cycle is broken")
+	}
+}
+
+func TestTwoCyclesSharingNode(t *testing.T) {
+	g, err := TwoCyclesSharingNode(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 {
+		t.Errorf("N = %d, want 8", g.N())
+	}
+	if g.Degree(0) != 4 {
+		t.Errorf("shared node degree = %d, want 4", g.Degree(0))
+	}
+	if g.M() != 9 {
+		t.Errorf("M = %d, want 9", g.M())
+	}
+}
+
+func TestRandomBiconnected(t *testing.T) {
+	rng := prng.New(2)
+	for i := 0; i < 20; i++ {
+		n := 3 + rng.Intn(30)
+		g, err := RandomBiconnected(n, rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Check 2-connectivity directly: removing any node leaves it connected.
+		for v := 0; v < n; v++ {
+			rest := make([]int, 0, n-1)
+			for u := 0; u < n; u++ {
+				if u != v {
+					rest = append(rest, u)
+				}
+			}
+			sub, _ := g.InducedSubgraph(rest)
+			if !sub.IsConnected() {
+				t.Fatalf("RandomBiconnected(n=%d): removing %d disconnects", n, v)
+			}
+		}
+	}
+}
+
+func TestAssignRandomWeightsDistinctAndSymmetric(t *testing.T) {
+	rng := prng.New(3)
+	g := RandomConnected(20, 15, rng)
+	c := NewConfig(g)
+	AssignRandomWeights(c, 1_000_000, rng)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, e := range g.Edges() {
+		w := c.EdgeWeight(e.U, e.PortU)
+		if w <= 0 {
+			t.Errorf("edge {%d,%d} weight %d not positive", e.U, e.V, w)
+		}
+		if seen[w] {
+			t.Errorf("duplicate weight %d", w)
+		}
+		seen[w] = true
+		if w2 := c.EdgeWeight(e.V, e.PortV); w2 != w {
+			t.Errorf("asymmetric weight on {%d,%d}: %d vs %d", e.U, e.V, w, w2)
+		}
+	}
+}

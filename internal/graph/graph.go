@@ -1,0 +1,200 @@
+// Package graph implements the network model of §2.1 of the paper: connected
+// graphs without self-loops or multi-edges, whose edges are locally numbered
+// at each endpoint with port numbers 1..deg(v). An edge may carry different
+// port numbers at its two endpoints.
+//
+// The package also provides node states and configurations Gs (§2.1), the
+// graph generators used by the paper's constructions (Figures 2–5), the
+// edge-crossing operator σ⋈(G) of Definition 4.2, and a graph-isomorphism
+// checker used by the Symmetry predicate of Appendix C.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Half is one directed half of an undirected edge as seen from a node: the
+// neighbor it leads to and the port number the edge carries at that neighbor.
+type Half struct {
+	To      int // neighbor node index
+	RevPort int // port number of this edge at To (1-based)
+}
+
+// Graph is an undirected port-numbered graph on nodes 0..N()-1. The zero
+// value is an empty graph; use New to size one.
+type Graph struct {
+	adj [][]Half
+}
+
+// New returns an edgeless graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]Half, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Neighbor returns the half-edge at port p of v (p is 1-based, as in §2.1).
+// It panics on an out-of-range port; ports come from iterating Degree, so a
+// violation is a programming error.
+func (g *Graph) Neighbor(v, p int) Half {
+	if p < 1 || p > len(g.adj[v]) {
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", v, p, len(g.adj[v])))
+	}
+	return g.adj[v][p-1]
+}
+
+// Adj returns a copy of v's adjacency list ordered by port number
+// (index i holds port i+1).
+func (g *Graph) Adj(v int) []Half {
+	out := make([]Half, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// adjView returns v's adjacency list without copying. For package-internal
+// hot paths only; callers must not modify it.
+func (g *Graph) adjView(v int) []Half { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.PortTo(u, v)
+	return ok
+}
+
+// PortTo returns the port number at u of the edge leading to v.
+func (g *Graph) PortTo(u, v int) (int, bool) {
+	for i, h := range g.adj[u] {
+		if h.To == v {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// AddEdge inserts the undirected edge {u, v}, assigning it the next free
+// port number at each endpoint. It returns an error for self-loops,
+// duplicate edges, or out-of-range nodes (the paper's graphs are simple).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.N())
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	pu := len(g.adj[u]) + 1
+	pv := len(g.adj[v]) + 1
+	g.adj[u] = append(g.adj[u], Half{To: v, RevPort: pv})
+	g.adj[v] = append(g.adj[v], Half{To: u, RevPort: pu})
+	return nil
+}
+
+// MustAddEdge is AddEdge for statically correct constructions (generators);
+// it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Edge identifies an undirected edge together with its two port numbers.
+// U < V canonically.
+type Edge struct {
+	U, V         int
+	PortU, PortV int // port at U and at V respectively
+}
+
+// Edges lists every undirected edge once, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := range g.adj {
+		for i, h := range g.adj[u] {
+			if u < h.To {
+				out = append(out, Edge{U: u, V: h.To, PortU: i + 1, PortV: h.RevPort})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Half, len(g.adj))}
+	for v, a := range g.adj {
+		c.adj[v] = make([]Half, len(a))
+		copy(c.adj[v], a)
+	}
+	return c
+}
+
+// Validate checks structural invariants: reverse-port consistency, no
+// self-loops, no duplicate edges. Generators and the crossing operator call
+// it in tests to certify they produce legal graphs.
+func (g *Graph) Validate() error {
+	for v, a := range g.adj {
+		seen := make(map[int]bool, len(a))
+		for i, h := range a {
+			if h.To == v {
+				return fmt.Errorf("graph: self-loop at node %d port %d", v, i+1)
+			}
+			if h.To < 0 || h.To >= g.N() {
+				return fmt.Errorf("graph: node %d port %d points out of range (%d)", v, i+1, h.To)
+			}
+			if seen[h.To] {
+				return fmt.Errorf("graph: duplicate edge {%d,%d}", v, h.To)
+			}
+			seen[h.To] = true
+			if h.RevPort < 1 || h.RevPort > len(g.adj[h.To]) {
+				return fmt.Errorf("graph: node %d port %d: invalid reverse port %d", v, i+1, h.RevPort)
+			}
+			back := g.adj[h.To][h.RevPort-1]
+			if back.To != v || back.RevPort != i+1 {
+				return fmt.Errorf("graph: port mismatch on edge {%d,%d}: %d:%d -> %d:%d -> %d:%d",
+					v, h.To, v, i+1, h.To, h.RevPort, back.To, back.RevPort)
+			}
+		}
+	}
+	return nil
+}
+
+// removeDirected deletes the half-edge at the given port without compacting
+// port numbers (used only by crossing, which re-inserts at the same port).
+func (g *Graph) setHalf(v, port int, h Half) {
+	g.adj[v][port-1] = h
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rpls/internal/prng"
+)
+
+func TestAddEdgeAssignsSequentialPorts(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 3)
+	if g.Degree(0) != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", g.Degree(0))
+	}
+	for p := 1; p <= 3; p++ {
+		h := g.Neighbor(0, p)
+		if h.To != p {
+			t.Errorf("Neighbor(0,%d).To = %d, want %d", p, h.To, p)
+		}
+		if h.RevPort != 1 {
+			t.Errorf("Neighbor(0,%d).RevPort = %d, want 1", p, h.RevPort)
+		}
+	}
+}
+
+func TestPortsMayDifferAtEndpoints(t *testing.T) {
+	// §2.1: an edge may have different port numbers on its two endpoints.
+	g := New(3)
+	g.MustAddEdge(0, 1) // port 1 at both
+	g.MustAddEdge(1, 2) // port 2 at 1, port 1 at 2
+	p12, _ := g.PortTo(1, 2)
+	p21, _ := g.PortTo(2, 1)
+	if p12 != 2 || p21 != 1 {
+		t.Errorf("ports (1→2, 2→1) = (%d, %d), want (2, 1)", p12, p21)
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("reversed duplicate edge accepted")
+	}
+}
+
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 2); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(1, 0)
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("len(Edges) = %d, want 2", len(edges))
+	}
+	if edges[0].U != 0 || edges[0].V != 1 {
+		t.Errorf("edges[0] = {%d,%d}, want {0,1}", edges[0].U, edges[0].V)
+	}
+	if edges[1].U != 1 || edges[1].V != 2 {
+		t.Errorf("edges[1] = {%d,%d}, want {1,2}", edges[1].U, edges[1].V)
+	}
+	// Port references must resolve back to the edge.
+	for _, e := range edges {
+		if h := g.Neighbor(e.U, e.PortU); h.To != e.V {
+			t.Errorf("edge {%d,%d}: PortU resolves to %d", e.U, e.V, h.To)
+		}
+		if h := g.Neighbor(e.V, e.PortV); h.To != e.U {
+			t.Errorf("edge {%d,%d}: PortV resolves to %d", e.U, e.V, h.To)
+		}
+	}
+}
+
+func TestMCountsEdges(t *testing.T) {
+	if got := Complete(5).M(); got != 10 {
+		t.Errorf("K5 has M = %d, want 10", got)
+	}
+	if got := Path(6).M(); got != 5 {
+		t.Errorf("P6 has M = %d, want 5", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	c.MustAddEdge(0, 3)
+	if g.HasEdge(0, 3) {
+		t.Error("mutating clone affected original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := Path(3)
+	// Corrupt a reverse port.
+	g.adj[0][0].RevPort = 2
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted inconsistent reverse port")
+	}
+}
+
+func TestAdjReturnsCopy(t *testing.T) {
+	g := Path(3)
+	a := g.Adj(1)
+	a[0].To = 99
+	if g.Neighbor(1, 1).To == 99 {
+		t.Error("Adj exposed internal storage")
+	}
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	rng := prng.New(1)
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(40)
+		g := RandomConnected(n, rng.Intn(2*n), rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RandomConnected(n=%d) invalid: %v", n, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("RandomConnected(n=%d) is not connected", n)
+		}
+	}
+}
+
+func TestQuickRandomTreeHasNMinusOneEdges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%60
+		g := RandomTree(n, prng.New(seed))
+		return g.M() == n-1 && g.IsConnected() && g.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if got := Star(7).MaxDegree(); got != 6 {
+		t.Errorf("Star(7).MaxDegree() = %d, want 6", got)
+	}
+	if got := New(3).MaxDegree(); got != 0 {
+		t.Errorf("empty graph MaxDegree = %d, want 0", got)
+	}
+}

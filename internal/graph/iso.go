@@ -1,0 +1,151 @@
+package graph
+
+import "sort"
+
+// This file implements graph-isomorphism testing as used by the Symmetry
+// predicate of Appendix C: a connected graph is symmetric when removing
+// some edge splits it into two isomorphic components.
+//
+// The checker runs 1-dimensional Weisfeiler–Leman color refinement to
+// partition the nodes, then a backtracking search guided by the refined
+// classes. The components arising in the paper's constructions (G(z) — a
+// path with pendant nodes and a triangle, Figure 3) are nearly rigid, so
+// refinement alone usually decides the question; the backtracking handles
+// the general case on the small graphs the tests use.
+
+// Isomorphic reports whether g1 and g2 are isomorphic as unlabeled graphs
+// (port numbers play no role, matching the definition in §2.1).
+func Isomorphic(g1, g2 *Graph) bool {
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		return false
+	}
+	n := g1.N()
+	if n == 0 {
+		return true
+	}
+	c1 := refine(g1)
+	c2 := refine(g2)
+	if !sameColorHistogram(c1, c2) {
+		return false
+	}
+	// Backtracking: map nodes of g1 in order of rarest color class first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	count1 := colorCounts(c1)
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := count1[c1[order[a]]], count1[c1[order[b]]]
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	mapping := make([]int, n)
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	return matchNext(g1, g2, c1, c2, order, 0, mapping, used)
+}
+
+func matchNext(g1, g2 *Graph, c1, c2 []uint64, order []int, idx int, mapping []int, used []bool) bool {
+	if idx == len(order) {
+		return true
+	}
+	u := order[idx]
+	for v := 0; v < g2.N(); v++ {
+		if used[v] || c1[u] != c2[v] {
+			continue
+		}
+		if !consistentMap(g1, g2, u, v, mapping) {
+			continue
+		}
+		mapping[u] = v
+		used[v] = true
+		if matchNext(g1, g2, c1, c2, order, idx+1, mapping, used) {
+			return true
+		}
+		mapping[u] = -1
+		used[v] = false
+	}
+	return false
+}
+
+// consistentMap checks that mapping u→v preserves adjacency with every
+// already-mapped node.
+func consistentMap(g1, g2 *Graph, u, v int, mapping []int) bool {
+	for w, mw := range mapping {
+		if mw == -1 || w == u {
+			continue
+		}
+		if g1.HasEdge(u, w) != g2.HasEdge(v, mw) {
+			return false
+		}
+	}
+	return true
+}
+
+// refine runs 1-WL color refinement to a fixed point and returns the final
+// node colors. Colors are canonical across graphs: they hash the multiset
+// of neighbor colors identically regardless of node numbering.
+func refine(g *Graph) []uint64 {
+	n := g.N()
+	colors := make([]uint64, n)
+	for v := range colors {
+		colors[v] = uint64(g.Degree(v))
+	}
+	next := make([]uint64, n)
+	for round := 0; round < n; round++ {
+		changedPartition := false
+		for v := 0; v < n; v++ {
+			neigh := make([]uint64, 0, g.Degree(v))
+			for _, h := range g.adjView(v) {
+				neigh = append(neigh, colors[h.To])
+			}
+			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+			h := colors[v]*0x100000001B3 + 0x9E3779B97F4A7C15
+			for _, c := range neigh {
+				h = (h ^ c) * 0x100000001B3
+			}
+			next[v] = h
+		}
+		if countDistinct(next) != countDistinct(colors) {
+			changedPartition = true
+		}
+		colors, next = next, colors
+		if !changedPartition && round > 0 {
+			break
+		}
+	}
+	return colors
+}
+
+func countDistinct(xs []uint64) int {
+	set := make(map[uint64]bool, len(xs))
+	for _, x := range xs {
+		set[x] = true
+	}
+	return len(set)
+}
+
+func colorCounts(colors []uint64) map[uint64]int {
+	m := make(map[uint64]int, len(colors))
+	for _, c := range colors {
+		m[c]++
+	}
+	return m
+}
+
+func sameColorHistogram(a, b []uint64) bool {
+	ma, mb := colorCounts(a), colorCounts(b)
+	if len(ma) != len(mb) {
+		return false
+	}
+	for c, n := range ma {
+		if mb[c] != n {
+			return false
+		}
+	}
+	return true
+}

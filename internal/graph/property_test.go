@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rpls/internal/prng"
+)
+
+// Property-based tests on the structural invariants the lower-bound proofs
+// depend on.
+
+// Crossing the same pair twice restores the original graph.
+func TestQuickCrossingIsInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 12 + rng.Intn(30)
+		g := Path(n)
+		// Two independent gadget edges at positions 3i, 3j.
+		maxI := (n - 2) / 3
+		if maxI < 3 {
+			return true
+		}
+		i := 1 + rng.Intn(maxI-2)
+		j := i + 2 + rng.Intn(maxI-i-2+1)
+		if 3*j+1 >= n {
+			return true
+		}
+		pair := EdgePair{U1: 3 * i, V1: 3*i + 1, U2: 3 * j, V2: 3*j + 1}
+		once, err := g.Cross(pair)
+		if err != nil {
+			return false
+		}
+		// Crossing back: the crossed edges are {U1,V2},{U2,V1}; crossing the
+		// pair ({U1,V2},{U2,V1}) with σ(U1)=U2, σ(V2)=V1 restores the graph.
+		twice, err := once.Cross(EdgePair{U1: pair.U1, V1: pair.V2, U2: pair.U2, V2: pair.V1})
+		if err != nil {
+			return false
+		}
+		if twice.Validate() != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for p := 1; p <= g.Degree(v); p++ {
+				if g.Neighbor(v, p) != twice.Neighbor(v, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Crossing preserves every node's degree and every port's reverse port.
+func TestQuickCrossingPreservesLocalStructure(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 15 + rng.Intn(40)
+		g := Path(n)
+		i := 1
+		j := 3 + rng.Intn((n-2)/3-3+1)
+		if 3*j+1 >= n || j-i < 2 {
+			return true
+		}
+		crossed, err := g.Cross(EdgePair{U1: 3 * i, V1: 3*i + 1, U2: 3 * j, V2: 3*j + 1})
+		if err != nil {
+			return false
+		}
+		if crossed.Validate() != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != crossed.Degree(v) {
+				return false
+			}
+		}
+		// Total edges unchanged.
+		return g.M() == crossed.M()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Config encode/decode is the identity on valid configurations.
+func TestQuickConfigEncodeDecode(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 2 + rng.Intn(20)
+		g := RandomConnected(n, rng.Intn(n), rng)
+		c := NewConfig(g)
+		c.AssignRandomIDs(rng)
+		if rng.Bool() {
+			AssignRandomWeights(c, 500, rng)
+		}
+		c.States[rng.Intn(n)].Data = []byte{byte(rng.Uint64())}
+		got, err := DecodeConfig(c.Encode())
+		if err != nil {
+			return false
+		}
+		if got.G.N() != n || got.G.M() != g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if got.States[v].ID != c.States[v].ID {
+				return false
+			}
+			for p := 1; p <= g.Degree(v); p++ {
+				if got.G.Neighbor(v, p) != g.Neighbor(v, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BFS distances satisfy the triangle property along every edge.
+func TestQuickBFSDistanceIsMetricAlongEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 2 + rng.Intn(40)
+		g := RandomConnected(n, rng.Intn(2*n), rng)
+		dist := g.BFSDist(rng.Intn(n))
+		for _, e := range g.Edges() {
+			d := dist[e.U] - dist[e.V]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Isomorphism is invariant under node relabeling and detects edge edits.
+func TestQuickIsomorphismInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 3 + rng.Intn(10)
+		g := RandomConnected(n, rng.Intn(n), rng)
+		perm := rng.Perm(n)
+		h := New(n)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(perm[e.U], perm[e.V])
+		}
+		if !Isomorphic(g, h) {
+			return false
+		}
+		// Remove one edge: either non-isomorphic or there was an
+		// automorphism-compatible edge (possible); removing changes M, so
+		// definitely non-isomorphic.
+		edges := g.Edges()
+		e := edges[rng.Intn(len(edges))]
+		g2, err := g.RemoveEdge(e.U, e.V)
+		if err != nil {
+			return false
+		}
+		return !Isomorphic(g2, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

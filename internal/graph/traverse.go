@@ -1,0 +1,186 @@
+package graph
+
+// BFSDist returns the distance (in edges) from src to every node, with -1
+// for unreachable nodes.
+func (g *Graph) BFSDist(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if g.N() == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adjView(v) {
+			if dist[h.To] == -1 {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// considered connected; the paper's family Fcon contains only connected
+// graphs and generators uphold this.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	dist := g.BFSDist(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the partition of nodes into connected components,
+// each sorted ascending, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		members := []int{s}
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range g.adjView(v) {
+				if comp[h.To] == -1 {
+					comp[h.To] = id
+					members = append(members, h.To)
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		out = append(out, members)
+	}
+	for _, c := range out {
+		sortInts(c)
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (which must be
+// distinct), plus the mapping from new indices to original ones. Port order
+// among surviving edges is preserved, so the result of splitting a graph
+// into components retains consistent local orderings.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	index := make(map[int]int, len(nodes))
+	orig := make([]int, len(nodes))
+	for i, v := range nodes {
+		index[v] = i
+		orig[i] = v
+	}
+	sub := New(len(nodes))
+	for i, v := range nodes {
+		for _, h := range g.adjView(v) {
+			if j, ok := index[h.To]; ok && i < j {
+				sub.MustAddEdge(i, j)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// RemoveEdge returns a copy of g with edge {u, v} deleted. Remaining edges
+// are re-port-numbered compactly per node, preserving relative order.
+func (g *Graph) RemoveEdge(u, v int) (*Graph, error) {
+	if !g.HasEdge(u, v) {
+		return nil, errNoEdge{u, v}
+	}
+	c := New(g.N())
+	for _, e := range g.Edges() {
+		if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+			continue
+		}
+		// Edges() is sorted by (U, V), which preserves a deterministic
+		// port order; exact port identity is not needed by callers.
+		c.MustAddEdge(e.U, e.V)
+	}
+	return c, nil
+}
+
+type errNoEdge [2]int
+
+func (e errNoEdge) Error() string {
+	return "graph: no edge {" + itoa(e[0]) + "," + itoa(e[1]) + "}"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// SpanningTreeParents returns, for a connected graph, a BFS spanning tree
+// rooted at root encoded as parent port numbers: parents[v] is the port at v
+// of the edge to its parent, and 0 for the root. Returns nil if g is not
+// connected.
+func (g *Graph) SpanningTreeParents(root int) []int {
+	if g.N() == 0 {
+		return []int{}
+	}
+	parents := make([]int, g.N())
+	visited := make([]bool, g.N())
+	visited[root] = true
+	queue := []int{root}
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i, h := range g.adjView(v) {
+			if !visited[h.To] {
+				visited[h.To] = true
+				seen++
+				// Port at the child leading back to v.
+				_ = i
+				parents[h.To] = h.RevPort
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	if seen != g.N() {
+		return nil
+	}
+	return parents
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"testing"
+
+	"rpls/internal/prng"
+)
+
+func TestBFSDist(t *testing.T) {
+	g := Path(5)
+	dist := g.BFSDist(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	c, _ := Cycle(6)
+	dist = c.BFSDist(0)
+	for v, want := range []int{0, 1, 2, 3, 2, 1} {
+		if dist[v] != want {
+			t.Errorf("cycle dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	want := [][]int{{0, 1}, {2, 3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Errorf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	sub, orig := g.InducedSubgraph([]int{1, 3, 4})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced K3: N=%d M=%d", sub.N(), sub.M())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 1 || orig[1] != 3 || orig[2] != 4 {
+		t.Errorf("orig = %v", orig)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g, _ := Cycle(5)
+	h, err := g.RemoveEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != 4 || h.HasEdge(0, 1) {
+		t.Error("edge not removed")
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsConnected() {
+		t.Error("cycle minus an edge should stay connected")
+	}
+	if _, err := g.RemoveEdge(0, 2); err == nil {
+		t.Error("removing a nonexistent edge should fail")
+	}
+}
+
+func TestSpanningTreeParents(t *testing.T) {
+	rng := prng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		g := RandomConnected(n, rng.Intn(n), rng)
+		root := rng.Intn(n)
+		parents := g.SpanningTreeParents(root)
+		if parents == nil {
+			t.Fatal("nil parents for connected graph")
+		}
+		if parents[root] != 0 {
+			t.Errorf("root parent port = %d, want 0", parents[root])
+		}
+		// Walking parent pointers from every node must reach the root
+		// without revisiting.
+		for v := 0; v < n; v++ {
+			cur := v
+			steps := 0
+			for cur != root {
+				p := parents[cur]
+				if p < 1 || p > g.Degree(cur) {
+					t.Fatalf("node %d: invalid parent port %d", cur, p)
+				}
+				cur = g.Neighbor(cur, p).To
+				steps++
+				if steps > n {
+					t.Fatalf("parent pointers from %d loop", v)
+				}
+			}
+		}
+	}
+}
+
+func TestSpanningTreeParentsDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if got := g.SpanningTreeParents(0); got != nil {
+		t.Error("disconnected graph should yield nil spanning tree")
+	}
+}
+
+func TestIsConnectedEmptyAndSingle(t *testing.T) {
+	if !New(0).IsConnected() {
+		t.Error("empty graph should count as connected")
+	}
+	if !New(1).IsConnected() {
+		t.Error("single node should be connected")
+	}
+	if New(2).IsConnected() {
+		t.Error("two isolated nodes are not connected")
+	}
+}

@@ -1,0 +1,115 @@
+// Package prng provides a deterministic, splittable pseudo-random number
+// generator used for the private coins of each node in a randomized
+// proof-labeling scheme.
+//
+// The paper's model gives every node access to independent random bits
+// (§2.2) and defines edge-independent RPLSs (Definition 4.5) in which each
+// per-port certificate is generated from independent bits. Fork derives a
+// statistically independent child stream per (node, port, trial), so
+// experiments are exactly reproducible from a single seed while honoring
+// edge independence.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood 2014): a 64-bit state
+// advanced by a Weyl sequence and finalized with a strong mixer. It is not
+// cryptographic; the adversary in our experiments is the label assignment,
+// not the coin source, matching the paper's model.
+package prng
+
+// Rand is a SplitMix64 stream. It is not safe for concurrent use; fork a
+// child per goroutine instead.
+type Rand struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+const (
+	gamma = 0x9E3779B97F4A7C15 // golden-ratio increment
+	mix1  = 0xBF58476D1CE4E5B9
+	mix2  = 0x94D049BB133111EB
+)
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mix1
+	z = (z ^ (z >> 27)) * mix2
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += gamma
+	return mix64(r.state)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0. Rejection
+// sampling removes modulo bias, which matters because fingerprint soundness
+// bounds assume exactly uniform field elements.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	// Largest multiple of n that fits in 64 bits.
+	limit := -n % n // == (2^64 - n) mod n; threshold trick from Lemire
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Bit returns a single uniform bit.
+func (r *Rand) Bit() byte {
+	return byte(r.Uint64() >> 63)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool { return r.Bit() == 1 }
+
+// Fork derives an independent child stream identified by id without
+// perturbing the parent. Children with distinct ids (or from parents with
+// distinct states) are statistically independent under the SplitMix64 mixer.
+func (r *Rand) Fork(id uint64) *Rand {
+	const gamma3 = 0xDAA66D2C7DDF743F // 3·gamma mod 2^64
+	return &Rand{state: mix64(r.state+gamma3) ^ mix64(id*gamma+1)}
+}
+
+// Perm returns a uniform permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements via the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

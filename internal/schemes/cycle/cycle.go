@@ -1,0 +1,277 @@
+// Package cycle implements the maximum-length-cycle predicates of §5.3:
+//
+//   - cycle-at-least-c (Theorems 5.3/5.4): the graph has a simple cycle of
+//     at least c nodes. Deterministic labels of O(log n) bits mark a long
+//     cycle with cyclic indices; compiling gives O(log log n)-bit
+//     certificates. The paper's lower bounds are Ω(log c) and Ω(log log c).
+//
+//   - cycle-at-most-c (Theorems 5.5/5.6): no simple cycle exceeds c nodes.
+//     The predicate is co-NP-hard (for c = n−1 it is the complement of
+//     Hamiltonian Cycle), so — as the paper notes — the universal scheme
+//     with unbounded local computation is the best known; this package
+//     exposes exactly that construction.
+//
+// The paper's P1 counts every dist-0 neighbor as a cycle neighbor, which
+// breaks on maximum cycles with chords; per DESIGN.md §5 we apply the
+// natural repair of identifying cycle neighbors by index adjacency.
+package cycle
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// LongestCycle returns the number of nodes in a longest simple cycle of g,
+// or 0 if g is acyclic. Exact exponential-time search (the predicate is
+// NP-hard); intended for the moderate sizes of tests and experiments.
+func LongestCycle(g *graph.Graph) int {
+	if cyc := longestCycleFrom(g, -1); cyc != nil {
+		return len(cyc)
+	}
+	return 0
+}
+
+// FindCycleAtLeast returns a simple cycle with at least c nodes as an
+// ordered node sequence, or nil if none exists.
+func FindCycleAtLeast(g *graph.Graph, c int) []int {
+	if c < 3 {
+		c = 3
+	}
+	cyc := longestCycleFrom(g, c)
+	if cyc == nil || len(cyc) < c {
+		return nil
+	}
+	return cyc
+}
+
+// longestCycleFrom searches for a longest simple cycle; if target > 0 the
+// search stops as soon as a cycle of at least target nodes is found.
+// Each cycle is canonicalized by its minimum node, so the search explores
+// paths starting at s that only visit nodes > s.
+func longestCycleFrom(g *graph.Graph, target int) []int {
+	n := g.N()
+	var best []int
+	visited := make([]bool, n)
+	var path []int
+
+	var extend func(s, v int) bool // returns true when target reached
+	extend = func(s, v int) bool {
+		for p := 1; p <= g.Degree(v); p++ {
+			u := g.Neighbor(v, p).To
+			if u == s && len(path) >= 3 {
+				if len(path) > len(best) {
+					best = append([]int(nil), path...)
+					if target > 0 && len(best) >= target {
+						return true
+					}
+				}
+				continue
+			}
+			if u <= s || visited[u] {
+				continue
+			}
+			visited[u] = true
+			path = append(path, u)
+			if extend(s, u) {
+				return true
+			}
+			path = path[:len(path)-1]
+			visited[u] = false
+		}
+		return false
+	}
+
+	for s := 0; s < n; s++ {
+		if target > 0 && len(best) >= target {
+			break
+		}
+		// Upper bound prune: a cycle through s only uses nodes >= s.
+		if n-s < 3 || n-s <= len(best) {
+			break
+		}
+		visited[s] = true
+		path = append(path[:0], s)
+		if extend(s, s) {
+			break
+		}
+		visited[s] = false
+	}
+	return best
+}
+
+// AtLeastPredicate decides cycle-at-least-c.
+type AtLeastPredicate struct {
+	C int
+}
+
+var _ core.Predicate = AtLeastPredicate{}
+
+// Name implements core.Predicate.
+func (p AtLeastPredicate) Name() string { return fmt.Sprintf("cycle-at-least-%d", p.C) }
+
+// Eval implements core.Predicate.
+func (p AtLeastPredicate) Eval(c *graph.Config) bool {
+	return FindCycleAtLeast(c.G, p.C) != nil
+}
+
+// AtMostPredicate decides cycle-at-most-c.
+type AtMostPredicate struct {
+	C int
+}
+
+var _ core.Predicate = AtMostPredicate{}
+
+// Name implements core.Predicate.
+func (p AtMostPredicate) Name() string { return fmt.Sprintf("cycle-at-most-%d", p.C) }
+
+// Eval implements core.Predicate.
+func (p AtMostPredicate) Eval(c *graph.Config) bool {
+	return LongestCycle(c.G) <= p.C
+}
+
+// NewAtMostPLS returns the universal scheme for cycle-at-most-c — per the
+// paper the best available, since an efficient scheme would put a co-NP-hard
+// problem in NP.
+func NewAtMostPLS(c int) core.PLS { return core.UniversalPLS(AtMostPredicate{C: c}) }
+
+// NewAtMostRPLS returns the compiled universal scheme for cycle-at-most-c
+// with O(log n + log k)-bit certificates.
+func NewAtMostRPLS(c int) core.RPLS { return core.UniversalRPLS(AtMostPredicate{C: c}) }
+
+const idxBits = 32
+
+// NewPLS returns the deterministic O(log n) scheme of Theorem 5.3 for
+// cycle-at-least-c.
+func NewPLS(c int) core.PLS { return pls{c: c} }
+
+// NewRPLS returns the compiled O(log log n) scheme of Theorem 5.3.
+func NewRPLS(c int) core.RPLS { return core.Compile(NewPLS(c)) }
+
+type pls struct {
+	c int
+}
+
+var _ core.PLS = pls{}
+
+func (s pls) Name() string { return fmt.Sprintf("cycle-at-least-%d-det", s.c) }
+
+type label struct {
+	dist  uint64 // distance to the marked cycle; 0 = on the cycle
+	index uint64 // position on the cycle (meaningful only when dist = 0)
+}
+
+func (l label) encode() core.Label {
+	var w bitstring.Writer
+	w.WriteUint(l.dist, idxBits)
+	w.WriteUint(l.index, idxBits)
+	return w.String()
+}
+
+func decode(s core.Label) (label, bool) {
+	r := bitstring.NewReader(s)
+	var l label
+	var err error
+	if l.dist, err = r.ReadUint(idxBits); err != nil {
+		return l, false
+	}
+	if l.index, err = r.ReadUint(idxBits); err != nil {
+		return l, false
+	}
+	return l, r.Remaining() == 0
+}
+
+func (s pls) Label(c *graph.Config) ([]core.Label, error) {
+	cyc := FindCycleAtLeast(c.G, s.c)
+	if cyc == nil {
+		return nil, core.ErrIllegalConfig
+	}
+	n := c.G.N()
+	onCycle := make([]int, n)
+	for i := range onCycle {
+		onCycle[i] = -1
+	}
+	for i, v := range cyc {
+		onCycle[v] = i
+	}
+	// Multi-source BFS from the cycle for the dist component.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for _, v := range cyc {
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= c.G.Degree(v); p++ {
+			u := c.G.Neighbor(v, p).To
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	out := make([]core.Label, n)
+	for v := 0; v < n; v++ {
+		if dist[v] == -1 {
+			return nil, fmt.Errorf("cycle: configuration is not connected")
+		}
+		l := label{dist: uint64(dist[v])}
+		if onCycle[v] >= 0 {
+			l.index = uint64(onCycle[v])
+		}
+		out[v] = l.encode()
+	}
+	return out, nil
+}
+
+// successor reports whether b's index follows a's on a cycle of length at
+// least c: either b = a+1, or the wrap b = 0 with a >= c−1.
+func successor(a, b uint64, c int) bool {
+	return b == a+1 || (b == 0 && a >= uint64(c-1))
+}
+
+func (s pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ns := make([]label, view.Deg)
+	for i, nl := range nbrs {
+		n, ok := decode(nl)
+		if !ok {
+			return false
+		}
+		ns[i] = n
+	}
+	if me.dist > 0 {
+		// P2: someone strictly closer to the cycle.
+		for _, n := range ns {
+			if n.dist == me.dist-1 {
+				return true
+			}
+		}
+		return false
+	}
+	// P1 (with the chord repair): among dist-0 neighbors there is an index
+	// successor and an index predecessor.
+	hasSucc, hasPred := false, false
+	for _, n := range ns {
+		if n.dist != 0 {
+			continue
+		}
+		if successor(me.index, n.index, s.c) {
+			hasSucc = true
+		}
+		if successor(n.index, me.index, s.c) {
+			hasPred = true
+		}
+	}
+	return hasSucc && hasPred
+}

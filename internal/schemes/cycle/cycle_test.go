@@ -1,0 +1,263 @@
+package cycle_test
+
+import (
+	"testing"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/cycle"
+	"rpls/internal/schemes/schemetest"
+)
+
+func TestLongestCycleKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    func(t *testing.T) *graph.Graph
+		want int
+	}{
+		{"path", func(*testing.T) *graph.Graph { return graph.Path(8) }, 0},
+		{"tree", func(*testing.T) *graph.Graph { return graph.RandomTree(12, prng.New(1)) }, 0},
+		{"C5", func(t *testing.T) *graph.Graph { return mustCycle(t, 5) }, 5},
+		{"K4", func(*testing.T) *graph.Graph { return graph.Complete(4) }, 4},
+		{"K6", func(*testing.T) *graph.Graph { return graph.Complete(6) }, 6},
+		{"figure-eight 5+4", func(t *testing.T) *graph.Graph {
+			g, err := graph.TwoCyclesSharingNode(5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}, 5},
+		{"cycle with hub", func(t *testing.T) *graph.Graph {
+			g, err := graph.CycleWithHub(12, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}, 7},
+		{"chain of cycles", func(t *testing.T) *graph.Graph {
+			g, err := graph.ChainOfCycles(12, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}, 4},
+	}
+	for _, c := range cases {
+		if got := cycle.LongestCycle(c.g(t)); got != c.want {
+			t.Errorf("%s: LongestCycle = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLongestCycleChordedRing(t *testing.T) {
+	// Figure 2(a): the full ring is still the longest cycle.
+	g, err := graph.CycleWithChords(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cycle.LongestCycle(g); got != 10 {
+		t.Errorf("LongestCycle = %d, want 10", got)
+	}
+}
+
+func TestFindCycleAtLeastReturnsValidCycle(t *testing.T) {
+	rng := prng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(8)
+		g := graph.RandomConnected(n, 3+rng.Intn(n), rng)
+		want := cycle.LongestCycle(g)
+		if want == 0 {
+			continue
+		}
+		cyc := cycle.FindCycleAtLeast(g, 3)
+		if cyc == nil {
+			t.Fatalf("trial %d: no cycle found though longest is %d", trial, want)
+		}
+		// The returned sequence must be a genuine simple cycle.
+		seen := make(map[int]bool)
+		for i, v := range cyc {
+			if seen[v] {
+				t.Fatalf("trial %d: repeated node %d", trial, v)
+			}
+			seen[v] = true
+			if !g.HasEdge(v, cyc[(i+1)%len(cyc)]) {
+				t.Fatalf("trial %d: missing edge on returned cycle", trial)
+			}
+		}
+	}
+}
+
+func TestFindCycleAtLeastRespectsThreshold(t *testing.T) {
+	g, err := graph.CycleWithHub(14, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc := cycle.FindCycleAtLeast(g, 9); cyc != nil {
+		t.Errorf("found %d-cycle though longest is 8", len(cyc))
+	}
+	if cyc := cycle.FindCycleAtLeast(g, 8); len(cyc) < 8 {
+		t.Errorf("failed to find the 8-cycle: got %v", cyc)
+	}
+}
+
+func TestAtLeastPredicate(t *testing.T) {
+	g, err := graph.CycleWithHub(15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(g)
+	if !(cycle.AtLeastPredicate{C: 6}).Eval(c) {
+		t.Error("cycle-at-least-6 rejected a graph with a 6-cycle")
+	}
+	if (cycle.AtLeastPredicate{C: 7}).Eval(c) {
+		t.Error("cycle-at-least-7 accepted a graph whose longest cycle is 6")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := prng.New(3)
+	for _, tc := range []struct {
+		n, c int
+	}{{9, 5}, {14, 8}, {20, 12}} {
+		g, err := graph.CycleWithHub(tc.n, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := graph.NewConfig(g)
+		cfg.AssignRandomIDs(rng)
+		schemetest.LegalAccepted(t, cycle.NewPLS(tc.c), cfg)
+		schemetest.LegalAcceptedRPLS(t, cycle.NewRPLS(tc.c), cfg, 20)
+	}
+	// Hamiltonian case on a clique.
+	cfg := graph.NewConfig(graph.Complete(7))
+	schemetest.LegalAccepted(t, cycle.NewPLS(7), cfg)
+}
+
+func TestCompletenessLongerCycleThanC(t *testing.T) {
+	// The wrap rule must allow cycles strictly longer than c.
+	g := mustCycle(t, 12)
+	cfg := graph.NewConfig(g)
+	schemetest.LegalAccepted(t, cycle.NewPLS(5), cfg)
+}
+
+func TestProverRefusesShortCycles(t *testing.T) {
+	g, err := graph.CycleWithHub(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemetest.ProverRefuses(t, cycle.NewPLS(6), graph.NewConfig(g))
+	schemetest.ProverRefuses(t, cycle.NewPLS(3), graph.NewConfig(graph.Path(5)))
+}
+
+func TestSoundnessFigureEight(t *testing.T) {
+	// Two 5-cycles sharing a node have longest cycle 5 < 9 = c; no labeling
+	// may convince the verifier of a 9-cycle (the index wrap forbids
+	// gluing the loops together; see the package tests' adversary).
+	g, err := graph.TwoCyclesSharingNode(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := graph.NewConfig(g)
+	schemetest.RandomLabelsRejected(t, cycle.NewPLS(9), illegal, 300, 70, 4)
+}
+
+func TestSoundnessTransplantCrossedHub(t *testing.T) {
+	// Theorem 5.4's scenario: crossing two cycle edges of the hub graph
+	// splits the long cycle; the old labels must not survive.
+	g, err := graph.CycleWithHub(16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := graph.NewConfig(g)
+	det := cycle.NewPLS(12)
+	labels, err := det.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed, err := legal.CrossConfig(graph.EdgePair{U1: 3, V1: 4, U2: 9, V2: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (cycle.AtLeastPredicate{C: 12}).Eval(crossed) {
+		t.Fatal("crossing failed to destroy all 12-cycles")
+	}
+	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+		t.Error("crossed hub accepted with original labels")
+	}
+	rand := cycle.NewRPLS(12)
+	randLabels, err := rand.Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 5); rate > 1.0/3 {
+		t.Errorf("randomized scheme accepted crossed hub at rate %v", rate)
+	}
+}
+
+func TestLabelAndCertSizes(t *testing.T) {
+	for _, n := range []int{12, 24} {
+		g, err := graph.CycleWithHub(n, n/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := graph.NewConfig(g)
+		schemetest.LabelBitsAtMost(t, cycle.NewPLS(n/2), cfg, 64)
+		schemetest.CertBitsAtMost(t, cycle.NewRPLS(n/2), cfg, 40)
+	}
+}
+
+func TestAtMostPredicate(t *testing.T) {
+	g, err := graph.ChainOfCycles(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(g)
+	if !(cycle.AtMostPredicate{C: 4}).Eval(c) {
+		t.Error("chain of 4-cycles rejected by cycle-at-most-4")
+	}
+	if !(cycle.AtMostPredicate{C: 7}).Eval(c) {
+		t.Error("chain of 4-cycles rejected by cycle-at-most-7")
+	}
+	if (cycle.AtMostPredicate{C: 3}).Eval(c) {
+		t.Error("chain of 4-cycles accepted by cycle-at-most-3")
+	}
+}
+
+func TestAtMostUniversalScheme(t *testing.T) {
+	// Completeness of the universal construction on the Figure 5 family.
+	g, err := graph.ChainOfCycles(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	schemetest.LegalAccepted(t, cycle.NewAtMostPLS(4), cfg)
+	schemetest.LegalAcceptedRPLS(t, cycle.NewAtMostRPLS(4), cfg, 10)
+
+	// Soundness: cross two edges from distinct cycles, fusing them into an
+	// 8-cycle (Figure 5b); old labels must die.
+	det := cycle.NewAtMostPLS(4)
+	labels, err := det.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed, err := cfg.CrossConfig(graph.EdgePair{U1: 1, V1: 2, U2: 5, V2: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (cycle.AtMostPredicate{C: 4}).Eval(crossed) {
+		t.Fatal("crossing failed to create a long cycle")
+	}
+	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+		t.Error("crossed chain accepted by universal scheme with stale labels")
+	}
+}
+
+func mustCycle(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

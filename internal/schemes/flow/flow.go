@@ -1,0 +1,440 @@
+// Package flow implements the k-flow predicate discussed in §5.2 of the
+// paper: deciding whether the maximum s–t flow equals exactly k. On
+// unit-capacity (simple) graphs this is s–t edge connectivity.
+//
+// The deterministic scheme uses O(k log n)-bit labels, as in [31]: the
+// prover decomposes a maximum flow into k edge-disjoint s–t trails and
+// writes onto each node the (path id, position, in-port, out-port) of every
+// trail through it, plus one bit marking the node's side of a minimum cut.
+// Locally: trails advance by matching (id, position) with the neighbor on
+// the recorded port, each port carries at most one trail (edge-
+// disjointness), trails may terminate only at t, and every cut-crossing
+// edge carries exactly one trail leaving S, with none returning. Max-flow/
+// min-cut complementary slackness then pins the flow value to exactly k.
+//
+// Compiling (Theorem 3.1) yields certificates of O(log k + log log n) bits,
+// the bound stated in §5.2.
+package flow
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// Endpoints locates the unique source and target nodes. The family F for
+// this predicate consists of configurations with exactly one of each.
+func Endpoints(c *graph.Config) (s, t int, err error) {
+	s, t = -1, -1
+	for v, st := range c.States {
+		if st.Flags&graph.FlagSource != 0 {
+			if s != -1 {
+				return 0, 0, fmt.Errorf("flow: multiple source nodes")
+			}
+			s = v
+		}
+		if st.Flags&graph.FlagTarget != 0 {
+			if t != -1 {
+				return 0, 0, fmt.Errorf("flow: multiple target nodes")
+			}
+			t = v
+		}
+	}
+	if s == -1 || t == -1 || s == t {
+		return 0, 0, fmt.Errorf("flow: need distinct source and target")
+	}
+	return s, t, nil
+}
+
+// MaxFlowUnit computes the maximum s–t flow with unit capacities on every
+// edge (Edmonds–Karp) and returns the flow value, the per-edge flow
+// (flow[v][port-1] = +1 if one unit leaves v through that port), and the
+// source side of a minimum cut.
+func MaxFlowUnit(c *graph.Config) (value int, flow [][]int8, sourceSide []bool, err error) {
+	s, t, err := Endpoints(c)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	n := c.G.N()
+	flow = make([][]int8, n)
+	for v := range flow {
+		flow[v] = make([]int8, c.G.Degree(v))
+	}
+	// Residual capacity of arc (v, port) = 1 − flow; reverse arc gains.
+	for {
+		// BFS in the residual graph.
+		prevNode := make([]int, n)
+		prevPort := make([]int, n)
+		for i := range prevNode {
+			prevNode[i] = -1
+		}
+		prevNode[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && prevNode[t] == -1 {
+			v := queue[0]
+			queue = queue[1:]
+			for i, h := range c.G.Adj(v) {
+				if flow[v][i] < 1 && prevNode[h.To] == -1 {
+					prevNode[h.To] = v
+					prevPort[h.To] = i + 1
+					queue = append(queue, h.To)
+				}
+			}
+		}
+		if prevNode[t] == -1 {
+			break
+		}
+		// Augment one unit along the path.
+		for v := t; v != s; v = prevNode[v] {
+			u := prevNode[v]
+			p := prevPort[v]
+			flow[u][p-1]++
+			rev := c.G.Neighbor(u, p).RevPort
+			flow[v][rev-1]--
+		}
+		value++
+	}
+	// Min cut: the residual-reachable set from s.
+	sourceSide = make([]bool, n)
+	sourceSide[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i, h := range c.G.Adj(v) {
+			if flow[v][i] < 1 && !sourceSide[h.To] {
+				sourceSide[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return value, flow, sourceSide, nil
+}
+
+// Predicate decides k-flow: the maximum s–t flow equals exactly K.
+type Predicate struct {
+	K int
+}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (p Predicate) Name() string { return fmt.Sprintf("%d-flow", p.K) }
+
+// Eval implements core.Predicate.
+func (p Predicate) Eval(c *graph.Config) bool {
+	v, _, _, err := MaxFlowUnit(c)
+	return err == nil && v == p.K
+}
+
+const (
+	pathBits  = 16
+	posBits   = 32
+	portBitsW = 16
+)
+
+// entry is one trail's passage through a node.
+type entry struct {
+	path     uint64
+	pos      uint64
+	hasPrev  bool
+	portPrev uint64 // 1-based port toward the previous trail node
+	hasNext  bool
+	portNext uint64 // 1-based port toward the next trail node
+}
+
+type label struct {
+	sideS   bool // true: source side of the min cut
+	entries []entry
+}
+
+func (l label) encode() core.Label {
+	var w bitstring.Writer
+	if l.sideS {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteUint(uint64(len(l.entries)), 16)
+	for _, e := range l.entries {
+		w.WriteUint(e.path, pathBits)
+		w.WriteUint(e.pos, posBits)
+		writeFlagged(&w, e.hasPrev, e.portPrev)
+		writeFlagged(&w, e.hasNext, e.portNext)
+	}
+	return w.String()
+}
+
+func writeFlagged(w *bitstring.Writer, has bool, v uint64) {
+	if has {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteUint(v, portBitsW)
+}
+
+func decode(s core.Label) (label, bool) {
+	r := bitstring.NewReader(s)
+	var l label
+	b, err := r.ReadBit()
+	if err != nil {
+		return l, false
+	}
+	l.sideS = b == 1
+	count, err := r.ReadUint(16)
+	if err != nil || count > 1<<15 {
+		return l, false
+	}
+	l.entries = make([]entry, count)
+	for i := range l.entries {
+		e := &l.entries[i]
+		if e.path, err = r.ReadUint(pathBits); err != nil {
+			return l, false
+		}
+		if e.pos, err = r.ReadUint(posBits); err != nil {
+			return l, false
+		}
+		hb, err := r.ReadBit()
+		if err != nil {
+			return l, false
+		}
+		e.hasPrev = hb == 1
+		if e.portPrev, err = r.ReadUint(portBitsW); err != nil {
+			return l, false
+		}
+		hb, err = r.ReadBit()
+		if err != nil {
+			return l, false
+		}
+		e.hasNext = hb == 1
+		if e.portNext, err = r.ReadUint(portBitsW); err != nil {
+			return l, false
+		}
+	}
+	return l, r.Remaining() == 0
+}
+
+// NewPLS returns the deterministic O(k log n) scheme for k-flow.
+func NewPLS(k int) core.PLS { return pls{k: k} }
+
+// NewRPLS returns the compiled scheme with O(log k + log log n) bits.
+func NewRPLS(k int) core.RPLS { return core.Compile(NewPLS(k)) }
+
+type pls struct {
+	k int
+}
+
+var _ core.PLS = pls{}
+
+func (s pls) Name() string { return fmt.Sprintf("%d-flow-det", s.k) }
+
+func (s pls) Label(c *graph.Config) ([]core.Label, error) {
+	value, flow, sourceSide, err := MaxFlowUnit(c)
+	if err != nil {
+		return nil, err
+	}
+	if value != s.k {
+		return nil, core.ErrIllegalConfig
+	}
+	src, tgt, _ := Endpoints(c)
+	labels := make([]label, c.G.N())
+	for v := range labels {
+		labels[v].sideS = sourceSide[v]
+	}
+	// Decompose the flow into k edge-disjoint trails via BFS on flow arcs.
+	// flowPath returns [v0, p0, v1, p1, ..., v_m]: node v_j at index 2j,
+	// the port leaving v_j at index 2j+1.
+	for j := 0; j < s.k; j++ {
+		path := flowPath(c, flow, src, tgt)
+		if path == nil {
+			return nil, fmt.Errorf("flow: decomposition found only %d trails", j)
+		}
+		m := len(path) / 2 // number of edges on the trail
+		for step := 0; step <= m; step++ {
+			v := path[2*step]
+			e := entry{path: uint64(j), pos: uint64(step)}
+			if step > 0 {
+				prevNode := path[2*(step-1)]
+				prevPort := path[2*(step-1)+1] // port at prevNode toward v
+				e.hasPrev = true
+				e.portPrev = uint64(c.G.Neighbor(prevNode, prevPort).RevPort)
+			}
+			if step < m {
+				p := path[2*step+1]
+				flow[v][p-1] = 0 // consume the unit
+				e.hasNext = true
+				e.portNext = uint64(p)
+			}
+			labels[v].entries = append(labels[v].entries, e)
+		}
+	}
+	out := make([]core.Label, c.G.N())
+	for v := range out {
+		out[v] = labels[v].encode()
+	}
+	return out, nil
+}
+
+// flowPath finds an s→t node/port sequence along positive flow arcs:
+// returns [v0, p0, v1, p1, ..., vk] alternating nodes and the port taken.
+func flowPath(c *graph.Config, flow [][]int8, src, tgt int) []int {
+	n := c.G.N()
+	prevNode := make([]int, n)
+	prevPort := make([]int, n)
+	for i := range prevNode {
+		prevNode[i] = -1
+	}
+	prevNode[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && prevNode[tgt] == -1 {
+		v := queue[0]
+		queue = queue[1:]
+		for i := range c.G.Adj(v) {
+			h := c.G.Neighbor(v, i+1)
+			if flow[v][i] == 1 && prevNode[h.To] == -1 {
+				prevNode[h.To] = v
+				prevPort[h.To] = i + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	if prevNode[tgt] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := tgt; v != src; v = prevNode[v] {
+		rev = append(rev, v, prevPort[v])
+	}
+	out := []int{src}
+	for i := len(rev) - 1; i >= 0; i -= 2 {
+		out = append(out, rev[i], rev[i-1])
+	}
+	return out
+}
+
+func (s pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ns := make([]label, view.Deg)
+	for i, nl := range nbrs {
+		n, ok := decode(nl)
+		if !ok {
+			return false
+		}
+		ns[i] = n
+	}
+	isS := view.State.Flags&graph.FlagSource != 0
+	isT := view.State.Flags&graph.FlagTarget != 0
+	if isS && isT {
+		return false
+	}
+	if isS && !me.sideS {
+		return false
+	}
+	if isT && me.sideS {
+		return false
+	}
+
+	// Port usage: every port carries at most one trail passage.
+	used := make(map[uint64]bool)
+	for _, e := range me.entries {
+		if e.hasPrev {
+			if e.portPrev < 1 || e.portPrev > uint64(view.Deg) || used[e.portPrev] {
+				return false
+			}
+			used[e.portPrev] = true
+		}
+		if e.hasNext {
+			if e.portNext < 1 || e.portNext > uint64(view.Deg) || used[e.portNext] {
+				return false
+			}
+			used[e.portNext] = true
+		}
+	}
+
+	// Source/target entry structure.
+	if isS {
+		if len(me.entries) != s.k {
+			return false
+		}
+		seen := make(map[uint64]bool)
+		for _, e := range me.entries {
+			if e.hasPrev || e.pos != 0 || e.path >= uint64(s.k) || seen[e.path] || !e.hasNext {
+				return false
+			}
+			seen[e.path] = true
+		}
+	} else {
+		for _, e := range me.entries {
+			if !e.hasPrev || e.pos == 0 {
+				return false
+			}
+		}
+	}
+
+	// Trail continuity: the neighbor on the recorded port carries the
+	// matching entry one step away; termination only at t.
+	for _, e := range me.entries {
+		if e.hasNext {
+			nb := ns[e.portNext-1]
+			if !hasEntryAt(nb, e.path, e.pos+1) {
+				return false
+			}
+		} else if !isT {
+			return false
+		}
+		if e.hasPrev {
+			nb := ns[e.portPrev-1]
+			if e.pos == 0 || !hasEntryWithNext(nb, e.path, e.pos-1) {
+				return false
+			}
+		}
+	}
+
+	// Cut saturation: every edge from my S side to a T-side neighbor
+	// carries exactly one outgoing trail and no incoming one.
+	if me.sideS {
+		for i, nb := range ns {
+			if nb.sideS {
+				continue
+			}
+			port := uint64(i + 1)
+			outgoing, incoming := false, false
+			for _, e := range me.entries {
+				if e.hasNext && e.portNext == port {
+					outgoing = true
+				}
+				if e.hasPrev && e.portPrev == port {
+					incoming = true
+				}
+			}
+			if !outgoing || incoming {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasEntryAt(l label, path, pos uint64) bool {
+	for _, e := range l.entries {
+		if e.path == path && e.pos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+func hasEntryWithNext(l label, path, pos uint64) bool {
+	for _, e := range l.entries {
+		if e.path == path && e.pos == pos && e.hasNext {
+			return true
+		}
+	}
+	return false
+}

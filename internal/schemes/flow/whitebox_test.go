@@ -1,0 +1,111 @@
+package flow
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+)
+
+// White-box attacks on the k-flow certificate: forge path entries and cut
+// sides in decoded honest labels and confirm the verifier's checks bind.
+
+func whiteboxSetup(t *testing.T) (*graph.Config, []label, int) {
+	t.Helper()
+	g := graph.Complete(5)
+	c := graph.NewConfig(g)
+	c.States[0].Flags |= graph.FlagSource
+	c.States[4].Flags |= graph.FlagTarget
+	k, _, _, err := MaxFlowUnit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NewPLS(k).Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := make([]label, len(raw))
+	for v, l := range raw {
+		d, ok := decode(l)
+		if !ok {
+			t.Fatal("honest label failed to decode")
+		}
+		decoded[v] = d
+	}
+	return c, decoded, k
+}
+
+func verifyAll(c *graph.Config, decoded []label, k int) bool {
+	labels := make([]core.Label, len(decoded))
+	for v, d := range decoded {
+		labels[v] = d.encode()
+	}
+	return runtime.VerifyPLS(NewPLS(k), c, labels).Accepted
+}
+
+func TestWhiteboxHonestRoundTrip(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	if !verifyAll(c, decoded, k) {
+		t.Fatal("re-encoded honest labels rejected")
+	}
+}
+
+func TestWhiteboxDroppedPathAtSource(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	decoded[0].entries = decoded[0].entries[:k-1] // s must carry exactly k
+	if verifyAll(c, decoded, k) {
+		t.Error("source with k−1 paths accepted")
+	}
+}
+
+func TestWhiteboxBrokenChain(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	// Remove an intermediate entry: the predecessor's continuity check
+	// (neighbor at portNext must hold (path, pos+1)) fires.
+	victim := -1
+	for v := 1; v < len(decoded)-1; v++ {
+		if len(decoded[v].entries) > 0 {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Skip("no intermediate entries")
+	}
+	decoded[victim].entries = decoded[victim].entries[1:]
+	if verifyAll(c, decoded, k) {
+		t.Error("broken chain accepted")
+	}
+}
+
+func TestWhiteboxSideFlip(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	// Flip an intermediate node's cut side; either an S–T edge appears or
+	// cut saturation fails somewhere.
+	decoded[2].sideS = !decoded[2].sideS
+	if verifyAll(c, decoded, k) {
+		t.Error("flipped cut side accepted")
+	}
+}
+
+func TestWhiteboxDuplicatedPortUse(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	// Duplicate an entry at the source reusing the same port: the per-port
+	// uniqueness check (edge-disjointness) fires.
+	e := decoded[0].entries[0]
+	e.path = uint64(k) // a fresh path id to dodge the distinctness check
+	decoded[0].entries = append(decoded[0].entries, e)
+	if verifyAll(c, decoded, k) {
+		t.Error("port reuse accepted")
+	}
+}
+
+func TestWhiteboxTerminatedEarly(t *testing.T) {
+	c, decoded, k := whiteboxSetup(t)
+	// Mark a source entry as having no continuation: only t may terminate.
+	decoded[0].entries[0].hasNext = false
+	if verifyAll(c, decoded, k) {
+		t.Error("path terminating at the source accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package leader_test
+
+import (
+	"testing"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/leader"
+	"rpls/internal/schemes/schemetest"
+)
+
+func leaderConfig(g *graph.Graph, who int) *graph.Config {
+	c := graph.NewConfig(g)
+	c.States[who].Flags |= graph.FlagLeader
+	return c
+}
+
+func TestPredicate(t *testing.T) {
+	c := leaderConfig(graph.Path(5), 2)
+	if !(leader.Predicate{}).Eval(c) {
+		t.Error("single leader rejected")
+	}
+	c.States[4].Flags |= graph.FlagLeader
+	if (leader.Predicate{}).Eval(c) {
+		t.Error("two leaders accepted")
+	}
+	if (leader.Predicate{}).Eval(graph.NewConfig(graph.Path(5))) {
+		t.Error("zero leaders accepted")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := prng.New(1)
+	det := leader.NewPLS()
+	rand := leader.NewRPLS()
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(30)
+		g := graph.RandomConnected(n, rng.Intn(n), rng)
+		c := leaderConfig(g, rng.Intn(n))
+		c.States[rng.Intn(n)].Flags |= 0 // no-op; leaders stay unique
+		c.AssignRandomIDs(rng)
+		schemetest.LegalAccepted(t, det, c)
+		schemetest.LegalAcceptedRPLS(t, rand, c, 30)
+	}
+}
+
+func TestProverRefusesIllegal(t *testing.T) {
+	schemetest.ProverRefuses(t, leader.NewPLS(), graph.NewConfig(graph.Path(4)))
+	two := leaderConfig(graph.Path(4), 0)
+	two.States[3].Flags |= graph.FlagLeader
+	schemetest.ProverRefuses(t, leader.NewPLS(), two)
+}
+
+func TestSoundnessZeroLeaders(t *testing.T) {
+	g := graph.RandomConnected(10, 5, prng.New(2))
+	legal := leaderConfig(g, 3)
+	illegal := legal.Clone()
+	illegal.States[3].Flags &^= graph.FlagLeader
+	schemetest.TransplantRejected(t, leader.NewPLS(), legal, illegal)
+	schemetest.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 1.0/3)
+	schemetest.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100, 3)
+}
+
+func TestSoundnessTwoLeaders(t *testing.T) {
+	g := graph.RandomConnected(10, 5, prng.New(4))
+	legal := leaderConfig(g, 3)
+	illegal := legal.Clone()
+	illegal.States[7].Flags |= graph.FlagLeader
+	schemetest.TransplantRejected(t, leader.NewPLS(), legal, illegal)
+	schemetest.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 1.0/3)
+	schemetest.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100, 5)
+}
+
+func TestLabelAndCertSizes(t *testing.T) {
+	rng := prng.New(6)
+	for _, n := range []int{8, 64, 512} {
+		g := graph.RandomConnected(n, n/3, rng)
+		c := leaderConfig(g, 0)
+		schemetest.LabelBitsAtMost(t, leader.NewPLS(), c, 96)
+		schemetest.CertBitsAtMost(t, leader.NewRPLS(), c, 40)
+	}
+}
+
+func TestSingleNodeLeader(t *testing.T) {
+	c := leaderConfig(graph.New(1), 0)
+	schemetest.LegalAccepted(t, leader.NewPLS(), c)
+}

@@ -1,0 +1,243 @@
+// Package mst implements Theorem 5.1 of the paper: certifying that the
+// spanning tree given by the parent pointers is a minimum-weight spanning
+// tree. Deterministically the scheme uses O(log² n)-bit labels in the style
+// of Korman–Kutten [29, 31]; compiling it (Theorem 3.1) yields the
+// O(log log n)-bit randomized certificates whose optimality §5.1 proves.
+//
+// The label of a node encodes a Borůvka fragment hierarchy: for each of the
+// ≤ ⌈log₂ n⌉ phases it records the node's fragment (leader identity plus
+// distance to the leader inside the fragment) and the minimum outgoing edge
+// its fragment chose. Local checks force every tree edge to be the strict
+// minimum edge crossing some verified cut, which by the cut property places
+// it in the unique minimum spanning tree under the canonical total order.
+//
+// Edges are ordered by (weight, smaller endpoint identity, larger endpoint
+// identity); with this total order the MST is unique, and for distinct
+// weights it coincides with every textbook MST.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// edgeKey is the canonical total order on edges.
+type edgeKey struct {
+	w    int64
+	a, b uint64 // endpoint identities, a < b
+}
+
+func keyOf(w int64, id1, id2 uint64) edgeKey {
+	if id1 > id2 {
+		id1, id2 = id2, id1
+	}
+	return edgeKey{w: w, a: id1, b: id2}
+}
+
+func (k edgeKey) less(o edgeKey) bool {
+	if k.w != o.w {
+		return k.w < o.w
+	}
+	if k.a != o.a {
+		return k.a < o.a
+	}
+	return k.b < o.b
+}
+
+// unionFind is a standard disjoint-set forest with path compression and
+// union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(x, y int) bool {
+	rx, ry := uf.find(x), uf.find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.size[rx] < uf.size[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	uf.size[rx] += uf.size[ry]
+	return true
+}
+
+// Kruskal computes the minimum spanning tree under the canonical total
+// order and returns its edges; the configuration must be connected and
+// weighted.
+func Kruskal(c *graph.Config) ([]graph.Edge, error) {
+	edges := c.G.Edges()
+	for _, e := range edges {
+		if c.States[e.U].Weights == nil {
+			return nil, fmt.Errorf("mst: node %d has no edge weights", e.U)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		ki := keyOf(c.EdgeWeight(edges[i].U, edges[i].PortU), c.States[edges[i].U].ID, c.States[edges[i].V].ID)
+		kj := keyOf(c.EdgeWeight(edges[j].U, edges[j].PortU), c.States[edges[j].U].ID, c.States[edges[j].V].ID)
+		return ki.less(kj)
+	})
+	uf := newUnionFind(c.G.N())
+	var tree []graph.Edge
+	for _, e := range edges {
+		if uf.union(e.U, e.V) {
+			tree = append(tree, e)
+		}
+	}
+	if len(tree) != c.G.N()-1 {
+		return nil, fmt.Errorf("mst: graph is not connected (%d tree edges for %d nodes)", len(tree), c.G.N())
+	}
+	return tree, nil
+}
+
+// Prim computes the MST weight with a different algorithm; tests cross-check
+// it against Kruskal.
+func Prim(c *graph.Config) (int64, error) {
+	n := c.G.N()
+	if n == 0 {
+		return 0, fmt.Errorf("mst: empty graph")
+	}
+	inTree := make([]bool, n)
+	best := make([]int64, n)
+	const inf = int64(1) << 62
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	var total int64
+	for count := 0; count < n; count++ {
+		v := -1
+		for u := 0; u < n; u++ {
+			if !inTree[u] && (v == -1 || best[u] < best[v]) {
+				v = u
+			}
+		}
+		if best[v] == inf {
+			return 0, fmt.Errorf("mst: graph is not connected")
+		}
+		inTree[v] = true
+		total += best[v]
+		for i, h := range c.G.Adj(v) {
+			w := c.EdgeWeight(v, i+1)
+			if !inTree[h.To] && w < best[h.To] {
+				best[h.To] = w
+			}
+		}
+	}
+	return total, nil
+}
+
+// TreeWeight sums the weights of the parent-pointer edges.
+func TreeWeight(c *graph.Config) int64 {
+	var total int64
+	for v := 0; v < c.G.N(); v++ {
+		if p := c.States[v].Parent; p != 0 {
+			total += c.EdgeWeight(v, p)
+		}
+	}
+	return total
+}
+
+// treeEdgeSet returns the set of parent-pointer edges keyed canonically.
+func treeEdgeSet(c *graph.Config) map[edgeKey]bool {
+	set := make(map[edgeKey]bool, c.G.N())
+	for v := 0; v < c.G.N(); v++ {
+		if p := c.States[v].Parent; p != 0 {
+			u := c.G.Neighbor(v, p).To
+			set[keyOf(c.EdgeWeight(v, p), c.States[v].ID, c.States[u].ID)] = true
+		}
+	}
+	return set
+}
+
+// isSpanningTree reports whether parent pointers form a spanning tree
+// (single root, all nodes reach it acyclically).
+func isSpanningTree(c *graph.Config) bool {
+	n := c.G.N()
+	if n == 0 {
+		return false
+	}
+	root := -1
+	for v := 0; v < n; v++ {
+		p := c.States[v].Parent
+		if p == 0 {
+			if root != -1 {
+				return false
+			}
+			root = v
+		} else if p < 1 || p > c.G.Degree(v) {
+			return false
+		}
+	}
+	if root == -1 {
+		return false
+	}
+	status := make([]int8, n)
+	status[root] = 1
+	for v := 0; v < n; v++ {
+		var path []int
+		cur := v
+		for status[cur] == 0 {
+			status[cur] = 2
+			path = append(path, cur)
+			cur = c.G.Neighbor(cur, c.States[cur].Parent).To
+			if status[cur] == 2 {
+				return false
+			}
+		}
+		if status[cur] != 1 {
+			return false
+		}
+		for _, u := range path {
+			status[u] = 1
+		}
+	}
+	return true
+}
+
+// Predicate decides MST: the parent pointers form a spanning tree whose
+// total weight equals the minimum spanning tree weight.
+type Predicate struct{}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (Predicate) Name() string { return "mst" }
+
+// Eval implements core.Predicate.
+func (Predicate) Eval(c *graph.Config) bool {
+	if !isSpanningTree(c) {
+		return false
+	}
+	tree, err := Kruskal(c)
+	if err != nil {
+		return false
+	}
+	var minWeight int64
+	for _, e := range tree {
+		minWeight += c.EdgeWeight(e.U, e.PortU)
+	}
+	return TreeWeight(c) == minWeight
+}

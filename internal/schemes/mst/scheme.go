@@ -1,0 +1,485 @@
+package mst
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// NewPLS returns the deterministic O(log² n)-bit MST scheme.
+func NewPLS() core.PLS { return pls{} }
+
+// NewRPLS returns the compiled randomized scheme with O(log log n)-bit
+// certificates (Theorem 5.1 upper bound).
+func NewRPLS() core.RPLS { return core.Compile(NewPLS()) }
+
+type pls struct{}
+
+var _ core.PLS = pls{}
+
+func (pls) Name() string { return "mst-det" }
+
+const (
+	distBits  = 32
+	phaseBits = 8
+	maxPhases = 64
+)
+
+// mstLabel is the decoded form of a node's proof.
+type mstLabel struct {
+	id        uint64
+	hasParent bool
+	parentID  uint64
+	stRootID  uint64 // spanning-tree sub-certificate: root identity
+	stDist    uint64 // and distance to the root in the tree
+	phases    int    // F: number of Borůvka phases recorded
+	fragID    []uint64
+	dist      []uint64
+	hasChosen []bool
+	chosenW   []int64
+	chosenIn  []uint64
+	chosenOut []uint64
+}
+
+func (l *mstLabel) encode() core.Label {
+	var w bitstring.Writer
+	w.WriteUint(l.id, 64)
+	if l.hasParent {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteUint(l.parentID, 64)
+	w.WriteUint(l.stRootID, 64)
+	w.WriteUint(l.stDist, distBits)
+	w.WriteUint(uint64(l.phases), phaseBits)
+	for f := 1; f < l.phases; f++ {
+		w.WriteUint(l.fragID[f], 64)
+		w.WriteUint(l.dist[f], distBits)
+	}
+	for f := 0; f < l.phases; f++ {
+		if l.hasChosen[f] {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+		w.WriteInt(l.chosenW[f], 63)
+		w.WriteUint(l.chosenIn[f], 64)
+		w.WriteUint(l.chosenOut[f], 64)
+	}
+	return w.String()
+}
+
+func decodeLabel(s core.Label) (*mstLabel, error) {
+	r := bitstring.NewReader(s)
+	l := &mstLabel{}
+	var err error
+	if l.id, err = r.ReadUint(64); err != nil {
+		return nil, err
+	}
+	hp, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	l.hasParent = hp == 1
+	if l.parentID, err = r.ReadUint(64); err != nil {
+		return nil, err
+	}
+	if l.stRootID, err = r.ReadUint(64); err != nil {
+		return nil, err
+	}
+	if l.stDist, err = r.ReadUint(distBits); err != nil {
+		return nil, err
+	}
+	phases, err := r.ReadUint(phaseBits)
+	if err != nil {
+		return nil, err
+	}
+	if phases > maxPhases {
+		return nil, fmt.Errorf("mst label: %d phases exceeds maximum", phases)
+	}
+	l.phases = int(phases)
+	l.fragID = make([]uint64, l.phases)
+	l.dist = make([]uint64, l.phases)
+	l.hasChosen = make([]bool, l.phases)
+	l.chosenW = make([]int64, l.phases)
+	l.chosenIn = make([]uint64, l.phases)
+	l.chosenOut = make([]uint64, l.phases)
+	if l.phases > 0 {
+		l.fragID[0] = l.id // phase-0 fragments are singletons
+		l.dist[0] = 0
+	}
+	for f := 1; f < l.phases; f++ {
+		if l.fragID[f], err = r.ReadUint(64); err != nil {
+			return nil, err
+		}
+		if l.dist[f], err = r.ReadUint(distBits); err != nil {
+			return nil, err
+		}
+	}
+	for f := 0; f < l.phases; f++ {
+		hc, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		l.hasChosen[f] = hc == 1
+		if l.chosenW[f], err = r.ReadInt(63); err != nil {
+			return nil, err
+		}
+		if l.chosenIn[f], err = r.ReadUint(64); err != nil {
+			return nil, err
+		}
+		if l.chosenOut[f], err = r.ReadUint(64); err != nil {
+			return nil, err
+		}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("mst label: trailing bits")
+	}
+	return l, nil
+}
+
+// Label runs Borůvka's algorithm under the canonical edge order and records
+// the fragment hierarchy. It fails if the parent pointers are not the
+// canonical minimum spanning tree (for distinct weights: not *the* MST).
+func (pls) Label(c *graph.Config) ([]core.Label, error) {
+	n := c.G.N()
+	if !isSpanningTree(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	for v := 0; v < n; v++ {
+		if c.G.Degree(v) > 0 && c.States[v].Weights == nil {
+			return nil, fmt.Errorf("mst: node %d has no edge weights", v)
+		}
+	}
+	tree := treeEdgeSet(c)
+
+	// Tree adjacency (ports of tree edges per node).
+	treeAdj := make([][]int, n) // neighbor node indices over tree edges
+	root := -1
+	for v := 0; v < n; v++ {
+		p := c.States[v].Parent
+		if p == 0 {
+			root = v
+			continue
+		}
+		u := c.G.Neighbor(v, p).To
+		treeAdj[v] = append(treeAdj[v], u)
+		treeAdj[u] = append(treeAdj[u], v)
+	}
+	_ = root
+
+	labels := make([]*mstLabel, n)
+	for v := 0; v < n; v++ {
+		labels[v] = &mstLabel{
+			id:        c.States[v].ID,
+			hasParent: c.States[v].Parent != 0,
+		}
+		if p := c.States[v].Parent; p != 0 {
+			labels[v].parentID = c.States[c.G.Neighbor(v, p).To].ID
+		}
+	}
+	// Spanning-tree sub-certificate.
+	stRoot := -1
+	for v := 0; v < n; v++ {
+		if c.States[v].Parent == 0 {
+			stRoot = v
+		}
+	}
+	for v := 0; v < n; v++ {
+		d := 0
+		for cur := v; cur != stRoot; cur = c.G.Neighbor(cur, c.States[cur].Parent).To {
+			d++
+		}
+		labels[v].stRootID = c.States[stRoot].ID
+		labels[v].stDist = uint64(d)
+	}
+
+	// Borůvka phases.
+	uf := newUnionFind(n)
+	for phase := 0; phase < maxPhases; phase++ {
+		// Collect fragments.
+		members := make(map[int][]int)
+		for v := 0; v < n; v++ {
+			r := uf.find(v)
+			members[r] = append(members[r], v)
+		}
+		if len(members) == 1 {
+			break
+		}
+		// Record fragment info (leader = member with minimum identity;
+		// distance = tree distance to the leader within the fragment).
+		for _, ms := range members {
+			leader := ms[0]
+			for _, v := range ms {
+				if c.States[v].ID < c.States[leader].ID {
+					leader = v
+				}
+			}
+			dist := fragmentDistances(c, treeAdj, uf, leader)
+			for _, v := range ms {
+				labels[v].fragID = append(labels[v].fragID, c.States[leader].ID)
+				labels[v].dist = append(labels[v].dist, uint64(dist[v]))
+			}
+		}
+		// Choose the minimum outgoing edge per fragment.
+		type choice struct {
+			ok      bool
+			key     edgeKey
+			w       int64
+			in, out uint64
+			u, v    int
+		}
+		chosen := make(map[int]choice)
+		for _, e := range c.G.Edges() {
+			ru, rv := uf.find(e.U), uf.find(e.V)
+			if ru == rv {
+				continue
+			}
+			w := c.EdgeWeight(e.U, e.PortU)
+			k := keyOf(w, c.States[e.U].ID, c.States[e.V].ID)
+			for _, side := range []struct {
+				root    int
+				in, out uint64
+				u, v    int
+			}{
+				{ru, c.States[e.U].ID, c.States[e.V].ID, e.U, e.V},
+				{rv, c.States[e.V].ID, c.States[e.U].ID, e.V, e.U},
+			} {
+				cur, exists := chosen[side.root]
+				if !exists || !cur.ok || k.less(cur.key) {
+					chosen[side.root] = choice{ok: true, key: k, w: w, in: side.in, out: side.out, u: side.u, v: side.v}
+				}
+			}
+		}
+		// Every chosen edge must be a tree edge, or T is not the canonical MST.
+		for _, ch := range chosen {
+			if !tree[keyOf(ch.w, ch.in, ch.out)] {
+				return nil, fmt.Errorf("mst: parent pointers are not the canonical minimum spanning tree: %w", core.ErrIllegalConfig)
+			}
+		}
+		// Record choices and merge.
+		for r, ms := range members {
+			ch := chosen[r]
+			for _, v := range ms {
+				labels[v].hasChosen = append(labels[v].hasChosen, ch.ok)
+				labels[v].chosenW = append(labels[v].chosenW, ch.w)
+				labels[v].chosenIn = append(labels[v].chosenIn, ch.in)
+				labels[v].chosenOut = append(labels[v].chosenOut, ch.out)
+			}
+		}
+		for _, ch := range chosen {
+			if ch.ok {
+				uf.union(ch.u, ch.v)
+			}
+		}
+	}
+	out := make([]core.Label, n)
+	for v := 0; v < n; v++ {
+		labels[v].phases = len(labels[v].hasChosen)
+		out[v] = labels[v].encode()
+	}
+	return out, nil
+}
+
+// fragmentDistances BFSes from the leader over tree edges restricted to the
+// leader's fragment, returning tree distances (-1 outside the fragment).
+func fragmentDistances(c *graph.Config, treeAdj [][]int, uf *unionFind, leader int) []int {
+	n := c.G.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	r := uf.find(leader)
+	dist[leader] = 0
+	queue := []int{leader}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range treeAdj[v] {
+			if dist[u] == -1 && uf.find(u) == r {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// fragAt returns the fragment identity of a decoded label at phase f, and
+// whether the label defines that phase at all.
+func fragAt(l *mstLabel, f int) (uint64, bool) {
+	if f >= l.phases {
+		return 0, false
+	}
+	return l.fragID[f], true
+}
+
+func (pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, err := decodeLabel(own)
+	if err != nil {
+		return false
+	}
+	if me.id != view.State.ID {
+		return false
+	}
+	if me.hasParent != (view.State.Parent != 0) {
+		return false
+	}
+	if len(nbrs) != view.Deg {
+		return false
+	}
+	if view.Deg > 0 && view.State.Weights == nil {
+		return false
+	}
+	ns := make([]*mstLabel, view.Deg)
+	for i, nl := range nbrs {
+		n, err := decodeLabel(nl)
+		if err != nil {
+			return false
+		}
+		ns[i] = n
+	}
+
+	// Spanning-tree sub-certificate (§1): agreement on the root, distance
+	// decreasing along the parent pointer, root self-consistent.
+	for _, n := range ns {
+		if n.stRootID != me.stRootID {
+			return false
+		}
+	}
+	if !me.hasParent {
+		if me.stDist != 0 || me.stRootID != me.id {
+			return false
+		}
+	} else {
+		p := view.State.Parent
+		if p < 1 || p > view.Deg {
+			return false
+		}
+		parent := ns[p-1]
+		if parent.id != me.parentID {
+			return false
+		}
+		if me.stDist == 0 || parent.stDist != me.stDist-1 {
+			return false
+		}
+	}
+
+	// Borůvka hierarchy checks, phase by phase.
+	for f := 0; f < me.phases; f++ {
+		myFrag := me.fragID[f]
+
+		// F1: fragment chain to the leader.
+		if f >= 1 {
+			if me.dist[f] == 0 {
+				if myFrag != me.id {
+					return false
+				}
+			} else {
+				found := false
+				for _, n := range ns {
+					if fid, ok := fragAt(n, f); ok && fid == myFrag && n.dist[f] == me.dist[f]-1 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+
+		// F2: fragment-mates agree on the chosen edge and on the next
+		// fragment identity.
+		for _, n := range ns {
+			fid, ok := fragAt(n, f)
+			if !ok || fid != myFrag {
+				continue
+			}
+			if n.phases != me.phases {
+				return false
+			}
+			if n.hasChosen[f] != me.hasChosen[f] ||
+				n.chosenW[f] != me.chosenW[f] ||
+				n.chosenIn[f] != me.chosenIn[f] ||
+				n.chosenOut[f] != me.chosenOut[f] {
+				return false
+			}
+			if f+1 < me.phases && n.fragID[f+1] != me.fragID[f+1] {
+				return false
+			}
+		}
+
+		if !me.hasChosen[f] {
+			continue
+		}
+		chosenKey := keyOf(me.chosenW[f], me.chosenIn[f], me.chosenOut[f])
+
+		// F3: every incident outgoing edge is at least the chosen edge.
+		for i, n := range ns {
+			fid, ok := fragAt(n, f)
+			if ok && fid == myFrag {
+				continue // internal edge
+			}
+			k := keyOf(view.State.Weights[i], me.id, n.id)
+			if k.less(chosenKey) {
+				return false
+			}
+		}
+
+		// F4: the inside endpoint vouches for the chosen edge: it exists,
+		// has the claimed weight, leaves the fragment, is a tree edge, and
+		// its endpoints merge.
+		if me.chosenIn[f] == me.id {
+			ok := false
+			for i, n := range ns {
+				if n.id != me.chosenOut[f] || view.State.Weights[i] != me.chosenW[f] {
+					continue
+				}
+				if fid, def := fragAt(n, f); def && fid == myFrag {
+					continue // not outgoing
+				}
+				isTree := view.State.Parent == i+1 || (n.hasParent && n.parentID == me.id)
+				if !isTree {
+					continue
+				}
+				if f+1 < me.phases {
+					if nf, def := fragAt(n, f+1); !def || nf != me.fragID[f+1] {
+						continue // endpoints must merge
+					}
+				}
+				ok = true
+				break
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+
+	// F5: the parent edge is chosen at some phase, recorded by its inside
+	// endpoint.
+	if me.hasParent {
+		p := view.State.Parent
+		parent := ns[p-1]
+		w := view.State.Weights[p-1]
+		covered := false
+		for f := 0; f < me.phases && !covered; f++ {
+			if me.hasChosen[f] && me.chosenIn[f] == me.id && me.chosenOut[f] == parent.id && me.chosenW[f] == w {
+				covered = true
+			}
+		}
+		for f := 0; f < parent.phases && !covered; f++ {
+			if parent.hasChosen[f] && parent.chosenIn[f] == parent.id && parent.chosenOut[f] == me.id && parent.chosenW[f] == w {
+				covered = true
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+// Package schemetest provides the shared conformance checks every concrete
+// scheme must pass: completeness on legal configurations (probability 1 for
+// the one-sided schemes of this repository), prover refusal on illegal
+// configurations, and soundness against the adversaries the paper itself
+// considers — transplanted legal labels and random labels.
+package schemetest
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+// LegalAccepted asserts the deterministic scheme accepts a legal
+// configuration with honest labels.
+func LegalAccepted(t *testing.T, s core.PLS, c *graph.Config) {
+	t.Helper()
+	res, err := runtime.RunPLS(s, c)
+	if err != nil {
+		t.Fatalf("%s prover: %v", s.Name(), err)
+	}
+	if !res.Accepted {
+		t.Fatalf("%s rejected a legal configuration; votes = %v", s.Name(), res.Votes)
+	}
+}
+
+// LegalAcceptedRPLS asserts a one-sided randomized scheme accepts a legal
+// configuration with probability 1 over the given trials.
+func LegalAcceptedRPLS(t *testing.T, s core.RPLS, c *graph.Config, trials int) {
+	t.Helper()
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatalf("%s prover: %v", s.Name(), err)
+	}
+	if rate := runtime.EstimateAcceptance(s, c, labels, trials, 17); rate != 1.0 {
+		t.Fatalf("%s accepted legal configuration at rate %v, want 1.0", s.Name(), rate)
+	}
+}
+
+// ProverRefuses asserts the prover errors on an illegal configuration.
+func ProverRefuses(t *testing.T, s core.Prover, c *graph.Config) {
+	t.Helper()
+	if _, err := s.Label(c); err == nil {
+		t.Error("prover labeled an illegal configuration")
+	}
+}
+
+// TransplantRejected asserts a deterministic scheme rejects an illegal
+// configuration labeled with the honest labels of a legal twin (a standard
+// adversary: both configurations have the same node count).
+func TransplantRejected(t *testing.T, s core.PLS, legal, illegal *graph.Config) {
+	t.Helper()
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatalf("%s prover on legal twin: %v", s.Name(), err)
+	}
+	if runtime.VerifyPLS(s, illegal, labels).Accepted {
+		t.Errorf("%s fooled by labels transplanted from a legal twin", s.Name())
+	}
+}
+
+// TransplantRejectedRPLS is the randomized analogue: acceptance of the
+// illegal configuration under transplanted labels must not exceed maxRate
+// (1/3 for the paper's parameters).
+func TransplantRejectedRPLS(t *testing.T, s core.RPLS, legal, illegal *graph.Config, trials int, maxRate float64) {
+	t.Helper()
+	labels, err := s.Label(legal)
+	if err != nil {
+		t.Fatalf("%s prover on legal twin: %v", s.Name(), err)
+	}
+	if rate := runtime.EstimateAcceptance(s, illegal, labels, trials, 23); rate > maxRate {
+		t.Errorf("%s accepted illegal configuration at rate %v > %v under transplant",
+			s.Name(), rate, maxRate)
+	}
+}
+
+// RandomLabelsRejected asserts a deterministic scheme rejects an illegal
+// configuration under many random label assignments.
+func RandomLabelsRejected(t *testing.T, s core.PLS, illegal *graph.Config, attempts, maxLabelBits int, seed uint64) {
+	t.Helper()
+	rng := prng.New(seed)
+	for a := 0; a < attempts; a++ {
+		labels := RandomLabels(rng, illegal.G.N(), maxLabelBits)
+		if runtime.VerifyPLS(s, illegal, labels).Accepted {
+			t.Fatalf("%s fooled by random labels on attempt %d", s.Name(), a)
+		}
+	}
+}
+
+// RandomLabelsRejectedRPLS is the randomized analogue with an acceptance
+// budget per assignment.
+func RandomLabelsRejectedRPLS(t *testing.T, s core.RPLS, illegal *graph.Config, attempts, trials, maxLabelBits int, maxRate float64, seed uint64) {
+	t.Helper()
+	rng := prng.New(seed)
+	for a := 0; a < attempts; a++ {
+		labels := RandomLabels(rng, illegal.G.N(), maxLabelBits)
+		if rate := runtime.EstimateAcceptance(s, illegal, labels, trials, seed+uint64(a)); rate > maxRate {
+			t.Fatalf("%s accepted illegal configuration at rate %v under random labels", s.Name(), rate)
+		}
+	}
+}
+
+// RandomLabels builds n labels of up to maxBits random bits each.
+func RandomLabels(rng *prng.Rand, n, maxBits int) []core.Label {
+	out := make([]core.Label, n)
+	for i := range out {
+		bits := make([]byte, rng.Intn(maxBits+1))
+		for j := range bits {
+			bits[j] = rng.Bit()
+		}
+		out[i] = bitstring.FromBits(bits)
+	}
+	return out
+}
+
+// LabelBitsAtMost asserts the honest labels stay within bound bits.
+func LabelBitsAtMost(t *testing.T, s core.PLS, c *graph.Config, bound int) {
+	t.Helper()
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatalf("%s prover: %v", s.Name(), err)
+	}
+	if got := core.MaxBits(labels); got > bound {
+		t.Errorf("%s labels are %d bits, want <= %d", s.Name(), got, bound)
+	}
+}
+
+// CertBitsAtMost asserts the certificates generated from honest labels stay
+// within bound bits over a few coin draws.
+func CertBitsAtMost(t *testing.T, s core.RPLS, c *graph.Config, bound int) {
+	t.Helper()
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatalf("%s prover: %v", s.Name(), err)
+	}
+	if got := runtime.MaxCertBitsOver(s, c, labels, 5, 31); got > bound {
+		t.Errorf("%s certificates are %d bits, want <= %d", s.Name(), got, bound)
+	}
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ with Log2Ceil(1) = 1, used in size envelopes.
+func Log2Ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package spanningtree_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/schemes/spanningtree"
+)
+
+// TestExhaustiveAdversaryOnPointerCycle checks ∀-labels soundness directly:
+// on a 4-cycle whose parent pointers run clockwise (a 1-factor with no
+// root), no assignment of (rootID ∈ real ids, dist ∈ [0, n+1]) labels is
+// accepted. Distances outside [0, n+1] cannot help the adversary: the only
+// distance relations the verifier evaluates are d(parent) = d(v) − 1 and
+// d = 0, both preserved by translating an accepting assignment so its
+// minimum is 0, after which a decreasing pointer chain of length > n+1
+// would need n+2 distinct values on n nodes.
+func TestExhaustiveAdversaryOnPointerCycle(t *testing.T) {
+	const n = 4
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := graph.NewConfig(g)
+	for v := 0; v < n; v++ {
+		p, _ := cfg.G.PortTo(v, (v+1)%n)
+		cfg.States[v].Parent = p
+	}
+	det := spanningtree.NewPLS()
+	maxDist := n + 1
+	ids := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		ids[v] = cfg.States[v].ID
+	}
+	choices := n * (maxDist + 1)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= choices
+	}
+	labels := make([]core.Label, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for v := 0; v < n; v++ {
+			pick := c % choices
+			c /= choices
+			var w bitstring.Writer
+			w.WriteUint(ids[pick/(maxDist+1)], 64)
+			w.WriteUint(uint64(pick%(maxDist+1)), 32)
+			labels[v] = w.String()
+		}
+		if acceptedSequential(det, cfg, labels) {
+			t.Fatalf("labeling %d accepted a rootless pointer cycle", code)
+		}
+	}
+	t.Logf("all %d labelings rejected", total)
+}
+
+// acceptedSequential runs the deterministic verifier without goroutines;
+// the exhaustive sweep calls it hundreds of thousands of times.
+func acceptedSequential(det core.PLS, cfg *graph.Config, labels []core.Label) bool {
+	for v := 0; v < cfg.G.N(); v++ {
+		deg := cfg.G.Degree(v)
+		nbrs := make([]core.Label, deg)
+		for i := 0; i < deg; i++ {
+			nbrs[i] = labels[cfg.G.Neighbor(v, i+1).To]
+		}
+		if !det.Verify(core.ViewOf(cfg, v), labels[v], nbrs) {
+			return false
+		}
+	}
+	return true
+}

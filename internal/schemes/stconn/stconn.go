@@ -1,0 +1,546 @@
+// Package stconn implements s-t k-vertex-connectivity, the problem §5.2 of
+// the paper derives from [31]: decide whether the vertex connectivity
+// between two designated nodes s and t — the maximum number of internally
+// vertex-disjoint s-t paths — is exactly k. The deterministic scheme uses
+// Θ(log n)-bit labels away from the terminals (O(k log n) at s and t);
+// compilation gives the usual exponential certificate compression.
+//
+// Certificate structure (Menger's theorem made local):
+//
+//   - k internally vertex-disjoint paths, recorded as (path id, position,
+//     in-port, out-port) entries; a non-terminal node may carry at most ONE
+//     entry, which is vertex disjointness verified locally;
+//   - a vertex cut: every node is labeled S, CUT, or T, with s in S, t in
+//     T, no S-T edge, each CUT node on exactly one path, and paths
+//     monotone (S… CUT T…), so each path crosses the cut exactly once and
+//     the cut has exactly k vertices — pinning the connectivity from above.
+//
+// Ground truth is a unit-node-capacity max flow on the standard node-split
+// digraph.
+package stconn
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// Endpoints locates the unique flagged source and target.
+func Endpoints(c *graph.Config) (s, t int, err error) {
+	s, t = -1, -1
+	for v, st := range c.States {
+		if st.Flags&graph.FlagSource != 0 {
+			if s != -1 {
+				return 0, 0, fmt.Errorf("stconn: multiple sources")
+			}
+			s = v
+		}
+		if st.Flags&graph.FlagTarget != 0 {
+			if t != -1 {
+				return 0, 0, fmt.Errorf("stconn: multiple targets")
+			}
+			t = v
+		}
+	}
+	if s == -1 || t == -1 || s == t {
+		return 0, 0, fmt.Errorf("stconn: need distinct source and target")
+	}
+	return s, t, nil
+}
+
+// Connectivity computes the maximum number of internally vertex-disjoint
+// s-t paths, the node paths of one optimal family, and the side assignment
+// of a minimum vertex cut (0 = S side, 1 = cut member, 2 = T side).
+func Connectivity(c *graph.Config) (k int, paths [][]int, sides []int8, err error) {
+	s, t, err := Endpoints(c)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if c.G.HasEdge(s, t) {
+		// Menger's vertex form needs non-adjacent terminals: no vertex cut
+		// separates adjacent nodes. The family F for this predicate is
+		// configurations with non-adjacent s and t.
+		return 0, nil, nil, fmt.Errorf("stconn: s and t must be non-adjacent")
+	}
+	n := c.G.N()
+	d := newDigraph(2 * n)
+	inOf := func(v int) int { return 2 * v }
+	outOf := func(v int) int { return 2*v + 1 }
+	big := n + 1
+	for v := 0; v < n; v++ {
+		cap := 1
+		if v == s || v == t {
+			cap = big
+		}
+		d.addArc(inOf(v), outOf(v), cap)
+	}
+	// Edge arcs carry effectively infinite capacity so the minimum cut
+	// consists of node arcs only (every s-t path passes an internal node
+	// since the terminals are non-adjacent); paths still cannot share an
+	// edge because one of its endpoints is always a capacity-1 internal
+	// node.
+	for _, e := range c.G.Edges() {
+		d.addArc(outOf(e.U), inOf(e.V), big)
+		d.addArc(outOf(e.V), inOf(e.U), big)
+	}
+	k = d.maxflow(outOf(s), inOf(t))
+
+	// Decompose into k node paths along positive-flow arcs.
+	for i := 0; i < k; i++ {
+		nodePath := d.extractPath(outOf(s), inOf(t))
+		if nodePath == nil {
+			return 0, nil, nil, fmt.Errorf("stconn: decomposition found only %d paths", i)
+		}
+		// nodePath alternates out(v)/in(w) vertices; map back to nodes,
+		// deduplicating the in/out pairs.
+		var p []int
+		for _, x := range nodePath {
+			v := x / 2
+			if len(p) == 0 || p[len(p)-1] != v {
+				p = append(p, v)
+			}
+		}
+		paths = append(paths, p)
+	}
+
+	// Min vertex cut from residual reachability (computed before the
+	// decomposition zeroed flows — reachability was recorded by maxflow).
+	sides = make([]int8, n)
+	for v := 0; v < n; v++ {
+		switch {
+		case d.reach[inOf(v)] && d.reach[outOf(v)]:
+			sides[v] = 0 // S
+		case d.reach[inOf(v)] && !d.reach[outOf(v)]:
+			sides[v] = 1 // cut member
+		default:
+			sides[v] = 2 // T
+		}
+	}
+	// The residual search starts at out(s), so in(s) is unreached and the
+	// classification above would mislabel the terminals; pin them.
+	sides[s] = 0
+	sides[t] = 2
+	return k, paths, sides, nil
+}
+
+// digraph is a tiny arc-list max-flow structure (Edmonds–Karp).
+type digraph struct {
+	head  [][]int // head[v] = arc indices out of v
+	to    []int
+	cap   []int
+	reach []bool // residual reachability snapshot from the last maxflow
+}
+
+func newDigraph(n int) *digraph {
+	return &digraph{head: make([][]int, n)}
+}
+
+func (d *digraph) addArc(u, v, c int) {
+	d.head[u] = append(d.head[u], len(d.to))
+	d.to = append(d.to, v)
+	d.cap = append(d.cap, c)
+	d.head[v] = append(d.head[v], len(d.to))
+	d.to = append(d.to, u)
+	d.cap = append(d.cap, 0)
+}
+
+func (d *digraph) maxflow(s, t int) int {
+	total := 0
+	for {
+		prevArc := d.bfs(s, t)
+		if prevArc[t] == -1 {
+			// Record the final residual reachability for the min cut.
+			d.reach = make([]bool, len(d.head))
+			for v, a := range prevArc {
+				d.reach[v] = a != -1 || v == s
+			}
+			return total
+		}
+		// Bottleneck.
+		bottleneck := 1 << 30
+		for v := t; v != s; {
+			a := prevArc[v]
+			if d.cap[a] < bottleneck {
+				bottleneck = d.cap[a]
+			}
+			v = d.to[a^1]
+		}
+		for v := t; v != s; {
+			a := prevArc[v]
+			d.cap[a] -= bottleneck
+			d.cap[a^1] += bottleneck
+			v = d.to[a^1]
+		}
+		total += bottleneck
+	}
+}
+
+// bfs returns, per vertex, the arc used to reach it (-1 if unreached).
+func (d *digraph) bfs(s, t int) []int {
+	prevArc := make([]int, len(d.head))
+	for i := range prevArc {
+		prevArc[i] = -1
+	}
+	queue := []int{s}
+	seen := make([]bool, len(d.head))
+	seen[s] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range d.head[v] {
+			if d.cap[a] > 0 && !seen[d.to[a]] {
+				seen[d.to[a]] = true
+				prevArc[d.to[a]] = a
+				queue = append(queue, d.to[a])
+			}
+		}
+	}
+	return prevArc
+}
+
+// extractPath walks one unit of flow from s to t (on arcs whose reverse
+// capacity is positive, i.e. arcs carrying flow), zeroing it.
+func (d *digraph) extractPath(s, t int) []int {
+	prevArc := make([]int, len(d.head))
+	for i := range prevArc {
+		prevArc[i] = -1
+	}
+	queue := []int{s}
+	seen := make([]bool, len(d.head))
+	seen[s] = true
+	for len(queue) > 0 && !seen[t] {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range d.head[v] {
+			// a carries flow iff its reverse arc gained capacity.
+			if a&1 == 0 && d.cap[a^1] > 0 && !seen[d.to[a]] {
+				seen[d.to[a]] = true
+				prevArc[d.to[a]] = a
+				queue = append(queue, d.to[a])
+			}
+		}
+	}
+	if !seen[t] {
+		return nil
+	}
+	var rev []int
+	for v := t; v != s; {
+		a := prevArc[v]
+		d.cap[a^1]-- // consume one unit
+		d.cap[a]++
+		rev = append(rev, v)
+		v = d.to[a^1]
+	}
+	out := []int{s}
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// Predicate decides whether the s-t vertex connectivity is exactly K.
+type Predicate struct {
+	K int
+}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (p Predicate) Name() string { return fmt.Sprintf("st-%d-vertex-connectivity", p.K) }
+
+// Eval implements core.Predicate.
+func (p Predicate) Eval(c *graph.Config) bool {
+	k, _, _, err := Connectivity(c)
+	return err == nil && k == p.K
+}
+
+const (
+	sideS   = 0
+	sideCut = 1
+	sideT   = 2
+)
+
+type entry struct {
+	path     uint64
+	pos      uint64
+	hasPrev  bool
+	portPrev uint64
+	hasNext  bool
+	portNext uint64
+}
+
+type label struct {
+	side    uint64
+	entries []entry
+}
+
+func (l label) encode() core.Label {
+	var w bitstring.Writer
+	w.WriteUint(l.side, 2)
+	w.WriteUint(uint64(len(l.entries)), 16)
+	for _, e := range l.entries {
+		w.WriteUint(e.path, 16)
+		w.WriteUint(e.pos, 32)
+		writeFlagged(&w, e.hasPrev, e.portPrev)
+		writeFlagged(&w, e.hasNext, e.portNext)
+	}
+	return w.String()
+}
+
+func writeFlagged(w *bitstring.Writer, has bool, v uint64) {
+	if has {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteUint(v, 16)
+}
+
+func decode(s core.Label) (label, bool) {
+	r := bitstring.NewReader(s)
+	var l label
+	var err error
+	if l.side, err = r.ReadUint(2); err != nil || l.side > sideT {
+		return l, false
+	}
+	count, err := r.ReadUint(16)
+	if err != nil || count > 1<<15 {
+		return l, false
+	}
+	l.entries = make([]entry, count)
+	for i := range l.entries {
+		e := &l.entries[i]
+		if e.path, err = r.ReadUint(16); err != nil {
+			return l, false
+		}
+		if e.pos, err = r.ReadUint(32); err != nil {
+			return l, false
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return l, false
+		}
+		e.hasPrev = b == 1
+		if e.portPrev, err = r.ReadUint(16); err != nil {
+			return l, false
+		}
+		if b, err = r.ReadBit(); err != nil {
+			return l, false
+		}
+		e.hasNext = b == 1
+		if e.portNext, err = r.ReadUint(16); err != nil {
+			return l, false
+		}
+	}
+	return l, r.Remaining() == 0
+}
+
+// NewPLS returns the deterministic scheme for s-t k-vertex-connectivity.
+func NewPLS(k int) core.PLS { return pls{k: k} }
+
+// NewRPLS returns the compiled randomized scheme.
+func NewRPLS(k int) core.RPLS { return core.Compile(NewPLS(k)) }
+
+type pls struct {
+	k int
+}
+
+var _ core.PLS = pls{}
+
+func (s pls) Name() string { return fmt.Sprintf("st-%d-connectivity-det", s.k) }
+
+func (s pls) Label(c *graph.Config) ([]core.Label, error) {
+	k, paths, sides, err := Connectivity(c)
+	if err != nil {
+		return nil, err
+	}
+	if k != s.k {
+		return nil, core.ErrIllegalConfig
+	}
+	labels := make([]label, c.G.N())
+	for v := range labels {
+		labels[v].side = uint64(sides[v])
+	}
+	for j, p := range paths {
+		for i, v := range p {
+			e := entry{path: uint64(j), pos: uint64(i)}
+			if i > 0 {
+				port, ok := c.G.PortTo(v, p[i-1])
+				if !ok {
+					return nil, fmt.Errorf("stconn: path edge {%d,%d} missing", v, p[i-1])
+				}
+				e.hasPrev = true
+				e.portPrev = uint64(port)
+			}
+			if i+1 < len(p) {
+				port, ok := c.G.PortTo(v, p[i+1])
+				if !ok {
+					return nil, fmt.Errorf("stconn: path edge {%d,%d} missing", v, p[i+1])
+				}
+				e.hasNext = true
+				e.portNext = uint64(port)
+			}
+			labels[v].entries = append(labels[v].entries, e)
+		}
+	}
+	out := make([]core.Label, c.G.N())
+	for v := range out {
+		out[v] = labels[v].encode()
+	}
+	return out, nil
+}
+
+func (s pls) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	me, ok := decode(own)
+	if !ok || len(nbrs) != view.Deg {
+		return false
+	}
+	ns := make([]label, view.Deg)
+	for i, nl := range nbrs {
+		n, ok := decode(nl)
+		if !ok {
+			return false
+		}
+		ns[i] = n
+	}
+	isS := view.State.Flags&graph.FlagSource != 0
+	isT := view.State.Flags&graph.FlagTarget != 0
+	if isS && isT {
+		return false
+	}
+
+	// Side structure.
+	if isS && me.side != sideS {
+		return false
+	}
+	if isT && me.side != sideT {
+		return false
+	}
+	// The cut separates: no S-T edge in either direction.
+	for _, n := range ns {
+		if me.side == sideS && n.side == sideT {
+			return false
+		}
+		if me.side == sideT && n.side == sideS {
+			return false
+		}
+	}
+
+	// Entry structure.
+	switch {
+	case isS:
+		if len(me.entries) != s.k {
+			return false
+		}
+		seenPath := make(map[uint64]bool, s.k)
+		seenPort := make(map[uint64]bool, s.k)
+		for _, e := range me.entries {
+			if e.hasPrev || e.pos != 0 || !e.hasNext || e.path >= uint64(s.k) {
+				return false
+			}
+			if seenPath[e.path] || seenPort[e.portNext] {
+				return false
+			}
+			if e.portNext < 1 || e.portNext > uint64(view.Deg) {
+				return false
+			}
+			seenPath[e.path] = true
+			seenPort[e.portNext] = true
+		}
+	case isT:
+		seenPort := make(map[uint64]bool)
+		for _, e := range me.entries {
+			if !e.hasPrev || e.hasNext || e.pos == 0 {
+				return false
+			}
+			if e.portPrev < 1 || e.portPrev > uint64(view.Deg) || seenPort[e.portPrev] {
+				return false
+			}
+			seenPort[e.portPrev] = true
+		}
+	default:
+		// Vertex disjointness: at most one path through a non-terminal.
+		if len(me.entries) > 1 {
+			return false
+		}
+		for _, e := range me.entries {
+			if !e.hasPrev || !e.hasNext || e.pos == 0 {
+				return false
+			}
+			if e.portPrev < 1 || e.portPrev > uint64(view.Deg) ||
+				e.portNext < 1 || e.portNext > uint64(view.Deg) ||
+				e.portPrev == e.portNext {
+				return false
+			}
+		}
+	}
+	// A cut member must carry exactly one path.
+	if me.side == sideCut && len(me.entries) != 1 {
+		return false
+	}
+
+	// Chain continuity and side monotonicity (S… CUT T…).
+	for _, e := range me.entries {
+		if e.hasNext {
+			nb := ns[e.portNext-1]
+			if !hasEntryAt(nb, e.path, e.pos+1) {
+				return false
+			}
+			switch me.side {
+			case sideS:
+				if nb.side == sideT {
+					return false
+				}
+			case sideCut:
+				if nb.side != sideT {
+					return false
+				}
+			case sideT:
+				if nb.side != sideT {
+					return false
+				}
+			}
+		}
+		if e.hasPrev {
+			nb := ns[e.portPrev-1]
+			if !hasEntryWithNext(nb, e.path, e.pos-1) {
+				return false
+			}
+			switch me.side {
+			case sideS:
+				if nb.side != sideS {
+					return false
+				}
+			case sideCut:
+				if nb.side != sideS {
+					return false
+				}
+			case sideT:
+				if nb.side == sideS {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func hasEntryAt(l label, path, pos uint64) bool {
+	for _, e := range l.entries {
+		if e.path == path && e.pos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+func hasEntryWithNext(l label, path, pos uint64) bool {
+	for _, e := range l.entries {
+		if e.path == path && e.pos == pos && e.hasNext {
+			return true
+		}
+	}
+	return false
+}

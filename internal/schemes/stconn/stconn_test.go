@@ -1,0 +1,248 @@
+package stconn_test
+
+import (
+	"testing"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/schemetest"
+	"rpls/internal/schemes/stconn"
+)
+
+func stConfig(g *graph.Graph, s, t int) *graph.Config {
+	c := graph.NewConfig(g)
+	c.States[s].Flags |= graph.FlagSource
+	c.States[t].Flags |= graph.FlagTarget
+	return c
+}
+
+// bruteConnectivity computes the s-t vertex connectivity by trying all
+// vertex subsets as separators (exponential; test sizes only).
+func bruteConnectivity(g *graph.Graph, s, t int) int {
+	n := g.N()
+	var internals []int
+	for v := 0; v < n; v++ {
+		if v != s && v != t {
+			internals = append(internals, v)
+		}
+	}
+	best := len(internals) + 1
+	for mask := 0; mask < 1<<uint(len(internals)); mask++ {
+		size := 0
+		removed := make(map[int]bool)
+		for i, v := range internals {
+			if mask&(1<<uint(i)) != 0 {
+				removed[v] = true
+				size++
+			}
+		}
+		if size >= best {
+			continue
+		}
+		var keep []int
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				keep = append(keep, v)
+			}
+		}
+		sub, orig := g.InducedSubgraph(keep)
+		var si, ti int
+		for i, v := range orig {
+			if v == s {
+				si = i
+			}
+			if v == t {
+				ti = i
+			}
+		}
+		dist := sub.BFSDist(si)
+		if dist[ti] == -1 {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestConnectivityMatchesBruteForce(t *testing.T) {
+	rng := prng.New(1)
+	checked := 0
+	for trial := 0; trial < 60 && checked < 25; trial++ {
+		n := 4 + rng.Intn(7)
+		g := graph.RandomConnected(n, rng.Intn(2*n), rng)
+		s := 0
+		t2 := n - 1
+		if g.HasEdge(s, t2) {
+			continue
+		}
+		cfg := stConfig(g, s, t2)
+		k, paths, sides, err := stconn.Connectivity(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteConnectivity(g, s, t2)
+		if k != want {
+			t.Fatalf("trial %d: connectivity %d, brute force %d", trial, k, want)
+		}
+		if len(paths) != k {
+			t.Fatalf("trial %d: %d paths for connectivity %d", trial, len(paths), k)
+		}
+		// Paths must be internally vertex-disjoint.
+		seen := make(map[int]int)
+		for _, p := range paths {
+			if p[0] != s || p[len(p)-1] != t2 {
+				t.Fatalf("trial %d: path does not run s..t: %v", trial, p)
+			}
+			for _, v := range p[1 : len(p)-1] {
+				seen[v]++
+				if seen[v] > 1 {
+					t.Fatalf("trial %d: internal node %d shared by two paths", trial, v)
+				}
+			}
+		}
+		// Cut size equals k.
+		cut := 0
+		for _, side := range sides {
+			if side == 1 {
+				cut++
+			}
+		}
+		if cut != k {
+			t.Fatalf("trial %d: cut size %d != connectivity %d", trial, cut, k)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func TestConnectivityKnownTopologies(t *testing.T) {
+	// Path: connectivity 1.
+	cfg := stConfig(graph.Path(6), 0, 5)
+	if k, _, _, err := stconn.Connectivity(cfg); err != nil || k != 1 {
+		t.Errorf("path: k=%d err=%v, want 1", k, err)
+	}
+	// Cycle: connectivity 2.
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = stConfig(g, 0, 4)
+	if k, _, _, err := stconn.Connectivity(cfg); err != nil || k != 2 {
+		t.Errorf("cycle: k=%d err=%v, want 2", k, err)
+	}
+	// Figure-eight: shared node is a 1-cut between the two loops.
+	fig8, err := graph.TwoCyclesSharingNode(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = stConfig(fig8, 2, 6)
+	if k, _, _, err := stconn.Connectivity(cfg); err != nil || k != 1 {
+		t.Errorf("figure-eight: k=%d err=%v, want 1", k, err)
+	}
+}
+
+func TestConnectivityRejectsAdjacentTerminals(t *testing.T) {
+	cfg := stConfig(graph.Path(2), 0, 1)
+	if _, _, _, err := stconn.Connectivity(cfg); err == nil {
+		t.Error("adjacent s,t accepted")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	rng := prng.New(2)
+	tested := 0
+	for trial := 0; trial < 40 && tested < 10; trial++ {
+		n := 5 + rng.Intn(12)
+		g := graph.RandomConnected(n, rng.Intn(3*n), rng)
+		if g.HasEdge(0, n-1) {
+			continue
+		}
+		cfg := stConfig(g, 0, n-1)
+		cfg.AssignRandomIDs(rng)
+		k, _, _, err := stconn.Connectivity(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemetest.LegalAccepted(t, stconn.NewPLS(k), cfg)
+		schemetest.LegalAcceptedRPLS(t, stconn.NewRPLS(k), cfg, 15)
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no instances tested")
+	}
+}
+
+func TestProverRefusesWrongK(t *testing.T) {
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stConfig(g, 0, 4) // connectivity 2
+	schemetest.ProverRefuses(t, stconn.NewPLS(1), cfg)
+	schemetest.ProverRefuses(t, stconn.NewPLS(3), cfg)
+}
+
+func TestSoundnessOverclaim(t *testing.T) {
+	// Claiming connectivity 2 on a path (true value 1): no labeling works.
+	illegal := stConfig(graph.Path(7), 0, 6)
+	schemetest.RandomLabelsRejected(t, stconn.NewPLS(2), illegal, 300, 150, 3)
+}
+
+func TestSoundnessUnderclaimTransplant(t *testing.T) {
+	// A cycle has connectivity 2; claiming 1 requires exhibiting a 1-node
+	// cut, which does not exist — labels from a path must fail.
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegalForK1 := stConfig(g, 0, 4)
+	legalForK1 := stConfig(graph.Path(8), 0, 4)
+	schemetest.TransplantRejected(t, stconn.NewPLS(1), legalForK1, illegalForK1)
+	schemetest.RandomLabelsRejected(t, stconn.NewPLS(1), illegalForK1, 300, 150, 5)
+}
+
+func TestSoundnessMultiCrossingCut(t *testing.T) {
+	// The monotonicity check: a "cut" of k+1 nodes each used once, with one
+	// path weaving S→CUT→S→CUT→T, must be rejected. We approximate the
+	// adversary by random-label search plus the transplant above; here we
+	// additionally check a hand-crafted weave is rejected via the honest
+	// labels of a different k.
+	g := graph.New(6)
+	// s=0 — 1 — 2 — 3 — 4 — t=5 plus shortcut 1-4: connectivity 1 (node 1
+	// or 4... actually cut {1} separates? 0's only neighbor is 1: yes k=1).
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(1, 4)
+	cfg := stConfig(g, 0, 5)
+	k, _, _, err := stconn.Connectivity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("setup: k = %d, want 1", k)
+	}
+	schemetest.RandomLabelsRejected(t, stconn.NewPLS(2), cfg, 300, 150, 7)
+}
+
+func TestLabelSizes(t *testing.T) {
+	rng := prng.New(4)
+	for _, n := range []int{16, 64} {
+		g := graph.RandomConnected(n, 2*n, rng)
+		if g.HasEdge(0, n-1) {
+			continue
+		}
+		cfg := stConfig(g, 0, n-1)
+		k, _, _, err := stconn.Connectivity(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// O(k log n) at the terminals, O(log n) elsewhere.
+		schemetest.LabelBitsAtMost(t, stconn.NewPLS(k), cfg, 20+k*(16+32+34))
+		certBound := 6*schemetest.Log2Ceil(20+k*90) + 24
+		schemetest.CertBitsAtMost(t, stconn.NewRPLS(k), cfg, certBound)
+	}
+}

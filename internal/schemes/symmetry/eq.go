@@ -1,0 +1,87 @@
+package symmetry
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+)
+
+// EQFromRPLS is the reduction in the proof of Lemma C.1: any RPLS for Sym
+// with κ-bit certificates yields a 2-party protocol for EQ over λ-bit
+// strings exchanging O(κ) bits — so κ = Ω(log λ) by Lemma 3.2.
+//
+// Alice holds x and builds G(x,x); Bob holds y and builds G(y,y). Each runs
+// the prover locally and simulates the verifier on their half of the
+// combined graph G(x,y); the only communication is the pair of certificates
+// crossing the bridge edge {u⁰_{λ−1}, u¹_{λ−1}}. By Claim C.2, G(x,y) is
+// symmetric iff x = y, so the scheme's guarantees transfer: accept with the
+// scheme's completeness when x = y, reject with probability ≥ 2/3 when
+// x ≠ y.
+//
+// It returns the protocol's decision and the number of bits exchanged (the
+// two bridge certificates).
+func EQFromRPLS(s core.RPLS, x, y bitstring.String, seed uint64) (equal bool, bits int, err error) {
+	if x.Len() != y.Len() || x.Len() == 0 {
+		return false, 0, fmt.Errorf("symmetry: EQ inputs must be nonempty equal-length strings")
+	}
+	lambda := x.Len()
+
+	combinedGraph, err := GZZ(x, y)
+	if err != nil {
+		return false, 0, err
+	}
+	combined := graph.NewConfig(combinedGraph)
+
+	// Alice: G(x,x) shares the combined node numbering on V0 (0..nu−1),
+	// so her labels for V0 are exactly what the prover would emit there.
+	aGraph, err := GZZ(x, x)
+	if err != nil {
+		return false, 0, err
+	}
+	aLabels, err := s.Label(graph.NewConfig(aGraph))
+	if err != nil {
+		return false, 0, fmt.Errorf("alice prover: %w", err)
+	}
+	// Bob: G(y,y); his V1 half (nu..2nu−1) matches the combined graph.
+	bGraph, err := GZZ(y, y)
+	if err != nil {
+		return false, 0, err
+	}
+	bLabels, err := s.Label(graph.NewConfig(bGraph))
+	if err != nil {
+		return false, 0, fmt.Errorf("bob prover: %w", err)
+	}
+
+	nu := 2*lambda + 3
+	labels := make([]core.Label, 2*nu)
+	copy(labels[:nu], aLabels[:nu])
+	copy(labels[nu:], bLabels[nu:])
+
+	// Simulate the verification round on the combined configuration. Only
+	// the two certificates on the bridge edge cross the Alice/Bob boundary.
+	res := runtime.VerifyRPLS(s, combined, labels, seed)
+
+	ua, ub := BridgeEndpoints(lambda)
+	bits = bridgeCertBits(s, combined, labels, ua, ub, seed) +
+		bridgeCertBits(s, combined, labels, ub, ua, seed)
+	return res.Accepted, bits, nil
+}
+
+// bridgeCertBits returns the size of the certificate from to via their
+// shared edge under the same coins the simulation used.
+func bridgeCertBits(s core.RPLS, c *graph.Config, labels []core.Label, from, to int, seed uint64) int {
+	port, ok := c.G.PortTo(from, to)
+	if !ok {
+		return 0
+	}
+	root := prng.New(seed)
+	certs := s.Certs(core.ViewOf(c, from), labels[from], root.Fork(uint64(from)))
+	if port-1 < len(certs) {
+		return certs[port-1].Len()
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+// Package symmetry implements the Sym predicate of Appendix C: a connected
+// graph is symmetric when it has an edge whose removal splits it into
+// exactly two isomorphic connected components.
+//
+// Sym is the paper's example of a predicate whose deterministic
+// verification is brutally expensive (Ω(n²) bits, [21]) while the universal
+// randomized scheme needs only O(log n) bits. It also powers the Ω(log n)
+// lower bound for randomized schemes (Lemma C.1) through the string-to-
+// graph encodings G(z) and G(z, z′) of Figures 3 and 4, which this package
+// constructs, together with the reduction turning any RPLS for Sym into a
+// 2-party EQ protocol.
+package symmetry
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// Predicate decides Sym.
+type Predicate struct{}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (Predicate) Name() string { return "symmetry" }
+
+// Eval implements core.Predicate.
+func (Predicate) Eval(c *graph.Config) bool {
+	return SymmetricEdge(c.G) >= 0
+}
+
+// SymmetricEdge returns the index (into g.Edges()) of an edge whose removal
+// splits g into two isomorphic components, or -1 if none exists.
+func SymmetricEdge(g *graph.Graph) int {
+	if !g.IsConnected() || g.N() == 0 {
+		return -1
+	}
+	for i, e := range g.Edges() {
+		h, err := g.RemoveEdge(e.U, e.V)
+		if err != nil {
+			continue
+		}
+		comps := h.Components()
+		if len(comps) != 2 {
+			continue
+		}
+		if len(comps[0]) != len(comps[1]) {
+			continue
+		}
+		g1, _ := h.InducedSubgraph(comps[0])
+		g2, _ := h.InducedSubgraph(comps[1])
+		if graph.Isomorphic(g1, g2) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewPLS returns the universal deterministic scheme for Sym. Per [21] no
+// substantially better deterministic scheme exists (Ω(n²) bits).
+func NewPLS() core.PLS { return core.UniversalPLS(Predicate{}) }
+
+// NewRPLS returns the compiled universal scheme: O(log n)-bit certificates,
+// which Lemma C.1 proves optimal.
+func NewRPLS() core.RPLS { return core.UniversalRPLS(Predicate{}) }
+
+// GZ builds the graph G(z) of Figure 3 for a λ-bit string z: a path
+// u_0..u_{λ−1}, pendant nodes w_0..w_{λ−1} attached to u_i when z_i = 1 and
+// to the triangle node t_1 when z_i = 0, a triangle {t_0, t_1, t_2}, and
+// the anchor edge {t_0, u_0}. Node layout: u_i at index i, w_i at λ+i,
+// t_j at 2λ+j.
+func GZ(z bitstring.String) (*graph.Graph, error) {
+	lambda := z.Len()
+	if lambda == 0 {
+		return nil, fmt.Errorf("symmetry: empty string")
+	}
+	g := graph.New(2*lambda + 3)
+	u := func(i int) int { return i }
+	w := func(i int) int { return lambda + i }
+	t := func(j int) int { return 2*lambda + j }
+	for i := 0; i+1 < lambda; i++ {
+		g.MustAddEdge(u(i), u(i+1))
+	}
+	g.MustAddEdge(t(0), t(1))
+	g.MustAddEdge(t(0), t(2))
+	g.MustAddEdge(t(1), t(2))
+	g.MustAddEdge(t(0), u(0))
+	for i := 0; i < lambda; i++ {
+		if z.Bit(i) == 1 {
+			g.MustAddEdge(w(i), u(i))
+		} else {
+			g.MustAddEdge(w(i), t(1))
+		}
+	}
+	return g, nil
+}
+
+// GZZ builds the graph G(z, z′) of Figure 4: disjoint copies of G(z) and
+// G(z′) joined by the bridge {u^0_{λ−1}, u^1_{λ−1}}. The first copy
+// occupies indices 0..2λ+2, the second 2λ+3..4λ+5.
+func GZZ(z, zp bitstring.String) (*graph.Graph, error) {
+	if z.Len() != zp.Len() {
+		return nil, fmt.Errorf("symmetry: strings must have equal length")
+	}
+	lambda := z.Len()
+	g0, err := GZ(z)
+	if err != nil {
+		return nil, err
+	}
+	g1, err := GZ(zp)
+	if err != nil {
+		return nil, err
+	}
+	nu := g0.N()
+	g := graph.New(2 * nu)
+	for _, e := range g0.Edges() {
+		g.MustAddEdge(e.U, e.V)
+	}
+	for _, e := range g1.Edges() {
+		g.MustAddEdge(nu+e.U, nu+e.V)
+	}
+	// Bridge between the two path ends u_{λ−1}.
+	g.MustAddEdge(lambda-1, nu+lambda-1)
+	return g, nil
+}
+
+// BridgeEndpoints returns the endpoints of the bridge edge of GZZ for
+// strings of length lambda.
+func BridgeEndpoints(lambda int) (int, int) {
+	return lambda - 1, (2*lambda + 3) + lambda - 1
+}

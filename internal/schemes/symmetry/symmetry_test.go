@@ -1,0 +1,205 @@
+package symmetry_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/schemetest"
+	"rpls/internal/schemes/symmetry"
+)
+
+func bits(pattern string) bitstring.String {
+	out := make([]byte, len(pattern))
+	for i, ch := range pattern {
+		if ch == '1' {
+			out[i] = 1
+		}
+	}
+	return bitstring.FromBits(out)
+}
+
+func TestGZShape(t *testing.T) {
+	z := bits("10011")
+	g, err := symmetry.GZ(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2*5+3 {
+		t.Fatalf("N = %d, want 13", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("G(z) must be connected")
+	}
+	// λ−1 path edges + 3 triangle edges + 1 anchor + λ pendant edges.
+	if want := 4 + 3 + 1 + 5; g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+	// z_0 = 1: w_0 attached to u_0; z_1 = 0: w_1 attached to t_1.
+	if !g.HasEdge(5+0, 0) {
+		t.Error("w0 should attach to u0 (z0=1)")
+	}
+	if !g.HasEdge(5+1, 2*5+1) {
+		t.Error("w1 should attach to t1 (z1=0)")
+	}
+}
+
+func TestClaimC2SymmetryIffEqual(t *testing.T) {
+	// Claim C.2: Sym(G(z, z′)) ⟺ z = z′.
+	rng := prng.New(1)
+	for trial := 0; trial < 12; trial++ {
+		lambda := 1 + rng.Intn(7)
+		zb := make([]byte, lambda)
+		for i := range zb {
+			zb[i] = rng.Bit()
+		}
+		z := bitstring.FromBits(zb)
+
+		same, err := symmetry.GZZ(z, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(symmetry.Predicate{}).Eval(graph.NewConfig(same)) {
+			t.Fatalf("trial %d: G(z,z) not symmetric for z=%v", trial, z)
+		}
+
+		// Flip one bit for the unequal case.
+		yb := make([]byte, lambda)
+		copy(yb, zb)
+		pos := rng.Intn(lambda)
+		yb[pos] = 1 - yb[pos]
+		y := bitstring.FromBits(yb)
+		diff, err := symmetry.GZZ(z, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (symmetry.Predicate{}).Eval(graph.NewConfig(diff)) {
+			t.Fatalf("trial %d: G(z,y) symmetric for z=%v y=%v", trial, z, y)
+		}
+	}
+}
+
+func TestClaimC2SingleBit(t *testing.T) {
+	// The λ = 1 case the proof handles separately: G('0') vs G('1').
+	g0, err := symmetry.GZ(bits("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := symmetry.GZ(bits("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Isomorphic(g0, g1) {
+		t.Error("G('0') and G('1') must not be isomorphic")
+	}
+}
+
+func TestGZReversalNotIsomorphic(t *testing.T) {
+	// The anchor edge e_0 exists precisely to break string reversal.
+	z := bits("1100")
+	zr := bits("0011")
+	gz, err := symmetry.GZ(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzr, err := symmetry.GZ(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Isomorphic(gz, gzr) {
+		t.Error("G(z) and G(reverse(z)) must differ")
+	}
+}
+
+func TestSymmetricEdgeOnKnownGraphs(t *testing.T) {
+	// A path of even length splits at its middle edge.
+	if symmetry.SymmetricEdge(graph.Path(6)) < 0 {
+		t.Error("P6 should be symmetric")
+	}
+	if symmetry.SymmetricEdge(graph.Path(5)) >= 0 {
+		t.Error("P5 has no splitting edge into equal halves")
+	}
+	// A cycle stays connected after any single-edge removal.
+	cyc, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symmetry.SymmetricEdge(cyc) >= 0 {
+		t.Error("C6 should not be symmetric (no cut edge)")
+	}
+}
+
+func TestUniversalSchemeOnSym(t *testing.T) {
+	z := bits("101")
+	g, err := symmetry.GZZ(z, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(g)
+	schemetest.LegalAccepted(t, symmetry.NewPLS(), c)
+	schemetest.LegalAcceptedRPLS(t, symmetry.NewRPLS(), c, 5)
+}
+
+func TestEQFromRPLSEqualStrings(t *testing.T) {
+	// Lemma C.1 forward direction: equal inputs are accepted (probability 1
+	// for the compiled universal scheme, which is one-sided).
+	s := symmetry.NewRPLS()
+	x := bits("1011")
+	eq, bitsUsed, err := symmetry.EQFromRPLS(s, x, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("protocol rejected equal strings")
+	}
+	if bitsUsed <= 0 {
+		t.Error("no bits crossed the bridge")
+	}
+}
+
+func TestEQFromRPLSDistinctStrings(t *testing.T) {
+	// Reverse direction: distinct inputs are rejected with probability
+	// >= 2/3; measure over seeds.
+	s := symmetry.NewRPLS()
+	x := bits("1011")
+	y := bits("1010")
+	accepted := 0
+	const trials = 30
+	for seed := uint64(0); seed < trials; seed++ {
+		eq, _, err := symmetry.EQFromRPLS(s, x, y, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq {
+			accepted++
+		}
+	}
+	if rate := float64(accepted) / trials; rate > 1.0/3 {
+		t.Errorf("distinct strings accepted at rate %v", rate)
+	}
+}
+
+func TestEQFromRPLSTranscriptIsLogarithmic(t *testing.T) {
+	// The transcript is two certificates: O(log n + log k) = O(log λ) bits,
+	// exponentially below the λ bits of the trivial protocol.
+	s := symmetry.NewRPLS()
+	prev := 0
+	for _, lambda := range []int{2, 4, 8} {
+		x := bitstring.FromBits(make([]byte, lambda))
+		_, bitsUsed, err := symmetry.EQFromRPLS(s, x, x, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bitsUsed >= lambda*100 && lambda >= 8 {
+			t.Errorf("λ=%d: transcript %d bits is not sublinear territory", lambda, bitsUsed)
+		}
+		if prev > 0 && bitsUsed > prev+40 {
+			t.Errorf("λ=%d: transcript jumped %d -> %d", lambda, prev, bitsUsed)
+		}
+		prev = bitsUsed
+	}
+}

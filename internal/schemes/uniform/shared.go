@@ -1,0 +1,74 @@
+package uniform
+
+import (
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/field"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// NewSharedRPLS returns the Unif scheme in the shared-randomness model (the
+// open question in §6 of the paper): all nodes evaluate their payload
+// polynomial at one public point x, so a certificate is just the value
+// A(x) — about half the bits of the private-coin fingerprint, which must
+// ship x itself. Still label-free, one-sided, and sound with error
+// ≤ (k−1)/p < 1/3 per illegal edge; certificates on different edges are
+// deliberately correlated (all use the same x), stepping outside the
+// edge-independent class of Definition 4.5.
+func NewSharedRPLS() core.SharedRPLS { return sharedRPLS{} }
+
+type sharedRPLS struct{}
+
+var _ core.SharedRPLS = sharedRPLS{}
+
+func (sharedRPLS) Name() string   { return "uniform-shared" }
+func (sharedRPLS) OneSided() bool { return true }
+
+func (sharedRPLS) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	return make([]core.Label, c.G.N()), nil
+}
+
+func (sharedRPLS) CertsShared(view core.View, _ core.Label, shared, _ *prng.Rand) []core.Cert {
+	data := bitstring.FromBytes(view.State.Data)
+	p := field.PrimeForLength(data.Len())
+	x := shared.Uint64n(p) // identical draw at every node
+	y := field.NewPoly(data, p).Eval(x)
+	var w bitstring.Writer
+	w.WriteGamma(uint64(data.Len()))
+	w.WriteUint(y, bitstring.UintBits(p-1))
+	cert := w.String()
+	certs := make([]core.Cert, view.Deg)
+	for i := range certs {
+		certs[i] = cert
+	}
+	return certs
+}
+
+func (sharedRPLS) DecideShared(view core.View, _ core.Label, received []core.Cert, shared *prng.Rand) bool {
+	data := bitstring.FromBytes(view.State.Data)
+	p := field.PrimeForLength(data.Len())
+	x := shared.Uint64n(p) // replay the public draw
+	want := field.NewPoly(data, p).Eval(x)
+	if len(received) != view.Deg {
+		return false
+	}
+	for _, cert := range received {
+		r := bitstring.NewReader(cert)
+		n, err := r.ReadGamma()
+		if err != nil || int(n) != data.Len() {
+			return false
+		}
+		y, err := r.ReadUint(bitstring.UintBits(p - 1))
+		if err != nil || r.Remaining() != 0 {
+			return false
+		}
+		if y != want {
+			return false
+		}
+	}
+	return true
+}

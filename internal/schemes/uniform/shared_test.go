@@ -1,0 +1,80 @@
+package uniform_test
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+func TestSharedCompleteness(t *testing.T) {
+	c := uniformConfig(graph.RandomConnected(15, 10, prng.New(1)), []byte("shared payload"))
+	s := uniform.NewSharedRPLS()
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 200, 3); rate != 1.0 {
+		t.Errorf("legal acceptance %v, want 1.0 (one-sided)", rate)
+	}
+}
+
+func TestSharedSoundness(t *testing.T) {
+	c := uniformConfig(graph.Path(6), []byte("aaaaaaaa"))
+	c.States[3].Data = []byte("aaaaaaab")
+	s := uniform.NewSharedRPLS()
+	labels := make([]core.Label, 6)
+	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 2000, 5); rate > 1.0/3 {
+		t.Errorf("illegal acceptance %v, want <= 1/3", rate)
+	}
+}
+
+func TestSharedCertificatesAreSmaller(t *testing.T) {
+	// The public evaluation point need not be transmitted: shared-coin
+	// certificates drop the x component.
+	c := uniformConfig(graph.Path(4), make([]byte, 64))
+	shared := uniform.NewSharedRPLS()
+	private := uniform.NewRPLS()
+	labels := make([]core.Label, 4)
+
+	sharedBits := runtime.VerifyShared(shared, c, labels, 7).Stats.MaxCertBits
+	privateBits := runtime.MaxCertBitsOver(private, c, labels, 5, 7)
+	if sharedBits >= privateBits {
+		t.Errorf("shared certs %d bits, private %d bits; shared should be smaller", sharedBits, privateBits)
+	}
+	// Specifically: private ≈ gamma + 2·⌈log p⌉, shared ≈ gamma + ⌈log p⌉.
+	if sharedBits*2 > privateBits+24 {
+		t.Errorf("shared %d bits not close to half of private %d bits", sharedBits, privateBits)
+	}
+}
+
+func TestSharedCoinsAreIdenticalAcrossNodes(t *testing.T) {
+	// All nodes must draw the same public point; two independently built
+	// SharedCoins streams for the same round agree.
+	a := core.SharedCoins(42)
+	b := core.SharedCoins(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("shared streams diverged")
+		}
+	}
+	c := core.SharedCoins(43)
+	if core.SharedCoins(42).Uint64() == c.Uint64() {
+		t.Error("different rounds produced identical public coins")
+	}
+}
+
+func TestSharedRejectsGarbage(t *testing.T) {
+	c := uniformConfig(graph.Path(2), []byte("zz"))
+	s := uniform.NewSharedRPLS()
+	view := core.ViewOf(c, 0)
+	if s.DecideShared(view, core.Label{}, []core.Cert{{}}, core.SharedCoins(1)) {
+		t.Error("empty certificate accepted")
+	}
+	if s.DecideShared(view, core.Label{}, nil, core.SharedCoins(1)) {
+		t.Error("missing certificates accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package uniform_test
+
+import (
+	"testing"
+
+	"rpls/internal/commcc"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+// bitsToBytes packs a bit string into a byte payload (length multiple of 8
+// for exactness).
+func bitsToBytes(t *testing.T, s interface {
+	Len() int
+	Bit(int) byte
+}) []byte {
+	t.Helper()
+	if s.Len()%8 != 0 {
+		t.Fatal("payload bit length must be a multiple of 8")
+	}
+	out := make([]byte, s.Len()/8)
+	for i := 0; i < s.Len(); i++ {
+		if s.Bit(i) == 1 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+func TestTruncatedFieldIsPerfectlyFooled(t *testing.T) {
+	// Lemma C.3 made constructive: with a field of 4 bits, the payload pair
+	// (e₁, e_p) is indistinguishable by every fingerprint, so the illegal
+	// two-node configuration is accepted with probability 1 — the scheme
+	// has ceased to verify anything.
+	const lambda = 256 // payload bits
+	fieldBits := 4
+	p := commcc.TruncatedPrime(fieldBits)
+	a, b, err := commcc.FoolingPair(lambda, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.NewConfig(graph.Path(2))
+	c.States[0].Data = bitsToBytes(t, a)
+	c.States[1].Data = bitsToBytes(t, b)
+	if (uniform.Predicate{}).Eval(c) {
+		t.Fatal("setup: payloads must differ")
+	}
+	s := uniform.NewTruncatedRPLS(fieldBits)
+	labels := make([]core.Label, 2)
+	if rate := runtime.EstimateAcceptance(s, c, labels, 300, 1); rate != 1.0 {
+		t.Errorf("acceptance %v, want 1.0 (perfect fooling below the bound)", rate)
+	}
+	// The properly sized scheme is immune on the same configuration.
+	full := uniform.NewRPLS()
+	if rate := runtime.EstimateAcceptance(full, c, labels, 300, 2); rate > 1.0/3 {
+		t.Errorf("full scheme accepted the fooling pair at rate %v", rate)
+	}
+}
+
+func TestTruncatedFieldStillCompleteOnLegal(t *testing.T) {
+	// Truncation hurts soundness, never completeness: equal payloads still
+	// always match.
+	c := graph.NewConfig(graph.Path(4))
+	for v := range c.States {
+		c.States[v].Data = []byte{0xAA, 0xBB}
+	}
+	s := uniform.NewTruncatedRPLS(4)
+	labels := make([]core.Label, 4)
+	if rate := runtime.EstimateAcceptance(s, c, labels, 100, 3); rate != 1.0 {
+		t.Errorf("legal acceptance %v under truncation, want 1.0", rate)
+	}
+}

@@ -1,0 +1,153 @@
+// Package uniform implements the Unif predicate of Appendix C (Lemma C.3):
+// every node carries the same k-bit payload in its state.
+//
+// Unif is the cleanest witness of the paper's exponential separation.
+// Deterministically, verification requires the payload itself to travel
+// between neighbors — the PLS here uses k-bit labels (and Lemma C.3 shows
+// Ω(log k) is required even with randomness). The direct RPLS needs *no
+// labels at all*: each node fingerprints its own payload per Lemma A.1 and
+// sends the O(log k)-bit fingerprint; any adjacent disagreement is caught
+// with probability > 2/3.
+package uniform
+
+import (
+	"bytes"
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/field"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Predicate decides Unif: all node Data payloads are equal. On a connected
+// graph this is equivalent to all adjacent pairs agreeing.
+type Predicate struct{}
+
+var _ core.Predicate = Predicate{}
+
+// Name implements core.Predicate.
+func (Predicate) Name() string { return "uniform" }
+
+// Eval implements core.Predicate.
+func (Predicate) Eval(c *graph.Config) bool {
+	for v := 1; v < c.G.N(); v++ {
+		if !bytes.Equal(c.States[v].Data, c.States[0].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPLS returns the deterministic scheme: the label of v is its payload,
+// and v accepts when its label matches its own payload and every neighbor
+// label matches its own label. Verification complexity k.
+func NewPLS() core.PLS { return detPLS{} }
+
+type detPLS struct{}
+
+var _ core.PLS = detPLS{}
+
+func (detPLS) Name() string { return "uniform-det" }
+
+func (detPLS) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	out := make([]core.Label, c.G.N())
+	for v := range out {
+		out[v] = bitstring.FromBytes(c.States[v].Data)
+	}
+	return out, nil
+}
+
+func (detPLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
+	if !own.Equal(bitstring.FromBytes(view.State.Data)) {
+		return false
+	}
+	for _, nl := range nbrs {
+		if !nl.Equal(own) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewRPLS returns the direct randomized scheme: labels are empty;
+// certificates are fingerprints of the node's own payload. One-sided and
+// edge-independent; verification complexity O(log k).
+func NewRPLS() core.RPLS {
+	return randRPLS{name: "uniform-rand", prime: field.PrimeForLength}
+}
+
+// NewTruncatedRPLS returns the direct scheme with an adversarially small
+// fingerprint field of the given bit width, regardless of the payload
+// length. It realizes the Ω(log k) lower bound of Lemma C.3 constructively:
+// when 2^fieldBits ≪ 3k there exist distinct payloads (commcc.FoolingPair)
+// the scheme can never tell apart, so an illegal configuration built from
+// them is accepted with probability 1.
+func NewTruncatedRPLS(fieldBits int) core.RPLS {
+	if fieldBits < 2 {
+		fieldBits = 2
+	}
+	p := field.NextPrime(1 << uint(fieldBits-1))
+	return randRPLS{
+		name:  fmt.Sprintf("uniform-rand-truncated(%d-bit field)", fieldBits),
+		prime: func(int) uint64 { return p },
+	}
+}
+
+type randRPLS struct {
+	name  string
+	prime func(lambda int) uint64
+}
+
+var _ core.RPLS = randRPLS{}
+
+func (r randRPLS) Name() string { return r.name }
+
+func (randRPLS) OneSided() bool { return true }
+
+func (randRPLS) Label(c *graph.Config) ([]core.Label, error) {
+	if !(Predicate{}).Eval(c) {
+		return nil, core.ErrIllegalConfig
+	}
+	return make([]core.Label, c.G.N()), nil // label-free
+}
+
+func (r randRPLS) Certs(view core.View, _ core.Label, rng *prng.Rand) []core.Cert {
+	data := bitstring.FromBytes(view.State.Data)
+	p := r.prime(data.Len())
+	certs := make([]core.Cert, view.Deg)
+	for i := range certs {
+		fp := field.NewFingerprint(data, p, rng.Fork(uint64(i)))
+		var w bitstring.Writer
+		w.WriteGamma(uint64(data.Len()))
+		fp.Encode(&w)
+		certs[i] = w.String()
+	}
+	return certs
+}
+
+func (r randRPLS) Decide(view core.View, _ core.Label, received []core.Cert) bool {
+	data := bitstring.FromBytes(view.State.Data)
+	if len(received) != view.Deg {
+		return false
+	}
+	for _, cert := range received {
+		rd := bitstring.NewReader(cert)
+		n, err := rd.ReadGamma()
+		if err != nil || int(n) != data.Len() {
+			return false
+		}
+		fp, err := field.DecodeFingerprint(rd, r.prime(int(n)))
+		if err != nil || rd.Remaining() != 0 {
+			return false
+		}
+		if !fp.Matches(data) {
+			return false
+		}
+	}
+	return true
+}

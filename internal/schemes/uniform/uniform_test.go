@@ -1,0 +1,186 @@
+package uniform_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/runtime"
+	"rpls/internal/schemes/uniform"
+)
+
+func uniformConfig(g *graph.Graph, payload []byte) *graph.Config {
+	c := graph.NewConfig(g)
+	for v := range c.States {
+		d := make([]byte, len(payload))
+		copy(d, payload)
+		c.States[v].Data = d
+	}
+	return c
+}
+
+func TestPredicate(t *testing.T) {
+	c := uniformConfig(graph.Path(5), []byte("abc"))
+	if !(uniform.Predicate{}).Eval(c) {
+		t.Error("uniform config rejected by predicate")
+	}
+	c.States[3].Data = []byte("abd")
+	if (uniform.Predicate{}).Eval(c) {
+		t.Error("non-uniform config accepted by predicate")
+	}
+}
+
+func TestPLSAcceptsLegal(t *testing.T) {
+	c := uniformConfig(graph.RandomConnected(20, 10, prng.New(1)), []byte("payload"))
+	res, err := runtime.RunPLS(uniform.NewPLS(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Errorf("legal config rejected; votes = %v", res.Votes)
+	}
+	if want := 8 * 7; res.Stats.MaxLabelBits != want {
+		t.Errorf("label bits = %d, want %d", res.Stats.MaxLabelBits, want)
+	}
+}
+
+func TestPLSProverRefusesIllegal(t *testing.T) {
+	c := uniformConfig(graph.Path(4), []byte("x"))
+	c.States[2].Data = []byte("y")
+	if _, err := uniform.NewPLS().Label(c); err == nil {
+		t.Error("prover labeled an illegal configuration")
+	}
+}
+
+func TestPLSSoundAgainstTransplantedLabels(t *testing.T) {
+	// Take honest labels from a legal config and run them on an illegal one:
+	// at least one node must reject, deterministically.
+	legal := uniformConfig(graph.Path(6), []byte("aaaa"))
+	labels, err := uniform.NewPLS().Label(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	illegal := legal.Clone()
+	illegal.States[3].Data = []byte("aaab")
+	res := runtime.VerifyPLS(uniform.NewPLS(), illegal, labels)
+	if res.Accepted {
+		t.Error("transplanted labels fooled the deterministic verifier")
+	}
+}
+
+func TestPLSSoundAgainstRandomLabels(t *testing.T) {
+	rng := prng.New(2)
+	illegal := uniformConfig(graph.Path(5), []byte("aaaa"))
+	illegal.States[2].Data = []byte("bbbb")
+	for trial := 0; trial < 100; trial++ {
+		labels := randomLabels(rng, 5, 64)
+		if runtime.VerifyPLS(uniform.NewPLS(), illegal, labels).Accepted {
+			t.Fatal("random labels fooled the deterministic verifier")
+		}
+	}
+}
+
+func TestRPLSOneSidedCompleteness(t *testing.T) {
+	// Legal configurations must be accepted with probability exactly 1.
+	c := uniformConfig(graph.RandomConnected(15, 10, prng.New(3)), []byte("hello world"))
+	s := uniform.NewRPLS()
+	labels, err := s.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := runtime.EstimateAcceptance(s, c, labels, 300, 10); rate != 1.0 {
+		t.Errorf("acceptance on legal config = %v, want 1.0 (one-sided)", rate)
+	}
+}
+
+func TestRPLSSoundness(t *testing.T) {
+	// An adjacent disagreement must be detected with probability >= 2/3.
+	c := uniformConfig(graph.Path(6), []byte("aaaaaaaa"))
+	c.States[3].Data = []byte("aaaaaaab")
+	s := uniform.NewRPLS()
+	labels := make([]core.Label, 6) // scheme is label-free
+	rate := runtime.EstimateAcceptance(s, c, labels, 2000, 20)
+	if rate > 1.0/3 {
+		t.Errorf("acceptance on illegal config = %v, want <= 1/3", rate)
+	}
+}
+
+func TestRPLSCertificateSizeLogarithmic(t *testing.T) {
+	// k doubles 9 times; certificates must grow by O(1) bits per doubling.
+	s := uniform.NewRPLS()
+	prev := 0
+	for _, kBytes := range []int{1, 8, 64, 512} {
+		c := uniformConfig(graph.Path(4), make([]byte, kBytes))
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := runtime.MaxCertBitsOver(s, c, labels, 5, 30)
+		k := kBytes * 8
+		if bits > 6*log2ceil(k)+20 {
+			t.Errorf("k=%d bits: certificate %d bits, want O(log k)", k, bits)
+		}
+		if prev > 0 && bits > prev+16 {
+			t.Errorf("k=%d: certificate jumped from %d to %d bits", k, prev, bits)
+		}
+		prev = bits
+	}
+}
+
+func TestRPLSDetectsMostDisagreements(t *testing.T) {
+	// Spot-check rejection across many random illegal instances.
+	rng := prng.New(4)
+	s := uniform.NewRPLS()
+	fooled := 0
+	const instances = 50
+	for i := 0; i < instances; i++ {
+		n := 4 + rng.Intn(10)
+		c := uniformConfig(graph.RandomConnected(n, rng.Intn(n), rng), []byte("basebase"))
+		v := rng.Intn(n)
+		c.States[v].Data = []byte("basebasf")
+		labels := make([]core.Label, n)
+		if runtime.EstimateAcceptance(s, c, labels, 30, uint64(100+i)) > 1.0/3 {
+			fooled++
+		}
+	}
+	if fooled > 0 {
+		t.Errorf("%d/%d illegal instances accepted too often", fooled, instances)
+	}
+}
+
+func TestRPLSRejectsMalformedCertificates(t *testing.T) {
+	c := uniformConfig(graph.Path(2), []byte("zz"))
+	s := uniform.NewRPLS()
+	view := core.ViewOf(c, 0)
+	if s.Decide(view, core.Label{}, []core.Cert{{}}) {
+		t.Error("empty certificate accepted")
+	}
+	if s.Decide(view, core.Label{}, nil) {
+		t.Error("missing certificates accepted")
+	}
+}
+
+func randomLabels(rng *prng.Rand, n, maxBits int) []core.Label {
+	out := make([]core.Label, n)
+	for i := range out {
+		bits := make([]byte, rng.Intn(maxBits+1))
+		for j := range bits {
+			bits[j] = rng.Bit()
+		}
+		out[i] = bitstring.FromBits(bits)
+	}
+	return out
+}
+
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1
+	}
+	return b
+}

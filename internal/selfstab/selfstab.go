@@ -1,0 +1,121 @@
+// Package selfstab connects randomized proof-labeling schemes to their
+// original deployment story (§1 of the paper, and [1, 9, 30]): a running
+// system periodically re-verifies its certified output; when a fault
+// corrupts states or labels, some node eventually outputs FALSE and
+// triggers recovery.
+//
+// The Monitor executes rounds of randomized verification over a mutable
+// configuration. For the one-sided schemes of this repository a legal,
+// honestly labeled system never raises a false alarm; after a fault, each
+// round independently detects it with probability ≥ 2/3 (≥ 1−3^−t with
+// t-fold boosting), so detection latency is geometric — which the
+// DetectionLatency helper measures.
+package selfstab
+
+import (
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/runtime"
+)
+
+// StepResult reports one verification round.
+type StepResult struct {
+	Round     uint64
+	Accepted  bool
+	Rejectors []int // nodes that output FALSE and would trigger recovery
+}
+
+// Monitor drives repeated verification of a configuration.
+type Monitor struct {
+	scheme core.RPLS
+	cfg    *graph.Config
+	labels []core.Label
+	seed   uint64
+	round  uint64
+}
+
+// NewMonitor labels the configuration with the scheme's prover and returns
+// a monitor ready to step. The configuration must be legal.
+func NewMonitor(s core.RPLS, cfg *graph.Config, seed uint64) (*Monitor, error) {
+	labels, err := s.Label(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("selfstab: initial labeling: %w", err)
+	}
+	return &Monitor{scheme: s, cfg: cfg, labels: labels, seed: seed}, nil
+}
+
+// Config exposes the monitored configuration for fault injection.
+func (m *Monitor) Config() *graph.Config { return m.cfg }
+
+// Round returns the number of completed verification rounds.
+func (m *Monitor) Round() uint64 { return m.round }
+
+// Step runs one randomized verification round with fresh coins.
+func (m *Monitor) Step() StepResult {
+	m.round++
+	res := runtime.VerifyRPLS(m.scheme, m.cfg, m.labels, m.seed+m.round)
+	out := StepResult{Round: m.round, Accepted: res.Accepted}
+	for v, vote := range res.Votes {
+		if !vote {
+			out.Rejectors = append(out.Rejectors, v)
+		}
+	}
+	return out
+}
+
+// Corrupt applies a fault to the configuration (states and/or topology via
+// the callback). Labels are left stale, modeling a fault that struck after
+// certification.
+func (m *Monitor) Corrupt(fault func(cfg *graph.Config)) {
+	fault(m.cfg)
+}
+
+// CorruptLabel overwrites one node's label, modeling memory corruption of
+// the proof itself.
+func (m *Monitor) CorruptLabel(v int, l core.Label) error {
+	if v < 0 || v >= len(m.labels) {
+		return fmt.Errorf("selfstab: node %d out of range", v)
+	}
+	m.labels[v] = l
+	return nil
+}
+
+// Repair re-runs the prover on the current configuration — the "recovery
+// procedure" a rejecting node launches. It fails if the configuration
+// itself (not just the labels) is illegal, in which case recovery needs an
+// application-level fix first.
+func (m *Monitor) Repair() error {
+	labels, err := m.scheme.Label(m.cfg)
+	if err != nil {
+		return fmt.Errorf("selfstab: repair: %w", err)
+	}
+	m.labels = labels
+	return nil
+}
+
+// DetectionLatency steps the monitor until some node rejects, returning
+// the number of rounds taken; it gives up after maxRounds (returning
+// maxRounds and false).
+func DetectionLatency(m *Monitor, maxRounds int) (int, bool) {
+	for i := 1; i <= maxRounds; i++ {
+		if res := m.Step(); !res.Accepted {
+			return i, true
+		}
+	}
+	return maxRounds, false
+}
+
+// FalseAlarmRate runs rounds on an unmodified monitor and returns the
+// fraction that rejected — zero for the one-sided schemes of this
+// repository.
+func FalseAlarmRate(m *Monitor, rounds int) float64 {
+	alarms := 0
+	for i := 0; i < rounds; i++ {
+		if res := m.Step(); !res.Accepted {
+			alarms++
+		}
+	}
+	return float64(alarms) / float64(rounds)
+}

@@ -1,0 +1,174 @@
+package selfstab_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/uniform"
+	"rpls/internal/selfstab"
+)
+
+func uniformConfig(g *graph.Graph, payload []byte) *graph.Config {
+	c := graph.NewConfig(g)
+	for v := range c.States {
+		d := make([]byte, len(payload))
+		copy(d, payload)
+		c.States[v].Data = d
+	}
+	return c
+}
+
+func TestNoFalseAlarmsOneSided(t *testing.T) {
+	c := uniformConfig(graph.RandomConnected(20, 15, prng.New(1)), []byte("steady"))
+	m, err := selfstab.NewMonitor(uniform.NewRPLS(), c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := selfstab.FalseAlarmRate(m, 200); rate != 0 {
+		t.Errorf("false alarm rate %v on an unperturbed system, want 0", rate)
+	}
+}
+
+func TestStateCorruptionDetected(t *testing.T) {
+	c := uniformConfig(graph.Path(8), []byte("payload0"))
+	m, err := selfstab.NewMonitor(uniform.NewRPLS(), c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(func(cfg *graph.Config) {
+		cfg.States[4].Data = []byte("payload1")
+	})
+	latency, ok := selfstab.DetectionLatency(m, 50)
+	if !ok {
+		t.Fatal("corruption never detected within 50 rounds")
+	}
+	// Per-round detection probability >= 2/3, so latency is sharply
+	// concentrated; 50 rounds of slack is astronomically generous.
+	if latency > 20 {
+		t.Errorf("detection took %d rounds", latency)
+	}
+}
+
+func TestRejectorIsNearTheFault(t *testing.T) {
+	c := uniformConfig(graph.Path(9), []byte("x"))
+	m, err := selfstab.NewMonitor(uniform.NewRPLS(), c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(func(cfg *graph.Config) {
+		cfg.States[4].Data = []byte("y")
+	})
+	for i := 0; i < 30; i++ {
+		res := m.Step()
+		if res.Accepted {
+			continue
+		}
+		for _, v := range res.Rejectors {
+			if v < 3 || v > 5 {
+				t.Errorf("rejector %d is not adjacent to the fault at node 4", v)
+			}
+		}
+		return
+	}
+	t.Fatal("fault never detected")
+}
+
+func TestLabelCorruptionDetected(t *testing.T) {
+	// Corrupt the proof, not the state: a spanning-tree label flips.
+	g := graph.RandomConnected(12, 8, prng.New(4))
+	c := graph.NewConfig(g)
+	parents := g.SpanningTreeParents(0)
+	for v, p := range parents {
+		c.States[v].Parent = p
+	}
+	m, err := selfstab.NewMonitor(spanningtree.NewRPLS(), c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CorruptLabel(6, bitstring.FromBytes([]byte{0xFF, 0x00, 0xFF})); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := selfstab.DetectionLatency(m, 50); !ok {
+		t.Error("label corruption never detected")
+	}
+}
+
+func TestRepairRestoresService(t *testing.T) {
+	c := uniformConfig(graph.Path(6), []byte("v1"))
+	m, err := selfstab.NewMonitor(uniform.NewRPLS(), c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The application legitimately updates every node to v2; stale labels
+	// are irrelevant for the label-free uniform scheme, so simulate with
+	// the spanning-tree scheme instead... simpler: corrupt, detect, fix
+	// the state, repair, and verify alarms stop.
+	m.Corrupt(func(cfg *graph.Config) {
+		cfg.States[2].Data = []byte("xx")
+	})
+	if _, ok := selfstab.DetectionLatency(m, 50); !ok {
+		t.Fatal("fault not detected")
+	}
+	// Recovery: application fixes the state, the scheme re-proves.
+	m.Corrupt(func(cfg *graph.Config) {
+		cfg.States[2].Data = []byte("v1")
+	})
+	if err := m.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if rate := selfstab.FalseAlarmRate(m, 100); rate != 0 {
+		t.Errorf("alarms persist after repair: %v", rate)
+	}
+}
+
+func TestRepairRefusesIllegalConfiguration(t *testing.T) {
+	c := uniformConfig(graph.Path(4), []byte("a"))
+	m, err := selfstab.NewMonitor(uniform.NewRPLS(), c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(func(cfg *graph.Config) {
+		cfg.States[1].Data = []byte("b")
+	})
+	if err := m.Repair(); err == nil {
+		t.Error("repair succeeded on an illegal configuration")
+	}
+}
+
+func TestBoostingShortensLatency(t *testing.T) {
+	// With t-fold boosting the per-round detection probability rises from
+	// >= 2/3 to >= 1 − 3^−t; average latency over many faults must not
+	// increase. Use a worst-case-ish fingerprint pair for a visible effect.
+	mkMonitor := func(s core.RPLS, seed uint64) *selfstab.Monitor {
+		c := uniformConfig(graph.Path(4), []byte{0x00, 0x00})
+		m, err := selfstab.NewMonitor(s, c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Corrupt(func(cfg *graph.Config) {
+			cfg.States[2].Data = []byte{0x00, 0x01}
+		})
+		return m
+	}
+	total := func(s core.RPLS) int {
+		sum := 0
+		for seed := uint64(0); seed < 40; seed++ {
+			m := mkMonitor(s, seed*131)
+			lat, ok := selfstab.DetectionLatency(m, 200)
+			if !ok {
+				t.Fatal("fault not detected")
+			}
+			sum += lat
+		}
+		return sum
+	}
+	base := total(uniform.NewRPLS())
+	boosted := total(core.Boost(uniform.NewRPLS(), 4))
+	if boosted > base {
+		t.Errorf("boosted latency %d exceeds base latency %d", boosted, base)
+	}
+}
