@@ -7,6 +7,7 @@ import (
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
 	"rpls/internal/crossing"
+	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/field"
 	"rpls/internal/graph"
@@ -14,6 +15,7 @@ import (
 	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/mst"
+	"rpls/internal/schemes/spanningtree"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -156,6 +158,89 @@ func BenchmarkCrossingAttack(b *testing.B) {
 		}
 		if !atk.Fooled {
 			b.Fatal("attack failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine executor benchmarks: the hot verification path across backends.
+// Sequential and Pool are expected to beat Goroutines from n = 1024 up —
+// the goroutine-per-node model pays per-edge channels and n goroutines per
+// round, which is exactly what the engine redesign amortizes away.
+// ---------------------------------------------------------------------------
+
+func engineExecutors() []engine.Executor {
+	return []engine.Executor{
+		engine.NewSequential(),
+		engine.NewPool(0),
+		engine.NewGoroutines(),
+	}
+}
+
+// BenchmarkEngineExecutorsRand measures one randomized round (fingerprints
+// of a 32-byte payload) per executor across network sizes.
+func BenchmarkEngineExecutorsRand(b *testing.B) {
+	s := engine.FromRPLS(uniform.NewRPLS())
+	for _, n := range []int{256, 1024, 4096} {
+		cfg := experiments.BuildUniformConfig(n, 32, uint64(n))
+		labels, err := s.Label(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ex := range engineExecutors() {
+			b.Run(fmt.Sprintf("%s/n=%d", ex.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if !engine.Verify(s, cfg, labels, engine.WithSeed(uint64(i)), engine.WithExecutor(ex)).Accepted {
+						b.Fatal("rejected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineExecutorsDet measures one deterministic round (labels on
+// every port, no certificate generation) per executor across sizes.
+func BenchmarkEngineExecutorsDet(b *testing.B) {
+	s := engine.FromPLS(spanningtree.NewPLS())
+	for _, n := range []int{256, 1024, 4096} {
+		cfg := experiments.BuildTreeConfig(n, uint64(n))
+		labels, err := s.Label(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ex := range engineExecutors() {
+			b.Run(fmt.Sprintf("%s/n=%d", ex.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if !engine.Verify(s, cfg, labels, engine.WithExecutor(ex)).Accepted {
+						b.Fatal("rejected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineEstimate measures the Monte-Carlo estimator end to end —
+// the workload self-stabilization monitors and experiment sweeps run.
+func BenchmarkEngineEstimate(b *testing.B) {
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	cfg := experiments.BuildTreeConfig(1024, 3)
+	labels, err := s.Label(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+			engine.WithTrials(10), engine.WithSeed(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Acceptance != 1.0 {
+			b.Fatal("rejected")
 		}
 	}
 }

@@ -1,10 +1,11 @@
 // Command plsrun builds a configuration for one of the catalogued
-// predicates, certifies it, runs a verification round, and reports the
-// measured verification complexity.
+// predicates, resolves its schemes through the engine registry, runs a
+// verification round, and reports the measured verification complexity.
 //
 // Usage:
 //
-//	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200]
+//	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200] [-exec pool]
+//	plsrun -scheme mst -sweep 64,256,1024
 //	plsrun -list
 package main
 
@@ -12,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 func main() {
@@ -27,46 +30,79 @@ func main() {
 }
 
 func run() error {
-	scheme := flag.String("scheme", "", "catalog entry to run (see -list)")
+	scheme := flag.String("scheme", "", "registry entry to run (see -list)")
 	n := flag.Int("n", 32, "approximate number of nodes")
 	seed := flag.Uint64("seed", 1, "seed for generation and coins")
 	mode := flag.String("mode", "both", "det, rand, or both")
 	corrupt := flag.Bool("corrupt", false, "corrupt the configuration after labeling")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials for randomized acceptance")
+	execName := flag.String("exec", "sequential", "round executor: sequential, pool, or goroutines")
+	sweep := flag.String("sweep", "", "comma-separated sizes; measure the randomized scheme across them")
 	list := flag.Bool("list", false, "list available schemes")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.Catalog() {
-			fmt.Printf("%-16s %s\n", e.Name, e.Description)
+		for _, e := range engine.Entries() {
+			fmt.Printf("%-20s %s%s\n", e.Name, e.Description, catalogNote(e.Name))
 		}
 		return nil
 	}
-	entry, ok := experiments.LookupCatalog(*scheme)
+
+	reg, ok := engine.Lookup(*scheme)
 	if !ok {
 		return fmt.Errorf("unknown scheme %q (try -list)", *scheme)
 	}
-	if entry.Det == nil {
+	entry, ok := experiments.LookupCatalog(*scheme)
+	if !ok {
+		return fmt.Errorf("scheme %q has no instance builder; drive it from Go (see examples/)", *scheme)
+	}
+	if (reg.Det == nil || reg.DetParameterized) && (reg.Rand == nil || reg.RandParameterized) {
 		return fmt.Errorf("scheme %q is parameterized; drive it from Go (see examples/)", *scheme)
+	}
+	exec, err := executorFor(*execName)
+	if err != nil {
+		return err
+	}
+
+	var det, rand engine.Scheme
+	if reg.Det != nil && !reg.DetParameterized && (*mode == "det" || *mode == "both") {
+		det = reg.Det(engine.Params{})
+	}
+	if reg.Rand != nil && !reg.RandParameterized && (*mode == "rand" || *mode == "both") {
+		rand = reg.Rand(engine.Params{})
+	}
+
+	if det == nil && rand == nil {
+		return fmt.Errorf("scheme %q has no variant for mode %q the CLI can drive", *scheme, *mode)
+	}
+
+	if *sweep != "" {
+		if *corrupt {
+			return fmt.Errorf("-sweep measures honest instances and cannot be combined with -corrupt")
+		}
+		s := rand
+		if s == nil {
+			s = det
+		}
+		return runSweep(s, entry, *sweep, *trials, *seed, exec)
 	}
 
 	cfg, err := entry.Build(*n, *seed)
 	if err != nil {
 		return fmt.Errorf("build configuration: %w", err)
 	}
-	fmt.Printf("configuration: n=%d m=%d maxdeg=%d predicate=%s\n",
-		cfg.G.N(), cfg.G.M(), cfg.G.MaxDegree(), entry.Pred.Name())
+	fmt.Printf("configuration: n=%d m=%d maxdeg=%d predicate=%s executor=%s\n",
+		cfg.G.N(), cfg.G.M(), cfg.G.MaxDegree(), entry.Pred.Name(), exec.Name())
 
+	// Label before any corruption: faults strike after certification.
 	var detLabels, randLabels []core.Label
-	if *mode == "det" || *mode == "both" {
-		detLabels, err = entry.Det.Label(cfg)
-		if err != nil {
+	if det != nil {
+		if detLabels, err = det.Label(cfg); err != nil {
 			return fmt.Errorf("deterministic prover: %w", err)
 		}
 	}
-	if (*mode == "rand" || *mode == "both") && entry.Rand != nil {
-		randLabels, err = entry.Rand.Label(cfg)
-		if err != nil {
+	if rand != nil {
+		if randLabels, err = rand.Label(cfg); err != nil {
 			return fmt.Errorf("randomized prover: %w", err)
 		}
 	}
@@ -78,23 +114,80 @@ func run() error {
 		fmt.Printf("configuration corrupted; predicate now %v\n", entry.Pred.Eval(cfg))
 	}
 
-	if detLabels != nil {
-		res := runtime.VerifyPLS(entry.Det, cfg, detLabels)
+	if det != nil {
+		res := engine.Verify(det, cfg, detLabels,
+			engine.WithExecutor(exec), engine.WithStats(true))
 		fmt.Printf("[det ] scheme=%s accepted=%v labelBits=%d wireBits=%d messages=%d\n",
-			entry.Det.Name(), res.Accepted, res.Stats.MaxLabelBits,
+			det.Name(), res.Accepted, res.Stats.MaxLabelBits,
 			res.Stats.TotalWireBits, res.Stats.Messages)
 		if !res.Accepted {
 			fmt.Printf("[det ] rejecting nodes: %v\n", rejectors(res.Votes))
 		}
 	}
-	if randLabels != nil {
-		res := runtime.VerifyRPLS(entry.Rand, cfg, randLabels, *seed+2)
-		rate := runtime.EstimateAcceptance(entry.Rand, cfg, randLabels, *trials, *seed+3)
+	if rand != nil {
+		res := engine.Verify(rand, cfg, randLabels,
+			engine.WithSeed(*seed+2), engine.WithExecutor(exec))
+		sum, err := engine.Estimate(rand, cfg, engine.WithLabels(randLabels),
+			engine.WithTrials(*trials), engine.WithSeed(*seed+3), engine.WithExecutor(exec))
+		if err != nil {
+			return fmt.Errorf("acceptance estimate: %w", err)
+		}
 		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d acceptance=%.3f (%d trials)\n",
-			entry.Rand.Name(), res.Accepted, res.Stats.MaxCertBits,
-			res.Stats.MaxLabelBits, rate, *trials)
+			rand.Name(), res.Accepted, res.Stats.MaxCertBits,
+			res.Stats.MaxLabelBits, sum.Acceptance, sum.Trials)
 	}
 	return nil
+}
+
+// runSweep measures one scheme across instance sizes with engine.Sweep.
+func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, trials int, seed uint64, exec engine.Executor) error {
+	var ns []int
+	for _, part := range strings.Split(sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			return fmt.Errorf("bad sweep size %q", part)
+		}
+		ns = append(ns, v)
+	}
+	points, err := engine.Sweep(engine.Fixed(s), entry.Build, ns,
+		engine.WithTrials(trials), engine.WithSeed(seed), engine.WithExecutor(exec))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: scheme=%s trials=%d executor=%s\n", s.Name(), trials, exec.Name())
+	fmt.Println("      n |       m | label bits | cert bits | acceptance")
+	fmt.Println("--------+---------+------------+-----------+-----------")
+	for _, p := range points {
+		fmt.Printf("%7d | %7d | %10d | %9d | %10.3f\n",
+			p.N, p.M, p.Summary.MaxLabelBits, p.Summary.MaxCertBits, p.Summary.Acceptance)
+	}
+	return nil
+}
+
+func executorFor(name string) (engine.Executor, error) {
+	switch name {
+	case "sequential", "seq":
+		return engine.NewSequential(), nil
+	case "pool":
+		return engine.NewPool(0), nil
+	case "goroutines", "go":
+		return engine.NewGoroutines(), nil
+	default:
+		return nil, fmt.Errorf("unknown executor %q (sequential, pool, goroutines)", name)
+	}
+}
+
+// catalogNote flags registry entries the CLI cannot drive end to end.
+func catalogNote(name string) string {
+	entry, ok := experiments.LookupCatalog(name)
+	switch {
+	case !ok:
+		return " [no instance builder; drive from Go]"
+	case entry.Det == nil && entry.Rand == nil:
+		return " [parameterized; drive from Go]"
+	default:
+		return ""
+	}
 }
 
 func rejectors(votes []bool) []int {

@@ -11,18 +11,29 @@
 // Theorem 3.1 compiler that shrinks any deterministic scheme's
 // communication exponentially, the universal schemes of Lemma 3.3 and
 // Corollary 3.4, the edge-crossing lower-bound machinery of §4 with
-// constructive pigeonhole attacks, a goroutine-per-node verification
-// runtime, and a self-stabilization monitor.
+// constructive pigeonhole attacks, a unified verification engine with
+// pluggable executors, and a self-stabilization monitor.
 //
 // Entry points:
 //
-//   - internal/core       — the PLS/RPLS model, compiler, universal schemes, boosting
-//   - internal/schemes/…  — one package per predicate
-//   - internal/runtime    — distributed verification rounds
+//   - internal/engine     — the verification API: the unified Scheme
+//     abstraction (one round shape for both models), the Sequential / Pool /
+//     Goroutines executors, the Run / Estimate / Sweep batch entry points,
+//     and the name → constructor Registry that every scheme package
+//     self-registers into
+//   - internal/core       — the PLS/RPLS model of §2.2, compiler, universal
+//     schemes, boosting
+//   - internal/schemes/…  — one package per predicate; each registers its
+//     schemes with the engine from init
+//   - internal/runtime    — compatibility layer over the engine, preserving
+//     the original goroutine-per-node entry points
 //   - internal/crossing   — lower-bound attacks
-//   - internal/experiments — the E1–E15 harness behind EXPERIMENTS.md
-//   - cmd/plsrun, cmd/experiments, cmd/crossattack — CLIs
+//   - internal/experiments — the E1–E18 harness behind EXPERIMENTS.md, and
+//     the instance catalog (builders + corruptors) the CLIs drive
+//   - internal/selfstab   — periodic re-verification and fault detection
+//   - cmd/plsrun, cmd/experiments, cmd/crossattack — CLIs; plsrun -list and
+//     experiments -schemes enumerate the engine registry
 //   - examples/           — runnable walkthroughs
 //
-// See README.md for a tour and DESIGN.md for the paper-to-code map.
+// See DESIGN.md for the paper-to-code map and the engine architecture.
 package rpls

@@ -4,48 +4,54 @@
 // re-verifying it cheaply. Deterministic verification needs the
 // Korman–Kutten Borůvka-hierarchy labels of O(log² n) bits; the compiled
 // randomized scheme exchanges only O(log log n)-bit fingerprints. This
-// example builds a weighted network, certifies its MST, prints both costs
-// across sizes, then corrupts a weight and shows detection.
+// example sweeps both schemes across network sizes with engine.Sweep,
+// then corrupts a weight and shows detection.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/mst"
 )
 
 func main() {
+	entry, ok := engine.Lookup("mst")
+	if !ok {
+		log.Fatal("mst not registered")
+	}
+	det := entry.Det(engine.Params{})
+	rand := entry.Rand(engine.Params{})
+
+	sizes := []int{16, 64, 256, 1024}
+	build := func(n int, seed uint64) (*graph.Config, error) { return buildMST(n, seed) }
+	detPoints, err := engine.Sweep(engine.Fixed(det), build, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	randPoints, err := engine.Sweep(engine.Fixed(rand), build, sizes, engine.WithTrials(3))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("      n | det label bits | rand cert bits")
 	fmt.Println("--------+----------------+---------------")
-	for _, n := range []int{16, 64, 256, 1024} {
-		cfg := buildMST(n, uint64(n))
-		det := mst.NewPLS()
-		labels, err := det.Label(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rand := mst.NewRPLS()
-		randLabels, err := rand.Label(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		certBits := runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, 1)
-		fmt.Printf("%7d | %14d | %14d\n", n, core.MaxBits(labels), certBits)
+	for i := range detPoints {
+		fmt.Printf("%7d | %14d | %14d\n",
+			detPoints[i].N, detPoints[i].Summary.MaxLabelBits, randPoints[i].Summary.MaxCertBits)
 	}
 
 	// Corruption drill on a medium instance.
-	cfg := buildMST(64, 99)
-	det := mst.NewPLS()
+	cfg, err := buildMST(64, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
 	labels, err := det.Label(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rand := mst.NewRPLS()
 	randLabels, err := rand.Label(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -66,13 +72,17 @@ func main() {
 	}
 	fmt.Printf("predicate on corrupted network: %v\n", (mst.Predicate{}).Eval(bad))
 
-	dres := runtime.VerifyPLS(det, bad, labels)
+	dres := engine.Verify(det, bad, labels)
 	fmt.Printf("[det ] accepted=%v\n", dres.Accepted)
-	rate := runtime.EstimateAcceptance(rand, bad, randLabels, 300, 3)
-	fmt.Printf("[rand] acceptance over 300 coin draws: %.3f\n", rate)
+	sum, err := engine.Estimate(rand, bad, engine.WithLabels(randLabels),
+		engine.WithTrials(300), engine.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[rand] acceptance over %d coin draws: %.3f\n", sum.Trials, sum.Acceptance)
 }
 
-func buildMST(n int, seed uint64) *graph.Config {
+func buildMST(n int, seed uint64) (*graph.Config, error) {
 	rng := prng.New(seed)
 	g := graph.RandomConnected(n, n, rng)
 	cfg := graph.NewConfig(g)
@@ -80,7 +90,7 @@ func buildMST(n int, seed uint64) *graph.Config {
 	graph.AssignRandomWeights(cfg, int64(n*n*4), rng)
 	tree, err := mst.Kruskal(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	adj := make([][]int, n)
 	for _, e := range tree {
@@ -102,5 +112,5 @@ func buildMST(n int, seed uint64) *graph.Config {
 			}
 		}
 	}
-	return cfg
+	return cfg, nil
 }

@@ -2,17 +2,18 @@
 // and watch the verifier catch the break — first with the classic
 // deterministic proof labels of §1 of the paper, then with the compiled
 // randomized certificates of Theorem 3.1, which are exponentially smaller
-// on the wire.
+// on the wire. Both run through the unified engine API: the schemes come
+// from the registry and the same round implementation serves both models.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
-	"rpls/internal/schemes/spanningtree"
+	_ "rpls/internal/schemes/spanningtree" // registers "spanningtree"
 )
 
 func main() {
@@ -27,9 +28,15 @@ func main() {
 	fmt.Printf("network: %d nodes, %d edges; claim: parent pointers form a spanning tree\n",
 		g.N(), g.M())
 
+	entry, ok := engine.Lookup("spanningtree")
+	if !ok {
+		log.Fatal("spanningtree not registered")
+	}
+	det := entry.Det(engine.Params{})
+	rand := entry.Rand(engine.Params{})
+
 	// Deterministic proof-labeling scheme: label = (root id, distance).
-	det := spanningtree.NewPLS()
-	res, err := runtime.RunPLS(det, cfg)
+	res, err := engine.Run(det, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,12 +44,11 @@ func main() {
 		res.Accepted, res.Stats.MaxLabelBits, res.Stats.TotalWireBits)
 
 	// Randomized scheme (Theorem 3.1): only fingerprints travel.
-	rand := spanningtree.NewRPLS()
 	labels, err := rand.Label(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rres := runtime.VerifyRPLS(rand, cfg, labels, 1)
+	rres := engine.Verify(rand, cfg, labels, engine.WithSeed(1))
 	fmt.Printf("[rand] accepted=%v with %d-bit certificates (%d bits on the wire)\n",
 		rres.Accepted, rres.Stats.MaxCertBits, rres.Stats.TotalWireBits)
 
@@ -60,11 +66,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dres := runtime.VerifyPLS(det, bad, detLabels)
+	dres := engine.Verify(det, bad, detLabels, engine.WithStats(true))
 	fmt.Printf("[det ] accepted=%v — rejecting nodes: %v\n", dres.Accepted, rejectors(dres.Votes))
 
-	rate := runtime.EstimateAcceptance(rand, bad, labels, 400, 2)
-	fmt.Printf("[rand] acceptance over 400 coin draws: %.3f (soundness bound: <= 1/3)\n", rate)
+	sum, err := engine.Estimate(rand, bad, engine.WithLabels(labels),
+		engine.WithTrials(400), engine.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[rand] acceptance over %d coin draws: %.3f (soundness bound: <= 1/3)\n",
+		sum.Trials, sum.Acceptance)
 }
 
 func rejectors(votes []bool) []int {

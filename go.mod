@@ -1,0 +1,3 @@
+module rpls
+
+go 1.24

@@ -29,9 +29,9 @@ import (
 	"sort"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 // Gadget is a single-edge subgraph H_i = {U, V}; the isomorphisms map the
@@ -110,7 +110,7 @@ func AttackPLS(s core.PLS, pred core.Predicate, cfg *graph.Config, gadgets []Gad
 		return atk, fmt.Errorf("crossing: %w", err)
 	}
 	atk.CrossedLegal = pred.Eval(crossed)
-	res := runtime.VerifyPLS(s, crossed, labels)
+	res := engine.Verify(engine.FromPLS(s), crossed, labels)
 	// The original configuration is legal and honestly labeled, hence
 	// accepted; the attack succeeds when the crossed one is accepted too
 	// although the predicate flipped.
@@ -173,7 +173,12 @@ func AttackRPLSOneSided(s core.RPLS, pred core.Predicate, cfg *graph.Config, gad
 		return atk, fmt.Errorf("crossing: %w", err)
 	}
 	atk.CrossedLegal = pred.Eval(crossed)
-	atk.AcceptanceRate = runtime.EstimateAcceptance(s, crossed, labels, trials, seed+1)
+	sum, err := engine.Estimate(engine.FromRPLS(s), crossed,
+		engine.WithLabels(labels), engine.WithTrials(trials), engine.WithSeed(seed+1))
+	if err != nil {
+		return atk, fmt.Errorf("acceptance estimate: %w", err)
+	}
+	atk.AcceptanceRate = sum.Acceptance
 	atk.Fooled = !atk.CrossedLegal && atk.AcceptanceRate > 1.0/2
 	return atk, nil
 }

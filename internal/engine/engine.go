@@ -1,0 +1,155 @@
+// Package engine is the unified verification API of this repository: one
+// Scheme abstraction covering both deterministic and randomized
+// proof-labeling schemes, pluggable round executors, and batch entry points.
+//
+// The paper's verification round has the same shape in both models — every
+// node sends one string per incident port, receives one string per port, and
+// outputs a boolean. Only the message differs: a randomized scheme sends
+// coin-derived certificates (§2.2), a deterministic scheme sends its label
+// on every port (the degenerate certificate). Scheme captures exactly that
+// round; FromPLS and FromRPLS adapt the core model types onto it, so a
+// single round implementation serves both models and every executor.
+//
+// Executors trade model fidelity for speed:
+//
+//   - Sequential — allocation-amortized fast path; cert and receive buffers
+//     are reused across rounds (Monte-Carlo estimation, self-stabilization
+//     monitors, benchmarks).
+//   - Pool — a fixed worker pool sharding nodes across GOMAXPROCS workers,
+//     with no per-edge channels (large configurations).
+//   - Goroutines — the model-faithful goroutine-per-node execution with one
+//     channel per directed edge, kept for fidelity tests: a verifier
+//     physically cannot read anything but its own state, its own label, and
+//     what arrived on its ports.
+//
+// All three executors produce identical votes and stats for the same seed;
+// the parity property test in this package enforces that.
+//
+// Entry points: Run (label and verify once), Verify (verify under arbitrary,
+// possibly adversarial labels), Estimate (Monte-Carlo acceptance over many
+// seeds), Sweep (measure across instance sizes), and MaxCertBits (the
+// Definition 2.1 verification complexity). Schemes are discovered by name
+// through the Registry, which each internal/schemes package populates from
+// its init function.
+package engine
+
+import (
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Scheme is the unified round abstraction. A deterministic scheme reports
+// Deterministic() == true and never has Certs called: executors send the
+// node's label on every port instead, which keeps the deterministic hot
+// path free of certificate allocations.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Label assigns labels to all nodes of a configuration assumed legal.
+	Label(c *graph.Config) ([]core.Label, error)
+	// Deterministic reports whether the round exchanges labels themselves
+	// rather than coin-derived certificates.
+	Deterministic() bool
+	// OneSided reports whether legal, honestly labeled configurations are
+	// accepted with probability 1.
+	OneSided() bool
+	// Certs generates one certificate per port (index i = port i+1) from the
+	// node's label and private coins. Unused for deterministic schemes.
+	Certs(view core.View, own core.Label, rng *prng.Rand) []core.Cert
+	// Decide is the node's output given the strings received on its ports.
+	Decide(view core.View, own core.Label, received []core.Cert) bool
+}
+
+// plsScheme adapts a deterministic PLS: the "certificate" on every port is
+// the node's own label.
+type plsScheme struct{ s core.PLS }
+
+// FromPLS adapts a deterministic scheme onto the unified round.
+func FromPLS(s core.PLS) Scheme { return plsScheme{s} }
+
+func (a plsScheme) Name() string                                { return a.s.Name() }
+func (a plsScheme) Label(c *graph.Config) ([]core.Label, error) { return a.s.Label(c) }
+func (a plsScheme) Deterministic() bool                         { return true }
+func (a plsScheme) OneSided() bool                              { return true }
+
+func (a plsScheme) Certs(view core.View, own core.Label, _ *prng.Rand) []core.Cert {
+	certs := make([]core.Cert, view.Deg)
+	for i := range certs {
+		certs[i] = own
+	}
+	return certs
+}
+
+func (a plsScheme) Decide(view core.View, own core.Label, received []core.Cert) bool {
+	return a.s.Verify(view, own, received)
+}
+
+// rplsScheme adapts a randomized RPLS verbatim.
+type rplsScheme struct{ s core.RPLS }
+
+// FromRPLS adapts a randomized scheme onto the unified round.
+func FromRPLS(s core.RPLS) Scheme { return rplsScheme{s} }
+
+func (a rplsScheme) Name() string                                { return a.s.Name() }
+func (a rplsScheme) Label(c *graph.Config) ([]core.Label, error) { return a.s.Label(c) }
+func (a rplsScheme) Deterministic() bool                         { return false }
+func (a rplsScheme) OneSided() bool                              { return a.s.OneSided() }
+
+func (a rplsScheme) Certs(view core.View, own core.Label, rng *prng.Rand) []core.Cert {
+	return a.s.Certs(view, own, rng)
+}
+
+func (a rplsScheme) Decide(view core.View, own core.Label, received []core.Cert) bool {
+	return a.s.Decide(view, own, received)
+}
+
+// AsPLS recovers the underlying deterministic scheme from a FromPLS
+// adapter; ok is false for any other Scheme.
+func AsPLS(s Scheme) (core.PLS, bool) {
+	a, ok := s.(plsScheme)
+	if !ok {
+		return nil, false
+	}
+	return a.s, true
+}
+
+// AsRPLS recovers the underlying randomized scheme from a FromRPLS
+// adapter; ok is false for any other Scheme.
+func AsRPLS(s Scheme) (core.RPLS, bool) {
+	a, ok := s.(rplsScheme)
+	if !ok {
+		return nil, false
+	}
+	return a.s, true
+}
+
+// Stats records the measured communication cost of one verification round.
+// MaxLabelBits is the prover's label size; MaxCertBits is the verification
+// complexity κ of Definition 2.1 (0 for deterministic schemes, where labels
+// themselves are exchanged and MaxLabelBits is the κ of the PLS model).
+type Stats struct {
+	MaxLabelBits  int
+	MaxCertBits   int
+	TotalWireBits int64 // sum of bits crossing all directed edges
+	Messages      int   // number of point-to-point messages (2m)
+}
+
+// Result is the outcome of one verification round. Votes is populated only
+// when the round ran with WithStats(true).
+type Result struct {
+	Accepted bool   // all nodes output true
+	Votes    []bool // per-node outputs
+	Stats    Stats
+}
+
+// AllTrue is the scheme acceptance rule: every node voted true and the
+// configuration is nonempty.
+func AllTrue(votes []bool) bool {
+	for _, v := range votes {
+		if !v {
+			return false
+		}
+	}
+	return len(votes) > 0
+}

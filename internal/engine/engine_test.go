@@ -1,0 +1,227 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/engine"
+	"rpls/internal/experiments"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/spanningtree"
+)
+
+func treeConfig(n int, seed uint64) *graph.Config {
+	return experiments.BuildTreeConfig(n, seed)
+}
+
+func TestRunAcceptsLegalConfiguration(t *testing.T) {
+	cfg := treeConfig(32, 5)
+	for _, s := range []engine.Scheme{
+		engine.FromPLS(spanningtree.NewPLS()),
+		engine.FromRPLS(spanningtree.NewRPLS()),
+	} {
+		res, err := engine.Run(s, cfg, engine.WithStats(true))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !res.Accepted {
+			t.Fatalf("%s rejected a legal configuration; votes = %v", s.Name(), res.Votes)
+		}
+		if len(res.Votes) != cfg.G.N() {
+			t.Fatalf("%s: %d votes for %d nodes", s.Name(), len(res.Votes), cfg.G.N())
+		}
+		if res.Stats.Messages != 2*cfg.G.M() {
+			t.Fatalf("%s: %d messages, want %d", s.Name(), res.Stats.Messages, 2*cfg.G.M())
+		}
+	}
+}
+
+func TestVotesOmittedWithoutStats(t *testing.T) {
+	cfg := treeConfig(16, 5)
+	res, err := engine.Run(engine.FromPLS(spanningtree.NewPLS()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Votes != nil {
+		t.Fatalf("votes returned without WithStats: %v", res.Votes)
+	}
+}
+
+func TestEstimateMatchesSeededRounds(t *testing.T) {
+	cfg := treeConfig(24, 9)
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+		engine.WithTrials(50), engine.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Acceptance != 1.0 {
+		t.Fatalf("legal acceptance %v, want 1.0 (one-sided)", sum.Acceptance)
+	}
+	// Trial t must use seed+t: re-run each round explicitly and compare.
+	accepted := 0
+	for trial := 0; trial < 50; trial++ {
+		if engine.Verify(s, cfg, labels, engine.WithSeed(3+uint64(trial))).Accepted {
+			accepted++
+		}
+	}
+	if accepted != sum.Accepted {
+		t.Fatalf("Estimate accepted %d, explicit rounds accepted %d", sum.Accepted, accepted)
+	}
+}
+
+func TestEstimateZeroTrials(t *testing.T) {
+	cfg := treeConfig(8, 1)
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	sum, err := engine.Estimate(s, cfg, engine.WithTrials(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != 0 || sum.Acceptance != 0 {
+		t.Fatalf("zero-trial summary = %+v", sum)
+	}
+}
+
+func TestLabelCountMismatch(t *testing.T) {
+	cfg := treeConfig(8, 1)
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	short := make([]core.Label, 3)
+	if _, err := engine.Run(s, cfg, engine.WithLabels(short)); err == nil {
+		t.Fatal("Run accepted a 3-label assignment for an 8-node configuration")
+	}
+	if _, err := engine.Estimate(s, cfg, engine.WithLabels(short)); err == nil {
+		t.Fatal("Estimate accepted a 3-label assignment for an 8-node configuration")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	build := func(n int, seed uint64) (*graph.Config, error) { return treeConfig(n, seed), nil }
+	points, err := engine.Sweep(engine.Fixed(s), build, []int{8, 16, 32},
+		engine.WithTrials(5), engine.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points, want 3", len(points))
+	}
+	for i, p := range points {
+		if p.Summary.Acceptance != 1.0 {
+			t.Errorf("point %d: acceptance %v, want 1.0", i, p.Summary.Acceptance)
+		}
+		if p.Summary.MaxCertBits <= 0 {
+			t.Errorf("point %d: no certificate bits measured", i)
+		}
+		if i > 0 && p.N <= points[i-1].N {
+			t.Errorf("point %d: sizes not increasing: %d after %d", i, p.N, points[i-1].N)
+		}
+	}
+}
+
+func TestMaxCertBitsDeterministicIsZero(t *testing.T) {
+	cfg := treeConfig(8, 1)
+	s := engine.FromPLS(spanningtree.NewPLS())
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.MaxCertBits(s, cfg, labels, 3, 1); got != 0 {
+		t.Fatalf("deterministic MaxCertBits = %d, want 0", got)
+	}
+}
+
+func TestAdapters(t *testing.T) {
+	det := spanningtree.NewPLS()
+	rand := spanningtree.NewRPLS()
+	ds, rs := engine.FromPLS(det), engine.FromRPLS(rand)
+	if !ds.Deterministic() || rs.Deterministic() {
+		t.Fatal("Deterministic flags wrong")
+	}
+	if got, ok := engine.AsPLS(ds); !ok || got.Name() != det.Name() {
+		t.Fatal("AsPLS does not round-trip")
+	}
+	if got, ok := engine.AsRPLS(rs); !ok || got.Name() != rand.Name() {
+		t.Fatal("AsRPLS does not round-trip")
+	}
+	if _, ok := engine.AsPLS(rs); ok {
+		t.Fatal("AsPLS accepted a randomized adapter")
+	}
+	if _, ok := engine.AsRPLS(ds); ok {
+		t.Fatal("AsRPLS accepted a deterministic adapter")
+	}
+	// The degenerate certificate: the label on every port.
+	cfg := treeConfig(8, 1)
+	labels, err := ds.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := core.ViewOf(cfg, 0)
+	certs := ds.Certs(view, labels[0], prng.New(1))
+	if len(certs) != view.Deg {
+		t.Fatalf("%d certs for degree %d", len(certs), view.Deg)
+	}
+	for _, c := range certs {
+		if !c.Equal(labels[0]) {
+			t.Fatal("deterministic cert differs from label")
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	entries := engine.Entries()
+	if len(entries) < 11 {
+		t.Fatalf("only %d registered schemes", len(entries))
+	}
+	for i, e := range entries {
+		if e.Name == "" || e.Description == "" {
+			t.Errorf("entry %d has empty name or description", i)
+		}
+		if i > 0 && entries[i-1].Name >= e.Name {
+			t.Errorf("entries not sorted: %q before %q", entries[i-1].Name, e.Name)
+		}
+	}
+	for _, name := range []string{
+		"spanningtree", "acyclicity", "acyclicity-compact", "mst", "biconnectivity",
+		"cycleatleast", "cycleatmost", "flow", "stconn", "leader", "uniform",
+		"coloring", "symmetry",
+	} {
+		if _, ok := engine.Lookup(name); !ok {
+			t.Errorf("scheme %q not registered", name)
+		}
+	}
+	if _, ok := engine.Lookup("nonsense"); ok {
+		t.Error("Lookup found a scheme that should not exist")
+	}
+	// Parameterized constructors build with explicit Params.
+	e, _ := engine.Lookup("cycleatleast")
+	if !e.DetParameterized || !e.RandParameterized {
+		t.Error("cycleatleast should be parameterized")
+	}
+	if s := e.Det(engine.Params{C: 8}); !strings.Contains(s.Name(), "8") {
+		t.Errorf("cycleatleast Det(C=8) named %q, want the threshold in the name", s.Name())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(desc string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", desc)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate registration", func() {
+		engine.Register(engine.Entry{Name: "spanningtree"})
+	})
+	mustPanic("empty name", func() {
+		engine.Register(engine.Entry{})
+	})
+}

@@ -1,0 +1,309 @@
+package engine
+
+import (
+	goruntime "runtime"
+	"sync"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Executor runs one synchronous verification round: every node sends one
+// string per incident port, receives one string per port, and outputs a
+// boolean. Implementations may keep scratch buffers between rounds, so a
+// single Executor value must not be shared between concurrent callers.
+type Executor interface {
+	// Name identifies the executor in reports and benchmarks.
+	Name() string
+	// Round executes the round. The returned votes slice is scratch owned by
+	// the executor, valid only until the next Round call.
+	Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats)
+}
+
+// scratch holds the buffers an executor reuses across rounds: one receive
+// window per node carved out of a single flat slice, the per-node cert
+// slices, and the vote vector. Reusing them keeps steady-state rounds free
+// of per-round allocations on the executor side.
+type scratch struct {
+	offs  []int // offs[v] is the start of v's receive window; offs[n] = 2m
+	recv  []core.Cert
+	certs [][]core.Cert
+	votes []bool
+}
+
+// ensure resizes the scratch for the graph. Offsets are recomputed every
+// round because configurations are mutated in place by corruption helpers.
+func (sc *scratch) ensure(g *graph.Graph) {
+	n := g.N()
+	if cap(sc.offs) < n+1 {
+		sc.offs = make([]int, n+1)
+	}
+	sc.offs = sc.offs[:n+1]
+	total := 0
+	for v := 0; v < n; v++ {
+		sc.offs[v] = total
+		total += g.Degree(v)
+	}
+	sc.offs[n] = total
+	if cap(sc.recv) < total {
+		sc.recv = make([]core.Cert, total)
+	}
+	sc.recv = sc.recv[:total]
+	if cap(sc.certs) < n {
+		sc.certs = make([][]core.Cert, n)
+	}
+	sc.certs = sc.certs[:n]
+	if cap(sc.votes) < n {
+		sc.votes = make([]bool, n)
+	}
+	sc.votes = sc.votes[:n]
+}
+
+// window returns node v's receive buffer, sized to its degree.
+func (sc *scratch) window(v int) []core.Cert {
+	return sc.recv[sc.offs[v]:sc.offs[v+1]]
+}
+
+// gather fills node v's receive window from the generated certificates (or,
+// for deterministic schemes, from the neighbors' labels) and returns it.
+func (sc *scratch) gather(det bool, c *graph.Config, labels []core.Label, v int) []core.Cert {
+	recv := sc.window(v)
+	for i := range recv {
+		h := c.G.Neighbor(v, i+1)
+		if det {
+			recv[i] = labels[h.To]
+			continue
+		}
+		certs := sc.certs[h.To]
+		if h.RevPort-1 < len(certs) {
+			recv[i] = certs[h.RevPort-1]
+		} else {
+			recv[i] = core.Cert{}
+		}
+	}
+	return recv
+}
+
+// sendStats accumulates the cost of everything node v puts on the wire.
+func sendStats(det bool, c *graph.Config, labels []core.Label, certs []core.Cert, v int, st *Stats) {
+	deg := c.G.Degree(v)
+	st.Messages += deg
+	if det {
+		st.TotalWireBits += int64(deg * labels[v].Len())
+		return
+	}
+	if len(certs) > deg {
+		certs = certs[:deg]
+	}
+	for _, cert := range certs {
+		b := cert.Len()
+		st.TotalWireBits += int64(b)
+		if b > st.MaxCertBits {
+			st.MaxCertBits = b
+		}
+	}
+}
+
+// Sequential is the allocation-amortized fast path: one goroutine, buffers
+// reused across rounds. It backs Monte-Carlo estimation, monitors, and
+// benchmarks.
+type Sequential struct{ sc scratch }
+
+// NewSequential returns a sequential executor with empty scratch.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements Executor.
+func (e *Sequential) Name() string { return "sequential" }
+
+// Round implements Executor.
+func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	st := Stats{MaxLabelBits: core.MaxBits(labels)}
+	det := s.Deterministic()
+	if !det {
+		root := prng.New(seed)
+		for v := 0; v < n; v++ {
+			e.sc.certs[v] = s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
+		}
+	}
+	for v := 0; v < n; v++ {
+		sendStats(det, c, labels, e.sc.certs[v], v, &st)
+	}
+	for v := 0; v < n; v++ {
+		recv := e.sc.gather(det, c, labels, v)
+		e.sc.votes[v] = s.Decide(core.ViewOf(c, v), labels[v], recv)
+	}
+	return e.sc.votes, st
+}
+
+// Pool shards nodes across a fixed set of workers with no per-edge
+// channels: a cert-generation phase, a barrier, and a decide phase. Votes
+// and stats are identical to the other executors for the same seed because
+// node v's coins are always prng.New(seed).Fork(v).
+type Pool struct {
+	workers int
+	sc      scratch
+	parts   []Stats // per-shard partial stats, merged after the decide phase
+}
+
+// NewPool returns a pool executor with the given worker count;
+// workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Name implements Executor.
+func (e *Pool) Name() string { return "pool" }
+
+// Round implements Executor.
+func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	if cap(e.parts) < w {
+		e.parts = make([]Stats, w)
+	}
+	e.parts = e.parts[:w]
+	det := s.Deterministic()
+
+	var wg sync.WaitGroup
+	if !det {
+		wg.Add(w)
+		for shard := 0; shard < w; shard++ {
+			go func(shard int) {
+				defer wg.Done()
+				root := prng.New(seed)
+				for v := shard * n / w; v < (shard+1)*n/w; v++ {
+					e.sc.certs[v] = s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
+				}
+			}(shard)
+		}
+		wg.Wait() // barrier: deciding needs every node's certificates
+	}
+
+	wg.Add(w)
+	for shard := 0; shard < w; shard++ {
+		go func(shard int) {
+			defer wg.Done()
+			st := Stats{}
+			for v := shard * n / w; v < (shard+1)*n/w; v++ {
+				sendStats(det, c, labels, e.sc.certs[v], v, &st)
+				recv := e.sc.gather(det, c, labels, v)
+				e.sc.votes[v] = s.Decide(core.ViewOf(c, v), labels[v], recv)
+			}
+			e.parts[shard] = st
+		}(shard)
+	}
+	wg.Wait()
+
+	st := Stats{MaxLabelBits: core.MaxBits(labels)}
+	for _, p := range e.parts {
+		st.Messages += p.Messages
+		st.TotalWireBits += p.TotalWireBits
+		if p.MaxCertBits > st.MaxCertBits {
+			st.MaxCertBits = p.MaxCertBits
+		}
+	}
+	return e.sc.votes, st
+}
+
+// Goroutines is the model-faithful execution of §2.1: each node runs as its
+// own goroutine and messages travel over one buffered channel per directed
+// edge, so a verifier physically cannot read anything but its own state,
+// its own label, and what arrived on its ports. Kept for fidelity tests;
+// Sequential and Pool are the fast paths.
+type Goroutines struct {
+	sc       scratch
+	certMax  []int
+	wireSent []int64
+}
+
+// NewGoroutines returns the goroutine-per-node executor.
+func NewGoroutines() *Goroutines { return &Goroutines{} }
+
+// Name implements Executor.
+func (e *Goroutines) Name() string { return "goroutines" }
+
+// Round implements Executor.
+func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	if cap(e.certMax) < n {
+		e.certMax = make([]int, n)
+		e.wireSent = make([]int64, n)
+	}
+	e.certMax = e.certMax[:n]
+	e.wireSent = e.wireSent[:n]
+	in := buildChannels(c.G)
+	det := s.Deterministic()
+	root := prng.New(seed)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			view := core.ViewOf(c, v)
+			var certs []core.Cert
+			if !det {
+				certs = s.Certs(view, labels[v], root.Fork(uint64(v)))
+			}
+			maxCert, wire := 0, int64(0)
+			for i, h := range c.G.Adj(v) {
+				var msg core.Cert
+				if det {
+					msg = labels[v]
+				} else if i < len(certs) {
+					msg = certs[i]
+				}
+				if b := msg.Len(); b > maxCert {
+					maxCert = b
+				}
+				wire += int64(msg.Len())
+				in[h.To][h.RevPort-1] <- msg
+			}
+			e.certMax[v], e.wireSent[v] = maxCert, wire
+			recv := e.sc.window(v)
+			for i := range recv {
+				recv[i] = <-in[v][i]
+			}
+			e.sc.votes[v] = s.Decide(view, labels[v], recv)
+		}(v)
+	}
+	wg.Wait()
+
+	st := Stats{MaxLabelBits: core.MaxBits(labels)}
+	for v := 0; v < n; v++ {
+		st.Messages += c.G.Degree(v)
+		st.TotalWireBits += e.wireSent[v]
+		if !det && e.certMax[v] > st.MaxCertBits {
+			st.MaxCertBits = e.certMax[v]
+		}
+	}
+	return e.sc.votes, st
+}
+
+// buildChannels wires one buffered channel per directed edge;
+// in[v][p-1] carries messages arriving at v on port p.
+func buildChannels(g *graph.Graph) [][]chan bitstring.String {
+	in := make([][]chan bitstring.String, g.N())
+	for v := range in {
+		in[v] = make([]chan bitstring.String, g.Degree(v))
+		for i := range in[v] {
+			in[v][i] = make(chan bitstring.String, 1)
+		}
+	}
+	return in
+}

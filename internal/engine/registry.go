@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Params parameterizes scheme construction for predicates that need more
+// than the configuration itself. Fields are zero unless the driver supplies
+// them; entries whose constructors require a semantic parameter set the
+// corresponding *Parameterized flag so generic drivers can skip them.
+type Params struct {
+	K int // flow value (flow) or connectivity (stconn)
+	C int // cycle-length threshold (cycleatleast, cycleatmost)
+	M int // edge count (coloring's randomized scheme sizes its field by m)
+}
+
+// Entry describes one registered predicate: constructors for its
+// deterministic and randomized schemes, either of which may be nil.
+type Entry struct {
+	Name        string
+	Description string
+	// Det constructs the deterministic scheme (nil when none exists).
+	Det func(p Params) Scheme
+	// Rand constructs the randomized scheme (nil when none exists).
+	Rand func(p Params) Scheme
+	// DetParameterized / RandParameterized report that the constructor
+	// requires semantic Params (K, C, M) chosen per instance; generic
+	// drivers should skip those variants unless they can supply them.
+	DetParameterized  bool
+	RandParameterized bool
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Entry{}
+)
+
+// Register adds an entry to the scheme registry. Each internal/schemes
+// package self-registers from its init function, so any binary importing a
+// scheme package can resolve it by name. It panics on an empty name or a
+// duplicate registration — both are programming errors caught at init.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("engine: Register with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of scheme %q", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Lookup finds a registered entry by name.
+func Lookup(name string) (Entry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Entries returns every registered entry, sorted by name.
+func Entries() []Entry {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

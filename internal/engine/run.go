@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// options collects the functional options of the batch entry points.
+type options struct {
+	seed   uint64
+	trials int
+	exec   Executor
+	stats  bool
+	labels []core.Label
+}
+
+// Option configures Run, Verify, Estimate, and Sweep.
+type Option func(*options)
+
+// WithSeed sets the root seed; node v's private coins in trial t are the
+// stream prng.New(seed+t).Fork(v), so every measurement is reproducible.
+// The default seed is 1.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithTrials sets the number of Monte-Carlo rounds Estimate and Sweep run
+// (default 1). Trial t uses seed+t.
+func WithTrials(trials int) Option { return func(o *options) { o.trials = trials } }
+
+// WithExecutor selects the round executor (default: a fresh Sequential).
+// Pass a long-lived executor to amortize its scratch buffers across calls.
+func WithExecutor(e Executor) Option { return func(o *options) { o.exec = e } }
+
+// WithStats requests the per-node vote vector in Result.Votes. Aggregate
+// stats are always collected; the vote vector costs an O(n) copy per round,
+// so it is off by default.
+func WithStats(v bool) Option { return func(o *options) { o.stats = v } }
+
+// WithLabels verifies under the given (possibly adversarial) label
+// assignment instead of invoking the scheme's prover.
+func WithLabels(labels []core.Label) Option {
+	return func(o *options) { o.labels = labels }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1, trials: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+func (o *options) executor() Executor {
+	if o.exec == nil {
+		return NewSequential()
+	}
+	return o.exec
+}
+
+// resolveLabels returns the labels to verify under: WithLabels if given
+// (validated against the node count), the scheme's prover otherwise.
+func (o *options) resolveLabels(s Scheme, c *graph.Config) ([]core.Label, error) {
+	labels := o.labels
+	if labels == nil {
+		var err error
+		labels, err = s.Label(c)
+		if err != nil {
+			return nil, fmt.Errorf("prover %s: %w", s.Name(), err)
+		}
+	}
+	if len(labels) != c.G.N() {
+		return nil, fmt.Errorf("prover %s: %d labels for %d nodes", s.Name(), len(labels), c.G.N())
+	}
+	return labels, nil
+}
+
+// Run labels the configuration (or uses WithLabels) and executes one
+// verification round.
+func Run(s Scheme, c *graph.Config, opts ...Option) (Result, error) {
+	o := buildOptions(opts)
+	labels, err := o.resolveLabels(s, c)
+	if err != nil {
+		return Result{}, err
+	}
+	return o.round(s, c, labels), nil
+}
+
+// Verify executes one round under an arbitrary (possibly adversarial) label
+// assignment. It is Run without the prover and without an error path;
+// WithLabels is ignored in favor of the explicit argument.
+func Verify(s Scheme, c *graph.Config, labels []core.Label, opts ...Option) Result {
+	o := buildOptions(opts)
+	return o.round(s, c, labels)
+}
+
+func (o *options) round(s Scheme, c *graph.Config, labels []core.Label) Result {
+	votes, st := o.executor().Round(s, c, labels, o.seed)
+	res := Result{Accepted: AllTrue(votes), Stats: st}
+	if o.stats {
+		res.Votes = append([]bool(nil), votes...)
+	}
+	return res
+}
+
+// Summary aggregates a Monte-Carlo estimate over WithTrials rounds.
+type Summary struct {
+	Trials       int
+	Accepted     int     // rounds in which every node output true
+	Acceptance   float64 // Accepted / Trials (0 when Trials == 0)
+	MaxLabelBits int
+	MaxCertBits  int // max certificate bits observed across all trials
+}
+
+// Estimate runs WithTrials independent rounds at seeds seed, seed+1, … and
+// aggregates acceptance and communication cost. Labels come from the
+// prover unless WithLabels supplies an (adversarial) assignment.
+func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
+	o := buildOptions(opts)
+	labels, err := o.resolveLabels(s, c)
+	if err != nil {
+		return Summary{}, err
+	}
+	sum := Summary{MaxLabelBits: core.MaxBits(labels)}
+	if o.trials <= 0 {
+		return sum, nil
+	}
+	sum.Trials = o.trials
+	exec := o.executor()
+	for t := 0; t < o.trials; t++ {
+		votes, st := exec.Round(s, c, labels, o.seed+uint64(t))
+		if AllTrue(votes) {
+			sum.Accepted++
+		}
+		if st.MaxCertBits > sum.MaxCertBits {
+			sum.MaxCertBits = st.MaxCertBits
+		}
+	}
+	sum.Acceptance = float64(sum.Accepted) / float64(sum.Trials)
+	return sum, nil
+}
+
+// SweepPoint is one instance size of a Sweep.
+type SweepPoint struct {
+	N, M    int // nodes and edges of the built configuration
+	Summary Summary
+}
+
+// Sweep measures a scheme across instance sizes: for each n it builds a
+// configuration, constructs the scheme for it (letting parameterized
+// schemes read the instance), labels it with the prover, and runs Estimate.
+// The builder's seed is derived from WithSeed and n, so sweeps are
+// reproducible point by point.
+func Sweep(scheme func(c *graph.Config) (Scheme, error), build func(n int, seed uint64) (*graph.Config, error), sizes []int, opts ...Option) ([]SweepPoint, error) {
+	o := buildOptions(opts)
+	points := make([]SweepPoint, 0, len(sizes))
+	for _, n := range sizes {
+		cfg, err := build(n, o.seed+uint64(n))
+		if err != nil {
+			return points, fmt.Errorf("sweep build n=%d: %w", n, err)
+		}
+		s, err := scheme(cfg)
+		if err != nil {
+			return points, fmt.Errorf("sweep scheme n=%d: %w", n, err)
+		}
+		sum, err := Estimate(s, cfg, opts...)
+		if err != nil {
+			return points, fmt.Errorf("sweep n=%d: %w", n, err)
+		}
+		points = append(points, SweepPoint{N: cfg.G.N(), M: cfg.G.M(), Summary: sum})
+	}
+	return points, nil
+}
+
+// Fixed wraps a size-independent scheme for Sweep.
+func Fixed(s Scheme) func(c *graph.Config) (Scheme, error) {
+	return func(*graph.Config) (Scheme, error) { return s, nil }
+}
+
+// MaxCertBits measures the verification complexity of Definition 2.1: the
+// maximum certificate length generated from the given labels over `trials`
+// coin draws. Deterministic schemes exchange no certificates, so it
+// returns 0 for them.
+func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
+	if s.Deterministic() {
+		return 0
+	}
+	max := 0
+	for t := 0; t < trials; t++ {
+		root := prng.New(seed + uint64(t))
+		for v := 0; v < c.G.N(); v++ {
+			certs := s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
+			if b := core.MaxBits(certs); b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}

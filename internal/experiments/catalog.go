@@ -6,6 +6,7 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
 	"rpls/internal/schemes/acyclicity"
@@ -21,7 +22,10 @@ import (
 )
 
 // CatalogEntry bundles a predicate with its schemes and generators so the
-// CLI tools can drive every scheme uniformly.
+// CLI tools can drive every scheme uniformly. Schemes are resolved by name
+// through engine.Registry (each internal/schemes package self-registers);
+// the catalog adds what the registry cannot know — how to build a legal
+// instance, how to corrupt it, and the ground-truth predicate.
 type CatalogEntry struct {
 	Name        string
 	Description string
@@ -30,8 +34,38 @@ type CatalogEntry struct {
 	// Corrupt mutates a legal configuration into an illegal one.
 	Corrupt func(c *graph.Config, rng *prng.Rand) error
 	Pred    core.Predicate
-	Det     core.PLS
-	Rand    core.RPLS
+	// Det and Rand come from engine.Registry; they are nil when the variant
+	// does not exist or needs per-instance parameters (drive those from Go).
+	Det  core.PLS
+	Rand core.RPLS
+}
+
+// registryDet resolves the deterministic scheme of a registry entry,
+// returning nil for missing or parameterized variants.
+func registryDet(name string) core.PLS {
+	e, ok := engine.Lookup(name)
+	if !ok || e.Det == nil || e.DetParameterized {
+		return nil
+	}
+	s, ok := engine.AsPLS(e.Det(engine.Params{}))
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+// registryRand resolves the randomized scheme of a registry entry,
+// returning nil for missing or parameterized variants.
+func registryRand(name string) core.RPLS {
+	e, ok := engine.Lookup(name)
+	if !ok || e.Rand == nil || e.RandParameterized {
+		return nil
+	}
+	s, ok := engine.AsRPLS(e.Rand(engine.Params{}))
+	if !ok {
+		return nil
+	}
+	return s
 }
 
 // Catalog returns every certified predicate, sorted by name.
@@ -54,8 +88,8 @@ func Catalog() []CatalogEntry {
 				return fmt.Errorf("no non-root node found")
 			},
 			Pred: spanningtree.Predicate{},
-			Det:  spanningtree.NewPLS(),
-			Rand: spanningtree.NewRPLS(),
+			Det:  registryDet("spanningtree"),
+			Rand: registryRand("spanningtree"),
 		},
 		{
 			Name:        "acyclicity",
@@ -74,8 +108,8 @@ func Catalog() []CatalogEntry {
 				return fmt.Errorf("could not add a cycle edge")
 			},
 			Pred: acyclicity.Predicate{},
-			Det:  acyclicity.NewPLS(),
-			Rand: acyclicity.NewRPLS(),
+			Det:  registryDet("acyclicity"),
+			Rand: registryRand("acyclicity"),
 		},
 		{
 			Name:        "mst",
@@ -89,8 +123,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: mst.Predicate{},
-			Det:  mst.NewPLS(),
-			Rand: mst.NewRPLS(),
+			Det:  registryDet("mst"),
+			Rand: registryRand("mst"),
 		},
 		{
 			Name:        "biconnectivity",
@@ -110,8 +144,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: biconn.Predicate{},
-			Det:  biconn.NewPLS(),
-			Rand: biconn.NewRPLS(),
+			Det:  registryDet("biconnectivity"),
+			Rand: registryRand("biconnectivity"),
 		},
 		{
 			Name:        "cycleatleast",
@@ -135,8 +169,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: cycle.AtLeastPredicate{C: 0}, // C fixed per run by the caller
-			Det:  nil,                          // parameterized; see NewPLS(c)
-			Rand: nil,
+			Det:  registryDet("cycleatleast"),  // nil: parameterized (Params.C)
+			Rand: registryRand("cycleatleast"),
 		},
 		{
 			Name:        "flow",
@@ -167,8 +201,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: flow.Predicate{K: 0},
-			Det:  nil,
-			Rand: nil,
+			Det:  registryDet("flow"), // nil: parameterized (Params.K)
+			Rand: registryRand("flow"),
 		},
 		{
 			Name:        "uniform",
@@ -182,8 +216,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: uniform.Predicate{},
-			Det:  uniform.NewPLS(),
-			Rand: uniform.NewRPLS(),
+			Det:  registryDet("uniform"),
+			Rand: registryRand("uniform"),
 		},
 		{
 			Name:        "coloring",
@@ -204,8 +238,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: coloring.Predicate{},
-			Det:  coloring.NewPLS(),
-			Rand: nil, // needs m; see coloring.NewRPLS(m)
+			Det:  registryDet("coloring"),
+			Rand: registryRand("coloring"), // nil: parameterized (Params.M)
 		},
 		{
 			Name:        "leader",
@@ -224,8 +258,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: leader.Predicate{},
-			Det:  leader.NewPLS(),
-			Rand: leader.NewRPLS(),
+			Det:  registryDet("leader"),
+			Rand: registryRand("leader"),
 		},
 		{
 			Name:        "symmetry",
@@ -261,8 +295,8 @@ func Catalog() []CatalogEntry {
 				return nil
 			},
 			Pred: symmetry.Predicate{},
-			Det:  symmetry.NewPLS(),
-			Rand: symmetry.NewRPLS(),
+			Det:  registryDet("symmetry"),
+			Rand: registryRand("symmetry"),
 		},
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })

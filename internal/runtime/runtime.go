@@ -1,239 +1,78 @@
-// Package runtime executes proof-labeling-scheme verification rounds on a
-// configuration, faithfully to the model of §2.1: one synchronous round in
-// which every node sends a value to each neighbor and then computes a
-// boolean output.
+// Package runtime is the compatibility layer over rpls/internal/engine,
+// preserving the original entry points of the goroutine-per-node
+// verification runtime. New code should use the engine package directly:
+// its unified Scheme abstraction serves both models with one round
+// implementation, and its Sequential and Pool executors amortize buffers
+// across rounds.
 //
-// Each node runs as its own goroutine; messages travel over per-directed-
-// edge channels, so a verifier physically cannot read anything but its own
-// state, its own label, and what arrived on its ports. A sequential fast
-// path with identical semantics backs the Monte-Carlo acceptance estimator.
+// VerifyPLS and VerifyRPLS keep the model-faithful goroutine-per-node
+// semantics (engine.Goroutines): each node runs as its own goroutine and
+// messages travel over per-directed-edge channels, so a verifier physically
+// cannot read anything but its own state, its own label, and what arrived
+// on its ports. The Monte-Carlo estimator uses the sequential fast path
+// with identical semantics, as before.
 package runtime
 
 import (
-	"fmt"
-	"sync"
-
-	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/prng"
 )
 
 // Stats records the measured communication cost of one verification round.
-// MaxLabelBits is the prover's label size; MaxCertBits is the verification
-// complexity κ of Definition 2.1 (0 for deterministic schemes, where labels
-// themselves are exchanged and MaxLabelBits is the κ of the PLS model).
-type Stats struct {
-	MaxLabelBits  int
-	MaxCertBits   int
-	TotalWireBits int64 // sum of bits crossing all directed edges
-	Messages      int   // number of point-to-point messages (2m)
-}
+type Stats = engine.Stats
 
 // Result is the outcome of one verification round.
-type Result struct {
-	Accepted bool   // all nodes output true
-	Votes    []bool // per-node outputs
-	Stats    Stats
-}
+type Result = engine.Result
 
 // RunPLS labels the configuration with the scheme's prover and runs the
 // deterministic verification round.
 func RunPLS(s core.PLS, c *graph.Config) (Result, error) {
-	labels, err := s.Label(c)
-	if err != nil {
-		return Result{}, fmt.Errorf("prover %s: %w", s.Name(), err)
-	}
-	if len(labels) != c.G.N() {
-		return Result{}, fmt.Errorf("prover %s: %d labels for %d nodes", s.Name(), len(labels), c.G.N())
-	}
-	return VerifyPLS(s, c, labels), nil
+	return engine.Run(engine.FromPLS(s), c,
+		engine.WithExecutor(engine.NewGoroutines()), engine.WithStats(true))
 }
 
 // VerifyPLS runs the deterministic round under an arbitrary (possibly
 // adversarial) label assignment: nodes exchange labels over channels and
 // decide concurrently.
 func VerifyPLS(s core.PLS, c *graph.Config, labels []core.Label) Result {
-	n := c.G.N()
-	in := buildChannels(c.G)
-	votes := make([]bool, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			// Send our label on every incident edge.
-			for i, h := range c.G.Adj(v) {
-				_ = i
-				in[h.To][h.RevPort-1] <- labels[v]
-			}
-			// Receive the neighbor labels, indexed by our port.
-			deg := c.G.Degree(v)
-			nbrs := make([]core.Label, deg)
-			for i := 0; i < deg; i++ {
-				nbrs[i] = <-in[v][i]
-			}
-			votes[v] = s.Verify(core.ViewOf(c, v), labels[v], nbrs)
-		}(v)
-	}
-	wg.Wait()
-	stats := Stats{MaxLabelBits: core.MaxBits(labels)}
-	for v := 0; v < n; v++ {
-		deg := c.G.Degree(v)
-		stats.Messages += deg
-		stats.TotalWireBits += int64(deg * labels[v].Len())
-	}
-	return Result{Accepted: allTrue(votes), Votes: votes, Stats: stats}
+	return engine.Verify(engine.FromPLS(s), c, labels,
+		engine.WithExecutor(engine.NewGoroutines()), engine.WithStats(true))
 }
 
 // RunRPLS labels the configuration with the scheme's prover and runs one
 // randomized verification round with the given seed.
 func RunRPLS(s core.RPLS, c *graph.Config, seed uint64) (Result, error) {
-	labels, err := s.Label(c)
-	if err != nil {
-		return Result{}, fmt.Errorf("prover %s: %w", s.Name(), err)
-	}
-	if len(labels) != c.G.N() {
-		return Result{}, fmt.Errorf("prover %s: %d labels for %d nodes", s.Name(), len(labels), c.G.N())
-	}
-	return VerifyRPLS(s, c, labels, seed), nil
+	return engine.Run(engine.FromRPLS(s), c, engine.WithSeed(seed),
+		engine.WithExecutor(engine.NewGoroutines()), engine.WithStats(true))
 }
 
 // VerifyRPLS runs one randomized round under an arbitrary label assignment.
 // Node v's private coins are the stream prng.New(seed).Fork(v); schemes fork
 // further per port for edge independence.
 func VerifyRPLS(s core.RPLS, c *graph.Config, labels []core.Label, seed uint64) Result {
-	n := c.G.N()
-	in := buildChannels(c.G)
-	votes := make([]bool, n)
-	certBits := make([]int, n) // max cert bits sent by node v
-	root := prng.New(seed)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for v := 0; v < n; v++ {
-		go func(v int) {
-			defer wg.Done()
-			view := core.ViewOf(c, v)
-			certs := s.Certs(view, labels[v], root.Fork(uint64(v)))
-			for i, h := range c.G.Adj(v) {
-				var cert core.Cert
-				if i < len(certs) {
-					cert = certs[i]
-				}
-				if cert.Len() > certBits[v] {
-					certBits[v] = cert.Len()
-				}
-				in[h.To][h.RevPort-1] <- cert
-			}
-			deg := c.G.Degree(v)
-			received := make([]core.Cert, deg)
-			for i := 0; i < deg; i++ {
-				received[i] = <-in[v][i]
-			}
-			votes[v] = s.Decide(view, labels[v], received)
-		}(v)
-	}
-	wg.Wait()
-	stats := Stats{MaxLabelBits: core.MaxBits(labels)}
-	for v := 0; v < n; v++ {
-		if certBits[v] > stats.MaxCertBits {
-			stats.MaxCertBits = certBits[v]
-		}
-		stats.Messages += c.G.Degree(v)
-	}
-	stats.TotalWireBits = totalCertBits(s, c, labels, seed)
-	return Result{Accepted: allTrue(votes), Votes: votes, Stats: stats}
-}
-
-// verifyRPLSSequential produces the same votes as VerifyRPLS for the same
-// seed, without goroutines; the Monte-Carlo estimator uses it.
-func verifyRPLSSequential(s core.RPLS, c *graph.Config, labels []core.Label, seed uint64) bool {
-	n := c.G.N()
-	root := prng.New(seed)
-	all := make([][]core.Cert, n)
-	for v := 0; v < n; v++ {
-		all[v] = s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
-	}
-	for v := 0; v < n; v++ {
-		deg := c.G.Degree(v)
-		received := make([]core.Cert, deg)
-		for i := 0; i < deg; i++ {
-			h := c.G.Neighbor(v, i+1)
-			certs := all[h.To]
-			if h.RevPort-1 < len(certs) {
-				received[i] = certs[h.RevPort-1]
-			}
-		}
-		if !s.Decide(core.ViewOf(c, v), labels[v], received) {
-			return false
-		}
-	}
-	return true
-}
-
-func totalCertBits(s core.RPLS, c *graph.Config, labels []core.Label, seed uint64) int64 {
-	root := prng.New(seed)
-	var total int64
-	for v := 0; v < c.G.N(); v++ {
-		certs := s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
-		for _, cert := range certs {
-			total += int64(cert.Len())
-		}
-	}
-	return total
+	return engine.Verify(engine.FromRPLS(s), c, labels, engine.WithSeed(seed),
+		engine.WithExecutor(engine.NewGoroutines()), engine.WithStats(true))
 }
 
 // EstimateAcceptance runs `trials` independent randomized rounds and returns
 // the fraction accepted. Seeds are seed, seed+1, … so estimates are
 // reproducible.
 func EstimateAcceptance(s core.RPLS, c *graph.Config, labels []core.Label, trials int, seed uint64) float64 {
-	if trials <= 0 {
-		return 0
+	sum, err := engine.Estimate(engine.FromRPLS(s), c,
+		engine.WithLabels(labels), engine.WithTrials(trials), engine.WithSeed(seed))
+	if err != nil {
+		// With explicit labels the only failure is a label/node count
+		// mismatch — a programming error that used to fail loudly as an
+		// index panic; keep it loud rather than report 0 acceptance.
+		panic(err)
 	}
-	accepted := 0
-	for t := 0; t < trials; t++ {
-		if verifyRPLSSequential(s, c, labels, seed+uint64(t)) {
-			accepted++
-		}
-	}
-	return float64(accepted) / float64(trials)
+	return sum.Acceptance
 }
 
 // MaxCertBitsOver measures the verification complexity of Definition 2.1:
 // the maximum certificate length the verifier generates from the prover's
 // labels on the given (legal) configuration, over `trials` coin draws.
 func MaxCertBitsOver(s core.RPLS, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
-	max := 0
-	for t := 0; t < trials; t++ {
-		root := prng.New(seed + uint64(t))
-		for v := 0; v < c.G.N(); v++ {
-			certs := s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
-			if b := core.MaxBits(certs); b > max {
-				max = b
-			}
-		}
-	}
-	return max
-}
-
-// buildChannels wires one buffered channel per directed edge;
-// in[v][p-1] carries messages arriving at v on port p.
-func buildChannels(g *graph.Graph) [][]chan bitstring.String {
-	in := make([][]chan bitstring.String, g.N())
-	for v := range in {
-		in[v] = make([]chan bitstring.String, g.Degree(v))
-		for i := range in[v] {
-			in[v][i] = make(chan bitstring.String, 1)
-		}
-	}
-	return in
-}
-
-func allTrue(votes []bool) bool {
-	for _, v := range votes {
-		if !v {
-			return false
-		}
-	}
-	return len(votes) > 0
+	return engine.MaxCertBits(engine.FromRPLS(s), c, labels, trials, seed)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
 )
@@ -47,7 +48,7 @@ func VerifyShared(s core.SharedRPLS, c *graph.Config, labels []core.Label, seed 
 		stats.Messages += deg
 		votes[v] = s.DecideShared(core.ViewOf(c, v), labels[v], received, core.SharedCoins(seed))
 	}
-	return Result{Accepted: allTrue(votes), Votes: votes, Stats: stats}
+	return Result{Accepted: engine.AllTrue(votes), Votes: votes, Stats: stats}
 }
 
 // EstimateAcceptanceShared is the Monte-Carlo acceptance estimator for the

@@ -1,0 +1,18 @@
+package acyclicity
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "acyclicity",
+		Description: "the network is a forest (Theorem 5.1 machinery)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+	engine.Register(engine.Entry{
+		Name:        "acyclicity-compact",
+		Description: "forest certification with gamma-coded distance labels",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewCompactPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewCompactRPLS()) },
+	})
+}

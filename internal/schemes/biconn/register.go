@@ -1,0 +1,12 @@
+package biconn
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "biconnectivity",
+		Description: "no articulation point (Theorem 5.2)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+}

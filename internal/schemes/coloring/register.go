@@ -1,0 +1,15 @@
+package coloring
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "coloring",
+		Description: "adjacent nodes have distinct colors (§1 example)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		// The randomized scheme sizes its fingerprint field by the edge
+		// count, so drivers must supply Params.M.
+		Rand:              func(p engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS(p.M)) },
+		RandParameterized: true,
+	})
+}

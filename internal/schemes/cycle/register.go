@@ -1,0 +1,22 @@
+package cycle
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:              "cycleatleast",
+		Description:       "a simple cycle of >= C nodes exists (Theorem 5.3)",
+		Det:               func(p engine.Params) engine.Scheme { return engine.FromPLS(NewPLS(p.C)) },
+		Rand:              func(p engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS(p.C)) },
+		DetParameterized:  true,
+		RandParameterized: true,
+	})
+	engine.Register(engine.Entry{
+		Name:              "cycleatmost",
+		Description:       "no simple cycle exceeds C nodes (Theorem 5.6, via the universal scheme)",
+		Det:               func(p engine.Params) engine.Scheme { return engine.FromPLS(NewAtMostPLS(p.C)) },
+		Rand:              func(p engine.Params) engine.Scheme { return engine.FromRPLS(NewAtMostRPLS(p.C)) },
+		DetParameterized:  true,
+		RandParameterized: true,
+	})
+}

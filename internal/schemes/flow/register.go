@@ -1,0 +1,14 @@
+package flow
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:              "flow",
+		Description:       "maximum s-t flow equals K (§5.2)",
+		Det:               func(p engine.Params) engine.Scheme { return engine.FromPLS(NewPLS(p.K)) },
+		Rand:              func(p engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS(p.K)) },
+		DetParameterized:  true,
+		RandParameterized: true,
+	})
+}

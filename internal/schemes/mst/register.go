@@ -1,0 +1,12 @@
+package mst
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "mst",
+		Description: "parent pointers form a minimum spanning tree (Theorem 5.1)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+}

@@ -1,0 +1,12 @@
+package spanningtree
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "spanningtree",
+		Description: "parent pointers form a spanning tree (§1 example)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+}

@@ -1,0 +1,14 @@
+package stconn
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:              "stconn",
+		Description:       "s-t vertex connectivity equals K (extension; §5.2)",
+		Det:               func(p engine.Params) engine.Scheme { return engine.FromPLS(NewPLS(p.K)) },
+		Rand:              func(p engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS(p.K)) },
+		DetParameterized:  true,
+		RandParameterized: true,
+	})
+}

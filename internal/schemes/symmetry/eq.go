@@ -5,9 +5,9 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 // EQFromRPLS is the reduction in the proof of Lemma C.1: any RPLS for Sym
@@ -63,7 +63,7 @@ func EQFromRPLS(s core.RPLS, x, y bitstring.String, seed uint64) (equal bool, bi
 
 	// Simulate the verification round on the combined configuration. Only
 	// the two certificates on the bridge edge cross the Alice/Bob boundary.
-	res := runtime.VerifyRPLS(s, combined, labels, seed)
+	res := engine.Verify(engine.FromRPLS(s), combined, labels, engine.WithSeed(seed))
 
 	ua, ub := BridgeEndpoints(lambda)
 	bits = bridgeCertBits(s, combined, labels, ua, ub, seed) +

@@ -1,0 +1,12 @@
+package symmetry
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "symmetry",
+		Description: "some edge splits the graph into isomorphic halves (Appendix C)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+}

@@ -1,0 +1,12 @@
+package uniform
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "uniform",
+		Description: "all nodes carry identical payloads (Lemma C.3)",
+		Det:         func(engine.Params) engine.Scheme { return engine.FromPLS(NewPLS()) },
+		Rand:        func(engine.Params) engine.Scheme { return engine.FromRPLS(NewRPLS()) },
+	})
+}

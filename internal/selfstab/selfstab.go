@@ -16,8 +16,8 @@ import (
 	"fmt"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 )
 
 // StepResult reports one verification round.
@@ -27,9 +27,13 @@ type StepResult struct {
 	Rejectors []int // nodes that output FALSE and would trigger recovery
 }
 
-// Monitor drives repeated verification of a configuration.
+// Monitor drives repeated verification of a configuration. Rounds run on a
+// private sequential executor whose receive and vote buffers are reused
+// step to step (certificate generation and the per-step result still
+// allocate).
 type Monitor struct {
-	scheme core.RPLS
+	scheme engine.Scheme
+	exec   *engine.Sequential
 	cfg    *graph.Config
 	labels []core.Label
 	seed   uint64
@@ -39,11 +43,18 @@ type Monitor struct {
 // NewMonitor labels the configuration with the scheme's prover and returns
 // a monitor ready to step. The configuration must be legal.
 func NewMonitor(s core.RPLS, cfg *graph.Config, seed uint64) (*Monitor, error) {
-	labels, err := s.Label(cfg)
+	scheme := engine.FromRPLS(s)
+	labels, err := scheme.Label(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("selfstab: initial labeling: %w", err)
 	}
-	return &Monitor{scheme: s, cfg: cfg, labels: labels, seed: seed}, nil
+	return &Monitor{
+		scheme: scheme,
+		exec:   engine.NewSequential(),
+		cfg:    cfg,
+		labels: labels,
+		seed:   seed,
+	}, nil
 }
 
 // Config exposes the monitored configuration for fault injection.
@@ -55,7 +66,8 @@ func (m *Monitor) Round() uint64 { return m.round }
 // Step runs one randomized verification round with fresh coins.
 func (m *Monitor) Step() StepResult {
 	m.round++
-	res := runtime.VerifyRPLS(m.scheme, m.cfg, m.labels, m.seed+m.round)
+	res := engine.Verify(m.scheme, m.cfg, m.labels,
+		engine.WithSeed(m.seed+m.round), engine.WithExecutor(m.exec), engine.WithStats(true))
 	out := StepResult{Round: m.round, Accepted: res.Accepted}
 	for v, vote := range res.Votes {
 		if !vote {
