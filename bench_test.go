@@ -245,6 +245,44 @@ func BenchmarkEngineEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateParallel measures the trial-parallel Monte-Carlo
+// estimator across worker counts on a large instance. The Summary is
+// bit-identical at every level (the determinism property test enforces it),
+// so the only question is wall-clock: p=8 is expected to land >= 3x over
+// p=1 on an 8-core runner.
+func BenchmarkEstimateParallel(b *testing.B) {
+	const n, trials = 4096, 256
+	s := engine.FromRPLS(uniform.NewRPLS())
+	cfg := experiments.BuildUniformConfig(n, 32, uint64(n))
+	labels, err := s.Label(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ref engine.Summary
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			exec := engine.NewSequential()
+			for i := 0; i < b.N; i++ {
+				sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+					engine.WithTrials(trials), engine.WithSeed(7),
+					engine.WithExecutor(exec), engine.WithParallelism(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Accepted != trials {
+					b.Fatalf("rejected: %+v", sum)
+				}
+				if ref.Trials == 0 {
+					ref = sum
+				} else if sum != ref {
+					b.Fatalf("p=%d summary diverged: %+v != %+v", p, sum, ref)
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Ablations for the design choices DESIGN.md calls out.
 // ---------------------------------------------------------------------------

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200] [-exec pool]
-//	plsrun -scheme mst -sweep 64,256,1024
+//	plsrun -scheme mst -n 64 -parallel 8 -maxse 0.02
+//	plsrun -scheme mst -sweep 64,256,1024 -parallel 0
 //	plsrun -list
 package main
 
@@ -36,6 +37,8 @@ func run() error {
 	mode := flag.String("mode", "both", "det, rand, or both")
 	corrupt := flag.Bool("corrupt", false, "corrupt the configuration after labeling")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials for randomized acceptance")
+	parallel := flag.Int("parallel", 1, "estimator workers (0 = all cores); summaries are bit-identical at any level")
+	maxSE := flag.Float64("maxse", 0, "stop an estimate once the 95% Wilson half-width is at most this (0 = off)")
 	execName := flag.String("exec", "sequential", "round executor: sequential, pool, or goroutines")
 	sweep := flag.String("sweep", "", "comma-separated sizes; measure the randomized scheme across them")
 	list := flag.Bool("list", false, "list available schemes")
@@ -84,7 +87,7 @@ func run() error {
 		if s == nil {
 			s = det
 		}
-		return runSweep(s, entry, *sweep, *trials, *seed, exec)
+		return runSweep(s, entry, *sweep, *trials, *seed, exec, *parallel, *maxSE)
 	}
 
 	cfg, err := entry.Build(*n, *seed)
@@ -128,19 +131,21 @@ func run() error {
 		res := engine.Verify(rand, cfg, randLabels,
 			engine.WithSeed(*seed+2), engine.WithExecutor(exec))
 		sum, err := engine.Estimate(rand, cfg, engine.WithLabels(randLabels),
-			engine.WithTrials(*trials), engine.WithSeed(*seed+3), engine.WithExecutor(exec))
+			engine.WithTrials(*trials), engine.WithSeed(*seed+3), engine.WithExecutor(exec),
+			engine.WithParallelism(*parallel), engine.WithMaxSE(*maxSE))
 		if err != nil {
 			return fmt.Errorf("acceptance estimate: %w", err)
 		}
-		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d acceptance=%.3f (%d trials)\n",
+		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d acceptance=%.3f ci95=[%.3f,%.3f] (%d trials)\n",
 			rand.Name(), res.Accepted, res.Stats.MaxCertBits,
-			res.Stats.MaxLabelBits, sum.Acceptance, sum.Trials)
+			res.Stats.MaxLabelBits, sum.Acceptance, sum.CILow, sum.CIHigh, sum.Trials)
 	}
 	return nil
 }
 
-// runSweep measures one scheme across instance sizes with engine.Sweep.
-func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, trials int, seed uint64, exec engine.Executor) error {
+// runSweep measures one scheme across instance sizes with engine.Sweep,
+// sharding the sizes across the requested workers.
+func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, trials int, seed uint64, exec engine.Executor, parallel int, maxSE float64) error {
 	var ns []int
 	for _, part := range strings.Split(sizes, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -150,16 +155,18 @@ func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, tri
 		ns = append(ns, v)
 	}
 	points, err := engine.Sweep(engine.Fixed(s), entry.Build, ns,
-		engine.WithTrials(trials), engine.WithSeed(seed), engine.WithExecutor(exec))
+		engine.WithTrials(trials), engine.WithSeed(seed), engine.WithExecutor(exec),
+		engine.WithParallelism(parallel), engine.WithMaxSE(maxSE))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sweep: scheme=%s trials=%d executor=%s\n", s.Name(), trials, exec.Name())
-	fmt.Println("      n |       m | label bits | cert bits | acceptance")
-	fmt.Println("--------+---------+------------+-----------+-----------")
+	fmt.Printf("sweep: scheme=%s trials=%d executor=%s workers=%d\n", s.Name(), trials, exec.Name(), parallel)
+	fmt.Println("      n |       m | label bits | cert bits | acceptance |    ci95")
+	fmt.Println("--------+---------+------------+-----------+------------+---------------")
 	for _, p := range points {
-		fmt.Printf("%7d | %7d | %10d | %9d | %10.3f\n",
-			p.N, p.M, p.Summary.MaxLabelBits, p.Summary.MaxCertBits, p.Summary.Acceptance)
+		fmt.Printf("%7d | %7d | %10d | %9d | %10.3f | [%.3f,%.3f]\n",
+			p.N, p.M, p.Summary.MaxLabelBits, p.Summary.MaxCertBits,
+			p.Summary.Acceptance, p.Summary.CILow, p.Summary.CIHigh)
 	}
 	return nil
 }

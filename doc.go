@@ -18,8 +18,10 @@
 //
 //   - internal/engine     — the verification API: the unified Scheme
 //     abstraction (one round shape for both models), the Sequential / Pool /
-//     Goroutines executors, the Run / Estimate / Sweep batch entry points,
-//     and the name → constructor Registry that every scheme package
+//     Goroutines executors, the trial-parallel Run / Estimate / Soundness /
+//     Sweep batch entry points (Wilson confidence intervals, early
+//     stopping, bit-identical summaries at every parallelism level), and
+//     the name → constructor Registry that every scheme package
 //     self-registers into
 //   - internal/core       — the PLS/RPLS model of §2.2, compiler, universal
 //     schemes, boosting

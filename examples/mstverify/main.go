@@ -28,11 +28,14 @@ func main() {
 
 	sizes := []int{16, 64, 256, 1024}
 	build := func(n int, seed uint64) (*graph.Config, error) { return buildMST(n, seed) }
-	detPoints, err := engine.Sweep(engine.Fixed(det), build, sizes)
+	// Sweeps shard their sizes across all cores; results are bit-identical
+	// to a serial sweep.
+	detPoints, err := engine.Sweep(engine.Fixed(det), build, sizes, engine.WithParallelism(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	randPoints, err := engine.Sweep(engine.Fixed(rand), build, sizes, engine.WithTrials(3))
+	randPoints, err := engine.Sweep(engine.Fixed(rand), build, sizes, engine.WithTrials(3),
+		engine.WithParallelism(0))
 	if err != nil {
 		log.Fatal(err)
 	}

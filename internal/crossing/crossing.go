@@ -174,7 +174,8 @@ func AttackRPLSOneSided(s core.RPLS, pred core.Predicate, cfg *graph.Config, gad
 	}
 	atk.CrossedLegal = pred.Eval(crossed)
 	sum, err := engine.Estimate(engine.FromRPLS(s), crossed,
-		engine.WithLabels(labels), engine.WithTrials(trials), engine.WithSeed(seed+1))
+		engine.WithLabels(labels), engine.WithTrials(trials), engine.WithSeed(seed+1),
+		engine.WithParallelism(0)) // bit-identical to serial for any worker count
 	if err != nil {
 		return atk, fmt.Errorf("acceptance estimate: %w", err)
 	}

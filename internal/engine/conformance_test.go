@@ -1,0 +1,196 @@
+package engine_test
+
+// The registry-driven conformance suite: every name in engine.Registry gets
+// a small legal and illegal fixture and runs the full schemetest battery —
+// completeness, prover refusal, and the engine.Soundness adversary fan-out.
+// A scheme that registers but ships no fixture (or no tests of its own)
+// fails here, so registration implies conformance coverage.
+
+import (
+	"fmt"
+	"testing"
+
+	"rpls/internal/engine"
+	"rpls/internal/experiments"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/schemetest"
+
+	// Every scheme package must be linked in so the registry is complete.
+	_ "rpls/internal/schemes/acyclicity"
+	_ "rpls/internal/schemes/biconn"
+	_ "rpls/internal/schemes/coloring"
+	_ "rpls/internal/schemes/cycle"
+	_ "rpls/internal/schemes/flow"
+	_ "rpls/internal/schemes/leader"
+	_ "rpls/internal/schemes/mst"
+	_ "rpls/internal/schemes/spanningtree"
+	_ "rpls/internal/schemes/stconn"
+	_ "rpls/internal/schemes/symmetry"
+	_ "rpls/internal/schemes/uniform"
+)
+
+// conformanceFixture is a small legal/illegal instance pair plus the
+// semantic parameters the entry's constructors need for it.
+type conformanceFixture struct {
+	legal, illegal *graph.Config
+	params         engine.Params
+}
+
+// catalogFixture builds a fixture from the experiments catalog: the legal
+// instance from its builder, the illegal one from its corruptor.
+func catalogFixture(name string, n int, seed uint64) (conformanceFixture, error) {
+	entry, ok := experiments.LookupCatalog(name)
+	if !ok {
+		return conformanceFixture{}, fmt.Errorf("no catalog entry %q", name)
+	}
+	legal, err := entry.Build(n, seed)
+	if err != nil {
+		return conformanceFixture{}, fmt.Errorf("build: %w", err)
+	}
+	illegal := legal.Clone()
+	if err := entry.Corrupt(illegal, prng.New(seed+1)); err != nil {
+		return conformanceFixture{}, fmt.Errorf("corrupt: %w", err)
+	}
+	return conformanceFixture{legal: legal, illegal: illegal}, nil
+}
+
+// stFixture marks s = 0 and t = n−1 in a configuration of graph g.
+func stFixture(g *graph.Graph, seed uint64) *graph.Config {
+	c := graph.NewConfig(g)
+	c.AssignRandomIDs(prng.New(seed))
+	c.States[0].Flags |= graph.FlagSource
+	c.States[g.N()-1].Flags |= graph.FlagTarget
+	return c
+}
+
+// conformanceFixtures maps every registered scheme name to its fixture
+// builder. Adding a scheme to the registry without adding a fixture here
+// fails TestRegistryConformance.
+var conformanceFixtures = map[string]func() (conformanceFixture, error){
+	"spanningtree": func() (conformanceFixture, error) { return catalogFixture("spanningtree", 12, 3) },
+	"acyclicity":   func() (conformanceFixture, error) { return catalogFixture("acyclicity", 12, 4) },
+	"acyclicity-compact": func() (conformanceFixture, error) {
+		// Same predicate as acyclicity; reuse its instances.
+		return catalogFixture("acyclicity", 12, 5)
+	},
+	"mst":     func() (conformanceFixture, error) { return catalogFixture("mst", 12, 6) },
+	"uniform": func() (conformanceFixture, error) { return catalogFixture("uniform", 10, 7) },
+	"leader":  func() (conformanceFixture, error) { return catalogFixture("leader", 10, 8) },
+	"symmetry": func() (conformanceFixture, error) {
+		// The catalog corruptor adds a pendant node, so the illegal twin has
+		// one node more; Soundness then runs the random adversary only.
+		return catalogFixture("symmetry", 12, 9)
+	},
+	"coloring": func() (conformanceFixture, error) {
+		fx, err := catalogFixture("coloring", 10, 10)
+		if err != nil {
+			return fx, err
+		}
+		fx.params = engine.Params{M: fx.legal.G.M()} // field sized by edge count
+		return fx, nil
+	},
+	"biconnectivity": func() (conformanceFixture, error) {
+		// A same-size illegal twin (unlike the catalog's pendant-node
+		// corruptor): every interior node of a path is an articulation point.
+		legal, err := experiments.BuildBiconnConfig(10, 11)
+		if err != nil {
+			return conformanceFixture{}, err
+		}
+		illegal := graph.NewConfig(graph.Path(10))
+		illegal.AssignRandomIDs(prng.New(12))
+		return conformanceFixture{legal: legal, illegal: illegal}, nil
+	},
+	"cycleatleast": func() (conformanceFixture, error) {
+		g, err := graph.CycleWithHub(12, 6)
+		if err != nil {
+			return conformanceFixture{}, err
+		}
+		legal := graph.NewConfig(g)
+		legal.AssignRandomIDs(prng.New(13))
+		illegal := graph.NewConfig(graph.RandomTree(12, prng.New(14)))
+		illegal.AssignRandomIDs(prng.New(15))
+		return conformanceFixture{legal: legal, illegal: illegal, params: engine.Params{C: 6}}, nil
+	},
+	"cycleatmost": func() (conformanceFixture, error) {
+		g, err := graph.ChainOfCycles(12, 4)
+		if err != nil {
+			return conformanceFixture{}, err
+		}
+		legal := graph.NewConfig(g)
+		ring, err := graph.Cycle(12)
+		if err != nil {
+			return conformanceFixture{}, err
+		}
+		illegal := graph.NewConfig(ring) // one 12-cycle > 4
+		return conformanceFixture{legal: legal, illegal: illegal, params: engine.Params{C: 4}}, nil
+	},
+	"flow": func() (conformanceFixture, error) {
+		legal := stFixture(graph.Complete(4), 16) // s-t flow 3
+		illegal := stFixture(graph.Path(4), 17)   // s-t flow 1
+		return conformanceFixture{legal: legal, illegal: illegal, params: engine.Params{K: 3}}, nil
+	},
+	"stconn": func() (conformanceFixture, error) {
+		ring, err := graph.Cycle(8)
+		if err != nil {
+			return conformanceFixture{}, err
+		}
+		// The terminals must be non-adjacent: antipodal on the ring.
+		legal := graph.NewConfig(ring) // s-t vertex connectivity 2
+		legal.AssignRandomIDs(prng.New(18))
+		legal.States[0].Flags |= graph.FlagSource
+		legal.States[4].Flags |= graph.FlagTarget
+		illegal := graph.NewConfig(graph.Path(8)) // s-t vertex connectivity 1
+		illegal.AssignRandomIDs(prng.New(19))
+		illegal.States[0].Flags |= graph.FlagSource
+		illegal.States[4].Flags |= graph.FlagTarget
+		return conformanceFixture{legal: legal, illegal: illegal, params: engine.Params{K: 2}}, nil
+	},
+}
+
+// TestRegistryConformance runs the battery on every registered scheme, in
+// both variants, on every executor family — registration alone is enough to
+// get a scheme checked.
+func TestRegistryConformance(t *testing.T) {
+	entries := engine.Entries()
+	if len(entries) == 0 {
+		t.Fatal("scheme registry is empty")
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		seen[e.Name] = true
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			build, ok := conformanceFixtures[e.Name]
+			if !ok {
+				t.Fatalf("registered scheme %q has no conformance fixture; add a legal/illegal pair to conformanceFixtures", e.Name)
+			}
+			fx, err := build()
+			if err != nil {
+				t.Fatalf("fixture: %v", err)
+			}
+			if e.Det == nil && e.Rand == nil {
+				t.Fatalf("registered scheme %q has no constructors", e.Name)
+			}
+			spec := schemetest.BatterySpec{Trials: 48, MaxAccepted: 36}
+			h := schemetest.New(21)
+			h.Parallelism = 4 // summaries are bit-identical at any level
+			if e.Det != nil {
+				t.Run("det", func(t *testing.T) {
+					h.Battery(t, e.Det(fx.params), fx.legal, fx.illegal, spec)
+				})
+			}
+			if e.Rand != nil {
+				t.Run("rand", func(t *testing.T) {
+					h.Battery(t, e.Rand(fx.params), fx.legal, fx.illegal, spec)
+				})
+			}
+		})
+	}
+	// Stale fixtures point at names no longer registered.
+	for name := range conformanceFixtures {
+		if !seen[name] {
+			t.Errorf("conformance fixture %q matches no registered scheme", name)
+		}
+	}
+}

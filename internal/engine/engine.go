@@ -26,11 +26,17 @@
 // the parity property test in this package enforces that.
 //
 // Entry points: Run (label and verify once), Verify (verify under arbitrary,
-// possibly adversarial labels), Estimate (Monte-Carlo acceptance over many
-// seeds), Sweep (measure across instance sizes), and MaxCertBits (the
-// Definition 2.1 verification complexity). Schemes are discovered by name
-// through the Registry, which each internal/schemes package populates from
-// its init function.
+// possibly adversarial labels), Estimate (trial-parallel Monte-Carlo
+// acceptance with a Wilson confidence interval and early stopping — see
+// WithParallelism, WithMaxSE, WithStopOnReject), Soundness (worst-case
+// acceptance under the transplant / random / bit-flip adversaries), Sweep
+// (measure across instance sizes, sharded over workers), and MaxCertBits
+// (the Definition 2.1 verification complexity, tracked inside the trial
+// loop). Estimate shards trials seed..seed+T−1 across workers that each own
+// a cloned executor and merges outcomes by trial index, so every Summary is
+// bit-identical for any parallelism level and any executor. Schemes are
+// discovered by name through the Registry, which each internal/schemes
+// package populates from its init function.
 package engine
 
 import (

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"rpls/internal/core"
+	"rpls/internal/graph"
+)
+
+// The trial-parallel Monte-Carlo estimator.
+//
+// Estimate shards trials seed..seed+T−1 across WithParallelism workers,
+// each owning a private executor (the caller's executor plus clones with
+// independent scratch). Trial t's coins depend only on seed+t, and
+// per-trial outcomes are merged by trial index, so the resulting Summary is
+// bit-identical for every parallelism level and every executor.
+//
+// Early stopping keeps that guarantee: trials are computed ahead in fixed
+// chunks of estimateChunk (independent of the worker count) and then folded
+// in serial trial order, applying the stopping rule after each trial — the
+// stopping trial is exactly the one a serial run would stop at, and any
+// speculatively computed later trials are discarded.
+
+// estimateChunk is the number of trials computed ahead of the serial
+// stopping scan when an early-stop rule is active. It is a fixed constant —
+// never derived from the worker count — so the stopping decision, and hence
+// the Summary, cannot depend on parallelism.
+const estimateChunk = 64
+
+// wilsonZ is the two-sided 95% normal quantile used for Summary's interval.
+const wilsonZ = 1.959963984540054
+
+// Cloneable is implemented by executors that can produce fresh instances
+// with the same configuration but independent scratch buffers. The
+// trial-parallel estimator clones the caller's executor once per extra
+// worker; a non-cloneable executor degrades gracefully to the serial path.
+type Cloneable interface {
+	// Clone returns a new executor of the same kind and configuration whose
+	// scratch is independent of the receiver's.
+	Clone() Executor
+}
+
+// Summary aggregates a Monte-Carlo estimate over a batch of trials.
+// CILow and CIHigh bound the acceptance probability with the 95% Wilson
+// score interval, which stays informative at the boundary rates 0 and 1
+// where the normal-approximation interval collapses.
+type Summary struct {
+	Trials       int
+	Accepted     int     // rounds in which every node output true
+	Acceptance   float64 // Accepted / Trials (0 when Trials == 0)
+	CILow        float64 // lower end of the 95% Wilson interval
+	CIHigh       float64 // upper end of the 95% Wilson interval
+	MaxLabelBits int
+	MaxCertBits  int // max certificate bits observed across all trials
+}
+
+// WilsonInterval returns the 95% Wilson score interval for accepted
+// successes out of trials Bernoulli trials, clamped to [0, 1]. For
+// trials == 0 it returns the vacuous interval [0, 1].
+func WilsonInterval(accepted, trials int) (lo, hi float64) {
+	center, half := wilson(accepted, trials)
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// wilson returns the unclamped center and half-width of the 95% Wilson
+// interval; the half-width is the quantity WithMaxSE compares against.
+func wilson(accepted, trials int) (center, half float64) {
+	if trials == 0 {
+		return 0.5, 0.5
+	}
+	n := float64(trials)
+	phat := float64(accepted) / n
+	z2 := wilsonZ * wilsonZ
+	denom := 1 + z2/n
+	center = (phat + z2/(2*n)) / denom
+	half = wilsonZ / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	return center, half
+}
+
+// Estimate runs up to WithTrials independent rounds at seeds seed, seed+1,
+// … and aggregates acceptance, a Wilson confidence interval, and
+// communication cost. Labels come from the prover unless WithLabels
+// supplies an (adversarial) assignment. WithParallelism shards the trials
+// across workers; WithMaxSE and WithStopOnReject stop the run early. The
+// Summary is bit-identical for any parallelism level and any executor.
+func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
+	o := buildOptions(opts)
+	labels, err := o.resolveLabels(s, c)
+	if err != nil {
+		return Summary{}, err
+	}
+	return o.estimateLabels(s, c, labels), nil
+}
+
+// trialOutcome is the per-trial data the merge needs: the acceptance vote
+// and the largest certificate the trial put on the wire.
+type trialOutcome struct {
+	accepted    bool
+	maxCertBits int
+}
+
+// estimateLabels is the estimator core shared by Estimate, Soundness,
+// Sweep, and MaxCertBits: labels are already resolved.
+func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label) Summary {
+	sum := Summary{MaxLabelBits: core.MaxBits(labels)}
+	if o.trials <= 0 {
+		sum.CILow, sum.CIHigh = WilsonInterval(0, 0)
+		return sum
+	}
+	execs := o.shardExecutors()
+
+	// With an early-stop rule active, compute trials ahead in fixed-size
+	// chunks; otherwise one chunk covers the whole run.
+	chunk := o.trials
+	if o.maxSE > 0 || o.stopOnReject {
+		chunk = estimateChunk
+	}
+	out := make([]trialOutcome, min(chunk, o.trials))
+
+	accepted, certMax, done := 0, 0, 0
+scan:
+	for lo := 0; lo < o.trials; lo += chunk {
+		hi := min(lo+chunk, o.trials)
+		runTrials(execs, s, c, labels, o.seed, lo, hi, out)
+		// Fold outcomes in serial trial order; the stopping rule sees
+		// exactly the prefix a serial run would have seen.
+		for t := lo; t < hi; t++ {
+			res := out[t-lo]
+			done++
+			if res.accepted {
+				accepted++
+			}
+			if res.maxCertBits > certMax {
+				certMax = res.maxCertBits
+			}
+			if o.stopOnReject && !res.accepted {
+				break scan
+			}
+			if o.maxSE > 0 {
+				if _, half := wilson(accepted, done); half <= o.maxSE {
+					break scan
+				}
+			}
+		}
+	}
+	sum.Trials, sum.Accepted, sum.MaxCertBits = done, accepted, certMax
+	sum.Acceptance = float64(accepted) / float64(done)
+	sum.CILow, sum.CIHigh = WilsonInterval(accepted, done)
+	return sum
+}
+
+// shardExecutors resolves the worker executors: the caller's executor
+// first, then one clone per extra worker. A non-cloneable executor cannot
+// be sharded safely, so it runs the whole estimate alone.
+func (o *options) shardExecutors() []Executor {
+	base := o.executor()
+	p := o.workers()
+	if p <= 1 {
+		return []Executor{base}
+	}
+	cl, ok := base.(Cloneable)
+	if !ok {
+		return []Executor{base}
+	}
+	execs := make([]Executor, p)
+	execs[0] = base
+	for i := 1; i < p; i++ {
+		execs[i] = cl.Clone()
+	}
+	return execs
+}
+
+// runTrials executes trials [lo, hi), writing outcome t to out[t-lo].
+// Workers take contiguous trial ranges; since every slot is indexed by
+// trial, the merge is order-independent and the result identical for any
+// worker count.
+func runTrials(execs []Executor, s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
+	span := hi - lo
+	w := len(execs)
+	if w > span {
+		w = span
+	}
+	if w <= 1 {
+		oneWorker(execs[0], s, c, labels, seed, lo, hi, out)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			defer wg.Done()
+			start := lo + i*span/w
+			end := lo + (i+1)*span/w
+			oneWorker(execs[i], s, c, labels, seed, start, end, out[start-lo:end-lo])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// oneWorker runs trials [lo, hi) on a single executor.
+func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
+	for t := lo; t < hi; t++ {
+		votes, st := exec.Round(s, c, labels, seed+uint64(t))
+		out[t-lo] = trialOutcome{accepted: AllTrue(votes), maxCertBits: st.MaxCertBits}
+	}
+}
+
+// MaxCertBits measures the verification complexity of Definition 2.1: the
+// maximum certificate length sent from the given labels over `trials` coin
+// draws. It rides the same trial loop as Estimate — certificate sizes are
+// tracked per round, not re-drawn — so it costs exactly `trials` rounds.
+// Deterministic schemes exchange no certificates, so it returns 0 for them.
+func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
+	if s.Deterministic() {
+		return 0
+	}
+	o := buildOptions([]Option{WithSeed(seed), WithTrials(trials)})
+	return o.estimateLabels(s, c, labels).MaxCertBits
+}

@@ -1,0 +1,345 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/engine"
+	"rpls/internal/experiments"
+	"rpls/internal/graph"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/uniform"
+)
+
+// corruptedUniform returns a uniform-payload configuration with one node's
+// payload flipped plus the honest labels of the healthy twin — an instance
+// whose acceptance rate is strictly between 0 and 1, which exercises the
+// interval math and the early-stop rules.
+func corruptedUniform(t *testing.T, n int, seed uint64) (engine.Scheme, *graph.Config, []core.Label) {
+	t.Helper()
+	s := engine.FromRPLS(uniform.NewRPLS())
+	cfg := experiments.BuildUniformConfig(n, 8, seed)
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg.Clone()
+	bad.States[n/2].Data[0] ^= 0x01
+	return s, bad, labels
+}
+
+// TestEstimateParallelDeterminism extends the executor-parity guarantee to
+// the batch layer: the same seed must yield a bit-identical Summary for
+// every parallelism level crossed with every executor — with and without
+// the early-stop rules.
+func TestEstimateParallelDeterminism(t *testing.T) {
+	schemes := []struct {
+		name   string
+		s      engine.Scheme
+		cfg    *graph.Config
+		labels []core.Label
+	}{}
+
+	// A deterministic scheme under honest labels.
+	det := engine.FromPLS(spanningtree.NewPLS())
+	detCfg := experiments.BuildTreeConfig(40, 5)
+	detLabels, err := det.Label(detCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes = append(schemes, struct {
+		name   string
+		s      engine.Scheme
+		cfg    *graph.Config
+		labels []core.Label
+	}{"spanningtree-det", det, detCfg, detLabels})
+
+	// A randomized scheme with interior acceptance rate.
+	s, bad, labels := corruptedUniform(t, 30, 7)
+	schemes = append(schemes, struct {
+		name   string
+		s      engine.Scheme
+		cfg    *graph.Config
+		labels []core.Label
+	}{"uniform-corrupted", s, bad, labels})
+
+	extraOpts := map[string][]engine.Option{
+		"full":         nil,
+		"maxse":        {engine.WithMaxSE(0.12)},
+		"stoponreject": {engine.WithStopOnReject(true)},
+	}
+
+	for _, sc := range schemes {
+		for optName, extra := range extraOpts {
+			var ref engine.Summary
+			first := true
+			for _, mkExec := range []func() engine.Executor{
+				func() engine.Executor { return engine.NewSequential() },
+				func() engine.Executor { return engine.NewPool(0) },
+				func() engine.Executor { return engine.NewGoroutines() },
+			} {
+				for _, p := range []int{1, 4, 16} {
+					exec := mkExec()
+					opts := append([]engine.Option{
+						engine.WithLabels(sc.labels), engine.WithTrials(200),
+						engine.WithSeed(11), engine.WithExecutor(exec),
+						engine.WithParallelism(p),
+					}, extra...)
+					sum, err := engine.Estimate(sc.s, sc.cfg, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if first {
+						ref, first = sum, false
+						continue
+					}
+					if sum != ref {
+						t.Fatalf("%s/%s: %s p=%d Summary %+v != reference %+v",
+							sc.name, optName, exec.Name(), p, sum, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := engine.WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("vacuous interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+	// The interval contains the point estimate and stays inside [0, 1].
+	for _, tc := range []struct{ acc, trials int }{
+		{0, 10}, {10, 10}, {5, 10}, {1, 400}, {399, 400},
+	} {
+		lo, hi := engine.WilsonInterval(tc.acc, tc.trials)
+		phat := float64(tc.acc) / float64(tc.trials)
+		if lo < 0 || hi > 1 || lo > phat || hi < phat {
+			t.Errorf("WilsonInterval(%d, %d) = [%v, %v] does not bracket %v",
+				tc.acc, tc.trials, lo, hi, phat)
+		}
+	}
+	// More trials at the same rate tighten the interval.
+	lo1, hi1 := engine.WilsonInterval(50, 100)
+	lo2, hi2 := engine.WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestEstimateMaxSEStopsEarly(t *testing.T) {
+	s, bad, labels := corruptedUniform(t, 24, 3)
+	full, err := engine.Estimate(s, bad, engine.WithLabels(labels),
+		engine.WithTrials(5000), engine.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := engine.Estimate(s, bad, engine.WithLabels(labels),
+		engine.WithTrials(5000), engine.WithSeed(2), engine.WithMaxSE(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Trials >= full.Trials {
+		t.Fatalf("maxSE did not stop early: %d trials of %d", early.Trials, full.Trials)
+	}
+	if half := (early.CIHigh - early.CILow) / 2; half > 0.11 {
+		t.Errorf("stopped with a loose interval: half-width %v", half)
+	}
+	// The early summary must be the exact prefix of the full run.
+	prefix, err := engine.Estimate(s, bad, engine.WithLabels(labels),
+		engine.WithTrials(early.Trials), engine.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix != early {
+		t.Errorf("early stop diverged from the serial prefix: %+v vs %+v", early, prefix)
+	}
+}
+
+func TestEstimateStopOnReject(t *testing.T) {
+	// A legal instance under honest labels never rejects: the full budget runs.
+	s := engine.FromRPLS(uniform.NewRPLS())
+	cfg := experiments.BuildUniformConfig(16, 8, 9)
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+		engine.WithTrials(150), engine.WithStopOnReject(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials != 150 || sum.Accepted != 150 {
+		t.Fatalf("legal run stopped early: %+v", sum)
+	}
+
+	// A corrupted instance stops at its first rejection with exact counts.
+	bs, bad, blabels := corruptedUniform(t, 16, 9)
+	sum, err = engine.Estimate(bs, bad, engine.WithLabels(blabels),
+		engine.WithTrials(5000), engine.WithSeed(4), engine.WithStopOnReject(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trials == 5000 {
+		t.Fatalf("corrupted run never rejected in %d trials", sum.Trials)
+	}
+	if sum.Accepted != sum.Trials-1 {
+		t.Fatalf("stop-on-reject counts off: accepted %d of %d", sum.Accepted, sum.Trials)
+	}
+}
+
+// TestMaxCertBitsMatchesEstimate pins the satellite fix: MaxCertBits rides
+// the same trial loop as Estimate instead of re-drawing certificates.
+func TestMaxCertBitsMatchesEstimate(t *testing.T) {
+	s := engine.FromRPLS(uniform.NewRPLS())
+	cfg := experiments.BuildUniformConfig(20, 16, 6)
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := engine.MaxCertBits(s, cfg, labels, 5, 31)
+	sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+		engine.WithTrials(5), engine.WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sum.MaxCertBits {
+		t.Fatalf("MaxCertBits = %d, Estimate tracked %d", got, sum.MaxCertBits)
+	}
+	if got <= 0 {
+		t.Fatalf("MaxCertBits = %d, want > 0 for a randomized scheme", got)
+	}
+	if db := engine.MaxCertBits(engine.FromPLS(spanningtree.NewPLS()), cfg, labels, 5, 31); db != 0 {
+		t.Fatalf("deterministic MaxCertBits = %d, want 0", db)
+	}
+}
+
+// nonCloneableExec wraps Sequential but hides the Clone method: the
+// estimator must degrade to the serial path rather than share scratch.
+type nonCloneableExec struct{ inner *engine.Sequential }
+
+func (e nonCloneableExec) Name() string { return "noclone" }
+func (e nonCloneableExec) Round(s engine.Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, engine.Stats) {
+	return e.inner.Round(s, c, labels, seed)
+}
+
+func TestEstimateNonCloneableExecutorFallsBackToSerial(t *testing.T) {
+	s, bad, labels := corruptedUniform(t, 20, 13)
+	ref, err := engine.Estimate(s, bad, engine.WithLabels(labels),
+		engine.WithTrials(100), engine.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Estimate(s, bad, engine.WithLabels(labels),
+		engine.WithTrials(100), engine.WithSeed(8), engine.WithParallelism(8),
+		engine.WithExecutor(nonCloneableExec{inner: engine.NewSequential()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("non-cloneable fallback diverged: %+v vs %+v", got, ref)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	build := func(n int, seed uint64) (*graph.Config, error) {
+		return experiments.BuildTreeConfig(n, seed), nil
+	}
+	sizes := []int{8, 12, 16, 24, 32, 48}
+	serial, err := engine.Sweep(engine.Fixed(s), build, sizes,
+		engine.WithTrials(20), engine.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 16} {
+		par, err := engine.Sweep(engine.Fixed(s), build, sizes,
+			engine.WithTrials(20), engine.WithSeed(3), engine.WithParallelism(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("p=%d: %d points, want %d", p, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("p=%d point %d: %+v != %+v", p, i, par[i], serial[i])
+			}
+		}
+	}
+	// A failing builder surfaces the error and the points before it.
+	failAt := sizes[3]
+	failing := func(n int, seed uint64) (*graph.Config, error) {
+		if n == failAt {
+			return nil, fmt.Errorf("boom")
+		}
+		return experiments.BuildTreeConfig(n, seed), nil
+	}
+	pts, err := engine.Sweep(engine.Fixed(s), failing, sizes,
+		engine.WithTrials(5), engine.WithSeed(3), engine.WithParallelism(4))
+	if err == nil {
+		t.Fatal("sweep swallowed the builder error")
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points before the failure, want 3", len(pts))
+	}
+}
+
+func TestSoundnessReportsAllAdversaries(t *testing.T) {
+	// Spanning tree with a second root: a classic illegal twin of the same
+	// size, so all three adversary families run.
+	s := engine.FromRPLS(spanningtree.NewRPLS())
+	legal := experiments.BuildTreeConfig(24, 5)
+	illegal := legal.Clone()
+	for v := 1; v < illegal.G.N(); v++ {
+		if illegal.States[v].Parent != 0 {
+			illegal.States[v].Parent = 0
+			break
+		}
+	}
+	results, err := engine.Soundness(s, legal, illegal,
+		engine.WithTrials(60), engine.WithSeed(2), engine.WithAssignments(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{engine.AdversaryTransplant, engine.AdversaryRandom, engine.AdversaryBitFlip}
+	if len(results) != len(want) {
+		t.Fatalf("got %d adversaries, want %d: %+v", len(results), len(want), results)
+	}
+	for i, r := range results {
+		if r.Adversary != want[i] {
+			t.Fatalf("adversary %d = %q, want %q", i, r.Adversary, want[i])
+		}
+		if r.Worst.Trials == 0 {
+			t.Fatalf("%s: empty estimate", r.Adversary)
+		}
+		// Soundness of the paper's schemes: acceptance stays below 1/2 per
+		// adversary with margin (the estimate uses 60 trials).
+		if r.Worst.Acceptance > 0.5 {
+			t.Errorf("%s: worst acceptance %v > 0.5 (summary %+v)",
+				r.Adversary, r.Worst.Acceptance, r.Worst)
+		}
+	}
+	// Deterministic: the same options give the same report.
+	again, err := engine.Soundness(s, legal, illegal,
+		engine.WithTrials(60), engine.WithSeed(2), engine.WithAssignments(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if again[i] != results[i] {
+			t.Fatalf("soundness not reproducible: %+v vs %+v", again[i], results[i])
+		}
+	}
+
+	// Without a legal twin only the random adversary runs.
+	solo, err := engine.Soundness(s, nil, illegal,
+		engine.WithTrials(20), engine.WithSeed(2), engine.WithAssignments(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo) != 1 || solo[0].Adversary != engine.AdversaryRandom {
+		t.Fatalf("nil legal twin: %+v", solo)
+	}
+}

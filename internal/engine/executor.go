@@ -117,6 +117,9 @@ func NewSequential() *Sequential { return &Sequential{} }
 // Name implements Executor.
 func (e *Sequential) Name() string { return "sequential" }
 
+// Clone implements Cloneable: a fresh sequential executor with empty scratch.
+func (e *Sequential) Clone() Executor { return NewSequential() }
+
 // Round implements Executor.
 func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
 	n := c.G.N()
@@ -160,6 +163,9 @@ func NewPool(workers int) *Pool {
 
 // Name implements Executor.
 func (e *Pool) Name() string { return "pool" }
+
+// Clone implements Cloneable: same worker count, independent scratch.
+func (e *Pool) Clone() Executor { return &Pool{workers: e.workers} }
 
 // Round implements Executor.
 func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
@@ -235,6 +241,9 @@ func NewGoroutines() *Goroutines { return &Goroutines{} }
 
 // Name implements Executor.
 func (e *Goroutines) Name() string { return "goroutines" }
+
+// Clone implements Cloneable: a fresh goroutine-per-node executor.
+func (e *Goroutines) Clone() Executor { return NewGoroutines() }
 
 // Round implements Executor.
 func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {

@@ -2,19 +2,24 @@ package engine
 
 import (
 	"fmt"
+	goruntime "runtime"
+	"sync"
 
 	"rpls/internal/core"
 	"rpls/internal/graph"
-	"rpls/internal/prng"
 )
 
 // options collects the functional options of the batch entry points.
 type options struct {
-	seed   uint64
-	trials int
-	exec   Executor
-	stats  bool
-	labels []core.Label
+	seed         uint64
+	trials       int
+	exec         Executor
+	stats        bool
+	labels       []core.Label
+	parallelism  int     // trial/sweep workers; 0 selects GOMAXPROCS
+	maxSE        float64 // stop when the Wilson half-width is at most this
+	stopOnReject bool    // stop at the first rejected trial
+	assignments  int     // adversarial assignments per Soundness adversary
 }
 
 // Option configures Run, Verify, Estimate, and Sweep.
@@ -44,8 +49,33 @@ func WithLabels(labels []core.Label) Option {
 	return func(o *options) { o.labels = labels }
 }
 
+// WithParallelism shards Estimate's trials (and Sweep's sizes) across p
+// workers, each owning a private executor with independent scratch.
+// p <= 0 selects GOMAXPROCS; the default is 1 (serial). Trial t's coins
+// depend only on seed+t and outcomes are merged by trial index, so the
+// resulting Summary is bit-identical for every p.
+func WithParallelism(p int) Option { return func(o *options) { o.parallelism = p } }
+
+// WithMaxSE stops an estimate as soon as the half-width of the 95% Wilson
+// interval around the acceptance rate is at most se — "the interval is
+// tight enough" — instead of always burning the full trial budget.
+// se <= 0 (the default) disables the rule. The stopping trial is computed
+// in serial trial order, so early-stopped summaries remain bit-identical
+// across parallelism levels and executors.
+func WithMaxSE(se float64) Option { return func(o *options) { o.maxSE = se } }
+
+// WithStopOnReject stops an estimate at the first rejected trial. One-sided
+// completeness runs ("a legal configuration is accepted with probability
+// 1") are resolved by a single rejection, so there is no point continuing;
+// Summary.Accepted < Summary.Trials signals the failure with exact counts.
+func WithStopOnReject(v bool) Option { return func(o *options) { o.stopOnReject = v } }
+
+// WithAssignments sets how many label assignments Soundness draws per
+// randomized adversary (default 8).
+func WithAssignments(k int) Option { return func(o *options) { o.assignments = k } }
+
 func buildOptions(opts []Option) options {
-	o := options{seed: 1, trials: 1}
+	o := options{seed: 1, trials: 1, parallelism: 1, assignments: 8}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -57,6 +87,14 @@ func (o *options) executor() Executor {
 		return NewSequential()
 	}
 	return o.exec
+}
+
+// workers resolves the effective parallelism level.
+func (o *options) workers() int {
+	if o.parallelism <= 0 {
+		return goruntime.GOMAXPROCS(0)
+	}
+	return o.parallelism
 }
 
 // resolveLabels returns the labels to verify under: WithLabels if given
@@ -104,43 +142,6 @@ func (o *options) round(s Scheme, c *graph.Config, labels []core.Label) Result {
 	return res
 }
 
-// Summary aggregates a Monte-Carlo estimate over WithTrials rounds.
-type Summary struct {
-	Trials       int
-	Accepted     int     // rounds in which every node output true
-	Acceptance   float64 // Accepted / Trials (0 when Trials == 0)
-	MaxLabelBits int
-	MaxCertBits  int // max certificate bits observed across all trials
-}
-
-// Estimate runs WithTrials independent rounds at seeds seed, seed+1, … and
-// aggregates acceptance and communication cost. Labels come from the
-// prover unless WithLabels supplies an (adversarial) assignment.
-func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
-	o := buildOptions(opts)
-	labels, err := o.resolveLabels(s, c)
-	if err != nil {
-		return Summary{}, err
-	}
-	sum := Summary{MaxLabelBits: core.MaxBits(labels)}
-	if o.trials <= 0 {
-		return sum, nil
-	}
-	sum.Trials = o.trials
-	exec := o.executor()
-	for t := 0; t < o.trials; t++ {
-		votes, st := exec.Round(s, c, labels, o.seed+uint64(t))
-		if AllTrue(votes) {
-			sum.Accepted++
-		}
-		if st.MaxCertBits > sum.MaxCertBits {
-			sum.MaxCertBits = st.MaxCertBits
-		}
-	}
-	sum.Acceptance = float64(sum.Accepted) / float64(sum.Trials)
-	return sum, nil
-}
-
 // SweepPoint is one instance size of a Sweep.
 type SweepPoint struct {
 	N, M    int // nodes and edges of the built configuration
@@ -149,52 +150,80 @@ type SweepPoint struct {
 
 // Sweep measures a scheme across instance sizes: for each n it builds a
 // configuration, constructs the scheme for it (letting parameterized
-// schemes read the instance), labels it with the prover, and runs Estimate.
-// The builder's seed is derived from WithSeed and n, so sweeps are
-// reproducible point by point.
+// schemes read the instance), labels it with the prover, and runs the
+// estimator. The builder's seed is derived from WithSeed and n, so sweeps
+// are reproducible point by point.
+//
+// WithParallelism shards the points across workers (each with a private
+// executor clone); every point then estimates its trials serially, so the
+// worker count stays bounded. Points are fully independent and stored by
+// index, so the result is bit-identical to a serial sweep. On error, the
+// points before the first failing size are returned with it.
 func Sweep(scheme func(c *graph.Config) (Scheme, error), build func(n int, seed uint64) (*graph.Config, error), sizes []int, opts ...Option) ([]SweepPoint, error) {
 	o := buildOptions(opts)
-	points := make([]SweepPoint, 0, len(sizes))
-	for _, n := range sizes {
-		cfg, err := build(n, o.seed+uint64(n))
-		if err != nil {
-			return points, fmt.Errorf("sweep build n=%d: %w", n, err)
+	w := o.workers()
+	if w > len(sizes) {
+		w = len(sizes)
+	}
+	if w > 1 {
+		if _, ok := o.executor().(Cloneable); !ok {
+			w = 1 // cannot give each worker its own scratch; stay serial
 		}
-		s, err := scheme(cfg)
-		if err != nil {
-			return points, fmt.Errorf("sweep scheme n=%d: %w", n, err)
+	}
+	points := make([]SweepPoint, len(sizes))
+	errs := make([]error, len(sizes))
+	if w <= 1 {
+		for i, n := range sizes {
+			points[i], errs[i] = o.sweepPoint(scheme, build, n)
+			if errs[i] != nil {
+				return points[:i], errs[i]
+			}
 		}
-		sum, err := Estimate(s, cfg, opts...)
-		if err != nil {
-			return points, fmt.Errorf("sweep n=%d: %w", n, err)
+		return points, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		// Each worker owns one executor and runs its points' trials serially.
+		po := o
+		po.parallelism = 1
+		if i > 0 {
+			po.exec = o.executor().(Cloneable).Clone()
 		}
-		points = append(points, SweepPoint{N: cfg.G.N(), M: cfg.G.M(), Summary: sum})
+		go func(i int, po options) {
+			defer wg.Done()
+			for idx := i; idx < len(sizes); idx += w {
+				points[idx], errs[idx] = po.sweepPoint(scheme, build, sizes[idx])
+			}
+		}(i, po)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return points[:i], err
+		}
 	}
 	return points, nil
+}
+
+// sweepPoint builds, labels, and estimates one instance size.
+func (o *options) sweepPoint(scheme func(c *graph.Config) (Scheme, error), build func(n int, seed uint64) (*graph.Config, error), n int) (SweepPoint, error) {
+	cfg, err := build(n, o.seed+uint64(n))
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep build n=%d: %w", n, err)
+	}
+	s, err := scheme(cfg)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep scheme n=%d: %w", n, err)
+	}
+	labels, err := o.resolveLabels(s, cfg)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep n=%d: %w", n, err)
+	}
+	return SweepPoint{N: cfg.G.N(), M: cfg.G.M(), Summary: o.estimateLabels(s, cfg, labels)}, nil
 }
 
 // Fixed wraps a size-independent scheme for Sweep.
 func Fixed(s Scheme) func(c *graph.Config) (Scheme, error) {
 	return func(*graph.Config) (Scheme, error) { return s, nil }
-}
-
-// MaxCertBits measures the verification complexity of Definition 2.1: the
-// maximum certificate length generated from the given labels over `trials`
-// coin draws. Deterministic schemes exchange no certificates, so it
-// returns 0 for them.
-func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
-	if s.Deterministic() {
-		return 0
-	}
-	max := 0
-	for t := 0; t < trials; t++ {
-		root := prng.New(seed + uint64(t))
-		for v := 0; v < c.G.N(); v++ {
-			certs := s.Certs(core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
-			if b := core.MaxBits(certs); b > max {
-				max = b
-			}
-		}
-	}
-	return max
 }

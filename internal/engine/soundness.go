@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// Soundness: fan adversarial label assignments against an illegal
+// configuration through the trial-parallel estimator and report the
+// worst-case acceptance each adversary family achieved. The three families
+// are the standard ones of the conformance suite: honest labels
+// transplanted from a legal twin, uniformly random labels, and honest
+// labels with a single flipped bit.
+
+// Adversary names reported by Soundness.
+const (
+	AdversaryTransplant = "transplant"
+	AdversaryRandom     = "random"
+	AdversaryBitFlip    = "bitflip"
+)
+
+// AdversaryResult reports how one adversary family fared: the number of
+// label assignments it tried and the estimate of the worst (highest
+// acceptance) assignment among them.
+type AdversaryResult struct {
+	Adversary   string
+	Assignments int
+	WorstIndex  int     // index of the worst assignment within the family
+	Worst       Summary // acceptance estimate of that assignment
+}
+
+// Soundness measures a scheme's soundness on an illegal configuration.
+// legal, when non-nil, is a legal twin whose honest labels feed the
+// transplant and bit-flip adversaries (transplant additionally requires
+// matching node counts); the random adversary always runs. Per assignment,
+// acceptance is estimated with the trial-parallel estimator under the
+// caller's WithTrials / WithSeed / WithParallelism / WithExecutor /
+// WithMaxSE options; WithAssignments sets the number of random and
+// bit-flip assignments. WithStopOnReject is ignored — a soundness run
+// wants the acceptance rate, not the first rejection. Results are listed
+// in transplant, random, bitflip order.
+func Soundness(s Scheme, legal, illegal *graph.Config, opts ...Option) ([]AdversaryResult, error) {
+	o := buildOptions(opts)
+	o.stopOnReject = false
+	n := illegal.G.N()
+
+	var honest []core.Label
+	if legal != nil {
+		var err error
+		honest, err = s.Label(legal)
+		if err != nil {
+			return nil, fmt.Errorf("prover %s on legal twin: %w", s.Name(), err)
+		}
+	}
+
+	var out []AdversaryResult
+	if honest != nil && legal.G.N() == n {
+		out = append(out, AdversaryResult{
+			Adversary:   AdversaryTransplant,
+			Assignments: 1,
+			Worst:       o.estimateLabels(s, illegal, honest),
+		})
+	}
+
+	maxBits := 32
+	if b := core.MaxBits(honest); b > 0 {
+		maxBits = b
+	}
+	rng := prng.New(o.seed).Fork(0xadee5a27)
+	out = append(out, o.worstAssignment(s, illegal, AdversaryRandom, func() []core.Label {
+		return RandomLabels(rng, n, maxBits)
+	}))
+
+	if honest != nil && len(honest) == n {
+		out = append(out, o.worstAssignment(s, illegal, AdversaryBitFlip, func() []core.Label {
+			return BitFlippedLabels(rng, honest)
+		}))
+	}
+	return out, nil
+}
+
+// worstAssignment estimates acceptance for o.assignments draws of the
+// adversary and keeps the one with the highest acceptance rate.
+func (o *options) worstAssignment(s Scheme, illegal *graph.Config, name string, draw func() []core.Label) AdversaryResult {
+	r := AdversaryResult{Adversary: name, Assignments: o.assignments}
+	for a := 0; a < o.assignments; a++ {
+		sum := o.estimateLabels(s, illegal, draw())
+		if a == 0 || sum.Acceptance > r.Worst.Acceptance {
+			r.WorstIndex, r.Worst = a, sum
+		}
+	}
+	return r
+}
+
+// RandomLabels draws n labels of up to maxBits uniform bits each — the
+// unstructured adversary every scheme must defeat.
+func RandomLabels(rng *prng.Rand, n, maxBits int) []core.Label {
+	out := make([]core.Label, n)
+	for i := range out {
+		bits := make([]byte, rng.Intn(maxBits+1))
+		for j := range bits {
+			bits[j] = rng.Bit()
+		}
+		out[i] = bitstring.FromBits(bits)
+	}
+	return out
+}
+
+// BitFlippedLabels copies labels and flips one uniformly random bit of one
+// uniformly random node's label — the minimal-perturbation adversary. A
+// node with an empty label gains a single 1 bit instead.
+func BitFlippedLabels(rng *prng.Rand, labels []core.Label) []core.Label {
+	out := append([]core.Label(nil), labels...)
+	if len(out) == 0 {
+		return out
+	}
+	v := rng.Intn(len(out))
+	l := out[v]
+	if l.Len() == 0 {
+		out[v] = bitstring.FromBits([]byte{1})
+		return out
+	}
+	pos := rng.Intn(l.Len())
+	bits := make([]byte, l.Len())
+	for i := range bits {
+		bits[i] = l.Bit(i)
+	}
+	bits[pos] ^= 1
+	out[v] = bitstring.FromBits(bits)
+	return out
+}

@@ -7,7 +7,6 @@ import (
 	"rpls/internal/core"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/flow"
 	"rpls/internal/schemes/symmetry"
 	"rpls/internal/schemes/uniform"
@@ -45,9 +44,9 @@ func E12Boosting(seed uint64, quick bool) (Table, error) {
 	ref := 1.0
 	for _, r := range reps {
 		s := core.Boost(base, r)
-		rate := runtime.EstimateAcceptance(s, illegal, labels, trials, seed)
-		legalRate := runtime.EstimateAcceptance(s, legal, labels, trials/10, seed+1)
-		bits := runtime.MaxCertBitsOver(s, illegal, labels, 3, seed)
+		rate := estimateAcceptance(s, illegal, labels, trials, seed)
+		legalRate := estimateAcceptance(s, legal, labels, trials/10, seed+1)
+		bits := maxCertBits(s, illegal, labels, 3, seed)
 		ref = pow(0.25, r)
 		t.Rows = append(t.Rows, []string{
 			itoa(r), itoa(bits), ftoa(rate), ftoa(ref), ftoa(legalRate)})
@@ -96,10 +95,10 @@ func E13KFlow(seed uint64, quick bool) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rate := runtime.EstimateAcceptance(rand, cfg, randLabels, 20, seed)
+		rate := estimateAcceptance(rand, cfg, randLabels, 20, seed)
 		t.Rows = append(t.Rows, []string{
 			itoa(p.n), itoa(k), itoa(core.MaxBits(labels)),
-			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 2, seed)),
+			itoa(maxCertBits(rand, cfg, randLabels, 2, seed)),
 			ftoa(rate)})
 	}
 	return t, nil

@@ -34,7 +34,7 @@ func E16SharedRandomness(seed uint64, quick bool) (Table, error) {
 		private := uniform.NewRPLS()
 		shared := uniform.NewSharedRPLS()
 		labels := make([]core.Label, cfg.G.N()) // both schemes are label-free
-		privBits := runtime.MaxCertBitsOver(private, cfg, labels, 3, seed)
+		privBits := maxCertBits(private, cfg, labels, 3, seed)
 		sharedBits := runtime.VerifyShared(shared, cfg, labels, seed).Stats.MaxCertBits
 		legal := runtime.EstimateAcceptanceShared(shared, cfg, labels, trials/5, seed+1)
 
@@ -87,7 +87,7 @@ func E17STConnectivity(seed uint64, quick bool) (Table, error) {
 		over := !runtime.VerifyPLS(stconn.NewPLS(k+1), cfg, labels).Accepted
 		t.Rows = append(t.Rows, []string{
 			itoa(p.n), itoa(k), itoa(core.MaxBits(labels)),
-			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 2, seed)),
+			itoa(maxCertBits(rand, cfg, randLabels, 2, seed)),
 			fmt.Sprintf("%v", under), fmt.Sprintf("%v", over)})
 	}
 	return t, nil

@@ -3,7 +3,6 @@ package experiments
 import (
 	"rpls/internal/core"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 )
 
@@ -41,7 +40,7 @@ func E18LabelShape(seed uint64, quick bool) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		randBits := runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, seed)
+		randBits := maxCertBits(rand, cfg, randLabels, 3, seed)
 		dDet, dRand := "-", "-"
 		if prevDet > 0 {
 			dDet = itoa(detBits - prevDet)

@@ -9,7 +9,6 @@ import (
 	"rpls/internal/crossing"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/biconn"
 	"rpls/internal/schemes/mst"
@@ -68,7 +67,7 @@ func E1Compiler(seed uint64, quick bool) (Table, error) {
 			if err != nil {
 				return t, err
 			}
-			cert := runtime.MaxCertBitsOver(comp, cfg, compLabels, 3, seed)
+			cert := maxCertBits(comp, cfg, compLabels, 3, seed)
 			envelope := 2 * (log2ceil(kappa) + 3)
 			t.Rows = append(t.Rows, []string{
 				e.name, itoa(n), itoa(kappa), itoa(cert), itoa(envelope)})
@@ -141,8 +140,8 @@ func E3Universal(seed uint64, quick bool) (Table, error) {
 			return t, err
 		}
 		labelBits := core.MaxBits(labels)
-		certBits := runtime.MaxCertBitsOver(s, cfg, labels, 3, seed)
-		rate := runtime.EstimateAcceptance(s, cfg, labels, 20, seed+3)
+		certBits := maxCertBits(s, cfg, labels, 3, seed)
+		rate := estimateAcceptance(s, cfg, labels, 20, seed+3)
 		t.Rows = append(t.Rows, []string{
 			itoa(p.n), itoa(cfg.MaxStateBits()), itoa(labelBits),
 			itoa(certBits), ftoa(rate)})
@@ -180,15 +179,15 @@ func E4LowerBound(seed uint64, quick bool) (Table, error) {
 	labels := make([]core.Label, 2)
 	for _, fieldBits := range []int{4, 8, 12, 16} {
 		s := uniform.NewTruncatedRPLS(fieldBits)
-		rate := runtime.EstimateAcceptance(s, cfg, labels, trials, seed)
-		certBits := runtime.MaxCertBitsOver(s, cfg, labels, 3, seed)
+		rate := estimateAcceptance(s, cfg, labels, trials, seed)
+		certBits := maxCertBits(s, cfg, labels, 3, seed)
 		below := 1<<uint(fieldBits) < 3*lambda
 		t.Rows = append(t.Rows, []string{
 			itoa(fieldBits), itoa(certBits), fmt.Sprintf("%v", below), ftoa(rate)})
 	}
 	full := uniform.NewRPLS()
-	rate := runtime.EstimateAcceptance(full, cfg, labels, trials, seed+1)
-	certBits := runtime.MaxCertBitsOver(full, cfg, labels, 3, seed)
+	rate := estimateAcceptance(full, cfg, labels, trials, seed+1)
+	certBits := maxCertBits(full, cfg, labels, 3, seed)
 	t.Rows = append(t.Rows, []string{
 		"properly sized (3λ<p<6λ)", itoa(certBits), "false", ftoa(rate)})
 	t.Notes = append(t.Notes,

@@ -45,14 +45,14 @@ func E7MST(seed uint64, quick bool) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		certBits := runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, seed)
+		certBits := maxCertBits(rand, cfg, randLabels, 3, seed)
 
 		// Corruption: make a non-tree edge the cheapest, so the certified
 		// tree is stale.
 		bad := cfg.Clone()
 		corruptMSTWeight(bad)
 		detCaught := !runtime.VerifyPLS(det, bad, labels).Accepted
-		randRate := runtime.EstimateAcceptance(rand, bad, randLabels, trials, seed+2)
+		randRate := estimateAcceptance(rand, bad, randLabels, trials, seed+2)
 
 		logn := log2ceil(n)
 		t.Rows = append(t.Rows, []string{
@@ -115,10 +115,10 @@ func E8Biconnectivity(seed uint64, quick bool) (Table, error) {
 		}
 		crossedLegal := (biconn.Predicate{}).Eval(crossed)
 		fooled := runtime.VerifyPLS(det, crossed, labels).Accepted
-		rejRate := 1 - runtime.EstimateAcceptance(rand, crossed, randLabels, trials, seed)
+		rejRate := 1 - estimateAcceptance(rand, crossed, randLabels, trials, seed)
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(core.MaxBits(labels)),
-			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 3, seed)),
+			itoa(maxCertBits(rand, cfg, randLabels, 3, seed)),
 			fmt.Sprintf("%v", crossedLegal), fmt.Sprintf("%v", fooled), ftoa(rejRate)})
 	}
 	return t, nil
@@ -159,7 +159,7 @@ func E9CycleAtLeast(seed uint64, quick bool) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		certBits := runtime.MaxCertBitsOver(honestRand, cfg, randLabels, 3, seed)
+		certBits := maxCertBits(honestRand, cfg, randLabels, 3, seed)
 
 		// Weak scheme: index modulo M with M | c and M small enough that
 		// the ring gadget family (r ≈ c/3) must collide.
@@ -310,7 +310,7 @@ func E11CycleAtMost(seed uint64, quick bool) (Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(p.n), itoa(p.c), itoa(len(gadgets)), itoa(core.MaxBits(labels)),
-			itoa(runtime.MaxCertBitsOver(rand, cfg, randLabels, 2, seed)),
+			itoa(maxCertBits(rand, cfg, randLabels, 2, seed)),
 			itoa(fused), fmt.Sprintf("%v", rejected),
 			itoa(atk.LabelBits), fmt.Sprintf("%v", atk.Fooled)})
 	}

@@ -8,6 +8,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"rpls/internal/core"
+	"rpls/internal/engine"
+	"rpls/internal/graph"
 )
 
 // Table is one experiment's output.
@@ -82,3 +86,24 @@ func Lookup(id string) (Spec, bool) {
 func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
 func ftoa(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// estimateAcceptance is the trial-parallel Monte-Carlo acceptance estimate
+// every experiment uses: trials are sharded across GOMAXPROCS workers and
+// the result is bit-identical to a serial run for the same seed, so tables
+// stay reproducible while sweeps use all cores.
+func estimateAcceptance(s core.RPLS, c *graph.Config, labels []core.Label, trials int, seed uint64) float64 {
+	sum, err := engine.Estimate(engine.FromRPLS(s), c, engine.WithLabels(labels),
+		engine.WithTrials(trials), engine.WithSeed(seed), engine.WithParallelism(0))
+	if err != nil {
+		// With explicit labels the only failure is a label/node count
+		// mismatch — a programming error; keep it loud.
+		panic(err)
+	}
+	return sum.Acceptance
+}
+
+// maxCertBits measures the Definition 2.1 verification complexity over
+// `trials` coin draws, tracked inside the estimator's trial loop.
+func maxCertBits(s core.RPLS, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
+	return engine.MaxCertBits(engine.FromRPLS(s), c, labels, trials, seed)
+}

@@ -48,13 +48,15 @@ func TestCompleteness(t *testing.T) {
 		n := 1 + rng.Intn(40)
 		c := graph.NewConfig(graph.RandomTree(n, rng))
 		c.AssignRandomIDs(rng)
-		schemetest.LegalAccepted(t, det, c)
-		schemetest.LegalAcceptedRPLS(t, rand, c, 30)
+		h := schemetest.New(uint64(trial))
+		h.LegalAccepted(t, det, c)
+		h.LegalAcceptedRPLS(t, rand, c, 30)
 	}
 	// Paths: the Theorem 5.1 family.
 	c := graph.NewConfig(graph.Path(33))
-	schemetest.LegalAccepted(t, det, c)
-	schemetest.LegalAcceptedRPLS(t, rand, c, 50)
+	h := schemetest.New(33)
+	h.LegalAccepted(t, det, c)
+	h.LegalAcceptedRPLS(t, rand, c, 50)
 }
 
 func TestProverRefusesCycle(t *testing.T) {
@@ -62,7 +64,7 @@ func TestProverRefusesCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	schemetest.ProverRefuses(t, acyclicity.NewPLS(), graph.NewConfig(g))
+	schemetest.New(1).ProverRefuses(t, acyclicity.NewPLS(), graph.NewConfig(g))
 }
 
 func TestSoundnessOnCyclesAllRandomLabels(t *testing.T) {
@@ -73,7 +75,7 @@ func TestSoundnessOnCyclesAllRandomLabels(t *testing.T) {
 			t.Fatal(err)
 		}
 		illegal := graph.NewConfig(g)
-		schemetest.RandomLabelsRejected(t, acyclicity.NewPLS(), illegal, 200, 100, uint64(n))
+		schemetest.New(uint64(n)).RandomLabelsRejected(t, acyclicity.NewPLS(), illegal, 200, 100)
 	}
 }
 
@@ -135,7 +137,8 @@ func TestLabelAndCertSizes(t *testing.T) {
 	rng := prng.New(3)
 	for _, n := range []int{16, 128, 1024} {
 		c := graph.NewConfig(graph.RandomTree(n, rng))
-		schemetest.LabelBitsAtMost(t, acyclicity.NewPLS(), c, 96)
-		schemetest.CertBitsAtMost(t, acyclicity.NewRPLS(), c, 40)
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, acyclicity.NewPLS(), c, 96)
+		h.CertBitsAtMost(t, acyclicity.NewRPLS(), c, 40)
 	}
 }

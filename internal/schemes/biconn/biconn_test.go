@@ -85,6 +85,7 @@ func TestCompleteness(t *testing.T) {
 	rng := prng.New(2)
 	det := biconn.NewPLS()
 	rand := biconn.NewRPLS()
+	h := schemetest.New(2)
 	for trial := 0; trial < 15; trial++ {
 		n := 3 + rng.Intn(25)
 		g, err := graph.RandomBiconnected(n, rng.Intn(2*n), rng)
@@ -93,21 +94,21 @@ func TestCompleteness(t *testing.T) {
 		}
 		c := graph.NewConfig(g)
 		c.AssignRandomIDs(rng)
-		schemetest.LegalAccepted(t, det, c)
-		schemetest.LegalAcceptedRPLS(t, rand, c, 20)
+		h.LegalAccepted(t, det, c)
+		h.LegalAcceptedRPLS(t, rand, c, 20)
 	}
 	// The exact topologies from the paper.
 	fig2a, err := graph.CycleWithChords(16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	schemetest.LegalAccepted(t, det, graph.NewConfig(fig2a))
+	h.LegalAccepted(t, det, graph.NewConfig(fig2a))
 	k2 := graph.NewConfig(graph.Path(2))
-	schemetest.LegalAccepted(t, det, k2)
+	h.LegalAccepted(t, det, k2)
 }
 
 func TestProverRefusesIllegal(t *testing.T) {
-	schemetest.ProverRefuses(t, biconn.NewPLS(), graph.NewConfig(graph.Path(4)))
+	schemetest.New(1).ProverRefuses(t, biconn.NewPLS(), graph.NewConfig(graph.Path(4)))
 }
 
 func TestSoundnessCrossedFigure2(t *testing.T) {
@@ -155,8 +156,9 @@ func TestSoundnessTransplant(t *testing.T) {
 	// Illegal twin: a path (every interior node is an articulation point)
 	// with the same node count.
 	illegal := graph.NewConfig(graph.Path(12))
-	schemetest.TransplantRejected(t, biconn.NewPLS(), legal, illegal)
-	schemetest.TransplantRejectedRPLS(t, biconn.NewRPLS(), legal, illegal, 200, 1.0/3)
+	h := schemetest.New(4)
+	h.TransplantRejected(t, biconn.NewPLS(), legal, illegal)
+	h.TransplantRejectedRPLS(t, biconn.NewRPLS(), legal, illegal, 200, 66)
 }
 
 func TestSoundnessFigureEightRandomLabels(t *testing.T) {
@@ -165,7 +167,7 @@ func TestSoundnessFigureEightRandomLabels(t *testing.T) {
 		t.Fatal(err)
 	}
 	illegal := graph.NewConfig(g)
-	schemetest.RandomLabelsRejected(t, biconn.NewPLS(), illegal, 150, 300, 5)
+	schemetest.New(5).RandomLabelsRejected(t, biconn.NewPLS(), illegal, 150, 300)
 }
 
 func TestSoundnessForgedLowpt(t *testing.T) {
@@ -201,8 +203,9 @@ func TestLabelAndCertSizes(t *testing.T) {
 		}
 		c := graph.NewConfig(g)
 		// Θ(log n): 64-bit root identity + five 32-bit counters.
-		schemetest.LabelBitsAtMost(t, biconn.NewPLS(), c, 64+5*32)
-		schemetest.CertBitsAtMost(t, biconn.NewRPLS(), c, 44)
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, biconn.NewPLS(), c, 64+5*32)
+		h.CertBitsAtMost(t, biconn.NewRPLS(), c, 44)
 	}
 }
 
@@ -211,5 +214,5 @@ func TestSingleNode(t *testing.T) {
 	if !(biconn.Predicate{}).Eval(c) {
 		t.Skip("single node counted as non-biconnected by this implementation")
 	}
-	schemetest.LegalAccepted(t, biconn.NewPLS(), c)
+	schemetest.New(1).LegalAccepted(t, biconn.NewPLS(), c)
 }

@@ -46,7 +46,7 @@ func TestDeterministicCompleteness(t *testing.T) {
 		n := 2 + rng.Intn(30)
 		c := graph.NewConfig(graph.RandomConnected(n, rng.Intn(2*n), rng))
 		greedyColor(c)
-		schemetest.LegalAccepted(t, coloring.NewPLS(), c)
+		schemetest.New(uint64(trial)).LegalAccepted(t, coloring.NewPLS(), c)
 	}
 }
 
@@ -55,8 +55,9 @@ func TestDeterministicSoundness(t *testing.T) {
 	greedyColor(c)
 	illegal := c.Clone()
 	illegal.States[2].Color = illegal.States[1].Color
-	schemetest.TransplantRejected(t, coloring.NewPLS(), c, illegal)
-	schemetest.RandomLabelsRejected(t, coloring.NewPLS(), illegal, 200, 80, 2)
+	h := schemetest.New(2)
+	h.TransplantRejected(t, coloring.NewPLS(), c, illegal)
+	h.RandomLabelsRejected(t, coloring.NewPLS(), illegal, 200, 80)
 }
 
 func TestRandomizedCompletenessAboveTwoThirds(t *testing.T) {

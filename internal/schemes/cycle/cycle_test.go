@@ -126,19 +126,20 @@ func TestCompleteness(t *testing.T) {
 		}
 		cfg := graph.NewConfig(g)
 		cfg.AssignRandomIDs(rng)
-		schemetest.LegalAccepted(t, cycle.NewPLS(tc.c), cfg)
-		schemetest.LegalAcceptedRPLS(t, cycle.NewRPLS(tc.c), cfg, 20)
+		h := schemetest.New(uint64(tc.n))
+		h.LegalAccepted(t, cycle.NewPLS(tc.c), cfg)
+		h.LegalAcceptedRPLS(t, cycle.NewRPLS(tc.c), cfg, 20)
 	}
 	// Hamiltonian case on a clique.
 	cfg := graph.NewConfig(graph.Complete(7))
-	schemetest.LegalAccepted(t, cycle.NewPLS(7), cfg)
+	schemetest.New(7).LegalAccepted(t, cycle.NewPLS(7), cfg)
 }
 
 func TestCompletenessLongerCycleThanC(t *testing.T) {
 	// The wrap rule must allow cycles strictly longer than c.
 	g := mustCycle(t, 12)
 	cfg := graph.NewConfig(g)
-	schemetest.LegalAccepted(t, cycle.NewPLS(5), cfg)
+	schemetest.New(5).LegalAccepted(t, cycle.NewPLS(5), cfg)
 }
 
 func TestProverRefusesShortCycles(t *testing.T) {
@@ -146,8 +147,9 @@ func TestProverRefusesShortCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	schemetest.ProverRefuses(t, cycle.NewPLS(6), graph.NewConfig(g))
-	schemetest.ProverRefuses(t, cycle.NewPLS(3), graph.NewConfig(graph.Path(5)))
+	h := schemetest.New(1)
+	h.ProverRefuses(t, cycle.NewPLS(6), graph.NewConfig(g))
+	h.ProverRefuses(t, cycle.NewPLS(3), graph.NewConfig(graph.Path(5)))
 }
 
 func TestSoundnessFigureEight(t *testing.T) {
@@ -159,7 +161,7 @@ func TestSoundnessFigureEight(t *testing.T) {
 		t.Fatal(err)
 	}
 	illegal := graph.NewConfig(g)
-	schemetest.RandomLabelsRejected(t, cycle.NewPLS(9), illegal, 300, 70, 4)
+	schemetest.New(4).RandomLabelsRejected(t, cycle.NewPLS(9), illegal, 300, 70)
 }
 
 func TestSoundnessTransplantCrossedHub(t *testing.T) {
@@ -202,8 +204,9 @@ func TestLabelAndCertSizes(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := graph.NewConfig(g)
-		schemetest.LabelBitsAtMost(t, cycle.NewPLS(n/2), cfg, 64)
-		schemetest.CertBitsAtMost(t, cycle.NewRPLS(n/2), cfg, 40)
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, cycle.NewPLS(n/2), cfg, 64)
+		h.CertBitsAtMost(t, cycle.NewRPLS(n/2), cfg, 40)
 	}
 }
 
@@ -231,8 +234,9 @@ func TestAtMostUniversalScheme(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := graph.NewConfig(g)
-	schemetest.LegalAccepted(t, cycle.NewAtMostPLS(4), cfg)
-	schemetest.LegalAcceptedRPLS(t, cycle.NewAtMostRPLS(4), cfg, 10)
+	h := schemetest.New(4)
+	h.LegalAccepted(t, cycle.NewAtMostPLS(4), cfg)
+	h.LegalAcceptedRPLS(t, cycle.NewAtMostRPLS(4), cfg, 10)
 
 	// Soundness: cross two edges from distinct cycles, fusing them into an
 	// 8-cycle (Figure 5b); old labels must die.

@@ -115,15 +115,17 @@ func TestCompleteness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		schemetest.LegalAccepted(t, flow.NewPLS(k), cfg)
-		schemetest.LegalAcceptedRPLS(t, flow.NewRPLS(k), cfg, 20)
+		h := schemetest.New(uint64(trial))
+		h.LegalAccepted(t, flow.NewPLS(k), cfg)
+		h.LegalAcceptedRPLS(t, flow.NewRPLS(k), cfg, 20)
 	}
 }
 
 func TestProverRefusesWrongK(t *testing.T) {
 	cfg := stConfig(graph.Complete(4), 0, 3)
-	schemetest.ProverRefuses(t, flow.NewPLS(2), cfg)
-	schemetest.ProverRefuses(t, flow.NewPLS(4), cfg)
+	h := schemetest.New(1)
+	h.ProverRefuses(t, flow.NewPLS(2), cfg)
+	h.ProverRefuses(t, flow.NewPLS(4), cfg)
 }
 
 func TestSoundnessWrongKTransplant(t *testing.T) {
@@ -145,14 +147,15 @@ func TestSoundnessWrongKTransplant(t *testing.T) {
 	if (flow.Predicate{K: 3}).Eval(illegal2) {
 		t.Fatal("setup: flow should be 2")
 	}
-	schemetest.RandomLabelsRejected(t, flow.NewPLS(3), illegal2, 200, 200, 3)
+	h := schemetest.New(3)
+	h.RandomLabelsRejected(t, flow.NewPLS(3), illegal2, 200, 200)
 
 	labels, err := flow.NewPLS(3).Label(legal)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = labels
-	schemetest.TransplantRejectedRPLS(t, flow.NewRPLS(3), legal, legalWithBrokenEdge(t), 100, 1.0/3)
+	h.TransplantRejectedRPLS(t, flow.NewRPLS(3), legal, legalWithBrokenEdge(t), 100, 33)
 }
 
 // legalWithBrokenEdge returns K4 with s=0, t=3 but one incident edge of t
@@ -170,7 +173,7 @@ func TestSoundnessOverclaimOnPath(t *testing.T) {
 	// A path has flow exactly 1; claiming 2 must be impossible under any
 	// labels.
 	illegal := stConfig(graph.Path(6), 0, 5)
-	schemetest.RandomLabelsRejected(t, flow.NewPLS(2), illegal, 300, 150, 6)
+	schemetest.New(6).RandomLabelsRejected(t, flow.NewPLS(2), illegal, 300, 150)
 }
 
 func TestLabelSizeScalesWithK(t *testing.T) {
@@ -180,9 +183,10 @@ func TestLabelSizeScalesWithK(t *testing.T) {
 	for _, k := range []int{2, 4, 6} {
 		g := graph.Complete(k + 1)
 		cfg := stConfig(g, 0, k)
-		schemetest.LabelBitsAtMost(t, flow.NewPLS(k), cfg, 40+k*(16+32+34+20))
+		h := schemetest.New(uint64(k))
+		h.LabelBitsAtMost(t, flow.NewPLS(k), cfg, 40+k*(16+32+34+20))
 		certBound := 6*schemetest.Log2Ceil(40+k*110) + 24
-		schemetest.CertBitsAtMost(t, flow.NewRPLS(k), cfg, certBound)
+		h.CertBitsAtMost(t, flow.NewRPLS(k), cfg, certBound)
 	}
 }
 

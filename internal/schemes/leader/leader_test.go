@@ -39,16 +39,18 @@ func TestCompleteness(t *testing.T) {
 		c := leaderConfig(g, rng.Intn(n))
 		c.States[rng.Intn(n)].Flags |= 0 // no-op; leaders stay unique
 		c.AssignRandomIDs(rng)
-		schemetest.LegalAccepted(t, det, c)
-		schemetest.LegalAcceptedRPLS(t, rand, c, 30)
+		h := schemetest.New(uint64(trial))
+		h.LegalAccepted(t, det, c)
+		h.LegalAcceptedRPLS(t, rand, c, 30)
 	}
 }
 
 func TestProverRefusesIllegal(t *testing.T) {
-	schemetest.ProverRefuses(t, leader.NewPLS(), graph.NewConfig(graph.Path(4)))
+	h := schemetest.New(1)
+	h.ProverRefuses(t, leader.NewPLS(), graph.NewConfig(graph.Path(4)))
 	two := leaderConfig(graph.Path(4), 0)
 	two.States[3].Flags |= graph.FlagLeader
-	schemetest.ProverRefuses(t, leader.NewPLS(), two)
+	h.ProverRefuses(t, leader.NewPLS(), two)
 }
 
 func TestSoundnessZeroLeaders(t *testing.T) {
@@ -56,9 +58,10 @@ func TestSoundnessZeroLeaders(t *testing.T) {
 	legal := leaderConfig(g, 3)
 	illegal := legal.Clone()
 	illegal.States[3].Flags &^= graph.FlagLeader
-	schemetest.TransplantRejected(t, leader.NewPLS(), legal, illegal)
-	schemetest.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 1.0/3)
-	schemetest.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100, 3)
+	h := schemetest.New(3)
+	h.TransplantRejected(t, leader.NewPLS(), legal, illegal)
+	h.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 100)
+	h.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100)
 }
 
 func TestSoundnessTwoLeaders(t *testing.T) {
@@ -66,9 +69,10 @@ func TestSoundnessTwoLeaders(t *testing.T) {
 	legal := leaderConfig(g, 3)
 	illegal := legal.Clone()
 	illegal.States[7].Flags |= graph.FlagLeader
-	schemetest.TransplantRejected(t, leader.NewPLS(), legal, illegal)
-	schemetest.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 1.0/3)
-	schemetest.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100, 5)
+	h := schemetest.New(5)
+	h.TransplantRejected(t, leader.NewPLS(), legal, illegal)
+	h.TransplantRejectedRPLS(t, leader.NewRPLS(), legal, illegal, 300, 100)
+	h.RandomLabelsRejected(t, leader.NewPLS(), illegal, 200, 100)
 }
 
 func TestLabelAndCertSizes(t *testing.T) {
@@ -76,12 +80,13 @@ func TestLabelAndCertSizes(t *testing.T) {
 	for _, n := range []int{8, 64, 512} {
 		g := graph.RandomConnected(n, n/3, rng)
 		c := leaderConfig(g, 0)
-		schemetest.LabelBitsAtMost(t, leader.NewPLS(), c, 96)
-		schemetest.CertBitsAtMost(t, leader.NewRPLS(), c, 40)
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, leader.NewPLS(), c, 96)
+		h.CertBitsAtMost(t, leader.NewRPLS(), c, 40)
 	}
 }
 
 func TestSingleNodeLeader(t *testing.T) {
 	c := leaderConfig(graph.New(1), 0)
-	schemetest.LegalAccepted(t, leader.NewPLS(), c)
+	schemetest.New(1).LegalAccepted(t, leader.NewPLS(), c)
 }

@@ -125,8 +125,9 @@ func TestCompleteness(t *testing.T) {
 	rand := mst.NewRPLS()
 	for trial := 0; trial < 10; trial++ {
 		c := mstConfig(t, 2+rng.Intn(30), rng.Intn(40), rng)
-		schemetest.LegalAccepted(t, det, c)
-		schemetest.LegalAcceptedRPLS(t, rand, c, 20)
+		h := schemetest.New(uint64(trial))
+		h.LegalAccepted(t, det, c)
+		h.LegalAcceptedRPLS(t, rand, c, 20)
 	}
 }
 
@@ -137,14 +138,15 @@ func TestCompletenessDenseGraph(t *testing.T) {
 	c.AssignRandomIDs(rng)
 	graph.AssignRandomWeights(c, 1_000_000, rng)
 	installMST(t, c)
-	schemetest.LegalAccepted(t, mst.NewPLS(), c)
-	schemetest.LegalAcceptedRPLS(t, mst.NewRPLS(), c, 30)
+	h := schemetest.New(5)
+	h.LegalAccepted(t, mst.NewPLS(), c)
+	h.LegalAcceptedRPLS(t, mst.NewRPLS(), c, 30)
 }
 
 func TestProverRefusesNonMST(t *testing.T) {
 	c := mstConfig(t, 10, 12, prng.New(6))
 	swapToNonMSTTree(t, c)
-	schemetest.ProverRefuses(t, mst.NewPLS(), c)
+	schemetest.New(6).ProverRefuses(t, mst.NewPLS(), c)
 }
 
 // swapToNonMSTTree replaces the tree with a spanning tree that is not
@@ -203,8 +205,9 @@ func TestSoundnessTransplantOntoNonMST(t *testing.T) {
 		legal := mstConfig(t, 8+rng.Intn(10), 10+rng.Intn(10), rng)
 		illegal := legal.Clone()
 		swapToNonMSTTree(t, illegal)
-		schemetest.TransplantRejected(t, mst.NewPLS(), legal, illegal)
-		schemetest.TransplantRejectedRPLS(t, mst.NewRPLS(), legal, illegal, 100, 1.0/3)
+		h := schemetest.New(uint64(trial))
+		h.TransplantRejected(t, mst.NewPLS(), legal, illegal)
+		h.TransplantRejectedRPLS(t, mst.NewRPLS(), legal, illegal, 100, 33)
 	}
 }
 
@@ -240,7 +243,7 @@ func TestSoundnessWeightLie(t *testing.T) {
 func TestSoundnessRandomLabels(t *testing.T) {
 	illegal := mstConfig(t, 9, 10, prng.New(9))
 	swapToNonMSTTree(t, illegal)
-	schemetest.RandomLabelsRejected(t, mst.NewPLS(), illegal, 100, 400, 10)
+	schemetest.New(10).RandomLabelsRejected(t, mst.NewPLS(), illegal, 100, 400)
 }
 
 func TestLabelSizeGrowsAsLogSquared(t *testing.T) {
@@ -267,7 +270,7 @@ func TestLabelSizeGrowsAsLogSquared(t *testing.T) {
 			t.Errorf("n=%d: label %d bits, exceeds O(log² n) envelope", n, labelBits)
 		}
 		certBound := 6*schemetest.Log2Ceil(labelBits) + 20
-		schemetest.CertBitsAtMost(t, mst.NewRPLS(), c, certBound)
+		schemetest.New(uint64(n)).CertBitsAtMost(t, mst.NewRPLS(), c, certBound)
 	}
 }
 
@@ -299,6 +302,7 @@ func TestSingleEdge(t *testing.T) {
 	if !(mst.Predicate{}).Eval(c) {
 		t.Fatal("single edge tree rejected")
 	}
-	schemetest.LegalAccepted(t, mst.NewPLS(), c)
-	schemetest.LegalAcceptedRPLS(t, mst.NewRPLS(), c, 20)
+	h := schemetest.New(2)
+	h.LegalAccepted(t, mst.NewPLS(), c)
+	h.LegalAcceptedRPLS(t, mst.NewRPLS(), c, 20)
 }

@@ -74,15 +74,16 @@ func TestCompletenessAcrossTopologies(t *testing.T) {
 	for i, g := range topologies {
 		c := treeConfig(t, g, 0)
 		c.AssignRandomIDs(rng)
-		schemetest.LegalAccepted(t, det, c)
-		schemetest.LegalAcceptedRPLS(t, rand, c, 40+i)
+		h := schemetest.New(uint64(i))
+		h.LegalAccepted(t, det, c)
+		h.LegalAcceptedRPLS(t, rand, c, 40+i)
 	}
 }
 
 func TestProverRefusesIllegal(t *testing.T) {
 	c := treeConfig(t, graph.Path(5), 0)
 	c.States[2].Parent = 0 // break: two roots
-	schemetest.ProverRefuses(t, spanningtree.NewPLS(), c)
+	schemetest.New(1).ProverRefuses(t, spanningtree.NewPLS(), c)
 }
 
 func TestSoundnessTwoRootsTransplant(t *testing.T) {
@@ -97,8 +98,9 @@ func TestSoundnessTwoRootsTransplant(t *testing.T) {
 			break
 		}
 	}
-	schemetest.TransplantRejected(t, spanningtree.NewPLS(), legal, illegal)
-	schemetest.TransplantRejectedRPLS(t, spanningtree.NewRPLS(), legal, illegal, 300, 1.0/3)
+	h := schemetest.New(3)
+	h.TransplantRejected(t, spanningtree.NewPLS(), legal, illegal)
+	h.TransplantRejectedRPLS(t, spanningtree.NewRPLS(), legal, illegal, 300, 100)
 }
 
 func TestSoundnessPointerCycleAllLabelings(t *testing.T) {
@@ -113,7 +115,7 @@ func TestSoundnessPointerCycleAllLabelings(t *testing.T) {
 		p, _ := illegal.G.PortTo(v, (v+1)%4)
 		illegal.States[v].Parent = p
 	}
-	schemetest.RandomLabelsRejected(t, spanningtree.NewPLS(), illegal, 300, 100, 4)
+	schemetest.New(4).RandomLabelsRejected(t, spanningtree.NewPLS(), illegal, 300, 100)
 
 	// Structured attack: consistent rootID with crafted distances cannot
 	// satisfy d(p(v)) = d(v) − 1 around a cycle; verify a best-effort
@@ -134,9 +136,10 @@ func TestLabelAndCertSizes(t *testing.T) {
 		g := graph.RandomConnected(n, n/2, rng)
 		c := treeConfig(t, g, 0)
 		// Θ(log n): 64-bit identity + 32-bit distance.
-		schemetest.LabelBitsAtMost(t, spanningtree.NewPLS(), c, 96)
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, spanningtree.NewPLS(), c, 96)
 		// Compiled: O(log κ) with κ = 96.
-		schemetest.CertBitsAtMost(t, spanningtree.NewRPLS(), c, 40)
+		h.CertBitsAtMost(t, spanningtree.NewRPLS(), c, 40)
 	}
 }
 
@@ -145,5 +148,5 @@ func TestSingleNodeTree(t *testing.T) {
 	if !(spanningtree.Predicate{}).Eval(c) {
 		t.Fatal("single root node should satisfy the predicate")
 	}
-	schemetest.LegalAccepted(t, spanningtree.NewPLS(), c)
+	schemetest.New(1).LegalAccepted(t, spanningtree.NewPLS(), c)
 }

@@ -164,8 +164,9 @@ func TestCompleteness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		schemetest.LegalAccepted(t, stconn.NewPLS(k), cfg)
-		schemetest.LegalAcceptedRPLS(t, stconn.NewRPLS(k), cfg, 15)
+		h := schemetest.New(uint64(trial))
+		h.LegalAccepted(t, stconn.NewPLS(k), cfg)
+		h.LegalAcceptedRPLS(t, stconn.NewRPLS(k), cfg, 15)
 		tested++
 	}
 	if tested == 0 {
@@ -179,14 +180,15 @@ func TestProverRefusesWrongK(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := stConfig(g, 0, 4) // connectivity 2
-	schemetest.ProverRefuses(t, stconn.NewPLS(1), cfg)
-	schemetest.ProverRefuses(t, stconn.NewPLS(3), cfg)
+	h := schemetest.New(1)
+	h.ProverRefuses(t, stconn.NewPLS(1), cfg)
+	h.ProverRefuses(t, stconn.NewPLS(3), cfg)
 }
 
 func TestSoundnessOverclaim(t *testing.T) {
 	// Claiming connectivity 2 on a path (true value 1): no labeling works.
 	illegal := stConfig(graph.Path(7), 0, 6)
-	schemetest.RandomLabelsRejected(t, stconn.NewPLS(2), illegal, 300, 150, 3)
+	schemetest.New(3).RandomLabelsRejected(t, stconn.NewPLS(2), illegal, 300, 150)
 }
 
 func TestSoundnessUnderclaimTransplant(t *testing.T) {
@@ -198,8 +200,9 @@ func TestSoundnessUnderclaimTransplant(t *testing.T) {
 	}
 	illegalForK1 := stConfig(g, 0, 4)
 	legalForK1 := stConfig(graph.Path(8), 0, 4)
-	schemetest.TransplantRejected(t, stconn.NewPLS(1), legalForK1, illegalForK1)
-	schemetest.RandomLabelsRejected(t, stconn.NewPLS(1), illegalForK1, 300, 150, 5)
+	h := schemetest.New(5)
+	h.TransplantRejected(t, stconn.NewPLS(1), legalForK1, illegalForK1)
+	h.RandomLabelsRejected(t, stconn.NewPLS(1), illegalForK1, 300, 150)
 }
 
 func TestSoundnessMultiCrossingCut(t *testing.T) {
@@ -225,7 +228,7 @@ func TestSoundnessMultiCrossingCut(t *testing.T) {
 	if k != 1 {
 		t.Fatalf("setup: k = %d, want 1", k)
 	}
-	schemetest.RandomLabelsRejected(t, stconn.NewPLS(2), cfg, 300, 150, 7)
+	schemetest.New(7).RandomLabelsRejected(t, stconn.NewPLS(2), cfg, 300, 150)
 }
 
 func TestLabelSizes(t *testing.T) {
@@ -241,8 +244,9 @@ func TestLabelSizes(t *testing.T) {
 			t.Fatal(err)
 		}
 		// O(k log n) at the terminals, O(log n) elsewhere.
-		schemetest.LabelBitsAtMost(t, stconn.NewPLS(k), cfg, 20+k*(16+32+34))
+		h := schemetest.New(uint64(n))
+		h.LabelBitsAtMost(t, stconn.NewPLS(k), cfg, 20+k*(16+32+34))
 		certBound := 6*schemetest.Log2Ceil(20+k*90) + 24
-		schemetest.CertBitsAtMost(t, stconn.NewRPLS(k), cfg, certBound)
+		h.CertBitsAtMost(t, stconn.NewRPLS(k), cfg, certBound)
 	}
 }

@@ -140,8 +140,9 @@ func TestUniversalSchemeOnSym(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := graph.NewConfig(g)
-	schemetest.LegalAccepted(t, symmetry.NewPLS(), c)
-	schemetest.LegalAcceptedRPLS(t, symmetry.NewRPLS(), c, 5)
+	h := schemetest.New(1)
+	h.LegalAccepted(t, symmetry.NewPLS(), c)
+	h.LegalAcceptedRPLS(t, symmetry.NewRPLS(), c, 5)
 }
 
 func TestEQFromRPLSEqualStrings(t *testing.T) {
