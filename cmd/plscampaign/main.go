@@ -1,0 +1,182 @@
+// Command plscampaign expands a declarative scenario spec into a plan of
+// cells and streams them through the verification engine into a campaign
+// directory (results.jsonl + manifest.jsonl + BENCH_campaign.json).
+//
+// Usage:
+//
+//	plscampaign run -spec examples/campaign/smoke.json -out out/ [-parallel 0]
+//	plscampaign resume -out out/ [-parallel 0]
+//	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
+//	plscampaign list
+//
+// run is idempotent: cells the directory's manifest marks complete are
+// skipped, so interrupting and re-running resumes where it stopped. resume
+// is run with the spec re-read from the directory itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpls/internal/campaign"
+	"rpls/internal/engine"
+	"rpls/internal/graph"
+
+	// Link every scheme package so the registry is complete.
+	_ "rpls/internal/schemes/acyclicity"
+	_ "rpls/internal/schemes/biconn"
+	_ "rpls/internal/schemes/coloring"
+	_ "rpls/internal/schemes/cycle"
+	_ "rpls/internal/schemes/flow"
+	_ "rpls/internal/schemes/leader"
+	_ "rpls/internal/schemes/mst"
+	_ "rpls/internal/schemes/spanningtree"
+	_ "rpls/internal/schemes/stconn"
+	_ "rpls/internal/schemes/symmetry"
+	_ "rpls/internal/schemes/uniform"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "plscampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: plscampaign run|resume|describe|list [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest, false)
+	case "resume":
+		return cmdRun(rest, true)
+	case "describe":
+		return cmdDescribe(rest)
+	case "list":
+		return cmdList()
+	default:
+		return fmt.Errorf("unknown subcommand %q (run, resume, describe, list)", cmd)
+	}
+}
+
+func cmdRun(args []string, resume bool) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "spec JSON file (resume reads it from -out instead)")
+	out := fs.String("out", "", "campaign directory (created if missing)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = all cores); results are byte-identical at any level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	var spec campaign.Spec
+	var err error
+	if resume {
+		if spec, err = campaign.ReadSpec(*out); err != nil {
+			return fmt.Errorf("resume needs an existing campaign directory: %w", err)
+		}
+	} else {
+		if *specPath == "" {
+			return fmt.Errorf("-spec file required")
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = campaign.ParseSpec(data); err != nil {
+			return err
+		}
+	}
+	runner := &campaign.Runner{Dir: *out, Parallel: *parallel, Log: os.Stdout}
+	rep, err := runner.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if n := rep.Errors + rep.PriorErrors; n > 0 {
+		return fmt.Errorf("%d cells errored (see %s/%s)", n, *out, campaign.ResultsFile)
+	}
+	return nil
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "spec JSON file")
+	cells := fs.Bool("cells", false, "print every cell ID instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec file required")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := campaign.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	plan, err := campaign.Expand(spec)
+	if err != nil {
+		return err
+	}
+	if *cells {
+		for _, c := range plan.Cells {
+			fmt.Println(c.ID())
+		}
+		return nil
+	}
+	fmt.Printf("spec %s: %d cells\n", plan.Spec.Name, len(plan.Cells))
+	fmt.Printf("  schemes:   %d axes\n", len(plan.Spec.Schemes))
+	fmt.Printf("  families:  %v\n", plan.Spec.Families)
+	fmt.Printf("  sizes:     %v\n", plan.Spec.Sizes)
+	fmt.Printf("  seeds:     %v\n", plan.Spec.Seeds)
+	fmt.Printf("  measures:  %v\n", plan.Spec.Measures)
+	fmt.Printf("  executors: %v\n", plan.Spec.Executors)
+	fmt.Printf("  trials:    %d (soundness assignments: %d)\n", plan.Spec.Trials, plan.Spec.Assignments)
+	limit := 12
+	if len(plan.Cells) < limit {
+		limit = len(plan.Cells)
+	}
+	for _, c := range plan.Cells[:limit] {
+		fmt.Println("  ", c.ID())
+	}
+	if len(plan.Cells) > limit {
+		fmt.Printf("   … %d more (use -cells for all)\n", len(plan.Cells)-limit)
+	}
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("schemes (engine registry):")
+	for _, e := range engine.Entries() {
+		variants := ""
+		if e.Det != nil {
+			variants += " det"
+			if !e.DetParameterized {
+				variants += " compiled"
+			}
+		}
+		if e.Rand != nil {
+			variants += " rand"
+		}
+		fmt.Printf("  %-20s%-20s %s\n", e.Name, variants, e.Description)
+	}
+	fmt.Println("\ngraph families (graph registry; plus \"catalog\" for per-predicate builders):")
+	for _, f := range graph.Families() {
+		kind := "deterministic"
+		if f.Random {
+			kind = "random"
+		}
+		fmt.Printf("  %-20s%-15s %s\n", f.Name, kind, f.Description)
+	}
+	fmt.Println("\nmeasures: estimate, soundness")
+	fmt.Println("executors: sequential, pool, goroutines")
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"rpls/internal/core"
 	"rpls/internal/engine"
 	"rpls/internal/experiments"
+	"rpls/internal/graph"
 	"rpls/internal/prng"
 )
 
@@ -45,8 +46,13 @@ func run() error {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("schemes:")
 		for _, e := range engine.Entries() {
-			fmt.Printf("%-20s %s%s\n", e.Name, e.Description, catalogNote(e.Name))
+			fmt.Printf("  %-20s %s%s\n", e.Name, e.Description, catalogNote(e.Name))
+		}
+		fmt.Println("graph families (drive with cmd/plscampaign):")
+		for _, f := range graph.Families() {
+			fmt.Printf("  %-20s %s\n", f.Name, f.Description)
 		}
 		return nil
 	}

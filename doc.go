@@ -23,6 +23,12 @@
 //     stopping, bit-identical summaries at every parallelism level), and
 //     the name → constructor Registry that every scheme package
 //     self-registers into
+//   - internal/campaign   — the scenario workload machine: declarative JSON
+//     specs expand into deterministic cross products of schemes × graph
+//     families × sizes × seeds × adversaries, and a parallel scheduler
+//     streams them into append-only JSONL results with a resumable
+//     manifest and a BENCH_campaign.json aggregate (byte-identical output
+//     at any worker count)
 //   - internal/core       — the PLS/RPLS model of §2.2, compiler, universal
 //     schemes, boosting
 //   - internal/schemes/…  — one package per predicate; each registers its
@@ -33,8 +39,12 @@
 //   - internal/experiments — the E1–E18 harness behind EXPERIMENTS.md, and
 //     the instance catalog (builders + corruptors) the CLIs drive
 //   - internal/selfstab   — periodic re-verification and fault detection
-//   - cmd/plsrun, cmd/experiments, cmd/crossattack — CLIs; plsrun -list and
-//     experiments -schemes enumerate the engine registry
+//   - internal/graph      — the §2.1 network model, plus the name → builder
+//     family registry (gnp, grid, torus, hypercube, dregular, powerlawtree,
+//     barbell, …) behind the campaign scenario axis
+//   - cmd/plsrun, cmd/experiments, cmd/crossattack, cmd/plscampaign — CLIs;
+//     plsrun -list enumerates the scheme and family registries, plscampaign
+//     run/resume/describe/list drives campaign specs
 //   - examples/           — runnable walkthroughs
 //
 // See DESIGN.md for the paper-to-code map and the engine architecture.

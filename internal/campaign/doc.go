@@ -1,0 +1,32 @@
+// Package campaign turns the verification engine into a workload machine:
+// a declarative scenario spec expands into a deterministic plan of cells —
+// the cross product of schemes × variants × graph families × sizes × seeds
+// × executors × measures — and a parallel scheduler streams the cells
+// through engine.Estimate and engine.Soundness into append-only JSONL
+// results with a resumable manifest.
+//
+// The paper's headline claims are comparative (randomized certificates
+// beat deterministic labels across graph families, scheme types, and
+// adversaries), so the unit of work here is the scenario cell, not the
+// single run. A Spec is plain JSON: schemes come from engine.Registry,
+// graph families from graph.Families (plus the pseudo-family "catalog",
+// which sources instances from the per-predicate builders and corruptors
+// of internal/experiments), and everything else is a list of values to
+// cross. Expansion order is fixed, so a spec always yields the same cells
+// in the same order with the same IDs.
+//
+// Determinism is contractual end to end: every cell is a pure function of
+// its resolved fields (the engine's Summary is bit-identical at any
+// parallelism level, and instance construction derives only from the cell
+// seed), and the scheduler writes records in cell order through an
+// in-order reorder buffer — so results.jsonl is byte-identical for any
+// worker count. The golden test in scheduler_test.go enforces this.
+//
+// Resume contract: a campaign directory holds spec.json (provenance),
+// results.jsonl (one Record per executed cell, append-only),
+// manifest.jsonl (one line per completed cell ID, append-only), and
+// BENCH_campaign.json (the aggregate, rewritten after every run). A
+// re-run loads the manifest and skips completed cells without re-executing
+// or re-writing them; extending a spec (more sizes, more seeds) in the
+// same directory executes only the new cells.
+package campaign

@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"rpls/internal/core"
+	"rpls/internal/engine"
+	"rpls/internal/experiments"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/acyclicity"
+	"rpls/internal/schemes/biconn"
+	"rpls/internal/schemes/coloring"
+	"rpls/internal/schemes/leader"
+	"rpls/internal/schemes/mst"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/uniform"
+)
+
+// Instance preparation: turning a (scheme, family, size, seed) tuple into a
+// legal configuration, an illegal twin, and a constructed scheme variant.
+//
+// Not every scheme runs on every family — acyclicity has no legal instance
+// on a torus, flow needs a semantic parameter no generic builder can guess.
+// Those cells are not errors: they resolve to ErrIncompatible, and the
+// scheduler records them with status "incompatible" so the results stream
+// documents the full cross product, including the holes.
+
+// ErrIncompatible marks a scenario cell whose (scheme, family) pair has no
+// legal instance or no generic construction. Match with errors.Is.
+var ErrIncompatible = errors.New("scenario incompatible")
+
+// IsIncompatible reports whether err marks an incompatible scenario rather
+// than a real failure.
+func IsIncompatible(err error) bool { return errors.Is(err, ErrIncompatible) }
+
+func incompatible(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrIncompatible, fmt.Sprintf(format, args...))
+}
+
+// legalizer makes a family-built configuration legal for one predicate.
+type legalizer struct {
+	pred core.Predicate
+	// install mutates the fresh configuration toward legality (nil: the
+	// graph structure alone decides). The predicate is always re-checked
+	// afterwards, so an install that cannot succeed on this topology just
+	// yields an incompatible cell, not a wrong measurement.
+	install func(c *graph.Config, rng *prng.Rand) error
+}
+
+// legalizers maps registry scheme names to their generic family
+// preparation. Schemes absent here (flow, stconn, cycle thresholds,
+// symmetry) need per-instance semantic parameters and run only from the
+// catalog pseudo-family.
+var legalizers = map[string]legalizer{
+	"spanningtree":       {pred: spanningtree.Predicate{}, install: installBFSParents},
+	"acyclicity":         {pred: acyclicity.Predicate{}},
+	"acyclicity-compact": {pred: acyclicity.Predicate{}},
+	"mst":                {pred: mst.Predicate{}, install: installRandomMST},
+	"biconnectivity":     {pred: biconn.Predicate{}},
+	"leader":             {pred: leader.Predicate{}, install: installLeader},
+	"uniform":            {pred: uniform.Predicate{}, install: installUniformPayload},
+	"coloring":           {pred: coloring.Predicate{}, install: installGreedyColoring},
+}
+
+// catalogAlias maps registry names onto the experiments catalog entry that
+// holds their instance builder and corruptor.
+func catalogAlias(scheme string) string {
+	if scheme == "acyclicity-compact" {
+		return "acyclicity"
+	}
+	return scheme
+}
+
+func installBFSParents(c *graph.Config, _ *prng.Rand) error {
+	if !c.G.IsConnected() {
+		return incompatible("spanning tree needs a connected graph")
+	}
+	for v, p := range c.G.SpanningTreeParents(0) {
+		c.States[v].Parent = p
+	}
+	return nil
+}
+
+func installRandomMST(c *graph.Config, rng *prng.Rand) error {
+	n := int64(c.G.N())
+	graph.AssignRandomWeights(c, n*n*4, rng)
+	return experiments.InstallMST(c)
+}
+
+func installLeader(c *graph.Config, _ *prng.Rand) error {
+	c.States[0].Flags |= graph.FlagLeader
+	return nil
+}
+
+func installUniformPayload(c *graph.Config, rng *prng.Rand) error {
+	payload := make([]byte, 16)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	for v := range c.States {
+		d := make([]byte, len(payload))
+		copy(d, payload)
+		c.States[v].Data = d
+	}
+	return nil
+}
+
+func installGreedyColoring(c *graph.Config, _ *prng.Rand) error {
+	experiments.GreedyColor(c)
+	return nil
+}
+
+// paramsFor derives the semantic engine.Params a scheme's constructors need
+// from the instance itself. Only coloring has a derivable parameter (its
+// randomized fingerprint field is sized by the edge count).
+func paramsFor(scheme string, c *graph.Config) engine.Params {
+	if scheme == "coloring" {
+		return engine.Params{M: c.G.M()}
+	}
+	return engine.Params{}
+}
+
+// BuildLegal constructs a legal configuration of about n nodes for the
+// scheme from the given instance source, plus the engine.Params its
+// constructors need. The result is a pure function of the arguments.
+func BuildLegal(scheme string, fam FamilyAxis, n int, seed uint64) (*graph.Config, engine.Params, error) {
+	if fam.Name == CatalogFamily {
+		entry, ok := experiments.LookupCatalog(catalogAlias(scheme))
+		if !ok {
+			return nil, engine.Params{}, incompatible("scheme %q has no catalog entry", scheme)
+		}
+		cfg, err := entry.Build(n, seed)
+		if err != nil {
+			return nil, engine.Params{}, fmt.Errorf("campaign: catalog build %s n=%d: %w", scheme, n, err)
+		}
+		return cfg, paramsFor(scheme, cfg), nil
+	}
+
+	leg, ok := legalizers[scheme]
+	if !ok {
+		return nil, engine.Params{}, incompatible("scheme %q has no family legalizer; use the %q instance source", scheme, CatalogFamily)
+	}
+	f, ok := graph.LookupFamily(fam.Name)
+	if !ok {
+		return nil, engine.Params{}, fmt.Errorf("campaign: unknown family %q", fam.Name)
+	}
+	g, err := f.Build(graph.FamilyParams{N: n, Seed: seed, P: fam.P, D: fam.D})
+	if err != nil {
+		// A family that cannot realize this size/shape (torus below 3×3,
+		// dregular with n <= d) is a documented hole in the cross product,
+		// not a campaign failure — spec-level mistakes are caught by
+		// Validate before any cell runs.
+		return nil, engine.Params{}, incompatible("family %s cannot realize n=%d: %v", fam, n, err)
+	}
+	cfg := graph.NewConfig(g)
+	rng := prng.New(seed).Fork(0xca4a16)
+	cfg.AssignRandomIDs(rng)
+	if leg.install != nil {
+		if err := leg.install(cfg, rng); err != nil {
+			return nil, engine.Params{}, err
+		}
+	}
+	if !leg.pred.Eval(cfg) {
+		return nil, engine.Params{}, incompatible("family %s yields no legal %s instance", fam, scheme)
+	}
+	return cfg, paramsFor(scheme, cfg), nil
+}
+
+// IllegalTwin corrupts a clone of a legal configuration into an illegal one
+// using the scheme's catalog corruptor, verifying the predicate actually
+// flipped.
+func IllegalTwin(scheme string, legal *graph.Config, seed uint64) (*graph.Config, error) {
+	entry, ok := experiments.LookupCatalog(catalogAlias(scheme))
+	if !ok {
+		return nil, incompatible("scheme %q has no catalog corruptor", scheme)
+	}
+	bad := legal.Clone()
+	if err := entry.Corrupt(bad, prng.New(seed).Fork(0xbad)); err != nil {
+		return nil, incompatible("corruptor failed on %s: %v", scheme, err)
+	}
+	if entry.Pred != nil && entry.Pred.Eval(bad) {
+		return nil, incompatible("corruptor left a legal %s instance", scheme)
+	}
+	return bad, nil
+}
+
+// BuildVariant constructs the requested scheme variant from the registry
+// with the given params. Parameterized constructors whose parameters were
+// not derivable yield ErrIncompatible.
+func BuildVariant(scheme, variant string, params engine.Params) (engine.Scheme, error) {
+	e, ok := engine.Lookup(scheme)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown scheme %q", scheme)
+	}
+	zero := params == engine.Params{}
+	switch variant {
+	case VariantDet, VariantCompiled:
+		if e.Det == nil {
+			return nil, incompatible("scheme %q has no deterministic variant", scheme)
+		}
+		if e.DetParameterized && zero {
+			return nil, incompatible("deterministic %q needs semantic params the builder cannot derive", scheme)
+		}
+		det := e.Det(params)
+		if variant == VariantDet {
+			return det, nil
+		}
+		pls, ok := engine.AsPLS(det)
+		if !ok {
+			return nil, incompatible("scheme %q is not a core.PLS; cannot compile", scheme)
+		}
+		return engine.FromRPLS(core.Compile(pls)), nil
+	case VariantRand:
+		if e.Rand == nil {
+			return nil, incompatible("scheme %q has no randomized variant", scheme)
+		}
+		if e.RandParameterized && zero {
+			return nil, incompatible("randomized %q needs semantic params the builder cannot derive", scheme)
+		}
+		return e.Rand(params), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown variant %q", variant)
+	}
+}

@@ -1,0 +1,459 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	goruntime "runtime"
+	"sync"
+
+	"rpls/internal/engine"
+)
+
+// File names inside a campaign directory.
+const (
+	SpecFile     = "spec.json"
+	ResultsFile  = "results.jsonl"
+	ManifestFile = "manifest.jsonl"
+	BenchFile    = "BENCH_campaign.json"
+)
+
+// Cell statuses recorded in results and manifest.
+const (
+	StatusOK           = "ok"
+	StatusIncompatible = "incompatible"
+	StatusError        = "error"
+)
+
+// AdversaryRecord is one engine.Soundness family's outcome inside a Record.
+type AdversaryRecord struct {
+	Name        string  `json:"name"`
+	Assignments int     `json:"assignments"`
+	WorstIndex  int     `json:"worstIndex"`
+	Trials      int     `json:"trials"`
+	Accepted    int     `json:"accepted"`
+	Acceptance  float64 `json:"acceptance"`
+}
+
+// Record is one cell's result line in results.jsonl. Fields are a pure
+// function of the cell, so the line is byte-identical across runs, worker
+// counts, and executors.
+type Record struct {
+	Cell        string            `json:"cell"`
+	Scheme      string            `json:"scheme"`
+	Variant     string            `json:"variant"`
+	Family      string            `json:"family"`
+	N           int               `json:"n"`
+	M           int               `json:"m,omitempty"`
+	Seed        uint64            `json:"seed"`
+	Executor    string            `json:"executor"`
+	Measure     string            `json:"measure"`
+	Status      string            `json:"status"`
+	Reason      string            `json:"reason,omitempty"`
+	Trials      int               `json:"trials,omitempty"`
+	Accepted    int               `json:"accepted,omitempty"`
+	Acceptance  float64           `json:"acceptance,omitempty"`
+	CILow       float64           `json:"ciLow,omitempty"`
+	CIHigh      float64           `json:"ciHigh,omitempty"`
+	LabelBits   int               `json:"labelBits,omitempty"`
+	CertBits    int               `json:"certBits,omitempty"`
+	Adversaries []AdversaryRecord `json:"adversaries,omitempty"`
+}
+
+// manifestLine marks one completed cell in manifest.jsonl.
+type manifestLine struct {
+	Cell   string `json:"cell"`
+	Status string `json:"status"`
+}
+
+// Report summarizes one scheduler run.
+type Report struct {
+	Cells        int // cells in the expanded plan
+	Executed     int // cells actually run this time
+	Skipped      int // cells the manifest marked complete
+	OK           int
+	Incompatible int
+	Errors       int
+	// PriorErrors counts plan cells recorded with status "error" by earlier
+	// runs. Cells are deterministic, so they are not retried — but a resumed
+	// campaign must not look green while its results stream holds failures.
+	PriorErrors int
+}
+
+func (r Report) String() string {
+	s := fmt.Sprintf("executed %d of %d cells (%d already complete): %d ok, %d incompatible, %d errors",
+		r.Executed, r.Cells, r.Skipped, r.OK, r.Incompatible, r.Errors)
+	if r.PriorErrors > 0 {
+		s += fmt.Sprintf("; %d error cells from earlier runs remain in results", r.PriorErrors)
+	}
+	return s
+}
+
+// Runner executes campaign plans into a directory.
+type Runner struct {
+	Dir      string
+	Parallel int       // worker count; <= 0 selects GOMAXPROCS
+	Log      io.Writer // optional progress stream (one line per phase)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+func (r *Runner) workers() int {
+	if r.Parallel <= 0 {
+		return goruntime.GOMAXPROCS(0)
+	}
+	return r.Parallel
+}
+
+// Run expands the spec and executes every cell the manifest does not
+// already mark complete, streaming records to results.jsonl in cell order
+// (an in-order reorder buffer makes the file byte-identical for any worker
+// count), appending manifest lines as cells finish, and rewriting the
+// BENCH_campaign.json aggregate at the end.
+func (r *Runner) Run(spec Spec) (Report, error) {
+	plan, err := Expand(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return Report{}, fmt.Errorf("campaign: %w", err)
+	}
+	if err := writeSpec(filepath.Join(r.Dir, SpecFile), plan.Spec); err != nil {
+		return Report{}, err
+	}
+	done, err := loadManifest(filepath.Join(r.Dir, ManifestFile))
+	if err != nil {
+		return Report{}, err
+	}
+	// A crash mid-write can leave a torn trailing results line; drop it (its
+	// cell has no manifest line yet and simply re-executes).
+	if err := truncateTornTail(filepath.Join(r.Dir, ResultsFile)); err != nil {
+		return Report{}, err
+	}
+	// A crash between the results flush and the manifest flush leaves a
+	// record without a manifest line; treat recorded cells as complete too,
+	// or the resume would append a duplicate record.
+	recorded, err := ReadRecords(r.Dir)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, rec := range recorded {
+		if _, ok := done[rec.Cell]; !ok {
+			done[rec.Cell] = rec.Status
+		}
+	}
+
+	var todo []Cell
+	priorErrors := 0
+	for _, c := range plan.Cells {
+		status, ok := done[c.ID()]
+		if !ok {
+			todo = append(todo, c)
+		} else if status == StatusError {
+			priorErrors++
+		}
+	}
+	rep := Report{Cells: len(plan.Cells), Executed: len(todo), Skipped: len(plan.Cells) - len(todo), PriorErrors: priorErrors}
+	r.logf("campaign %s: %d cells, %d to execute, %d workers",
+		plan.Spec.Name, rep.Cells, rep.Executed, r.workers())
+
+	if len(todo) > 0 {
+		if err := r.execute(todo, &rep); err != nil {
+			return rep, err
+		}
+	}
+
+	bench, err := WriteBench(r.Dir, plan.Spec.Name)
+	if err != nil {
+		return rep, err
+	}
+	r.logf("campaign %s: %s; aggregate over %d records in %s",
+		plan.Spec.Name, rep, bench.Records, BenchFile)
+	return rep, nil
+}
+
+// execute runs the incomplete cells through the worker pool and streams
+// their records out in plan order.
+func (r *Runner) execute(todo []Cell, rep *Report) error {
+	results, err := os.OpenFile(filepath.Join(r.Dir, ResultsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	defer results.Close()
+	manifest, err := os.OpenFile(filepath.Join(r.Dir, ManifestFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	defer manifest.Close()
+
+	w := r.workers()
+	if w > len(todo) {
+		w = len(todo)
+	}
+	lines := make([][]byte, len(todo))
+	statuses := make([]string, len(todo))
+	ready := make([]bool, len(todo))
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				rec := RunCell(todo[idx])
+				line, err := json.Marshal(rec)
+				if err != nil { // a Record always marshals; keep it loud
+					panic(fmt.Sprintf("campaign: marshal record: %v", err))
+				}
+				mu.Lock()
+				lines[idx] = line
+				statuses[idx] = rec.Status
+				ready[idx] = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		for idx := range todo {
+			jobs <- idx
+		}
+		close(jobs)
+	}()
+
+	// The reorder buffer: write cell idx only once every earlier cell is
+	// written, so the results stream is in plan order for any worker count.
+	rw := bufio.NewWriter(results)
+	mw := bufio.NewWriter(manifest)
+	for idx := range todo {
+		mu.Lock()
+		for !ready[idx] {
+			cond.Wait()
+		}
+		line, status := lines[idx], statuses[idx]
+		lines[idx] = nil
+		mu.Unlock()
+
+		rw.Write(line)
+		rw.WriteByte('\n')
+		ml, _ := json.Marshal(manifestLine{Cell: todo[idx].ID(), Status: status})
+		mw.Write(ml)
+		mw.WriteByte('\n')
+		// Flush both so an interrupted run resumes from its last whole cell.
+		if err := rw.Flush(); err != nil {
+			return fmt.Errorf("campaign: write results: %w", err)
+		}
+		if err := mw.Flush(); err != nil {
+			return fmt.Errorf("campaign: write manifest: %w", err)
+		}
+		switch status {
+		case StatusOK:
+			rep.OK++
+		case StatusIncompatible:
+			rep.Incompatible++
+		default:
+			rep.Errors++
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// RunCell executes one scenario cell. It never returns an error: failures
+// land in the record's status and reason, so a campaign documents its holes
+// instead of halting at them.
+func RunCell(c Cell) Record {
+	rec := Record{
+		Cell:     c.ID(),
+		Scheme:   c.Scheme,
+		Variant:  c.Variant,
+		Family:   c.Family.String(),
+		N:        c.N,
+		Seed:     c.Seed,
+		Executor: c.Executor,
+		Measure:  c.Measure,
+		Status:   StatusOK,
+	}
+	fail := func(err error) Record {
+		if errors.Is(err, ErrIncompatible) {
+			rec.Status = StatusIncompatible
+		} else {
+			rec.Status = StatusError
+		}
+		rec.Reason = err.Error()
+		return rec
+	}
+
+	legal, params, err := BuildLegal(c.Scheme, c.Family, c.N, c.Seed)
+	if err != nil {
+		return fail(err)
+	}
+	rec.N, rec.M = legal.G.N(), legal.G.M()
+	s, err := BuildVariant(c.Scheme, c.Variant, params)
+	if err != nil {
+		return fail(err)
+	}
+	newExec, err := executorFor(c.Executor)
+	if err != nil {
+		return fail(err)
+	}
+
+	trials := c.Trials
+	if s.Deterministic() {
+		trials = 1 // a deterministic round is the same every trial
+	}
+	opts := []engine.Option{
+		engine.WithSeed(c.Seed),
+		engine.WithTrials(trials),
+		engine.WithExecutor(newExec()),
+		engine.WithMaxSE(c.MaxSE),
+	}
+
+	switch c.Measure {
+	case MeasureEstimate:
+		sum, err := engine.Estimate(s, legal, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		rec.Trials, rec.Accepted, rec.Acceptance = sum.Trials, sum.Accepted, sum.Acceptance
+		rec.CILow, rec.CIHigh = sum.CILow, sum.CIHigh
+		rec.LabelBits, rec.CertBits = sum.MaxLabelBits, sum.MaxCertBits
+	case MeasureSoundness:
+		illegal, err := IllegalTwin(c.Scheme, legal, c.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		advs, err := engine.Soundness(s, legal, illegal,
+			append(opts, engine.WithAssignments(c.Assignments))...)
+		if err != nil {
+			return fail(err)
+		}
+		for _, a := range advs {
+			rec.Adversaries = append(rec.Adversaries, AdversaryRecord{
+				Name:        a.Adversary,
+				Assignments: a.Assignments,
+				WorstIndex:  a.WorstIndex,
+				Trials:      a.Worst.Trials,
+				Accepted:    a.Worst.Accepted,
+				Acceptance:  a.Worst.Acceptance,
+			})
+			if a.Worst.MaxCertBits > rec.CertBits {
+				rec.CertBits = a.Worst.MaxCertBits
+			}
+			if a.Worst.MaxLabelBits > rec.LabelBits {
+				rec.LabelBits = a.Worst.MaxLabelBits
+			}
+		}
+	default:
+		return fail(fmt.Errorf("campaign: unknown measure %q", c.Measure))
+	}
+	return rec
+}
+
+// writeSpec stores the effective spec for provenance and for `plscampaign
+// resume`, which re-reads it from the directory.
+func writeSpec(path string, spec Spec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal spec: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// ReadSpec loads the spec stored in a campaign directory.
+func ReadSpec(dir string) (Spec, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SpecFile))
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// loadManifest reads the completed-cell set of a campaign directory. A
+// missing manifest is an empty one; a trailing partial line (a run killed
+// mid-write) is ignored, which at worst re-executes that one cell.
+func loadManifest(path string) (map[string]string, error) {
+	done := map[string]string{}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ml manifestLine
+		if err := json.Unmarshal(sc.Bytes(), &ml); err != nil {
+			continue // partial trailing line from an interrupted run
+		}
+		done[ml.Cell] = ml.Status
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read manifest: %w", err)
+	}
+	return done, nil
+}
+
+// truncateTornTail removes a partial trailing line (no terminating newline)
+// left by a run killed mid-write, so the stream stays valid JSONL.
+func truncateTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	cut := bytes.LastIndexByte(data, '\n') + 1
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return fmt.Errorf("campaign: repair torn results tail: %w", err)
+	}
+	return nil
+}
+
+// ReadRecords loads every record from a campaign directory's results file.
+func ReadRecords(dir string) ([]Record, error) {
+	f, err := os.Open(filepath.Join(dir, ResultsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("campaign: results line %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: read results: %w", err)
+	}
+	return out, nil
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rpls/internal/campaign"
 	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/graph"
@@ -192,5 +193,67 @@ func TestRegistryConformance(t *testing.T) {
 		if !seen[name] {
 			t.Errorf("conformance fixture %q matches no registered scheme", name)
 		}
+	}
+}
+
+// TestFamilyConformance crosses every registered graph family with every
+// registered scheme: wherever the campaign preparation layer can build a
+// legal instance, both variants must be complete on it. Registering a new
+// family (or a new scheme with a legalizer) extends this matrix
+// automatically — no per-family fixtures to maintain.
+func TestFamilyConformance(t *testing.T) {
+	entries := engine.Entries()
+	families := graph.Families()
+	if len(families) == 0 {
+		t.Fatal("family registry is empty")
+	}
+	compatible, ran := 0, 0
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, e := range entries {
+				e := e
+				t.Run(e.Name, func(t *testing.T) {
+					ran++
+					const n, seed = 10, 23
+					legal, params, err := campaign.BuildLegal(e.Name, campaign.FamilyAxis{Name: fam.Name}, n, seed)
+					if campaign.IsIncompatible(err) {
+						t.Skipf("incompatible: %v", err)
+					}
+					if err != nil {
+						t.Fatalf("BuildLegal: %v", err)
+					}
+					illegal, err := campaign.IllegalTwin(e.Name, legal, seed)
+					if campaign.IsIncompatible(err) {
+						// e.g. MST on a tree family: the only spanning tree is
+						// trivially minimum, so no weight corruption works.
+						t.Skipf("no illegal twin: %v", err)
+					}
+					if err != nil {
+						t.Fatalf("IllegalTwin: %v", err)
+					}
+					compatible++
+					h := schemetest.New(seed)
+					spec := schemetest.BatterySpec{Trials: 24, MaxAccepted: 18, Assignments: 2}
+					for _, variant := range []string{campaign.VariantDet, campaign.VariantRand} {
+						s, err := campaign.BuildVariant(e.Name, variant, params)
+						if campaign.IsIncompatible(err) {
+							continue
+						}
+						if err != nil {
+							t.Fatalf("BuildVariant %s: %v", variant, err)
+						}
+						t.Run(variant, func(t *testing.T) {
+							h.Battery(t, s, legal, illegal, spec)
+						})
+					}
+				})
+			}
+		})
+	}
+	// The coverage floor only means something when the whole matrix ran
+	// (not under a -run filter that skips most subtests).
+	if ran == len(families)*len(entries) && compatible < 20 {
+		t.Errorf("only %d compatible (family, scheme) pairs; the preparation layer lost coverage", compatible)
 	}
 }

@@ -31,14 +31,14 @@ func BuildMSTConfig(n int, seed uint64) (*graph.Config, error) {
 	c := graph.NewConfig(g)
 	c.AssignRandomIDs(rng)
 	graph.AssignRandomWeights(c, int64(n)*int64(n)*4, rng)
-	if err := installMST(c); err != nil {
+	if err := InstallMST(c); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// installMST orients the canonical MST toward root 0 in the parent ports.
-func installMST(c *graph.Config) error {
+// InstallMST orients the canonical MST toward root 0 in the parent ports.
+func InstallMST(c *graph.Config) error {
 	tree, err := mst.Kruskal(c)
 	if err != nil {
 		return err

@@ -225,7 +225,7 @@ func Catalog() []CatalogEntry {
 			Build: func(n int, seed uint64) (*graph.Config, error) {
 				rng := prng.New(seed)
 				c := graph.NewConfig(graph.RandomConnected(n, n, rng))
-				greedyColor(c)
+				GreedyColor(c)
 				return c, nil
 			},
 			Corrupt: func(c *graph.Config, rng *prng.Rand) error {
@@ -323,7 +323,8 @@ func maxID(c *graph.Config) uint64 {
 	return max
 }
 
-func greedyColor(c *graph.Config) {
+// GreedyColor assigns a proper coloring greedily in node order.
+func GreedyColor(c *graph.Config) {
 	for v := 0; v < c.G.N(); v++ {
 		used := make(map[int64]bool)
 		for _, h := range c.G.Adj(v) {

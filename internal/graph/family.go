@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"rpls/internal/prng"
+)
+
+// The family registry: named graph builders the campaign subsystem, the
+// conformance suite, and sweeps resolve by string. Where the generators in
+// generators.go implement the exact constructions the paper's proofs need
+// (chords, hubs, cycle chains), families are the scenario axis — each one is
+// a topology class parameterized only by a target size, a seed, and at most
+// two shape knobs, so a declarative spec can name it without writing Go.
+
+// FamilyParams parameterizes one family build. N is a target node count:
+// families whose structure quantizes sizes (grids, hypercubes, barbells)
+// build the nearest realizable size at or near N, and the returned graph's
+// N() is authoritative. Seed drives every random family; deterministic
+// families ignore it.
+type FamilyParams struct {
+	N    int
+	Seed uint64
+	P    float64 // gnp edge probability; <= 0 selects the family default
+	D    int     // dregular degree; <= 0 selects the family default
+}
+
+// Family is one registered graph family.
+type Family struct {
+	Name        string
+	Description string
+	// Random reports whether Seed changes the built graph.
+	Random bool
+	// Build constructs an instance near p.N nodes. Every built graph is
+	// connected and passes Validate.
+	Build func(p FamilyParams) (*Graph, error)
+}
+
+var (
+	familyMu sync.RWMutex
+	families = map[string]Family{}
+)
+
+// RegisterFamily adds a family to the registry. Like engine.Register it
+// panics on an empty name or a duplicate — both are init-time programming
+// errors.
+func RegisterFamily(f Family) {
+	if f.Name == "" {
+		panic("graph: RegisterFamily with empty name")
+	}
+	if f.Build == nil {
+		panic(fmt.Sprintf("graph: RegisterFamily(%q) with nil builder", f.Name))
+	}
+	familyMu.Lock()
+	defer familyMu.Unlock()
+	if _, dup := families[f.Name]; dup {
+		panic(fmt.Sprintf("graph: duplicate registration of family %q", f.Name))
+	}
+	families[f.Name] = f
+}
+
+// LookupFamily finds a registered family by name.
+func LookupFamily(name string) (Family, bool) {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// Families returns every registered family, sorted by name.
+func Families() []Family {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames returns the sorted names of all registered families.
+func FamilyNames() []string {
+	fams := Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+const (
+	defaultGNPProb     = 0.1
+	defaultRegularDeg  = 3
+	maxHypercubeDim    = 20
+	dRegularAttempts   = 200 // pairing-model restarts before giving up
+	dRegularConnectTry = 50  // whole-graph redraws to find a connected one
+)
+
+func init() {
+	RegisterFamily(Family{
+		Name:        "path",
+		Description: "the n-node path (Theorem 5.1 family)",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: path family needs n >= 2, got %d", p.N)
+			}
+			return Path(p.N), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "cycle",
+		Description: "the n-node cycle with consistent ports",
+		Build:       func(p FamilyParams) (*Graph, error) { return Cycle(p.N) },
+	})
+	RegisterFamily(Family{
+		Name:        "complete",
+		Description: "the complete graph K_n",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: complete family needs n >= 2, got %d", p.N)
+			}
+			return Complete(p.N), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "star",
+		Description: "the n-node star with center 0",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: star family needs n >= 2, got %d", p.N)
+			}
+			return Star(p.N), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "randomtree",
+		Description: "uniform-ish random tree (each node attaches to a uniform predecessor)",
+		Random:      true,
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: randomtree family needs n >= 2, got %d", p.N)
+			}
+			return RandomTree(p.N, prng.New(p.Seed)), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "randomconnected",
+		Description: "random tree plus n/2 extra random edges",
+		Random:      true,
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: randomconnected family needs n >= 2, got %d", p.N)
+			}
+			return RandomConnected(p.N, p.N/2, prng.New(p.Seed)), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "gnp",
+		Description: "connected Erdős–Rényi G(n,p): a random spanning tree plus each remaining pair with probability p (default 0.1)",
+		Random:      true,
+		Build: func(p FamilyParams) (*Graph, error) {
+			prob := p.P
+			if prob <= 0 {
+				prob = defaultGNPProb
+			}
+			if prob > 1 {
+				return nil, fmt.Errorf("graph: gnp family needs p <= 1, got %g", prob)
+			}
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: gnp family needs n >= 2, got %d", p.N)
+			}
+			return GNPConnected(p.N, prob, prng.New(p.Seed)), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "grid",
+		Description: "near-square 2D grid with about n nodes",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: grid family needs n >= 2, got %d", p.N)
+			}
+			rows := int(math.Sqrt(float64(p.N)))
+			if rows < 1 {
+				rows = 1
+			}
+			cols := (p.N + rows - 1) / rows
+			return Grid(rows, cols)
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "torus",
+		Description: "near-square 2D torus (wraparound grid) with about n nodes",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 9 {
+				return nil, fmt.Errorf("graph: torus family needs n >= 9, got %d", p.N)
+			}
+			rows := int(math.Sqrt(float64(p.N)))
+			if rows < 3 {
+				rows = 3
+			}
+			cols := (p.N + rows - 1) / rows
+			if cols < 3 {
+				cols = 3
+			}
+			return Torus(rows, cols)
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "hypercube",
+		Description: "the d-dimensional hypercube with 2^d ≈ n nodes",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: hypercube family needs n >= 2, got %d", p.N)
+			}
+			dim := 1
+			for (1<<(dim+1)) <= p.N && dim < maxHypercubeDim {
+				dim++
+			}
+			return Hypercube(dim)
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "dregular",
+		Description: "connected random d-regular graph via the pairing model (default d = 3)",
+		Random:      true,
+		Build: func(p FamilyParams) (*Graph, error) {
+			d := p.D
+			if d <= 0 {
+				d = defaultRegularDeg
+			}
+			if d < 3 {
+				return nil, fmt.Errorf("graph: dregular family needs d >= 3 for connectivity, got %d", d)
+			}
+			n := p.N
+			if n*d%2 != 0 {
+				n++ // n·d must be even; round the target up
+			}
+			if n <= d {
+				return nil, fmt.Errorf("graph: dregular family needs n > d, got n=%d d=%d", n, d)
+			}
+			rng := prng.New(p.Seed)
+			for try := 0; try < dRegularConnectTry; try++ {
+				g, err := DRegular(n, d, rng)
+				if err != nil {
+					return nil, err
+				}
+				if g.IsConnected() {
+					return g, nil
+				}
+			}
+			return nil, fmt.Errorf("graph: no connected %d-regular graph on %d nodes after %d draws", d, n, dRegularConnectTry)
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "powerlawtree",
+		Description: "preferential-attachment tree (power-law degree distribution)",
+		Random:      true,
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 2 {
+				return nil, fmt.Errorf("graph: powerlawtree family needs n >= 2, got %d", p.N)
+			}
+			return PowerLawTree(p.N, prng.New(p.Seed)), nil
+		},
+	})
+	RegisterFamily(Family{
+		Name:        "barbell",
+		Description: "two K_k cliques joined by a path, with 2k plus bridge ≈ n nodes",
+		Build: func(p FamilyParams) (*Graph, error) {
+			if p.N < 6 {
+				return nil, fmt.Errorf("graph: barbell family needs n >= 6, got %d", p.N)
+			}
+			k := p.N / 3
+			if k < 3 {
+				k = 3
+			}
+			bridge := p.N - 2*k
+			if bridge < 0 {
+				bridge = 0
+			}
+			return Barbell(k, bridge)
+		},
+	})
+}

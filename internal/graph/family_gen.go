@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"fmt"
+
+	"rpls/internal/prng"
+)
+
+// Generators backing the scenario families of family.go. Unlike the
+// paper-specific constructions in generators.go, these are the standard
+// topology classes of the empirical literature: random, lattice, expander,
+// heavy-tailed, and bottlenecked graphs.
+
+// GNP returns a pure Erdős–Rényi G(n, p): every unordered pair becomes an
+// edge independently with probability p. The result may be disconnected;
+// the "gnp" family uses GNPConnected instead.
+func GNP(n int, p float64, rng *prng.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GNPConnected returns a connected G(n, p) variant: a uniform-ish random
+// spanning tree guarantees connectivity, and every pair not already joined
+// by a tree edge becomes an edge independently with probability p. For
+// p = 0 it is exactly a random tree; for p = 1, the complete graph.
+func GNPConnected(n int, p float64, rng *prng.Rand) *Graph {
+	g := RandomTree(n, rng)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the rows × cols 2D grid; node (r, c) is index r*cols + c.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("graph: grid needs rows, cols >= 1 and >= 2 nodes, got %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.MustAddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.MustAddEdge(v, v+cols)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Torus returns the rows × cols 2D torus: the grid with wraparound edges in
+// both dimensions. Both dimensions must be at least 3, or the wraparound
+// would duplicate a grid edge (the paper's graphs are simple).
+func Torus(rows, cols int) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols)
+	}
+	g, err := Grid(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		g.MustAddEdge(r*cols, r*cols+cols-1)
+	}
+	for c := 0; c < cols; c++ {
+		g.MustAddEdge(c, (rows-1)*cols+c)
+	}
+	return g, nil
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes: u and v
+// are adjacent iff their indices differ in exactly one bit.
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 1 || dim > maxHypercubeDim {
+		return nil, fmt.Errorf("graph: hypercube needs 1 <= dim <= %d, got %d", maxHypercubeDim, dim)
+	}
+	n := 1 << dim
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.MustAddEdge(v, u)
+			}
+		}
+	}
+	return g, nil
+}
+
+// DRegular returns a uniform-ish random d-regular simple graph on n nodes
+// via incremental pairing (Steger–Wormald): legal stub pairs (no self-loop,
+// no duplicate edge) are matched one at a time, and the attempt restarts
+// only when no legal pair remains — far more reliable than redrawing whole
+// matchings, whose success probability decays like e^(−Θ(d²)). Requires
+// n > d >= 1 and n·d even. The result may be disconnected (the "dregular"
+// family redraws until connected).
+func DRegular(n, d int, rng *prng.Rand) (*Graph, error) {
+	if d < 1 || n <= d {
+		return nil, fmt.Errorf("graph: d-regular needs n > d >= 1, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: d-regular needs n*d even, got n=%d d=%d", n, d)
+	}
+	stubs := make([]int, 0, n*d)
+	for attempt := 0; attempt < dRegularAttempts; attempt++ {
+		g := New(n)
+		stubs = stubs[:0]
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		stuck := false
+		for len(stubs) > 0 && !stuck {
+			if i, j, ok := drawLegalPair(g, stubs, rng); ok {
+				g.MustAddEdge(stubs[i], stubs[j])
+				if i < j {
+					i, j = j, i
+				}
+				stubs[i] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				stubs[j] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+			} else {
+				stuck = true
+			}
+		}
+		if !stuck {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: no simple %d-regular matching on %d nodes after %d attempts", d, n, dRegularAttempts)
+}
+
+// drawLegalPair picks a uniform legal stub pair, falling back to an
+// exhaustive scan when random probing keeps missing (the endgame, where few
+// legal pairs remain).
+func drawLegalPair(g *Graph, stubs []int, rng *prng.Rand) (int, int, bool) {
+	for try := 0; try < 64; try++ {
+		i, j := rng.Intn(len(stubs)), rng.Intn(len(stubs))
+		if i != j && stubs[i] != stubs[j] && !g.HasEdge(stubs[i], stubs[j]) {
+			return i, j, true
+		}
+	}
+	for i := 0; i < len(stubs); i++ {
+		for j := i + 1; j < len(stubs); j++ {
+			if stubs[i] != stubs[j] && !g.HasEdge(stubs[i], stubs[j]) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// PowerLawTree returns a preferential-attachment tree: node v > 0 attaches
+// to an existing node chosen with probability proportional to degree + 1,
+// yielding a heavy-tailed degree distribution (hubs), in contrast to
+// RandomTree's uniform attachment.
+func PowerLawTree(n int, rng *prng.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	// Attachment by sampling from the endpoint list of existing edges: each
+	// node appears once per incident edge plus once unconditionally, which
+	// realizes degree+1 weighting without bookkeeping.
+	targets := make([]int, 0, 2*n)
+	g.MustAddEdge(0, 1)
+	targets = append(targets, 0, 1)
+	for v := 2; v < n; v++ {
+		var u int
+		if rng.Intn(v+len(targets)) < v {
+			u = rng.Intn(v) // the "+1" uniform share
+		} else {
+			u = targets[rng.Intn(len(targets))]
+		}
+		g.MustAddEdge(u, v)
+		targets = append(targets, u, v)
+	}
+	return g
+}
+
+// Barbell returns two K_k cliques joined through a path of bridge interior
+// nodes (bridge may be 0: the cliques are then joined by a single edge).
+// Nodes 0..k-1 form the first clique, k..k+bridge-1 the path, and the rest
+// the second clique. The bridge is the classic bottleneck scenario for
+// communication-heavy verification.
+func Barbell(k, bridge int) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("graph: barbell needs cliques of k >= 3, got %d", k)
+	}
+	if bridge < 0 {
+		return nil, fmt.Errorf("graph: barbell needs bridge >= 0, got %d", bridge)
+	}
+	n := 2*k + bridge
+	g := New(n)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	for u := k + bridge; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	// Path from clique one's last node through the bridge into clique two's
+	// first node.
+	prev := k - 1
+	for i := 0; i < bridge; i++ {
+		g.MustAddEdge(prev, k+i)
+		prev = k + i
+	}
+	g.MustAddEdge(prev, k+bridge)
+	return g, nil
+}

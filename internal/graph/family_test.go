@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rpls/internal/prng"
+)
+
+// Structural property tests for the family registry and each scenario
+// family: node/edge counts, connectivity, degree bounds, and Validate.
+
+func TestFamilyRegistryResolves(t *testing.T) {
+	want := []string{
+		"barbell", "complete", "cycle", "dregular", "gnp", "grid",
+		"hypercube", "path", "powerlawtree", "randomconnected",
+		"randomtree", "star", "torus",
+	}
+	names := FamilyNames()
+	got := make(map[string]bool, len(names))
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Errorf("family %q not registered", n)
+		}
+	}
+	if _, ok := LookupFamily("no-such-family"); ok {
+		t.Error("LookupFamily resolved a name that was never registered")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("FamilyNames not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}
+
+// Every registered family builds a valid connected graph near the target
+// size, and random families are deterministic per seed.
+func TestFamiliesBuildValidConnectedGraphs(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			for _, n := range []int{9, 16, 33} {
+				for _, seed := range []uint64{1, 7} {
+					g, err := fam.Build(FamilyParams{N: n, Seed: seed})
+					if err != nil {
+						t.Fatalf("build n=%d seed=%d: %v", n, seed, err)
+					}
+					if err := g.Validate(); err != nil {
+						t.Fatalf("n=%d seed=%d: invalid graph: %v", n, seed, err)
+					}
+					if !g.IsConnected() {
+						t.Fatalf("n=%d seed=%d: disconnected graph", n, seed)
+					}
+					// Quantized families stay within a factor of two of the target.
+					if g.N() < n/2 || g.N() > 2*n+3 {
+						t.Fatalf("n=%d: built %d nodes, too far from target", n, g.N())
+					}
+					again, err := fam.Build(FamilyParams{N: n, Seed: seed})
+					if err != nil {
+						t.Fatalf("rebuild: %v", err)
+					}
+					if !sameGraph(g, again) {
+						t.Fatalf("n=%d seed=%d: build is not deterministic", n, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Degree(v) != b.Degree(v) {
+			return false
+		}
+		for p := 1; p <= a.Degree(v); p++ {
+			if a.Neighbor(v, p) != b.Neighbor(v, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGNPEdgeBoundsAndExtremes(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 4 + rng.Intn(40)
+		p := rng.Float64()
+		g := GNPConnected(n, p, prng.New(seed+1))
+		if g.Validate() != nil || !g.IsConnected() {
+			return false
+		}
+		return g.M() >= n-1 && g.M() <= n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// p = 0 is a tree, p = 1 the complete graph.
+	if g := GNPConnected(12, 0, prng.New(3)); g.M() != 11 {
+		t.Errorf("GNPConnected(12, 0) has %d edges, want 11", g.M())
+	}
+	if g := GNPConnected(12, 1, prng.New(3)); g.M() != 66 {
+		t.Errorf("GNPConnected(12, 1) has %d edges, want 66", g.M())
+	}
+	// Pure GNP respects the same edge ceiling without the tree floor.
+	if g := GNP(10, 0, prng.New(4)); g.M() != 0 {
+		t.Errorf("GNP(10, 0) has %d edges, want 0", g.M())
+	}
+	if g := GNP(10, 1, prng.New(4)); g.M() != 45 {
+		t.Errorf("GNP(10, 1) has %d edges, want 45", g.M())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{1, 2}, {2, 2}, {3, 5}, {4, 4}, {1, 9}} {
+		g, err := Grid(tc.r, tc.c)
+		if err != nil {
+			t.Fatalf("Grid(%d,%d): %v", tc.r, tc.c, err)
+		}
+		if g.N() != tc.r*tc.c {
+			t.Errorf("Grid(%d,%d): %d nodes", tc.r, tc.c, g.N())
+		}
+		wantM := tc.r*(tc.c-1) + tc.c*(tc.r-1)
+		if g.M() != wantM {
+			t.Errorf("Grid(%d,%d): %d edges, want %d", tc.r, tc.c, g.M(), wantM)
+		}
+		if !g.IsConnected() || g.Validate() != nil {
+			t.Errorf("Grid(%d,%d): invalid or disconnected", tc.r, tc.c)
+		}
+		if g.MaxDegree() > 4 {
+			t.Errorf("Grid(%d,%d): max degree %d > 4", tc.r, tc.c, g.MaxDegree())
+		}
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Error("Grid(0,5) should fail")
+	}
+	if _, err := Grid(1, 1); err == nil {
+		t.Error("Grid(1,1) should fail (single node)")
+	}
+}
+
+func TestTorusIsFourRegular(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{3, 3}, {3, 5}, {4, 6}} {
+		g, err := Torus(tc.r, tc.c)
+		if err != nil {
+			t.Fatalf("Torus(%d,%d): %v", tc.r, tc.c, err)
+		}
+		if g.N() != tc.r*tc.c || g.M() != 2*tc.r*tc.c {
+			t.Errorf("Torus(%d,%d): n=%d m=%d, want n=%d m=%d",
+				tc.r, tc.c, g.N(), g.M(), tc.r*tc.c, 2*tc.r*tc.c)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != 4 {
+				t.Fatalf("Torus(%d,%d): node %d has degree %d, want 4", tc.r, tc.c, v, g.Degree(v))
+			}
+		}
+		if !g.IsConnected() || g.Validate() != nil {
+			t.Errorf("Torus(%d,%d): invalid or disconnected", tc.r, tc.c)
+		}
+	}
+	if _, err := Torus(2, 5); err == nil {
+		t.Error("Torus(2,5) should fail: wraparound would duplicate edges")
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		g, err := Hypercube(dim)
+		if err != nil {
+			t.Fatalf("Hypercube(%d): %v", dim, err)
+		}
+		n := 1 << dim
+		if g.N() != n || g.M() != dim*n/2 {
+			t.Errorf("Hypercube(%d): n=%d m=%d, want n=%d m=%d", dim, g.N(), g.M(), n, dim*n/2)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != dim {
+				t.Fatalf("Hypercube(%d): node %d has degree %d", dim, v, g.Degree(v))
+			}
+		}
+		if !g.IsConnected() || g.Validate() != nil {
+			t.Errorf("Hypercube(%d): invalid or disconnected", dim)
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) should fail")
+	}
+}
+
+func TestDRegularIsRegularAndSimple(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		d := 3 + rng.Intn(3)
+		n := d + 1 + rng.Intn(30)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := DRegular(n, d, prng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil || g.M() != n*d/2 {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+	if _, err := DRegular(5, 3, prng.New(1)); err == nil {
+		t.Error("DRegular(5,3) should fail: odd stub count")
+	}
+	if _, err := DRegular(3, 3, prng.New(1)); err == nil {
+		t.Error("DRegular(3,3) should fail: n <= d")
+	}
+}
+
+func TestPowerLawTreeIsATree(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := prng.New(seed)
+		n := 2 + rng.Intn(60)
+		g := PowerLawTree(n, prng.New(seed+1))
+		return g.Validate() == nil && g.IsConnected() && g.M() == n-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Hubs: on a large instance the max degree should exceed the uniform
+	// tree's typical logarithmic crowding by a comfortable margin.
+	g := PowerLawTree(512, prng.New(9))
+	if g.MaxDegree() < 8 {
+		t.Errorf("PowerLawTree(512) max degree %d; expected a hub of >= 8", g.MaxDegree())
+	}
+}
+
+func TestBarbellShape(t *testing.T) {
+	for _, tc := range []struct{ k, bridge int }{{3, 0}, {3, 2}, {5, 4}} {
+		g, err := Barbell(tc.k, tc.bridge)
+		if err != nil {
+			t.Fatalf("Barbell(%d,%d): %v", tc.k, tc.bridge, err)
+		}
+		n := 2*tc.k + tc.bridge
+		wantM := tc.k*(tc.k-1) + tc.bridge + 1
+		if g.N() != n || g.M() != wantM {
+			t.Errorf("Barbell(%d,%d): n=%d m=%d, want n=%d m=%d",
+				tc.k, tc.bridge, g.N(), g.M(), n, wantM)
+		}
+		if !g.IsConnected() || g.Validate() != nil {
+			t.Errorf("Barbell(%d,%d): invalid or disconnected", tc.k, tc.bridge)
+		}
+		// Interior bridge nodes have degree exactly 2.
+		for i := 0; i < tc.bridge; i++ {
+			if d := g.Degree(tc.k + i); d != 2 {
+				t.Errorf("Barbell(%d,%d): bridge node %d has degree %d", tc.k, tc.bridge, tc.k+i, d)
+			}
+		}
+	}
+	if _, err := Barbell(2, 0); err == nil {
+		t.Error("Barbell(2,0) should fail: cliques need k >= 3")
+	}
+}

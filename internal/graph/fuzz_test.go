@@ -19,6 +19,21 @@ func FuzzDecodeConfig(f *testing.F) {
 		c.AssignRandomIDs(rng)
 		f.Add(c.Encode().Bytes())
 	}
+	// One representative of each scenario-family shape: lattice, wraparound,
+	// hypercube, bottleneck, heavy-tailed, and dense random.
+	grid, _ := Grid(3, 4)
+	torus, _ := Torus(3, 3)
+	cube, _ := Hypercube(3)
+	barbell, _ := Barbell(3, 2)
+	for _, g := range []*Graph{
+		grid, torus, cube, barbell,
+		PowerLawTree(9, prng.New(2)),
+		GNPConnected(8, 0.3, prng.New(3)),
+	} {
+		c := NewConfig(g)
+		c.AssignRandomIDs(rng)
+		f.Add(c.Encode().Bytes())
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 0x00})
