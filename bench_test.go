@@ -60,6 +60,7 @@ func BenchmarkE15SelfStab(b *testing.B)         { benchExperiment(b, "E15") }
 func BenchmarkE16SharedRandomness(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17STConnectivity(b *testing.B)   { benchExperiment(b, "E17") }
 func BenchmarkE18LabelShape(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE19WireAccounting(b *testing.B)   { benchExperiment(b, "E19") }
 
 // ---------------------------------------------------------------------------
 // Operational micro-benchmarks: the costs a deployment would care about.

@@ -7,11 +7,15 @@
 //	plscampaign run -spec examples/campaign/smoke.json -out out/ [-parallel 0]
 //	plscampaign resume -out out/ [-parallel 0]
 //	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
+//	plscampaign comm -out out/ [-min-ratio 1]
 //	plscampaign list
 //
 // run is idempotent: cells the directory's manifest marks complete are
 // skipped, so interrupting and re-running resumes where it stopped. resume
-// is run with the spec re-read from the directory itself.
+// is run with the spec re-read from the directory itself. comm prints the
+// wire-accounting aggregate (BENCH_comm.json): per-(family, size) det /
+// rand / compiled bits per edge with their ratios, and -min-ratio turns the
+// overall det/rand ratio into an assertion for CI.
 package main
 
 import (
@@ -56,10 +60,12 @@ func run(args []string) error {
 		return cmdRun(rest, true)
 	case "describe":
 		return cmdDescribe(rest)
+	case "comm":
+		return cmdComm(rest)
 	case "list":
 		return cmdList()
 	default:
-		return fmt.Errorf("unknown subcommand %q (run, resume, describe, list)", cmd)
+		return fmt.Errorf("unknown subcommand %q (run, resume, describe, comm, list)", cmd)
 	}
 }
 
@@ -153,6 +159,58 @@ func cmdDescribe(args []string) error {
 	return nil
 }
 
+// cmdComm prints the wire-accounting aggregate of a campaign directory and
+// optionally asserts the overall det/rand per-edge ratio, so CI fails fast
+// when a metering regression erases the paper's separation.
+func cmdComm(args []string) error {
+	fs := flag.NewFlagSet("comm", flag.ContinueOnError)
+	out := fs.String("out", "", "campaign directory holding "+campaign.BenchCommFile)
+	minRatio := fs.Float64("min-ratio", 0, "fail unless the overall det/rand bits-per-edge ratio exceeds this (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	bench, err := campaign.ReadBenchComm(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wire accounting for spec %s: %d comm-bearing records\n", bench.Spec, bench.Records)
+	fmt.Println("scheme          | family               |    n |  det b/edge | rand b/edge | comp b/edge | det/rand | det/comp")
+	fmt.Println("----------------+----------------------+------+-------------+-------------+-------------+----------+---------")
+	cost := func(c *campaign.CommCost) string {
+		if c == nil {
+			return "          -"
+		}
+		return fmt.Sprintf("%11.1f", c.AvgBitsPerEdge)
+	}
+	rat := func(r float64) string {
+		if r == 0 {
+			return "       -"
+		}
+		return fmt.Sprintf("%8.2f", r)
+	}
+	for _, row := range bench.Rows {
+		fmt.Printf("%-15s | %-20s | %4d | %s | %s | %s | %s | %s\n",
+			row.Scheme, row.Family, row.N,
+			cost(row.Variants[campaign.VariantDet]),
+			cost(row.Variants[campaign.VariantRand]),
+			cost(row.Variants[campaign.VariantCompiled]),
+			rat(row.DetRandRatio), rat(row.DetCompiledRatio))
+	}
+	fmt.Printf("overall (mean of paired rows): det/rand ratio %s, det/compiled ratio %s\n",
+		rat(bench.DetRandRatio), rat(bench.DetCompiledRatio))
+	if *minRatio > 0 {
+		if bench.DetRandRatio <= *minRatio {
+			return fmt.Errorf("overall det/rand bits-per-edge ratio %.3f does not exceed %.3f — wire metering regressed or the campaign measured no det/rand pair",
+				bench.DetRandRatio, *minRatio)
+		}
+		fmt.Printf("ratio assertion passed: %.2f > %.2f\n", bench.DetRandRatio, *minRatio)
+	}
+	return nil
+}
+
 func cmdList() error {
 	fmt.Println("schemes (engine registry):")
 	for _, e := range engine.Entries() {
@@ -176,7 +234,7 @@ func cmdList() error {
 		}
 		fmt.Printf("  %-20s%-15s %s\n", f.Name, kind, f.Description)
 	}
-	fmt.Println("\nmeasures: estimate, soundness")
+	fmt.Println("\nmeasures: estimate, soundness, comm")
 	fmt.Println("executors: sequential, pool, goroutines")
 	return nil
 }

@@ -123,12 +123,14 @@ func run() error {
 		fmt.Printf("configuration corrupted; predicate now %v\n", entry.Pred.Eval(cfg))
 	}
 
+	var detPerEdge float64
 	if det != nil {
 		res := engine.Verify(det, cfg, detLabels,
 			engine.WithExecutor(exec), engine.WithStats(true))
-		fmt.Printf("[det ] scheme=%s accepted=%v labelBits=%d wireBits=%d messages=%d\n",
-			det.Name(), res.Accepted, res.Stats.MaxLabelBits,
-			res.Stats.TotalWireBits, res.Stats.Messages)
+		detPerEdge = bitsPerEdge(res.Stats)
+		fmt.Printf("[det ] scheme=%s accepted=%v labelBits=%d κ=%d portBits=%d wireBits=%d messages=%d bits/edge=%.1f\n",
+			det.Name(), res.Accepted, res.Stats.MaxLabelBits, res.Stats.MaxCertBits,
+			res.Stats.MaxPortBits, res.Stats.TotalWireBits, res.Stats.Messages, detPerEdge)
 		if !res.Accepted {
 			fmt.Printf("[det ] rejecting nodes: %v\n", rejectors(res.Votes))
 		}
@@ -142,11 +144,24 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("acceptance estimate: %w", err)
 		}
-		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d acceptance=%.3f ci95=[%.3f,%.3f] (%d trials)\n",
+		fmt.Printf("[rand] scheme=%s accepted=%v certBits=%d labelBits=%d portBits=%d wireBits=%d bits/edge=%.1f acceptance=%.3f ci95=[%.3f,%.3f] (%d trials)\n",
 			rand.Name(), res.Accepted, res.Stats.MaxCertBits,
-			res.Stats.MaxLabelBits, sum.Acceptance, sum.CILow, sum.CIHigh, sum.Trials)
+			res.Stats.MaxLabelBits, sum.MaxPortBits, sum.TotalBits, sum.AvgBitsPerEdge,
+			sum.Acceptance, sum.CILow, sum.CIHigh, sum.Trials)
+		if det != nil && sum.AvgBitsPerEdge > 0 {
+			fmt.Printf("[comm] det/rand per-edge ratio %.2f (det %.1f vs rand %.1f bits/edge)\n",
+				detPerEdge/sum.AvgBitsPerEdge, detPerEdge, sum.AvgBitsPerEdge)
+		}
 	}
 	return nil
+}
+
+// bitsPerEdge is the per-directed-edge per-round cost of one measured round.
+func bitsPerEdge(st engine.Stats) float64 {
+	if st.Messages == 0 {
+		return 0
+	}
+	return float64(st.TotalWireBits) / float64(st.Messages)
 }
 
 // runSweep measures one scheme across instance sizes with engine.Sweep,
@@ -167,11 +182,11 @@ func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, tri
 		return err
 	}
 	fmt.Printf("sweep: scheme=%s trials=%d executor=%s workers=%d\n", s.Name(), trials, exec.Name(), parallel)
-	fmt.Println("      n |       m | label bits | cert bits | acceptance |    ci95")
-	fmt.Println("--------+---------+------------+-----------+------------+---------------")
+	fmt.Println("      n |       m | label bits | cert bits | bits/edge | acceptance |    ci95")
+	fmt.Println("--------+---------+------------+-----------+-----------+------------+---------------")
 	for _, p := range points {
-		fmt.Printf("%7d | %7d | %10d | %9d | %10.3f | [%.3f,%.3f]\n",
-			p.N, p.M, p.Summary.MaxLabelBits, p.Summary.MaxCertBits,
+		fmt.Printf("%7d | %7d | %10d | %9d | %9.1f | %10.3f | [%.3f,%.3f]\n",
+			p.N, p.M, p.Summary.MaxLabelBits, p.Summary.MaxCertBits, p.Summary.AvgBitsPerEdge,
 			p.Summary.Acceptance, p.Summary.CILow, p.Summary.CIHigh)
 	}
 	return nil

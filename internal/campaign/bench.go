@@ -1,9 +1,6 @@
 package campaign
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -106,12 +103,5 @@ func WriteBench(dir, specName string) (Bench, error) {
 		return Bench{}, err
 	}
 	b := Aggregate(specName, recs)
-	data, err := json.MarshalIndent(b, "", "  ")
-	if err != nil {
-		return b, fmt.Errorf("campaign: marshal bench: %w", err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, BenchFile), append(data, '\n'), 0o644); err != nil {
-		return b, fmt.Errorf("campaign: %w", err)
-	}
-	return b, nil
+	return b, writeBenchJSON(filepath.Join(dir, BenchFile), b)
 }

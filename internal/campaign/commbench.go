@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The wire-accounting aggregate: BENCH_comm.json condenses every
+// comm-bearing record (estimate and comm measures under honest labels)
+// into per-(scheme, family, size) rows comparing the det / rand /
+// compiled variants on the paper's primary axis — bits per edge per
+// round. The det column is Θ(λ) (labels travel whole), rand and compiled
+// are O(log λ) (fingerprints travel), so DetRandRatio growing with N is
+// the empirical form of the headline separation. Ratios are paired
+// within a row — the same scheme, instance family, and size — never
+// across schemes: a spec mixing a det-only scheme with a rand-only one
+// must not mint a ratio comparing one scheme's labels to another's
+// fingerprints. The top-level ratios are means over the paired rows.
+// Rows are sorted by scheme, family, then size and means are folded in
+// record order, so the file is deterministic for a deterministic
+// results stream.
+
+// BenchCommFile is the wire-accounting aggregate's file name.
+const BenchCommFile = "BENCH_comm.json"
+
+// CommCost aggregates the wire cost of the records sharing one key.
+type CommCost struct {
+	Cells          int     `json:"cells"`
+	AvgBitsPerEdge float64 `json:"avgBitsPerEdge"` // mean per-edge-per-round bits over cells
+	MaxPortBits    int     `json:"maxPortBits"`    // largest single message any cell observed
+}
+
+func (c *CommCost) fold(rec Record) {
+	c.AvgBitsPerEdge = (c.AvgBitsPerEdge*float64(c.Cells) + rec.AvgBitsPerEdge) / float64(c.Cells+1)
+	c.Cells++
+	if rec.MaxPortBits > c.MaxPortBits {
+		c.MaxPortBits = rec.MaxPortBits
+	}
+}
+
+// CommRow compares the variants of one (scheme, family, size) point.
+type CommRow struct {
+	Scheme string `json:"scheme"`
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	// Variants maps det / rand / compiled to their aggregated cost.
+	Variants map[string]*CommCost `json:"variants"`
+	// DetRandRatio is det÷rand mean bits per edge — the measurable form of
+	// the Θ(λ) vs O(log λ) separation; likewise DetCompiledRatio for the
+	// Theorem 3.1 compiler. Zero when a side is missing.
+	DetRandRatio     float64 `json:"detRandRatio,omitempty"`
+	DetCompiledRatio float64 `json:"detCompiledRatio,omitempty"`
+}
+
+// BenchComm is the BENCH_comm.json layout.
+type BenchComm struct {
+	Spec    string    `json:"spec"`
+	Records int       `json:"records"` // comm-bearing ok records folded
+	Rows    []CommRow `json:"rows"`
+	// Overall folds every comm-bearing record per variant (a population
+	// view for display). The top-level ratios are NOT derived from it:
+	// they are means over the per-row paired ratios, so an unpaired
+	// scheme (det-only or rand-only) cannot skew them.
+	Overall          map[string]*CommCost `json:"overall"`
+	DetRandRatio     float64              `json:"detRandRatio,omitempty"`
+	DetCompiledRatio float64              `json:"detCompiledRatio,omitempty"`
+}
+
+// commBearing reports whether the record carries honest-label wire
+// measurements worth folding.
+func commBearing(rec Record) bool {
+	return rec.Status == StatusOK && rec.TotalMessages > 0 &&
+		(rec.Measure == MeasureEstimate || rec.Measure == MeasureComm)
+}
+
+func ratio(vs map[string]*CommCost, num, den string) float64 {
+	a, b := vs[num], vs[den]
+	if a == nil || b == nil || b.AvgBitsPerEdge <= 0 {
+		return 0
+	}
+	return a.AvgBitsPerEdge / b.AvgBitsPerEdge
+}
+
+// AggregateComm folds records into the wire-accounting summary.
+func AggregateComm(specName string, recs []Record) BenchComm {
+	b := BenchComm{Spec: specName, Overall: map[string]*CommCost{}}
+	type key struct {
+		scheme string
+		family string
+		n      int
+	}
+	rows := map[key]*CommRow{}
+	for _, rec := range recs {
+		if !commBearing(rec) {
+			continue
+		}
+		b.Records++
+		k := key{rec.Scheme, rec.Family, rec.N}
+		row := rows[k]
+		if row == nil {
+			row = &CommRow{Scheme: rec.Scheme, Family: rec.Family, N: rec.N, Variants: map[string]*CommCost{}}
+			rows[k] = row
+		}
+		for _, vs := range []map[string]*CommCost{row.Variants, b.Overall} {
+			c := vs[rec.Variant]
+			if c == nil {
+				c = &CommCost{}
+				vs[rec.Variant] = c
+			}
+			c.fold(rec)
+		}
+	}
+	for _, row := range rows {
+		row.DetRandRatio = ratio(row.Variants, VariantDet, VariantRand)
+		row.DetCompiledRatio = ratio(row.Variants, VariantDet, VariantCompiled)
+		b.Rows = append(b.Rows, *row)
+	}
+	sort.Slice(b.Rows, func(i, j int) bool {
+		ri, rj := b.Rows[i], b.Rows[j]
+		if ri.Scheme != rj.Scheme {
+			return ri.Scheme < rj.Scheme
+		}
+		if ri.Family != rj.Family {
+			return ri.Family < rj.Family
+		}
+		return ri.N < rj.N
+	})
+	b.DetRandRatio = meanRatio(b.Rows, func(r CommRow) float64 { return r.DetRandRatio })
+	b.DetCompiledRatio = meanRatio(b.Rows, func(r CommRow) float64 { return r.DetCompiledRatio })
+	return b
+}
+
+// meanRatio averages the nonzero (i.e. paired det-vs-variant) row ratios;
+// zero when no row has both sides.
+func meanRatio(rows []CommRow, get func(CommRow) float64) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if v := get(r); v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteBenchComm regenerates BENCH_comm.json from the directory's full
+// results stream.
+func WriteBenchComm(dir, specName string) (BenchComm, error) {
+	recs, err := ReadRecords(dir)
+	if err != nil {
+		return BenchComm{}, err
+	}
+	b := AggregateComm(specName, recs)
+	return b, writeBenchJSON(filepath.Join(dir, BenchCommFile), b)
+}
+
+// ReadBenchComm loads a campaign directory's wire-accounting aggregate.
+func ReadBenchComm(dir string) (BenchComm, error) {
+	data, err := os.ReadFile(filepath.Join(dir, BenchCommFile))
+	if err != nil {
+		return BenchComm{}, fmt.Errorf("campaign: %w", err)
+	}
+	var b BenchComm
+	if err := json.Unmarshal(data, &b); err != nil {
+		return BenchComm{}, fmt.Errorf("campaign: parse %s: %w", BenchCommFile, err)
+	}
+	return b, nil
+}

@@ -29,4 +29,14 @@
 // re-run loads the manifest and skips completed cells without re-executing
 // or re-writing them; extending a spec (more sizes, more seeds) in the
 // same directory executes only the new cells.
+//
+// Wire accounting: the estimate and comm measures record the engine's
+// exact wire counters (TotalBits, MaxPortBits, AvgBitsPerEdge) per cell,
+// and every run additionally rewrites BENCH_comm.json — per-(scheme,
+// family, size) det / rand / compiled bits-per-edge with ratios paired
+// within a scheme, the empirical Θ(λ) vs O(log λ) separation the paper
+// is about. Seed-dependent
+// generator failures (a d-regular pairing that never mixed) are retried
+// with derived seeds and the retry count is recorded on the cell instead
+// of surfacing a spurious incompatible hole.
 package campaign

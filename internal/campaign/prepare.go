@@ -95,7 +95,15 @@ func installLeader(c *graph.Config, _ *prng.Rand) error {
 }
 
 func installUniformPayload(c *graph.Config, rng *prng.Rand) error {
-	payload := make([]byte, 16)
+	// The payload is the λ of the Unif predicate — the axis on which the
+	// paper's Θ(λ) vs O(log λ) separation lives. Scaling it with the
+	// instance size makes the campaign's det/rand per-edge gap grow with n
+	// instead of pinning every cell to the same constant.
+	k := 16
+	if n := c.G.N() / 4; n > k {
+		k = n
+	}
+	payload := make([]byte, k)
 	for i := range payload {
 		payload[i] = byte(rng.Uint64())
 	}
@@ -122,50 +130,102 @@ func paramsFor(scheme string, c *graph.Config) engine.Params {
 	return engine.Params{}
 }
 
+// buildRetryLimit is the number of derived-seed redraws a seed-dependent
+// generator failure earns before the cell is declared incompatible. Only
+// random families are retried: a deterministic builder fails identically
+// for every seed, so redrawing it would just burn time.
+const buildRetryLimit = 3
+
+// BuildInfo documents how an instance was obtained. Retries counts the
+// extra generator draws needed when a random family's draw failed for the
+// cell seed (a Steger–Wormald pairing that never mixed, say); the derived
+// seeds are a pure function of (seed, attempt), so the build stays a pure
+// function of the cell.
+type BuildInfo struct {
+	Retries int
+}
+
+// retrySeed derives the generator seed for the given attempt: attempt 0 is
+// the cell seed itself, later attempts fork a fresh deterministic stream.
+func retrySeed(seed uint64, attempt int) uint64 {
+	if attempt == 0 {
+		return seed
+	}
+	return prng.New(seed).Fork(0x5eed).Fork(uint64(attempt)).Uint64()
+}
+
 // BuildLegal constructs a legal configuration of about n nodes for the
 // scheme from the given instance source, plus the engine.Params its
 // constructors need. The result is a pure function of the arguments.
 func BuildLegal(scheme string, fam FamilyAxis, n int, seed uint64) (*graph.Config, engine.Params, error) {
+	cfg, params, _, err := BuildLegalInfo(scheme, fam, n, seed)
+	return cfg, params, err
+}
+
+// BuildLegalInfo is BuildLegal plus provenance: it additionally reports
+// how many derived-seed retries a seed-dependent generator failure cost,
+// so the scheduler can record the retry instead of surfacing a spurious
+// incompatible hole.
+func BuildLegalInfo(scheme string, fam FamilyAxis, n int, seed uint64) (*graph.Config, engine.Params, BuildInfo, error) {
 	if fam.Name == CatalogFamily {
 		entry, ok := experiments.LookupCatalog(catalogAlias(scheme))
 		if !ok {
-			return nil, engine.Params{}, incompatible("scheme %q has no catalog entry", scheme)
+			return nil, engine.Params{}, BuildInfo{}, incompatible("scheme %q has no catalog entry", scheme)
 		}
 		cfg, err := entry.Build(n, seed)
 		if err != nil {
-			return nil, engine.Params{}, fmt.Errorf("campaign: catalog build %s n=%d: %w", scheme, n, err)
+			return nil, engine.Params{}, BuildInfo{}, fmt.Errorf("campaign: catalog build %s n=%d: %w", scheme, n, err)
 		}
-		return cfg, paramsFor(scheme, cfg), nil
+		return cfg, paramsFor(scheme, cfg), BuildInfo{}, nil
 	}
 
 	leg, ok := legalizers[scheme]
 	if !ok {
-		return nil, engine.Params{}, incompatible("scheme %q has no family legalizer; use the %q instance source", scheme, CatalogFamily)
+		return nil, engine.Params{}, BuildInfo{}, incompatible("scheme %q has no family legalizer; use the %q instance source", scheme, CatalogFamily)
 	}
 	f, ok := graph.LookupFamily(fam.Name)
 	if !ok {
-		return nil, engine.Params{}, fmt.Errorf("campaign: unknown family %q", fam.Name)
+		return nil, engine.Params{}, BuildInfo{}, fmt.Errorf("campaign: unknown family %q", fam.Name)
 	}
-	g, err := f.Build(graph.FamilyParams{N: n, Seed: seed, P: fam.P, D: fam.D})
+	g, info, err := buildFamily(f, fam, n, seed)
 	if err != nil {
 		// A family that cannot realize this size/shape (torus below 3×3,
 		// dregular with n <= d) is a documented hole in the cross product,
 		// not a campaign failure — spec-level mistakes are caught by
 		// Validate before any cell runs.
-		return nil, engine.Params{}, incompatible("family %s cannot realize n=%d: %v", fam, n, err)
+		return nil, engine.Params{}, info, incompatible("family %s cannot realize n=%d: %v", fam, n, err)
 	}
 	cfg := graph.NewConfig(g)
 	rng := prng.New(seed).Fork(0xca4a16)
 	cfg.AssignRandomIDs(rng)
 	if leg.install != nil {
 		if err := leg.install(cfg, rng); err != nil {
-			return nil, engine.Params{}, err
+			return nil, engine.Params{}, info, err
 		}
 	}
 	if !leg.pred.Eval(cfg) {
-		return nil, engine.Params{}, incompatible("family %s yields no legal %s instance", fam, scheme)
+		return nil, engine.Params{}, info, incompatible("family %s yields no legal %s instance", fam, scheme)
 	}
-	return cfg, paramsFor(scheme, cfg), nil
+	return cfg, paramsFor(scheme, cfg), info, nil
+}
+
+// buildFamily draws the family graph, retrying a random family's
+// seed-dependent failures with derived seeds. A deterministic family gets
+// exactly one attempt.
+func buildFamily(f graph.Family, fam FamilyAxis, n int, seed uint64) (*graph.Graph, BuildInfo, error) {
+	attempts := 1
+	if f.Random {
+		attempts = 1 + buildRetryLimit
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		g, err := f.Build(graph.FamilyParams{N: n, Seed: retrySeed(seed, a), P: fam.P, D: fam.D})
+		if err == nil {
+			return g, BuildInfo{Retries: a}, nil
+		}
+		lastErr = err
+	}
+	return nil, BuildInfo{Retries: attempts - 1}, lastErr
 }
 
 // IllegalTwin corrupts a clone of a legal configuration into an illegal one

@@ -43,26 +43,38 @@ type AdversaryRecord struct {
 // Record is one cell's result line in results.jsonl. Fields are a pure
 // function of the cell, so the line is byte-identical across runs, worker
 // counts, and executors.
+//
+// The wire-accounting fields (TotalBits, TotalMessages, MaxPortBits,
+// AvgBitsPerEdge) are filled by the estimate and comm measures from
+// engine.Summary: exact bits on the wire under honest labels, summed over
+// the cell's executed trials. Retries counts derived-seed generator
+// redraws (seed-dependent random-family failures), recorded rather than
+// hidden.
 type Record struct {
-	Cell        string            `json:"cell"`
-	Scheme      string            `json:"scheme"`
-	Variant     string            `json:"variant"`
-	Family      string            `json:"family"`
-	N           int               `json:"n"`
-	M           int               `json:"m,omitempty"`
-	Seed        uint64            `json:"seed"`
-	Executor    string            `json:"executor"`
-	Measure     string            `json:"measure"`
-	Status      string            `json:"status"`
-	Reason      string            `json:"reason,omitempty"`
-	Trials      int               `json:"trials,omitempty"`
-	Accepted    int               `json:"accepted,omitempty"`
-	Acceptance  float64           `json:"acceptance,omitempty"`
-	CILow       float64           `json:"ciLow,omitempty"`
-	CIHigh      float64           `json:"ciHigh,omitempty"`
-	LabelBits   int               `json:"labelBits,omitempty"`
-	CertBits    int               `json:"certBits,omitempty"`
-	Adversaries []AdversaryRecord `json:"adversaries,omitempty"`
+	Cell           string            `json:"cell"`
+	Scheme         string            `json:"scheme"`
+	Variant        string            `json:"variant"`
+	Family         string            `json:"family"`
+	N              int               `json:"n"`
+	M              int               `json:"m,omitempty"`
+	Seed           uint64            `json:"seed"`
+	Executor       string            `json:"executor"`
+	Measure        string            `json:"measure"`
+	Status         string            `json:"status"`
+	Reason         string            `json:"reason,omitempty"`
+	Retries        int               `json:"retries,omitempty"`
+	Trials         int               `json:"trials,omitempty"`
+	Accepted       int               `json:"accepted,omitempty"`
+	Acceptance     float64           `json:"acceptance,omitempty"`
+	CILow          float64           `json:"ciLow,omitempty"`
+	CIHigh         float64           `json:"ciHigh,omitempty"`
+	LabelBits      int               `json:"labelBits,omitempty"`
+	CertBits       int               `json:"certBits,omitempty"`
+	TotalBits      int64             `json:"totalBits,omitempty"`
+	TotalMessages  int64             `json:"totalMessages,omitempty"`
+	MaxPortBits    int               `json:"maxPortBits,omitempty"`
+	AvgBitsPerEdge float64           `json:"avgBitsPerEdge,omitempty"`
+	Adversaries    []AdversaryRecord `json:"adversaries,omitempty"`
 }
 
 // manifestLine marks one completed cell in manifest.jsonl.
@@ -172,13 +184,38 @@ func (r *Runner) Run(spec Spec) (Report, error) {
 		}
 	}
 
-	bench, err := WriteBench(r.Dir, plan.Spec.Name)
+	// One pass over the full results stream feeds both aggregates.
+	finalRecs, err := ReadRecords(r.Dir)
 	if err != nil {
+		return rep, err
+	}
+	bench := Aggregate(plan.Spec.Name, finalRecs)
+	if err := writeBenchJSON(filepath.Join(r.Dir, BenchFile), bench); err != nil {
+		return rep, err
+	}
+	comm := AggregateComm(plan.Spec.Name, finalRecs)
+	if err := writeBenchJSON(filepath.Join(r.Dir, BenchCommFile), comm); err != nil {
 		return rep, err
 	}
 	r.logf("campaign %s: %s; aggregate over %d records in %s",
 		plan.Spec.Name, rep, bench.Records, BenchFile)
+	if comm.Records > 0 {
+		r.logf("campaign %s: wire accounting over %d records in %s; paired det/rand per-edge ratio %.2f",
+			plan.Spec.Name, comm.Records, BenchCommFile, comm.DetRandRatio)
+	}
 	return rep, nil
+}
+
+// writeBenchJSON writes one aggregate file as indented JSON.
+func writeBenchJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal %s: %w", filepath.Base(path), err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
 }
 
 // execute runs the incomplete cells through the worker pool and streams
@@ -296,11 +333,11 @@ func RunCell(c Cell) Record {
 		return rec
 	}
 
-	legal, params, err := BuildLegal(c.Scheme, c.Family, c.N, c.Seed)
+	legal, params, info, err := BuildLegalInfo(c.Scheme, c.Family, c.N, c.Seed)
 	if err != nil {
 		return fail(err)
 	}
-	rec.N, rec.M = legal.G.N(), legal.G.M()
+	rec.N, rec.M, rec.Retries = legal.G.N(), legal.G.M(), info.Retries
 	s, err := BuildVariant(c.Scheme, c.Variant, params)
 	if err != nil {
 		return fail(err)
@@ -330,6 +367,18 @@ func RunCell(c Cell) Record {
 		rec.Trials, rec.Accepted, rec.Acceptance = sum.Trials, sum.Accepted, sum.Acceptance
 		rec.CILow, rec.CIHigh = sum.CILow, sum.CIHigh
 		rec.LabelBits, rec.CertBits = sum.MaxLabelBits, sum.MaxCertBits
+		fillComm(&rec, sum)
+	case MeasureComm:
+		// The dedicated wire-accounting measure: honest labels, exact bits.
+		// Acceptance is deliberately not recorded — the estimate measure
+		// owns it — so a comm record reads as pure communication cost.
+		sum, err := engine.Estimate(s, legal, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		rec.Trials = sum.Trials
+		rec.LabelBits, rec.CertBits = sum.MaxLabelBits, sum.MaxCertBits
+		fillComm(&rec, sum)
 	case MeasureSoundness:
 		illegal, err := IllegalTwin(c.Scheme, legal, c.Seed)
 		if err != nil {
@@ -360,6 +409,12 @@ func RunCell(c Cell) Record {
 		return fail(fmt.Errorf("campaign: unknown measure %q", c.Measure))
 	}
 	return rec
+}
+
+// fillComm copies the estimator's wire aggregates into the record.
+func fillComm(rec *Record, sum engine.Summary) {
+	rec.TotalBits, rec.TotalMessages = sum.TotalBits, sum.TotalMessages
+	rec.MaxPortBits, rec.AvgBitsPerEdge = sum.MaxPortBits, sum.AvgBitsPerEdge
 }
 
 // writeSpec stores the effective spec for provenance and for `plscampaign

@@ -21,6 +21,7 @@ const (
 const (
 	MeasureEstimate  = "estimate"  // completeness: prover labels, Monte-Carlo acceptance
 	MeasureSoundness = "soundness" // worst-case acceptance under the standard adversaries
+	MeasureComm      = "comm"      // wire accounting: exact bits per edge under honest labels
 )
 
 // CatalogFamily is the pseudo-family that sources instances from the
@@ -174,8 +175,9 @@ func (s Spec) Validate() error {
 		}
 	}
 	for _, m := range s.Measures {
-		if m != MeasureEstimate && m != MeasureSoundness {
-			return fmt.Errorf("campaign: unknown measure %q (%s, %s)", m, MeasureEstimate, MeasureSoundness)
+		if m != MeasureEstimate && m != MeasureSoundness && m != MeasureComm {
+			return fmt.Errorf("campaign: unknown measure %q (%s, %s, %s)",
+				m, MeasureEstimate, MeasureSoundness, MeasureComm)
 		}
 	}
 	for _, e := range s.Executors {

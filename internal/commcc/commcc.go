@@ -24,6 +24,15 @@ import (
 )
 
 // Transcript records the communication cost of one protocol run.
+//
+// Accounting convention, shared by every protocol in this package: the
+// transcript is Alice's payload (λ bits deterministically, the fingerprint
+// otherwise) plus Bob's 1-bit verdict reply — Bits = payload + 1,
+// Messages = 2. A length mismatch is decided for free (Bits = 0,
+// Messages = 0): λ is part of the EQ problem statement, so both parties
+// already know the lengths differ without exchanging anything. The tests
+// pin both halves of the convention for the deterministic, fingerprint,
+// and truncated protocols alike.
 type Transcript struct {
 	Bits     int // total bits exchanged
 	Messages int // number of messages
@@ -46,6 +55,13 @@ type deterministicEQ struct{}
 func (deterministicEQ) Name() string { return "eq-deterministic" }
 
 func (deterministicEQ) Run(a, b bitstring.String, _ *prng.Rand) (bool, Transcript) {
+	if a.Len() != b.Len() {
+		// Same convention as the fingerprint protocols: lengths are part of
+		// the problem statement, so a mismatch costs no communication. The
+		// old accounting charged the full λ+1 bits here, inflating the
+		// deterministic baseline relative to the randomized protocols.
+		return false, Transcript{Bits: 0, Messages: 0}
+	}
 	// Alice → Bob: the full string (λ bits); Bob replies with the verdict.
 	return a.Equal(b), Transcript{Bits: a.Len() + 1, Messages: 2}
 }

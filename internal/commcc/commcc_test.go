@@ -156,15 +156,44 @@ func TestFoolingPairRequiresLongInput(t *testing.T) {
 }
 
 func TestLengthMismatchDecidedForFree(t *testing.T) {
+	// One convention across every protocol: λ is common knowledge, so a
+	// length mismatch costs zero bits and zero messages everywhere.
 	rng := prng.New(11)
 	a := randomString(rng, 10)
 	b := randomString(rng, 12)
-	eq, tr := Randomized().Run(a, b, rng)
-	if eq {
-		t.Error("length mismatch accepted")
+	for _, p := range []EQProtocol{Deterministic(), Randomized(), RandomizedWithError(0.05), Truncated(4)} {
+		eq, tr := p.Run(a, b, rng)
+		if eq {
+			t.Errorf("%s: length mismatch accepted", p.Name())
+		}
+		if tr.Bits != 0 || tr.Messages != 0 {
+			t.Errorf("%s: length mismatch cost %d bits / %d messages, want 0 / 0",
+				p.Name(), tr.Bits, tr.Messages)
+		}
 	}
-	if tr.Bits != 0 {
-		t.Errorf("length mismatch cost %d bits", tr.Bits)
+}
+
+func TestTranscriptConventionConsistent(t *testing.T) {
+	// Equal-length inputs: every protocol reports payload + 1 verdict bit
+	// in exactly 2 messages, so deterministic and randomized transcripts
+	// are comparable bit for bit.
+	rng := prng.New(12)
+	for _, lambda := range []int{1, 8, 100} {
+		a := randomString(rng, lambda)
+		b := randomString(rng, lambda)
+		for _, p := range []EQProtocol{Deterministic(), Randomized(), Truncated(6)} {
+			_, tr := p.Run(a, b, rng)
+			if tr.Messages != 2 {
+				t.Errorf("%s λ=%d: %d messages, want 2", p.Name(), lambda, tr.Messages)
+			}
+			if tr.Bits < 2 { // at least 1 payload bit + the verdict bit
+				t.Errorf("%s λ=%d: %d bits, want >= 2", p.Name(), lambda, tr.Bits)
+			}
+		}
+		_, det := Deterministic().Run(a, b, rng)
+		if det.Bits != lambda+1 {
+			t.Errorf("deterministic λ=%d: %d bits, want λ+1 = %d", lambda, det.Bits, lambda+1)
+		}
 	}
 }
 

@@ -36,6 +36,20 @@ func Compile(p PLS) RPLS {
 	return &compiled{inner: p}
 }
 
+// CompiledCertBits predicts the exact number of bits a compiled scheme
+// puts on one port when the inner label is kappa bits long: the
+// Elias-gamma length prefix plus the (x, A(x)) fingerprint over GF(p) for
+// p = PrimeForLength(kappa). This is the analytic form of the Theorem 3.1
+// O(log κ) bound; the wire-accounting tests and the E1/E19 experiment
+// tables check the metered cost against it bit for bit.
+func CompiledCertBits(kappa int) int {
+	if kappa < 0 {
+		kappa = 0
+	}
+	p := field.PrimeForLength(kappa)
+	return bitstring.GammaBits(uint64(kappa)) + 2*bitstring.UintBits(p-1)
+}
+
 type compiled struct {
 	inner PLS
 }

@@ -136,6 +136,34 @@ func TestCompiledCertificatesAreLogarithmicInKappa(t *testing.T) {
 	}
 }
 
+func TestCompiledCertBitsPredictsMeasuredCost(t *testing.T) {
+	// CompiledCertBits is the analytic wire cost: for equal-length inner
+	// labels it must match the metered certificate size bit for bit.
+	s := core.Compile(uniform.NewPLS())
+	for _, kBytes := range []int{1, 4, 32, 256} {
+		kappa := kBytes * 8
+		c := uniformConfig(graph.Path(4), make([]byte, kBytes))
+		labels, err := s.Label(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := runtime.MaxCertBitsOver(s, c, labels, 3, 5)
+		if want := core.CompiledCertBits(kappa); measured != want {
+			t.Errorf("κ=%d: measured %d cert bits, CompiledCertBits predicts %d",
+				kappa, measured, want)
+		}
+	}
+	// Monotone in κ, so the max over mixed-length labels is the max-κ cost.
+	prev := 0
+	for _, kappa := range []int{0, 1, 7, 8, 100, 1000, 100000} {
+		b := core.CompiledCertBits(kappa)
+		if b < prev {
+			t.Errorf("CompiledCertBits not monotone at κ=%d: %d < %d", kappa, b, prev)
+		}
+		prev = b
+	}
+}
+
 func TestCompiledRejectsMalformedLabels(t *testing.T) {
 	c := uniformConfig(graph.Path(3), []byte("ab"))
 	s := core.Compile(uniform.NewPLS())

@@ -37,6 +37,14 @@
 // bit-identical for any parallelism level and any executor. Schemes are
 // discovered by name through the Registry, which each internal/schemes
 // package populates from its init function.
+//
+// Wire accounting: every executor meters exactly what the round puts on
+// the wire — bits per port per message, at the sender — into Stats, and
+// Estimate folds the per-trial counters into Summary (TotalBits,
+// TotalMessages, MaxPortBits, AvgBitsPerEdge) under the same
+// bit-identical-under-parallelism guarantee as acceptance. This is the
+// paper's primary axis of comparison: per-edge verification cost Θ(λ)
+// deterministic vs O(log λ) randomized.
 package engine
 
 import (
@@ -131,12 +139,23 @@ func AsRPLS(s Scheme) (core.RPLS, bool) {
 }
 
 // Stats records the measured communication cost of one verification round.
-// MaxLabelBits is the prover's label size; MaxCertBits is the verification
-// complexity κ of Definition 2.1 (0 for deterministic schemes, where labels
-// themselves are exchanged and MaxLabelBits is the κ of the PLS model).
+//
+// The wire-accounting contract (see DESIGN.md): a "bit on the wire" is one
+// bit of one message crossing one directed edge, measured at the sender.
+// Every node sends exactly one message per incident port per round — its
+// label for a deterministic scheme, a coin-derived certificate otherwise —
+// so Messages is the number of directed edges (2m) and TotalWireBits is the
+// sum of the message lengths. MaxPortBits is the largest single message;
+// MaxCertBits is the verification complexity κ of Definition 2.1, i.e. the
+// largest string a node sends on any port. For deterministic schemes the
+// string sent is the label itself, so κ is the max label bits actually
+// transmitted, not zero. All counters are exact and executor-independent:
+// the parity property test requires bit-identical Stats from all three
+// executors for the same seed.
 type Stats struct {
 	MaxLabelBits  int
-	MaxCertBits   int
+	MaxCertBits   int   // κ of Definition 2.1: largest string sent on any port
+	MaxPortBits   int   // largest message that crossed a single port this round
 	TotalWireBits int64 // sum of bits crossing all directed edges
 	Messages      int   // number of point-to-point messages (2m)
 }

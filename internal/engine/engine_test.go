@@ -124,15 +124,19 @@ func TestSweep(t *testing.T) {
 	}
 }
 
-func TestMaxCertBitsDeterministicIsZero(t *testing.T) {
+func TestMaxCertBitsDeterministicIsLabelBits(t *testing.T) {
+	// Executors send the node's label on every port, so the Definition 2.1
+	// verification complexity of a deterministic scheme is the largest label
+	// actually transmitted — not zero (the historic silent-zero bug).
 	cfg := treeConfig(8, 1)
 	s := engine.FromPLS(spanningtree.NewPLS())
 	labels, err := s.Label(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := engine.MaxCertBits(s, cfg, labels, 3, 1); got != 0 {
-		t.Fatalf("deterministic MaxCertBits = %d, want 0", got)
+	want := core.MaxBits(labels)
+	if got := engine.MaxCertBits(s, cfg, labels, 3, 1); got != want {
+		t.Fatalf("deterministic MaxCertBits = %d, want max label bits %d", got, want)
 	}
 }
 

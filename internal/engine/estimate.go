@@ -45,14 +45,26 @@ type Cloneable interface {
 // CILow and CIHigh bound the acceptance probability with the 95% Wilson
 // score interval, which stays informative at the boundary rates 0 and 1
 // where the normal-approximation interval collapses.
+//
+// The wire-accounting fields aggregate the executors' exact per-round
+// counters over the executed trials: TotalBits and TotalMessages are sums,
+// MaxCertBits and MaxPortBits are maxima, and AvgBitsPerEdge is
+// TotalBits/TotalMessages — the mean bits one directed edge carries in one
+// round, the paper's per-edge verification cost. Every field is folded
+// from the per-trial outcome slice in serial trial order, so a Summary is
+// bit-identical for any parallelism level and any executor.
 type Summary struct {
-	Trials       int
-	Accepted     int     // rounds in which every node output true
-	Acceptance   float64 // Accepted / Trials (0 when Trials == 0)
-	CILow        float64 // lower end of the 95% Wilson interval
-	CIHigh       float64 // upper end of the 95% Wilson interval
-	MaxLabelBits int
-	MaxCertBits  int // max certificate bits observed across all trials
+	Trials         int
+	Accepted       int     // rounds in which every node output true
+	Acceptance     float64 // Accepted / Trials (0 when Trials == 0)
+	CILow          float64 // lower end of the 95% Wilson interval
+	CIHigh         float64 // upper end of the 95% Wilson interval
+	MaxLabelBits   int
+	MaxCertBits    int     // max κ (largest string sent on a port) across all trials
+	MaxPortBits    int     // largest single message observed across all trials
+	TotalBits      int64   // bits on the wire summed over all executed trials
+	TotalMessages  int64   // messages (directed-edge sends) over all executed trials
+	AvgBitsPerEdge float64 // TotalBits / TotalMessages (0 when no messages)
 }
 
 // WilsonInterval returns the 95% Wilson score interval for accepted
@@ -101,10 +113,15 @@ func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
 }
 
 // trialOutcome is the per-trial data the merge needs: the acceptance vote
-// and the largest certificate the trial put on the wire.
+// and the trial's exact wire counters. Outcomes are stored by trial index,
+// so folding them in serial order yields the same Summary for any worker
+// count.
 type trialOutcome struct {
 	accepted    bool
 	maxCertBits int
+	maxPortBits int
+	wireBits    int64
+	messages    int
 }
 
 // estimateLabels is the estimator core shared by Estimate, Soundness,
@@ -125,7 +142,8 @@ func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label)
 	}
 	out := make([]trialOutcome, min(chunk, o.trials))
 
-	accepted, certMax, done := 0, 0, 0
+	accepted, certMax, portMax, done := 0, 0, 0, 0
+	totalBits, totalMsgs := int64(0), int64(0)
 scan:
 	for lo := 0; lo < o.trials; lo += chunk {
 		hi := min(lo+chunk, o.trials)
@@ -141,6 +159,11 @@ scan:
 			if res.maxCertBits > certMax {
 				certMax = res.maxCertBits
 			}
+			if res.maxPortBits > portMax {
+				portMax = res.maxPortBits
+			}
+			totalBits += res.wireBits
+			totalMsgs += int64(res.messages)
 			if o.stopOnReject && !res.accepted {
 				break scan
 			}
@@ -152,6 +175,10 @@ scan:
 		}
 	}
 	sum.Trials, sum.Accepted, sum.MaxCertBits = done, accepted, certMax
+	sum.MaxPortBits, sum.TotalBits, sum.TotalMessages = portMax, totalBits, totalMsgs
+	if totalMsgs > 0 {
+		sum.AvgBitsPerEdge = float64(totalBits) / float64(totalMsgs)
+	}
 	sum.Acceptance = float64(accepted) / float64(done)
 	sum.CILow, sum.CIHigh = WilsonInterval(accepted, done)
 	return sum
@@ -209,18 +236,26 @@ func runTrials(execs []Executor, s Scheme, c *graph.Config, labels []core.Label,
 func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
 	for t := lo; t < hi; t++ {
 		votes, st := exec.Round(s, c, labels, seed+uint64(t))
-		out[t-lo] = trialOutcome{accepted: AllTrue(votes), maxCertBits: st.MaxCertBits}
+		out[t-lo] = trialOutcome{
+			accepted:    AllTrue(votes),
+			maxCertBits: st.MaxCertBits,
+			maxPortBits: st.MaxPortBits,
+			wireBits:    st.TotalWireBits,
+			messages:    st.Messages,
+		}
 	}
 }
 
 // MaxCertBits measures the verification complexity of Definition 2.1: the
-// maximum certificate length sent from the given labels over `trials` coin
-// draws. It rides the same trial loop as Estimate — certificate sizes are
-// tracked per round, not re-drawn — so it costs exactly `trials` rounds.
-// Deterministic schemes exchange no certificates, so it returns 0 for them.
+// maximum length of a string sent on a port from the given labels over
+// `trials` coin draws. It rides the same trial loop as Estimate —
+// certificate sizes are tracked per round, not re-drawn — so it costs
+// exactly `trials` rounds. A deterministic scheme sends its label on every
+// port, so its verification complexity is the largest label transmitted
+// (one round suffices: the round is coin-free).
 func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
 	if s.Deterministic() {
-		return 0
+		trials = 1 // a deterministic round is identical every trial
 	}
 	o := buildOptions([]Option{WithSeed(seed), WithTrials(trials)})
 	return o.estimateLabels(s, c, labels).MaxCertBits

@@ -210,8 +210,9 @@ func TestMaxCertBitsMatchesEstimate(t *testing.T) {
 	if got <= 0 {
 		t.Fatalf("MaxCertBits = %d, want > 0 for a randomized scheme", got)
 	}
-	if db := engine.MaxCertBits(engine.FromPLS(spanningtree.NewPLS()), cfg, labels, 5, 31); db != 0 {
-		t.Fatalf("deterministic MaxCertBits = %d, want 0", db)
+	// Deterministic schemes report the max label bits they transmit.
+	if db := engine.MaxCertBits(engine.FromPLS(spanningtree.NewPLS()), cfg, labels, 5, 31); db != core.MaxBits(labels) {
+		t.Fatalf("deterministic MaxCertBits = %d, want max label bits %d", db, core.MaxBits(labels))
 	}
 }
 

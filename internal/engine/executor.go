@@ -87,11 +87,24 @@ func (sc *scratch) gather(det bool, c *graph.Config, labels []core.Label, v int)
 }
 
 // sendStats accumulates the cost of everything node v puts on the wire.
+// It only bumps scalar counters on the caller's Stats, so the hot path
+// stays allocation-free (asserted by TestSequentialRoundAllocs).
 func sendStats(det bool, c *graph.Config, labels []core.Label, certs []core.Cert, v int, st *Stats) {
 	deg := c.G.Degree(v)
 	st.Messages += deg
 	if det {
-		st.TotalWireBits += int64(deg * labels[v].Len())
+		// The message on every port is the node's label: κ (Definition 2.1)
+		// is the largest label actually transmitted, not zero.
+		b := labels[v].Len()
+		st.TotalWireBits += int64(deg * b)
+		if deg > 0 {
+			if b > st.MaxCertBits {
+				st.MaxCertBits = b
+			}
+			if b > st.MaxPortBits {
+				st.MaxPortBits = b
+			}
+		}
 		return
 	}
 	if len(certs) > deg {
@@ -102,6 +115,9 @@ func sendStats(det bool, c *graph.Config, labels []core.Label, certs []core.Cert
 		st.TotalWireBits += int64(b)
 		if b > st.MaxCertBits {
 			st.MaxCertBits = b
+		}
+		if b > st.MaxPortBits {
+			st.MaxPortBits = b
 		}
 	}
 }
@@ -221,6 +237,9 @@ func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64
 		if p.MaxCertBits > st.MaxCertBits {
 			st.MaxCertBits = p.MaxCertBits
 		}
+		if p.MaxPortBits > st.MaxPortBits {
+			st.MaxPortBits = p.MaxPortBits
+		}
 	}
 	return e.sc.votes, st
 }
@@ -297,8 +316,13 @@ func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 	for v := 0; v < n; v++ {
 		st.Messages += c.G.Degree(v)
 		st.TotalWireBits += e.wireSent[v]
-		if !det && e.certMax[v] > st.MaxCertBits {
+		// certMax[v] is the largest message v sent — the label for
+		// deterministic schemes — so it feeds κ and the port maximum alike.
+		if e.certMax[v] > st.MaxCertBits {
 			st.MaxCertBits = e.certMax[v]
+		}
+		if e.certMax[v] > st.MaxPortBits {
+			st.MaxPortBits = e.certMax[v]
 		}
 	}
 	return e.sc.votes, st

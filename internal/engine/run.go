@@ -152,7 +152,9 @@ type SweepPoint struct {
 // configuration, constructs the scheme for it (letting parameterized
 // schemes read the instance), labels it with the prover, and runs the
 // estimator. The builder's seed is derived from WithSeed and n, so sweeps
-// are reproducible point by point.
+// are reproducible point by point. Each point's Summary carries the wire
+// aggregates (TotalBits, MaxPortBits, AvgBitsPerEdge), so a sweep doubles
+// as a communication-cost curve across sizes.
 //
 // WithParallelism shards the points across workers (each with a private
 // executor clone); every point then estimates its trials serially, so the

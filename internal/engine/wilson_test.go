@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// Whitebox coverage of the Wilson interval math at the degenerate counts
+// the estimator actually produces: an empty run, a unanimous run, a
+// unanimous rejection, and a single trial.
+
+func TestWilsonEdgeCases(t *testing.T) {
+	// trials == 0: the vacuous interval, centered with full half-width.
+	if c, h := wilson(0, 0); c != 0.5 || h != 0.5 {
+		t.Errorf("wilson(0,0) = (%v, %v), want (0.5, 0.5)", c, h)
+	}
+	if lo, hi := WilsonInterval(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("WilsonInterval(0,0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+
+	for _, trials := range []int{1, 2, 10, 1000} {
+		// accepted == 0: the interval must hug 0 but keep a nonzero upper
+		// end — "never accepted" is not "acceptance probability is 0".
+		lo, hi := WilsonInterval(0, trials)
+		if lo != 0 {
+			t.Errorf("WilsonInterval(0,%d) lower = %v, want 0", trials, lo)
+		}
+		if hi <= 0 || hi >= 1 {
+			t.Errorf("WilsonInterval(0,%d) upper = %v, want in (0,1)", trials, hi)
+		}
+
+		// accepted == trials: the mirror image at 1.
+		lo, hi = WilsonInterval(trials, trials)
+		if hi != 1 {
+			t.Errorf("WilsonInterval(%d,%d) upper = %v, want 1", trials, trials, hi)
+		}
+		if lo <= 0 || lo >= 1 {
+			t.Errorf("WilsonInterval(%d,%d) lower = %v, want in (0,1)", trials, trials, lo)
+		}
+
+		// Symmetry: the one-sided intervals at 0 and at 1 mirror each other.
+		lo0, hi0 := WilsonInterval(0, trials)
+		lo1, hi1 := WilsonInterval(trials, trials)
+		if math.Abs(hi0-(1-lo1)) > 1e-12 || math.Abs(lo0-(1-hi1)) > 1e-12 {
+			t.Errorf("trials=%d: intervals not mirrored: [%v,%v] vs [%v,%v]",
+				trials, lo0, hi0, lo1, hi1)
+		}
+	}
+
+	// trials == 1 is the widest informative interval; it must still leave
+	// room on both sides of an interior estimate and stay clamped.
+	lo, hi := WilsonInterval(1, 1)
+	if lo < 0 || hi != 1 || hi-lo < 0.5 {
+		t.Errorf("WilsonInterval(1,1) = [%v, %v]: want a wide clamped interval", lo, hi)
+	}
+
+	// The unclamped center always sits strictly inside (0, 1) — the shrink
+	// toward 1/2 is what keeps the interval informative at the boundary.
+	for _, tc := range []struct{ acc, trials int }{{0, 1}, {1, 1}, {0, 50}, {50, 50}} {
+		c, h := wilson(tc.acc, tc.trials)
+		if c <= 0 || c >= 1 {
+			t.Errorf("wilson(%d,%d) center = %v, want in (0,1)", tc.acc, tc.trials, c)
+		}
+		if h <= 0 || h > 0.5+1e-12 {
+			t.Errorf("wilson(%d,%d) half-width = %v, want in (0, 0.5]", tc.acc, tc.trials, h)
+		}
+	}
+
+	// Monotonicity in trials: more unanimous evidence tightens the bound.
+	prev := 0.0
+	for _, trials := range []int{1, 4, 16, 64, 256} {
+		lo, _ := WilsonInterval(trials, trials)
+		if lo <= prev {
+			t.Errorf("lower bound did not tighten at trials=%d: %v <= %v", trials, lo, prev)
+		}
+		prev = lo
+	}
+}

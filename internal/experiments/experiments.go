@@ -70,6 +70,7 @@ func All() []Spec {
 		{ID: "E16", Title: "Shared randomness (extension; §6 open question)", Run: E16SharedRandomness},
 		{ID: "E17", Title: "s-t vertex connectivity (extension; §5.2)", Run: E17STConnectivity},
 		{ID: "E18", Title: "Label-shape scaling (gamma-coded acyclicity)", Run: E18LabelShape},
+		{ID: "E19", Title: "Wire accounting: per-edge det vs rand cost across graph families", Run: E19WireAccounting},
 	}
 }
 

@@ -49,8 +49,8 @@ func cellFloat(t *testing.T, table experiments.Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := experiments.All()
-	if len(specs) != 18 {
-		t.Fatalf("registered %d experiments, want 18", len(specs))
+	if len(specs) != 19 {
+		t.Fatalf("registered %d experiments, want 19", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {
@@ -292,6 +292,39 @@ func TestE18ShapeSeparation(t *testing.T) {
 		env := cellInt(t, table, i, 2)
 		if det > env {
 			t.Errorf("row %d: det labels %d exceed the 4log n envelope %d", i, det, env)
+		}
+	}
+}
+
+func TestE19WireAccountingGap(t *testing.T) {
+	table := runQuick(t, "E19")
+	// Quick mode: 3 families × 2 payload sizes, λ in column 3, per-edge
+	// costs in columns 4 (det) and 5 (rand), ratio in column 6. E19 itself
+	// verifies det == λ and rand == the analytic envelope; here we pin the
+	// separation: the det/rand ratio must grow with λ within every family.
+	if len(table.Rows) != 6 {
+		t.Fatalf("quick E19 has %d rows, want 3 families × 2 λ", len(table.Rows))
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		small, large := table.Rows[i], table.Rows[i+1]
+		if small[0] != large[0] {
+			t.Fatalf("rows %d/%d mix families %s and %s", i, i+1, small[0], large[0])
+		}
+		rSmall := cellFloat(t, table, i, 6)
+		rLarge := cellFloat(t, table, i+1, 6)
+		if rSmall <= 1 || rLarge <= rSmall {
+			t.Errorf("family %s: det/rand ratio not growing with λ: %v -> %v",
+				small[0], rSmall, rLarge)
+		}
+	}
+	// The per-edge rand cost is topology-independent: identical across
+	// families for the same λ — checked at both payload sizes (rows
+	// alternate small λ, large λ within each family).
+	for i := 2; i < len(table.Rows); i++ {
+		ref := i % 2 // row 0 = small λ, row 1 = large λ
+		if table.Rows[i][5] != table.Rows[ref][5] {
+			t.Errorf("λ row %d: rand bits/edge differ across families: %s vs %s",
+				i, table.Rows[i][5], table.Rows[ref][5])
 		}
 	}
 }
