@@ -61,6 +61,7 @@ func BenchmarkE16SharedRandomness(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17STConnectivity(b *testing.B)   { benchExperiment(b, "E17") }
 func BenchmarkE18LabelShape(b *testing.B)       { benchExperiment(b, "E18") }
 func BenchmarkE19WireAccounting(b *testing.B)   { benchExperiment(b, "E19") }
+func BenchmarkE20RoundTradeoff(b *testing.B)    { benchExperiment(b, "E20") }
 
 // ---------------------------------------------------------------------------
 // Operational micro-benchmarks: the costs a deployment would care about.

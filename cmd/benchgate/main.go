@@ -1,0 +1,286 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output (with -benchmem), compares every benchmark named in a
+// committed baseline against its reference, and fails when a benchmark
+// regresses beyond the baseline's tolerance band or disappears entirely.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchtime 1x -count 2 -benchmem ./... | tee bench.txt
+//	benchgate -bench bench.txt -baseline BENCH_baseline.json -out BENCH_trajectory.json
+//	benchgate -bench bench.txt -baseline BENCH_baseline.json -update   # refresh the baseline
+//
+// Two bands with different teeth: allocations per op are effectively
+// deterministic for this repository's benchmarks (fixed seeds, fixed
+// sweeps), so the allocation band is tight and an excursion is a real
+// regression; wall-clock is noisy on shared CI runners, so the time band
+// is generous and only catches order-of-magnitude blowups. With -count
+// >= 2 the gate takes the best run per benchmark, which drops the worst
+// of the scheduler noise. The -out trajectory file carries every measured
+// point next to its baseline so the uploaded artifact is a complete
+// bench history entry even when the gate passes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_baseline.json layout.
+type Baseline struct {
+	// MaxTimeRatio / MaxAllocRatio bound measured ÷ baseline per benchmark.
+	MaxTimeRatio  float64                  `json:"maxTimeRatio"`
+	MaxAllocRatio float64                  `json:"maxAllocRatio"`
+	Benchmarks    map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// BaselineEntry is one benchmark's reference point.
+type BaselineEntry struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// Measurement is the best observed run of one benchmark.
+type Measurement struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	Runs        int
+}
+
+// TrajectoryPoint is one benchmark's entry in the uploaded artifact.
+type TrajectoryPoint struct {
+	Name           string  `json:"name"`
+	NsPerOp        float64 `json:"nsPerOp"`
+	AllocsPerOp    int64   `json:"allocsPerOp"`
+	Runs           int     `json:"runs"`
+	BaselineNs     float64 `json:"baselineNs,omitempty"`
+	BaselineAllocs int64   `json:"baselineAllocs,omitempty"`
+	TimeRatio      float64 `json:"timeRatio,omitempty"`
+	AllocRatio     float64 `json:"allocRatio,omitempty"`
+	Status         string  `json:"status"` // ok, regressed, new
+}
+
+// Trajectory is the BENCH_trajectory.json layout.
+type Trajectory struct {
+	Source    string            `json:"source"`
+	Regressed int               `json:"regressed"`
+	Missing   []string          `json:"missing,omitempty"` // baselined but not run
+	Points    []TrajectoryPoint `json:"points"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	benchPath := flag.String("bench", "", "go test -bench output to gate (required)")
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	outPath := flag.String("out", "", "write the trajectory artifact here (optional)")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	flag.Parse()
+	if *benchPath == "" {
+		return fmt.Errorf("-bench file required")
+	}
+	meas, err := parseBench(*benchPath)
+	if err != nil {
+		return err
+	}
+	if len(meas) == 0 {
+		return fmt.Errorf("no benchmark results in %s", *benchPath)
+	}
+
+	if *update {
+		return writeBaseline(*basePath, meas)
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		return err
+	}
+	traj := gate(meas, base)
+	traj.Source = *benchPath
+	if *outPath != "" {
+		data, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	for _, p := range traj.Points {
+		if p.Status != "ok" {
+			fmt.Printf("%-50s %12.0f ns/op %8d allocs/op  [%s]\n", p.Name, p.NsPerOp, p.AllocsPerOp, p.Status)
+		}
+	}
+	fmt.Printf("benchgate: %d benchmarks measured, %d baselined, %d regressed, %d missing\n",
+		len(traj.Points), len(base.Benchmarks), traj.Regressed, len(traj.Missing))
+	if len(traj.Missing) > 0 {
+		return fmt.Errorf("baselined benchmarks missing from the run (deleted without updating %s?): %s",
+			*basePath, strings.Join(traj.Missing, ", "))
+	}
+	if traj.Regressed > 0 {
+		return fmt.Errorf("%d benchmarks regressed beyond the tolerance band (time ×%.1f, allocs ×%.2f)",
+			traj.Regressed, base.MaxTimeRatio, base.MaxAllocRatio)
+	}
+	return nil
+}
+
+// minGatedNs is the baseline wall-clock floor below which the time band
+// is not enforced: a sub-millisecond single-iteration measurement on a
+// shared CI runner is dominated by scheduler noise, not by the code.
+const minGatedNs = 1e6
+
+// gomaxprocsSuffix strips the trailing -N GOMAXPROCS marker from a
+// benchmark name ("BenchmarkFoo/n=64-8" → "BenchmarkFoo/n=64").
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts the best (fastest, then fewest-alloc) run per
+// benchmark name from `go test -bench` output. A result line is the name,
+// the iteration count, then (value, unit) pairs; custom metrics (the
+// certbits columns some benchmarks report) sit between ns/op and the
+// -benchmem pairs, so units are matched by name rather than by position.
+func parseBench(path string) (map[string]Measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "BenchmarkFoo" on its own)
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var ns float64
+		var allocs int64
+		seenNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+					ns, seenNs = parsed, true
+				}
+			case "allocs/op":
+				allocs, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		if !seenNs {
+			continue
+		}
+		cur, seen := out[name]
+		if !seen {
+			out[name] = Measurement{NsPerOp: ns, AllocsPerOp: allocs, Runs: 1}
+			continue
+		}
+		cur.Runs++
+		if ns < cur.NsPerOp {
+			cur.NsPerOp = ns
+		}
+		if allocs < cur.AllocsPerOp {
+			cur.AllocsPerOp = allocs
+		}
+		out[name] = cur
+	}
+	return out, sc.Err()
+}
+
+func readBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if b.MaxTimeRatio <= 0 {
+		b.MaxTimeRatio = 5
+	}
+	if b.MaxAllocRatio <= 0 {
+		b.MaxAllocRatio = 1.25
+	}
+	return b, nil
+}
+
+// gate compares measurements to the baseline. Benchmarks absent from the
+// baseline are recorded as "new" but do not fail the gate — refreshing the
+// baseline is a deliberate, reviewed act (-update).
+func gate(meas map[string]Measurement, base Baseline) Trajectory {
+	var traj Trajectory
+	names := make([]string, 0, len(meas))
+	for name := range meas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := meas[name]
+		p := TrajectoryPoint{Name: name, NsPerOp: m.NsPerOp, AllocsPerOp: m.AllocsPerOp, Runs: m.Runs, Status: "new"}
+		if ref, ok := base.Benchmarks[name]; ok {
+			p.BaselineNs, p.BaselineAllocs = ref.NsPerOp, ref.AllocsPerOp
+			p.Status = "ok"
+			if ref.NsPerOp > 0 {
+				p.TimeRatio = m.NsPerOp / ref.NsPerOp
+			}
+			if ref.AllocsPerOp > 0 {
+				p.AllocRatio = float64(m.AllocsPerOp) / float64(ref.AllocsPerOp)
+			}
+			// A zero-alloc baseline is a guarantee, not a band: any
+			// allocation at all is a regression (a ratio would divide by
+			// zero and silently pass).
+			allocRegressed := p.AllocRatio > base.MaxAllocRatio ||
+				(ref.AllocsPerOp == 0 && m.AllocsPerOp > 0)
+			// Wall-clock only gates benchmarks whose baseline is slow
+			// enough (>= 1ms) for the band to dominate single-iteration
+			// scheduler noise; fast benchmarks are gated on allocs alone.
+			timeRegressed := ref.NsPerOp >= minGatedNs && p.TimeRatio > base.MaxTimeRatio
+			if timeRegressed || allocRegressed {
+				p.Status = "regressed"
+				traj.Regressed++
+			}
+		}
+		traj.Points = append(traj.Points, p)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := meas[name]; !ok {
+			traj.Missing = append(traj.Missing, name)
+		}
+	}
+	sort.Strings(traj.Missing)
+	return traj
+}
+
+// writeBaseline regenerates the committed baseline from a run, keeping the
+// default tolerance bands.
+func writeBaseline(path string, meas map[string]Measurement) error {
+	b := Baseline{MaxTimeRatio: 5, MaxAllocRatio: 1.25, Benchmarks: map[string]BaselineEntry{}}
+	for name, m := range meas {
+		b.Benchmarks[name] = BaselineEntry{NsPerOp: m.NsPerOp, AllocsPerOp: m.AllocsPerOp}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: baseline %s rewritten with %d benchmarks\n", path, len(b.Benchmarks))
+	return nil
+}

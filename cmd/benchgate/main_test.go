@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkPlain-8                	       1	   1000 ns/op	  512 B/op	   10 allocs/op
+BenchmarkPlain-8                	       1	    900 ns/op	  512 B/op	    9 allocs/op
+BenchmarkCustomMetric/t=1-8     	       1	   5000 ns/op	  37.00 certbits	  176224 B/op	 3851 allocs/op
+BenchmarkSub/n=64-16            	       2	    700 ns/op	    0 B/op	    0 allocs/op
+BenchmarkNoMem-8                	       1	    400 ns/op
+PASS
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	meas, err := parseBench(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(meas), meas)
+	}
+	// Best-of-count: min ns and min allocs across the two Plain runs.
+	plain := meas["BenchmarkPlain"]
+	if plain.NsPerOp != 900 || plain.AllocsPerOp != 9 || plain.Runs != 2 {
+		t.Errorf("Plain = %+v, want best-of-2 {900, 9}", plain)
+	}
+	// A custom metric between ns/op and the -benchmem pairs must not
+	// swallow the allocs column.
+	custom := meas["BenchmarkCustomMetric/t=1"]
+	if custom.NsPerOp != 5000 || custom.AllocsPerOp != 3851 {
+		t.Errorf("CustomMetric = %+v, want {5000, 3851}", custom)
+	}
+	// The -N GOMAXPROCS suffix is stripped, sub-benchmark path kept.
+	if _, ok := meas["BenchmarkSub/n=64"]; !ok {
+		t.Errorf("sub-benchmark name not normalized: %+v", meas)
+	}
+	if m := meas["BenchmarkNoMem"]; m.NsPerOp != 400 {
+		t.Errorf("NoMem = %+v, want ns parsed without -benchmem pairs", m)
+	}
+}
+
+func TestGate(t *testing.T) {
+	meas := map[string]Measurement{
+		"BenchmarkOK":        {NsPerOp: 2.2e6, AllocsPerOp: 10},
+		"BenchmarkSlow":      {NsPerOp: 99e6, AllocsPerOp: 10},
+		"BenchmarkFastNoise": {NsPerOp: 99000, AllocsPerOp: 10},
+		"BenchmarkAllocs":    {NsPerOp: 1000, AllocsPerOp: 20},
+		"BenchmarkZeroAlloc": {NsPerOp: 1000, AllocsPerOp: 5},
+		"BenchmarkBrandNew":  {NsPerOp: 1, AllocsPerOp: 1},
+	}
+	base := Baseline{
+		MaxTimeRatio:  5,
+		MaxAllocRatio: 1.25,
+		Benchmarks: map[string]BaselineEntry{
+			"BenchmarkOK":        {NsPerOp: 2e6, AllocsPerOp: 10},
+			"BenchmarkSlow":      {NsPerOp: 2e6, AllocsPerOp: 10},
+			"BenchmarkFastNoise": {NsPerOp: 1000, AllocsPerOp: 10}, // below the 1ms time floor
+			"BenchmarkAllocs":    {NsPerOp: 1000, AllocsPerOp: 10},
+			"BenchmarkZeroAlloc": {NsPerOp: 1000, AllocsPerOp: 0}, // zero-alloc guarantee
+			"BenchmarkDeleted":   {NsPerOp: 1, AllocsPerOp: 1},
+		},
+	}
+	traj := gate(meas, base)
+	if traj.Regressed != 3 {
+		t.Fatalf("regressed = %d, want 3 (time blowup, alloc excursion, lost zero-alloc): %+v", traj.Regressed, traj.Points)
+	}
+	status := map[string]string{}
+	for _, p := range traj.Points {
+		status[p.Name] = p.Status
+	}
+	want := map[string]string{
+		"BenchmarkOK":        "ok",
+		"BenchmarkSlow":      "regressed",
+		"BenchmarkFastNoise": "ok", // noisy sub-ms wall-clock never gates
+		"BenchmarkAllocs":    "regressed",
+		"BenchmarkZeroAlloc": "regressed", // any alloc against a 0 baseline
+		"BenchmarkBrandNew":  "new",
+	}
+	for name, w := range want {
+		if status[name] != w {
+			t.Errorf("%s status %q, want %q", name, status[name], w)
+		}
+	}
+	if len(traj.Missing) != 1 || traj.Missing[0] != "BenchmarkDeleted" {
+		t.Errorf("missing = %v, want the deleted benchmark flagged", traj.Missing)
+	}
+}

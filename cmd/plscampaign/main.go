@@ -8,6 +8,7 @@
 //	plscampaign resume -out out/ [-parallel 0]
 //	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
 //	plscampaign comm -out out/ [-min-ratio 1]
+//	plscampaign tradeoff -out out/ [-assert-decreasing 2]
 //	plscampaign list
 //
 // run is idempotent: cells the directory's manifest marks complete are
@@ -15,7 +16,10 @@
 // is run with the spec re-read from the directory itself. comm prints the
 // wire-accounting aggregate (BENCH_comm.json): per-(family, size) det /
 // rand / compiled bits per edge with their ratios, and -min-ratio turns the
-// overall det/rand ratio into an assertion for CI.
+// overall det/rand ratio into an assertion for CI. tradeoff prints the κ/t
+// aggregate (BENCH_tradeoff.json): bits-per-round × t curves from the
+// spec's rounds axis, and -assert-decreasing demands at least that many
+// distinct schemes and families with strictly decreasing curves.
 package main
 
 import (
@@ -62,10 +66,12 @@ func run(args []string) error {
 		return cmdDescribe(rest)
 	case "comm":
 		return cmdComm(rest)
+	case "tradeoff":
+		return cmdTradeoff(rest)
 	case "list":
 		return cmdList()
 	default:
-		return fmt.Errorf("unknown subcommand %q (run, resume, describe, comm, list)", cmd)
+		return fmt.Errorf("unknown subcommand %q (run, resume, describe, comm, tradeoff, list)", cmd)
 	}
 }
 
@@ -144,6 +150,7 @@ func cmdDescribe(args []string) error {
 	fmt.Printf("  sizes:     %v\n", plan.Spec.Sizes)
 	fmt.Printf("  seeds:     %v\n", plan.Spec.Seeds)
 	fmt.Printf("  measures:  %v\n", plan.Spec.Measures)
+	fmt.Printf("  rounds:    %v\n", plan.Spec.Rounds)
 	fmt.Printf("  executors: %v\n", plan.Spec.Executors)
 	fmt.Printf("  trials:    %d (soundness assignments: %d)\n", plan.Spec.Trials, plan.Spec.Assignments)
 	limit := 12
@@ -211,6 +218,53 @@ func cmdComm(args []string) error {
 	return nil
 }
 
+// cmdTradeoff prints the κ/t tradeoff aggregate of a campaign directory
+// and optionally asserts its shape: -assert-decreasing N fails unless at
+// least N distinct schemes and N distinct families each contribute a
+// strictly decreasing bits-per-round curve, so CI catches a sharding or
+// metering regression that flattens the paper's space–time tradeoff.
+func cmdTradeoff(args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
+	out := fs.String("out", "", "campaign directory holding "+campaign.BenchTradeoffFile)
+	assert := fs.Int("assert-decreasing", 0, "fail unless at least this many schemes AND families have strictly decreasing bits-per-round curves (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	bench, err := campaign.ReadBenchTradeoff(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("κ/t tradeoff for spec %s: %d comm-bearing records, %d curves\n",
+		bench.Spec, bench.Records, len(bench.Curves))
+	fmt.Println("scheme          | variant  | family               |    n | bits/round by t        | strictly decreasing")
+	fmt.Println("----------------+----------+----------------------+------+------------------------+--------------------")
+	for _, c := range bench.Curves {
+		points := ""
+		for i, p := range c.Points {
+			if i > 0 {
+				points += " "
+			}
+			points += fmt.Sprintf("t=%d:%d", p.Rounds, p.BitsPerRound)
+		}
+		fmt.Printf("%-15s | %-8s | %-20s | %4d | %-22s | %v\n",
+			c.Scheme, c.Variant, c.Family, c.N, points, c.StrictlyDecreasing)
+	}
+	fmt.Printf("strictly decreasing: %d curves across %d schemes and %d families\n",
+		bench.DecreasingCurves, bench.DecreasingSchemes, bench.DecreasingFamilies)
+	if *assert > 0 {
+		if bench.DecreasingSchemes < *assert || bench.DecreasingFamilies < *assert {
+			return fmt.Errorf("only %d schemes × %d families show strictly decreasing bits-per-round (want >= %d × %d) — the κ/t tradeoff regressed or the campaign has no rounds axis",
+				bench.DecreasingSchemes, bench.DecreasingFamilies, *assert, *assert)
+		}
+		fmt.Printf("tradeoff assertion passed: %d schemes × %d families >= %d × %d\n",
+			bench.DecreasingSchemes, bench.DecreasingFamilies, *assert, *assert)
+	}
+	return nil
+}
+
 func cmdList() error {
 	fmt.Println("schemes (engine registry):")
 	for _, e := range engine.Entries() {
@@ -236,5 +290,6 @@ func cmdList() error {
 	}
 	fmt.Println("\nmeasures: estimate, soundness, comm")
 	fmt.Println("executors: sequential, pool, goroutines")
+	fmt.Println("rounds: any t >= 1 (t-PLS certificate sharding: ⌈κ/t⌉ bits per port per round)")
 	return nil
 }

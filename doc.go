@@ -12,14 +12,19 @@
 // communication exponentially, the universal schemes of Lemma 3.3 and
 // Corollary 3.4, the edge-crossing lower-bound machinery of §4 with
 // constructive pigeonhole attacks, a unified verification engine with
-// pluggable executors, and a self-stabilization monitor.
+// pluggable executors and multi-round (t-PLS) certificate sharding — the
+// paper's space–time tradeoff, t rounds of ⌈κ/t⌉ bits per port — and a
+// self-stabilization monitor.
 //
 // Entry points:
 //
 //   - internal/engine     — the verification API: the unified Scheme
 //     abstraction (one round shape for both models), the Sequential / Pool /
 //     Goroutines executors with exact wire accounting (bits per port per
-//     round, identical across executors), the trial-parallel Run / Estimate /
+//     round, identical across executors), the MultiRound extension running
+//     t-round verification with round-indexed metering (engine.Shard wraps
+//     any registered scheme via core.ShardCompile / core.ShardPLS), the
+//     trial-parallel Run / Estimate /
 //     Soundness / Sweep batch entry points (Wilson confidence intervals,
 //     early stopping, bit-identical summaries at every parallelism level),
 //     and the name → constructor Registry that every scheme package
@@ -27,10 +32,11 @@
 //   - internal/campaign   — the scenario workload machine: declarative JSON
 //     specs expand into deterministic cross products of schemes × graph
 //     families × sizes × seeds × adversaries × measures (acceptance,
-//     soundness, communication), and a parallel scheduler streams them
-//     into append-only JSONL results with a resumable manifest and the
-//     BENCH_campaign.json / BENCH_comm.json aggregates (byte-identical
-//     output at any worker count)
+//     soundness, communication) × verification rounds, and a parallel
+//     scheduler streams them into append-only JSONL results with a
+//     resumable manifest and the BENCH_campaign.json / BENCH_comm.json /
+//     BENCH_tradeoff.json aggregates (byte-identical output at any worker
+//     count)
 //   - internal/core       — the PLS/RPLS model of §2.2, compiler, universal
 //     schemes, boosting
 //   - internal/schemes/…  — one package per predicate; each registers its
@@ -38,16 +44,18 @@
 //   - internal/runtime    — compatibility layer over the engine, preserving
 //     the original goroutine-per-node entry points
 //   - internal/crossing   — lower-bound attacks
-//   - internal/experiments — the E1–E19 harness behind EXPERIMENTS.md, and
+//   - internal/experiments — the E1–E20 harness behind EXPERIMENTS.md, and
 //     the instance catalog (builders + corruptors) the CLIs drive
 //   - internal/selfstab   — periodic re-verification and fault detection
 //   - internal/graph      — the §2.1 network model, plus the name → builder
 //     family registry (gnp, grid, torus, hypercube, dregular, powerlawtree,
 //     barbell, …) behind the campaign scenario axis
 //   - cmd/plsrun, cmd/experiments, cmd/crossattack, cmd/plscampaign — CLIs;
-//     plsrun -list enumerates the scheme and family registries and prints
-//     per-edge wire costs, plscampaign run/resume/describe/comm/list drives
-//     campaign specs and asserts the det/rand communication ratio
+//     plsrun -list enumerates the scheme and family registries, prints
+//     per-edge wire costs, and -rounds t runs any scheme sharded;
+//     plscampaign run/resume/describe/comm/tradeoff/list drives campaign
+//     specs and asserts the det/rand communication ratio and the κ/t
+//     bits-per-round curves
 //   - examples/           — runnable walkthroughs
 //
 // See DESIGN.md for the paper-to-code map and the engine architecture.

@@ -94,6 +94,44 @@ func (s String) Truncate(n int) String {
 	return String{data: d, n: n}
 }
 
+// Slice returns the bits [lo, hi) of s as a new String. Bounds are clamped
+// to [0, Len], so a slice reaching past the end is simply shorter — the
+// behavior certificate sharding relies on for the final, partial shard.
+// The copy is byte-wise (one shift-and-or per output byte), since sharding
+// calls this once per port per round inside the estimator's trial loop.
+func (s String) Slice(lo, hi int) String {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return String{}
+	}
+	if lo == 0 {
+		return s.Truncate(hi)
+	}
+	n := hi - lo
+	d := make([]byte, (n+7)/8)
+	start, off := lo>>3, uint(lo&7)
+	if off == 0 {
+		copy(d, s.data[start:start+len(d)])
+	} else {
+		for i := range d {
+			b := s.data[start+i] << off
+			if start+i+1 < len(s.data) {
+				b |= s.data[start+i+1] >> (8 - off)
+			}
+			d[i] = b
+		}
+	}
+	if rem := uint(n & 7); rem != 0 {
+		d[len(d)-1] &= byte(0xFF) << (8 - rem)
+	}
+	return String{data: d, n: n}
+}
+
 // Concat returns the concatenation of s followed by t.
 func Concat(ss ...String) String {
 	var w Writer

@@ -119,6 +119,34 @@ func TestTruncate(t *testing.T) {
 	}
 }
 
+func TestSlice(t *testing.T) {
+	s := FromBits([]byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1})
+	cases := []struct {
+		lo, hi int
+		want   string
+	}{
+		{0, 11, "10110010111"},
+		{0, 0, ""},
+		{3, 7, "1001"},
+		{8, 11, "111"},
+		{9, 100, "11"}, // hi clamps to Len
+		{-5, 2, "10"},  // lo clamps to 0
+		{7, 3, ""},     // inverted range is empty
+		{11, 11, ""},
+	}
+	for _, c := range cases {
+		if got := s.Slice(c.lo, c.hi).String(); got != c.want {
+			t.Errorf("Slice(%d, %d) = %q, want %q", c.lo, c.hi, got, c.want)
+		}
+	}
+	// A slice round-trip: any split point reassembles the original.
+	for cut := 0; cut <= s.Len(); cut++ {
+		if got := Concat(s.Slice(0, cut), s.Slice(cut, s.Len())); !got.Equal(s) {
+			t.Errorf("split at %d does not reassemble", cut)
+		}
+	}
+}
+
 func TestConcat(t *testing.T) {
 	a := FromBits([]byte{1, 0})
 	b := FromBits([]byte{1, 1, 1})

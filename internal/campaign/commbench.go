@@ -84,7 +84,12 @@ func ratio(vs map[string]*CommCost, num, den string) float64 {
 	return a.AvgBitsPerEdge / b.AvgBitsPerEdge
 }
 
-// AggregateComm folds records into the wire-accounting summary.
+// AggregateComm folds records into the wire-accounting summary. Only
+// single-round records are folded: a multi-round (t > 1) cell's per-edge
+// cost is the per-round shard, and averaging it into these rows would
+// dilute the documented one-round det/rand comparison (and shift the CI
+// -min-ratio assertion) — the rounds axis has its own aggregate in
+// BENCH_tradeoff.json.
 func AggregateComm(specName string, recs []Record) BenchComm {
 	b := BenchComm{Spec: specName, Overall: map[string]*CommCost{}}
 	type key struct {
@@ -94,7 +99,7 @@ func AggregateComm(specName string, recs []Record) BenchComm {
 	}
 	rows := map[key]*CommRow{}
 	for _, rec := range recs {
-		if !commBearing(rec) {
+		if !commBearing(rec) || rec.RoundCount() != 1 {
 			continue
 		}
 		b.Records++

@@ -60,6 +60,7 @@ type Record struct {
 	Seed           uint64            `json:"seed"`
 	Executor       string            `json:"executor"`
 	Measure        string            `json:"measure"`
+	Rounds         int               `json:"rounds,omitempty"` // t-PLS rounds; omitted means 1 (see RoundCount)
 	Status         string            `json:"status"`
 	Reason         string            `json:"reason,omitempty"`
 	Retries        int               `json:"retries,omitempty"`
@@ -75,6 +76,16 @@ type Record struct {
 	MaxPortBits    int               `json:"maxPortBits,omitempty"`
 	AvgBitsPerEdge float64           `json:"avgBitsPerEdge,omitempty"`
 	Adversaries    []AdversaryRecord `json:"adversaries,omitempty"`
+}
+
+// RoundCount is the record's verification-round count: records written
+// before the rounds axis existed (and classic single-round cells, whose
+// field is omitted) count as one round.
+func (r Record) RoundCount() int {
+	if r.Rounds < 1 {
+		return 1
+	}
+	return r.Rounds
 }
 
 // manifestLine marks one completed cell in manifest.jsonl.
@@ -197,11 +208,20 @@ func (r *Runner) Run(spec Spec) (Report, error) {
 	if err := writeBenchJSON(filepath.Join(r.Dir, BenchCommFile), comm); err != nil {
 		return rep, err
 	}
+	tradeoff := AggregateTradeoff(plan.Spec.Name, finalRecs)
+	if err := writeBenchJSON(filepath.Join(r.Dir, BenchTradeoffFile), tradeoff); err != nil {
+		return rep, err
+	}
 	r.logf("campaign %s: %s; aggregate over %d records in %s",
 		plan.Spec.Name, rep, bench.Records, BenchFile)
 	if comm.Records > 0 {
 		r.logf("campaign %s: wire accounting over %d records in %s; paired det/rand per-edge ratio %.2f",
 			plan.Spec.Name, comm.Records, BenchCommFile, comm.DetRandRatio)
+	}
+	if tradeoff.DecreasingCurves > 0 {
+		r.logf("campaign %s: κ/t tradeoff over %d records in %s; %d strictly decreasing curves (%d schemes × %d families)",
+			plan.Spec.Name, tradeoff.Records, BenchTradeoffFile,
+			tradeoff.DecreasingCurves, tradeoff.DecreasingSchemes, tradeoff.DecreasingFamilies)
 	}
 	return rep, nil
 }
@@ -342,14 +362,23 @@ func RunCell(c Cell) Record {
 	if err != nil {
 		return fail(err)
 	}
+	if c.Rounds > 1 {
+		// The t-PLS cell: the variant runs sharded over t rounds of ⌈κ/t⌉
+		// bits per port. A scheme the shard compiler cannot wrap is a
+		// documented hole, not a failure.
+		rec.Rounds = c.Rounds
+		if s, err = engine.Shard(s, c.Rounds); err != nil {
+			return fail(fmt.Errorf("%w: %v", ErrIncompatible, err))
+		}
+	}
 	newExec, err := executorFor(c.Executor)
 	if err != nil {
 		return fail(err)
 	}
 
 	trials := c.Trials
-	if s.Deterministic() {
-		trials = 1 // a deterministic round is the same every trial
+	if engine.IsCoinFree(s) {
+		trials = 1 // a coin-free execution is the same every trial
 	}
 	opts := []engine.Option{
 		engine.WithSeed(c.Seed),

@@ -63,16 +63,21 @@ func (f FamilyAxis) String() string {
 // and the plan is their cross product. The zero values of Trials,
 // Assignments, and Executors select defaults (64, 4, ["sequential"]).
 type Spec struct {
-	Name        string       `json:"name"`
-	Schemes     []SchemeAxis `json:"schemes"`
-	Families    []FamilyAxis `json:"families"`
-	Sizes       []int        `json:"sizes"`
-	Seeds       []uint64     `json:"seeds"`
-	Measures    []string     `json:"measures"`
-	Executors   []string     `json:"executors,omitempty"`
-	Trials      int          `json:"trials,omitempty"`
-	Assignments int          `json:"assignments,omitempty"`
-	MaxSE       float64      `json:"maxse,omitempty"`
+	Name     string       `json:"name"`
+	Schemes  []SchemeAxis `json:"schemes"`
+	Families []FamilyAxis `json:"families"`
+	Sizes    []int        `json:"sizes"`
+	Seeds    []uint64     `json:"seeds"`
+	Measures []string     `json:"measures"`
+	// Rounds is the t-PLS verification-round axis: each cell runs its
+	// scheme variant sharded over t rounds of ⌈κ/t⌉ bits per port
+	// (core.ShardCompile / core.ShardPLS). Empty selects [1], the classic
+	// single round; every entry must be >= 1.
+	Rounds      []int    `json:"rounds,omitempty"`
+	Executors   []string `json:"executors,omitempty"`
+	Trials      int      `json:"trials,omitempty"`
+	Assignments int      `json:"assignments,omitempty"`
+	MaxSE       float64  `json:"maxse,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON spec. Unknown fields are errors so
@@ -94,6 +99,9 @@ func ParseSpec(data []byte) (Spec, error) {
 func (s Spec) withDefaults() Spec {
 	if len(s.Executors) == 0 {
 		s.Executors = []string{"sequential"}
+	}
+	if len(s.Rounds) == 0 {
+		s.Rounds = []int{1}
 	}
 	if s.Trials <= 0 {
 		s.Trials = 64
@@ -180,6 +188,13 @@ func (s Spec) Validate() error {
 				m, MeasureEstimate, MeasureSoundness, MeasureComm)
 		}
 	}
+	for _, r := range s.Rounds {
+		// t = 0 (and negative t) is rejected up front — a zero-round scheme
+		// verifies nothing; t > κ is legal (late rounds carry empty shards).
+		if r < 1 {
+			return fmt.Errorf("campaign: rounds value %d invalid (need t >= 1)", r)
+		}
+	}
 	for _, e := range s.Executors {
 		if _, err := executorFor(e); err != nil {
 			return err
@@ -224,6 +239,7 @@ type Cell struct {
 	Seed        uint64
 	Executor    string
 	Measure     string
+	Rounds      int // verification rounds t; 1 is the classic single round
 	Trials      int
 	Assignments int
 	MaxSE       float64
@@ -238,6 +254,11 @@ type Cell struct {
 func (c Cell) ID() string {
 	id := fmt.Sprintf("%s/%s/%s/n=%d/seed=%d/%s/%s/t=%d",
 		c.Scheme, c.Variant, c.Family, c.N, c.Seed, c.Executor, c.Measure, c.Trials)
+	// The classic single round writes no marker, so every pre-rounds
+	// campaign directory resumes with its completed cells still recognized.
+	if c.Rounds > 1 {
+		id += fmt.Sprintf("/r=%d", c.Rounds)
+	}
 	if c.Measure == MeasureSoundness {
 		id += fmt.Sprintf("/a=%d", c.Assignments)
 	}
@@ -254,8 +275,10 @@ type Plan struct {
 }
 
 // Expand validates the spec and produces its plan. The nesting order —
-// scheme, variant, family, size, seed, executor, measure — is part of the
-// output contract: results.jsonl is written in this order.
+// scheme, variant, family, size, seed, executor, measure, rounds — is part
+// of the output contract: results.jsonl is written in this order. Rounds
+// nests innermost, so a spec that adds a rounds axis keeps every existing
+// cell's relative order.
 func Expand(spec Spec) (*Plan, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -271,27 +294,30 @@ func Expand(spec Spec) (*Plan, error) {
 					for _, seed := range spec.Seeds {
 						for _, exec := range spec.Executors {
 							for _, measure := range spec.Measures {
-								c := Cell{
-									Index:       len(p.Cells),
-									Scheme:      ax.Name,
-									Variant:     variant,
-									Family:      fam,
-									N:           n,
-									Seed:        seed,
-									Executor:    exec,
-									Measure:     measure,
-									Trials:      spec.Trials,
-									Assignments: spec.Assignments,
-									MaxSE:       spec.MaxSE,
+								for _, rounds := range spec.Rounds {
+									c := Cell{
+										Index:       len(p.Cells),
+										Scheme:      ax.Name,
+										Variant:     variant,
+										Family:      fam,
+										N:           n,
+										Seed:        seed,
+										Executor:    exec,
+										Measure:     measure,
+										Rounds:      rounds,
+										Trials:      spec.Trials,
+										Assignments: spec.Assignments,
+										MaxSE:       spec.MaxSE,
+									}
+									// Duplicate axis values (seeds [1, 1], a family
+									// listed twice) would write duplicate records
+									// under one ID; reject them at expansion.
+									if seen[c.ID()] {
+										return nil, fmt.Errorf("campaign: spec %q expands to duplicate cell %s (duplicate axis values)", spec.Name, c.ID())
+									}
+									seen[c.ID()] = true
+									p.Cells = append(p.Cells, c)
 								}
-								// Duplicate axis values (seeds [1, 1], a family
-								// listed twice) would write duplicate records
-								// under one ID; reject them at expansion.
-								if seen[c.ID()] {
-									return nil, fmt.Errorf("campaign: spec %q expands to duplicate cell %s (duplicate axis values)", spec.Name, c.ID())
-								}
-								seen[c.ID()] = true
-								p.Cells = append(p.Cells, c)
 							}
 						}
 					}

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The κ/t tradeoff aggregate: BENCH_tradeoff.json condenses every
+// comm-bearing record into bits-per-round × t curves. One curve covers one
+// (scheme, variant, family, size) point across the campaign's rounds axis;
+// each curve point is the exact metered cost of the t-round execution —
+// MaxPortBits is the largest single message of any round, i.e. the
+// ⌈κ/t⌉-bit shard — so a curve whose MaxPortBits strictly decreases as t
+// grows is the empirical form of the paper's space–time tradeoff. The file
+// also counts how many distinct schemes and families contributed at least
+// one strictly decreasing curve, which CI turns into an assertion: a
+// metering or sharding regression that flattens the curves fails the build.
+// Curves are sorted by scheme, variant, family, then size, and points by
+// rounds, so the file is deterministic for a deterministic results stream.
+
+// BenchTradeoffFile is the tradeoff aggregate's file name.
+const BenchTradeoffFile = "BENCH_tradeoff.json"
+
+// TradeoffPoint is one rounds value of a curve.
+type TradeoffPoint struct {
+	Rounds int `json:"rounds"`
+	// BitsPerRound is the largest single message of any round (the shard
+	// width ⌈κ/t⌉ for sharded schemes), maxed over the point's cells.
+	BitsPerRound int `json:"bitsPerRound"`
+	// AvgBitsPerEdge is the mean bits one directed edge carries in one
+	// round, averaged over the point's cells.
+	AvgBitsPerEdge float64 `json:"avgBitsPerEdge"`
+	// TotalBits sums the wire bits of the point's cells (all rounds).
+	TotalBits int64 `json:"totalBits"`
+	Cells     int   `json:"cells"`
+}
+
+// TradeoffCurve is the bits-per-round × t curve of one scenario point.
+type TradeoffCurve struct {
+	Scheme  string          `json:"scheme"`
+	Variant string          `json:"variant"`
+	Family  string          `json:"family"`
+	N       int             `json:"n"`
+	Points  []TradeoffPoint `json:"points"` // sorted by rounds
+	// StrictlyDecreasing reports that the curve has at least two points and
+	// BitsPerRound strictly decreases along the whole rounds axis — the
+	// tradeoff is visible at this point, not merely non-increasing.
+	StrictlyDecreasing bool `json:"strictlyDecreasing"`
+}
+
+// BenchTradeoff is the BENCH_tradeoff.json layout.
+type BenchTradeoff struct {
+	Spec    string          `json:"spec"`
+	Records int             `json:"records"` // comm-bearing ok records folded
+	Curves  []TradeoffCurve `json:"curves"`
+	// DecreasingCurves counts curves with StrictlyDecreasing set;
+	// DecreasingSchemes / DecreasingFamilies count the distinct schemes and
+	// families contributing at least one such curve (the CI assertion).
+	DecreasingCurves   int `json:"decreasingCurves"`
+	DecreasingSchemes  int `json:"decreasingSchemes"`
+	DecreasingFamilies int `json:"decreasingFamilies"`
+}
+
+// AggregateTradeoff folds records into the κ/t tradeoff summary.
+func AggregateTradeoff(specName string, recs []Record) BenchTradeoff {
+	b := BenchTradeoff{Spec: specName}
+	type curveKey struct {
+		scheme, variant, family string
+		n                       int
+	}
+	type pointKey struct {
+		curveKey
+		rounds int
+	}
+	points := map[pointKey]*TradeoffPoint{}
+	curves := map[curveKey][]*TradeoffPoint{}
+	for _, rec := range recs {
+		if !commBearing(rec) {
+			continue
+		}
+		b.Records++
+		ck := curveKey{rec.Scheme, rec.Variant, rec.Family, rec.N}
+		pk := pointKey{ck, rec.RoundCount()}
+		p := points[pk]
+		if p == nil {
+			p = &TradeoffPoint{Rounds: pk.rounds}
+			points[pk] = p
+			curves[ck] = append(curves[ck], p)
+		}
+		p.AvgBitsPerEdge = (p.AvgBitsPerEdge*float64(p.Cells) + rec.AvgBitsPerEdge) / float64(p.Cells+1)
+		p.Cells++
+		p.TotalBits += rec.TotalBits
+		if rec.MaxPortBits > p.BitsPerRound {
+			p.BitsPerRound = rec.MaxPortBits
+		}
+	}
+
+	decSchemes, decFamilies := map[string]bool{}, map[string]bool{}
+	for ck, ps := range curves {
+		curve := TradeoffCurve{Scheme: ck.scheme, Variant: ck.variant, Family: ck.family, N: ck.n}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Rounds < ps[j].Rounds })
+		for _, p := range ps {
+			curve.Points = append(curve.Points, *p)
+		}
+		curve.StrictlyDecreasing = strictlyDecreasing(curve.Points)
+		if curve.StrictlyDecreasing {
+			b.DecreasingCurves++
+			decSchemes[ck.scheme] = true
+			decFamilies[ck.family] = true
+		}
+		b.Curves = append(b.Curves, curve)
+	}
+	sort.Slice(b.Curves, func(i, j int) bool {
+		ci, cj := b.Curves[i], b.Curves[j]
+		if ci.Scheme != cj.Scheme {
+			return ci.Scheme < cj.Scheme
+		}
+		if ci.Variant != cj.Variant {
+			return ci.Variant < cj.Variant
+		}
+		if ci.Family != cj.Family {
+			return ci.Family < cj.Family
+		}
+		return ci.N < cj.N
+	})
+	b.DecreasingSchemes = len(decSchemes)
+	b.DecreasingFamilies = len(decFamilies)
+	return b
+}
+
+// strictlyDecreasing reports whether the curve spans at least two rounds
+// values and its bits-per-round strictly decreases along all of them.
+func strictlyDecreasing(ps []TradeoffPoint) bool {
+	if len(ps) < 2 {
+		return false
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].BitsPerRound >= ps[i-1].BitsPerRound {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteBenchTradeoff regenerates BENCH_tradeoff.json from the directory's
+// full results stream.
+func WriteBenchTradeoff(dir, specName string) (BenchTradeoff, error) {
+	recs, err := ReadRecords(dir)
+	if err != nil {
+		return BenchTradeoff{}, err
+	}
+	b := AggregateTradeoff(specName, recs)
+	return b, writeBenchJSON(filepath.Join(dir, BenchTradeoffFile), b)
+}
+
+// ReadBenchTradeoff loads a campaign directory's tradeoff aggregate.
+func ReadBenchTradeoff(dir string) (BenchTradeoff, error) {
+	data, err := os.ReadFile(filepath.Join(dir, BenchTradeoffFile))
+	if err != nil {
+		return BenchTradeoff{}, fmt.Errorf("campaign: %w", err)
+	}
+	var b BenchTradeoff
+	if err := json.Unmarshal(data, &b); err != nil {
+		return BenchTradeoff{}, fmt.Errorf("campaign: parse %s: %w", BenchTradeoffFile, err)
+	}
+	return b, nil
+}

@@ -176,14 +176,30 @@ func TestRegistryConformance(t *testing.T) {
 			spec := schemetest.BatterySpec{Trials: 48, MaxAccepted: 36}
 			h := schemetest.New(21)
 			h.Parallelism = 4 // summaries are bit-identical at any level
+			// Every variant also runs with its certificates sharded over
+			// t = 3 rounds: the t-PLS reassembly must preserve the whole
+			// battery (completeness, prover refusal, soundness fan-out).
+			battery := func(t *testing.T, s engine.Scheme) {
+				t.Helper()
+				h.Battery(t, s, fx.legal, fx.illegal, spec)
+				t.Run("shard3", func(t *testing.T) {
+					sharded, err := engine.Shard(s, 3)
+					if err != nil {
+						// Every registry scheme is a core PLS/RPLS adapter, so
+						// unshardable means the adapter detection regressed.
+						t.Fatalf("registered scheme is not shardable: %v", err)
+					}
+					h.Battery(t, sharded, fx.legal, fx.illegal, spec)
+				})
+			}
 			if e.Det != nil {
 				t.Run("det", func(t *testing.T) {
-					h.Battery(t, e.Det(fx.params), fx.legal, fx.illegal, spec)
+					battery(t, e.Det(fx.params))
 				})
 			}
 			if e.Rand != nil {
 				t.Run("rand", func(t *testing.T) {
-					h.Battery(t, e.Rand(fx.params), fx.legal, fx.illegal, spec)
+					battery(t, e.Rand(fx.params))
 				})
 			}
 		})

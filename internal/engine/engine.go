@@ -152,12 +152,18 @@ func AsRPLS(s Scheme) (core.RPLS, bool) {
 // transmitted, not zero. All counters are exact and executor-independent:
 // the parity property test requires bit-identical Stats from all three
 // executors for the same seed.
+// A multi-round (t-PLS) scheme runs Rounds > 1 synchronous rounds: every
+// counter then covers all rounds of the execution — Messages is rounds × 2m
+// and TotalWireBits sums every round — while MaxCertBits and MaxPortBits
+// remain per-message maxima, i.e. the exact bits-per-round of the κ/t
+// tradeoff (a sharded scheme's largest message is the ⌈κ/t⌉-bit shard).
 type Stats struct {
+	Rounds        int // verification rounds executed (1 for classic schemes)
 	MaxLabelBits  int
-	MaxCertBits   int   // κ of Definition 2.1: largest string sent on any port
-	MaxPortBits   int   // largest message that crossed a single port this round
-	TotalWireBits int64 // sum of bits crossing all directed edges
-	Messages      int   // number of point-to-point messages (2m)
+	MaxCertBits   int   // κ of Definition 2.1: largest string sent on any port in any round
+	MaxPortBits   int   // largest message that crossed a single port in any round
+	TotalWireBits int64 // sum of bits crossing all directed edges, all rounds
+	Messages      int   // number of point-to-point messages (rounds × 2m)
 }
 
 // Result is the outcome of one verification round. Votes is populated only

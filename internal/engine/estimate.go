@@ -55,7 +55,8 @@ type Cloneable interface {
 // bit-identical for any parallelism level and any executor.
 type Summary struct {
 	Trials         int
-	Accepted       int     // rounds in which every node output true
+	Rounds         int     // verification rounds per trial (1 for classic schemes)
+	Accepted       int     // trials in which every node output true
 	Acceptance     float64 // Accepted / Trials (0 when Trials == 0)
 	CILow          float64 // lower end of the 95% Wilson interval
 	CIHigh         float64 // upper end of the 95% Wilson interval
@@ -118,6 +119,7 @@ func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
 // count.
 type trialOutcome struct {
 	accepted    bool
+	rounds      int
 	maxCertBits int
 	maxPortBits int
 	wireBits    int64
@@ -142,7 +144,7 @@ func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label)
 	}
 	out := make([]trialOutcome, min(chunk, o.trials))
 
-	accepted, certMax, portMax, done := 0, 0, 0, 0
+	accepted, certMax, portMax, done, rounds := 0, 0, 0, 0, 0
 	totalBits, totalMsgs := int64(0), int64(0)
 scan:
 	for lo := 0; lo < o.trials; lo += chunk {
@@ -155,6 +157,9 @@ scan:
 			done++
 			if res.accepted {
 				accepted++
+			}
+			if res.rounds > rounds {
+				rounds = res.rounds
 			}
 			if res.maxCertBits > certMax {
 				certMax = res.maxCertBits
@@ -175,6 +180,7 @@ scan:
 		}
 	}
 	sum.Trials, sum.Accepted, sum.MaxCertBits = done, accepted, certMax
+	sum.Rounds = rounds
 	sum.MaxPortBits, sum.TotalBits, sum.TotalMessages = portMax, totalBits, totalMsgs
 	if totalMsgs > 0 {
 		sum.AvgBitsPerEdge = float64(totalBits) / float64(totalMsgs)
@@ -238,6 +244,7 @@ func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, se
 		votes, st := exec.Round(s, c, labels, seed+uint64(t))
 		out[t-lo] = trialOutcome{
 			accepted:    AllTrue(votes),
+			rounds:      st.Rounds,
 			maxCertBits: st.MaxCertBits,
 			maxPortBits: st.MaxPortBits,
 			wireBits:    st.TotalWireBits,
@@ -254,8 +261,8 @@ func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, se
 // port, so its verification complexity is the largest label transmitted
 // (one round suffices: the round is coin-free).
 func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) int {
-	if s.Deterministic() {
-		trials = 1 // a deterministic round is identical every trial
+	if IsCoinFree(s) {
+		trials = 1 // a coin-free execution is identical every trial
 	}
 	o := buildOptions([]Option{WithSeed(seed), WithTrials(trials)})
 	return o.estimateLabels(s, c, labels).MaxCertBits

@@ -138,9 +138,12 @@ func (e *Sequential) Clone() Executor { return NewSequential() }
 
 // Round implements Executor.
 func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	if t := Rounds(s); t > 1 {
+		return e.multiRound(s.(MultiRound), t, c, labels, seed)
+	}
 	n := c.G.N()
 	e.sc.ensure(c.G)
-	st := Stats{MaxLabelBits: core.MaxBits(labels)}
+	st := Stats{Rounds: 1, MaxLabelBits: core.MaxBits(labels)}
 	det := s.Deterministic()
 	if !det {
 		root := prng.New(seed)
@@ -156,6 +159,69 @@ func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 		e.sc.votes[v] = s.Decide(core.ViewOf(c, v), labels[v], recv)
 	}
 	return e.sc.votes, st
+}
+
+// multiRound runs the t-round lockstep: per round, every node derives its
+// round strings (from a per-round identical coin stream), the metered
+// messages land in the receivers' windows, and each received string is
+// appended to its directed edge's shard list; after the last round every
+// node decides from the per-port concatenations. The shard lists are
+// allocated per call — the zero-alloc guarantee covers only the classic
+// single-round deterministic path.
+func (e *Sequential) multiRound(mr MultiRound, rounds int, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	st := Stats{Rounds: rounds, MaxLabelBits: core.MaxBits(labels)}
+	shards := newShardAcc(e.sc.offs[n], rounds)
+	root := prng.New(seed)
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			e.sc.certs[v] = mr.RoundCerts(r, core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
+		}
+		for v := 0; v < n; v++ {
+			sendStats(false, c, labels, e.sc.certs[v], v, &st)
+			shards.gather(&e.sc, c, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		recv := shards.reassemble(&e.sc, v)
+		e.sc.votes[v] = mr.Decide(core.ViewOf(c, v), labels[v], recv)
+	}
+	return e.sc.votes, st
+}
+
+// shardAcc accumulates, per directed edge, the strings received across the
+// rounds of a multi-round execution, in round order.
+type shardAcc [][]core.Cert
+
+func newShardAcc(edges, rounds int) shardAcc {
+	acc := make(shardAcc, edges)
+	for i := range acc {
+		acc[i] = make([]core.Cert, 0, rounds)
+	}
+	return acc
+}
+
+// gather appends the current round's messages arriving at node v (read
+// from the senders' cert slices) to v's windows. Distinct receivers own
+// disjoint windows, so concurrent gathers for distinct v are race-free.
+func (acc shardAcc) gather(sc *scratch, c *graph.Config, v int) {
+	recv := sc.gather(false, c, nil, v)
+	base := sc.offs[v]
+	for i, msg := range recv {
+		acc[base+i] = append(acc[base+i], msg)
+	}
+}
+
+// reassemble concatenates each of v's per-port shard lists, in round
+// order, into v's receive window and returns it.
+func (acc shardAcc) reassemble(sc *scratch, v int) []core.Cert {
+	recv := sc.window(v)
+	base := sc.offs[v]
+	for i := range recv {
+		recv[i] = bitstring.Concat(acc[base+i]...)
+	}
+	return recv
 }
 
 // Pool shards nodes across a fixed set of workers with no per-edge
@@ -183,10 +249,9 @@ func (e *Pool) Name() string { return "pool" }
 // Clone implements Cloneable: same worker count, independent scratch.
 func (e *Pool) Clone() Executor { return &Pool{workers: e.workers} }
 
-// Round implements Executor.
-func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
-	n := c.G.N()
-	e.sc.ensure(c.G)
+// shardWorkers clamps the worker count to the node count and sizes the
+// per-shard partial stats.
+func (e *Pool) shardWorkers(n int) int {
 	w := e.workers
 	if w > n {
 		w = n
@@ -198,6 +263,32 @@ func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64
 		e.parts = make([]Stats, w)
 	}
 	e.parts = e.parts[:w]
+	return w
+}
+
+// mergeParts folds the per-shard partial stats into a final Stats.
+func (e *Pool) mergeParts(st Stats) Stats {
+	for _, p := range e.parts {
+		st.Messages += p.Messages
+		st.TotalWireBits += p.TotalWireBits
+		if p.MaxCertBits > st.MaxCertBits {
+			st.MaxCertBits = p.MaxCertBits
+		}
+		if p.MaxPortBits > st.MaxPortBits {
+			st.MaxPortBits = p.MaxPortBits
+		}
+	}
+	return st
+}
+
+// Round implements Executor.
+func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	if t := Rounds(s); t > 1 {
+		return e.multiRound(s.(MultiRound), t, c, labels, seed)
+	}
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	w := e.shardWorkers(n)
 	det := s.Deterministic()
 
 	var wg sync.WaitGroup
@@ -230,18 +321,64 @@ func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64
 	}
 	wg.Wait()
 
-	st := Stats{MaxLabelBits: core.MaxBits(labels)}
-	for _, p := range e.parts {
-		st.Messages += p.Messages
-		st.TotalWireBits += p.TotalWireBits
-		if p.MaxCertBits > st.MaxCertBits {
-			st.MaxCertBits = p.MaxCertBits
-		}
-		if p.MaxPortBits > st.MaxPortBits {
-			st.MaxPortBits = p.MaxPortBits
-		}
+	return e.sc.votes, e.mergeParts(Stats{Rounds: 1, MaxLabelBits: core.MaxBits(labels)})
+}
+
+// multiRound runs the t-round lockstep with the pool's phase structure,
+// once per round: a cert-generation phase, a barrier (gathering needs every
+// sender's strings), then a metering + gather phase sharded by receiver
+// (windows partition the directed edges, so shard appends are race-free).
+// A final parallel phase reassembles and decides.
+func (e *Pool) multiRound(mr MultiRound, rounds int, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	w := e.shardWorkers(n)
+	for i := range e.parts {
+		e.parts[i] = Stats{}
 	}
-	return e.sc.votes, st
+	shards := newShardAcc(e.sc.offs[n], rounds)
+
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		wg.Add(w)
+		for shard := 0; shard < w; shard++ {
+			go func(shard, r int) {
+				defer wg.Done()
+				root := prng.New(seed)
+				for v := shard * n / w; v < (shard+1)*n/w; v++ {
+					e.sc.certs[v] = mr.RoundCerts(r, core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
+				}
+			}(shard, r)
+		}
+		wg.Wait() // barrier: gathering needs every node's round strings
+
+		wg.Add(w)
+		for shard := 0; shard < w; shard++ {
+			go func(shard int) {
+				defer wg.Done()
+				st := &e.parts[shard]
+				for v := shard * n / w; v < (shard+1)*n/w; v++ {
+					sendStats(false, c, labels, e.sc.certs[v], v, st)
+					shards.gather(&e.sc, c, v)
+				}
+			}(shard)
+		}
+		wg.Wait() // barrier: the next round overwrites the cert slices
+	}
+
+	wg.Add(w)
+	for shard := 0; shard < w; shard++ {
+		go func(shard int) {
+			defer wg.Done()
+			for v := shard * n / w; v < (shard+1)*n/w; v++ {
+				recv := shards.reassemble(&e.sc, v)
+				e.sc.votes[v] = mr.Decide(core.ViewOf(c, v), labels[v], recv)
+			}
+		}(shard)
+	}
+	wg.Wait()
+
+	return e.sc.votes, e.mergeParts(Stats{Rounds: rounds, MaxLabelBits: core.MaxBits(labels)})
 }
 
 // Goroutines is the model-faithful execution of §2.1: each node runs as its
@@ -264,16 +401,24 @@ func (e *Goroutines) Name() string { return "goroutines" }
 // Clone implements Cloneable: a fresh goroutine-per-node executor.
 func (e *Goroutines) Clone() Executor { return NewGoroutines() }
 
-// Round implements Executor.
-func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
-	n := c.G.N()
-	e.sc.ensure(c.G)
+// ensureCounters sizes the per-node send counters.
+func (e *Goroutines) ensureCounters(n int) {
 	if cap(e.certMax) < n {
 		e.certMax = make([]int, n)
 		e.wireSent = make([]int64, n)
 	}
 	e.certMax = e.certMax[:n]
 	e.wireSent = e.wireSent[:n]
+}
+
+// Round implements Executor.
+func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	if t := Rounds(s); t > 1 {
+		return e.multiRound(s.(MultiRound), t, c, labels, seed)
+	}
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	e.ensureCounters(n)
 	in := buildChannels(c.G)
 	det := s.Deterministic()
 	root := prng.New(seed)
@@ -312,12 +457,78 @@ func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 	}
 	wg.Wait()
 
-	st := Stats{MaxLabelBits: core.MaxBits(labels)}
+	st := Stats{Rounds: 1, MaxLabelBits: core.MaxBits(labels)}
 	for v := 0; v < n; v++ {
 		st.Messages += c.G.Degree(v)
 		st.TotalWireBits += e.wireSent[v]
 		// certMax[v] is the largest message v sent — the label for
 		// deterministic schemes — so it feeds κ and the port maximum alike.
+		if e.certMax[v] > st.MaxCertBits {
+			st.MaxCertBits = e.certMax[v]
+		}
+		if e.certMax[v] > st.MaxPortBits {
+			st.MaxPortBits = e.certMax[v]
+		}
+	}
+	return e.sc.votes, st
+}
+
+// multiRound keeps the model-faithful shape over t rounds: every node runs
+// as its own goroutine, alternating a send-all phase and a receive-all
+// phase per round over the same one-channel-per-directed-edge fabric. The
+// capacity-1 buffers cannot deadlock: the node at the minimum round has
+// already had all its inputs sent and all its output channels drained (any
+// neighbor past that round consumed them), so it always progresses.
+func (e *Goroutines) multiRound(mr MultiRound, rounds int, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
+	n := c.G.N()
+	e.sc.ensure(c.G)
+	e.ensureCounters(n)
+	in := buildChannels(c.G)
+	root := prng.New(seed)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		go func(v int) {
+			defer wg.Done()
+			view := core.ViewOf(c, v)
+			acc := make([][]core.Cert, view.Deg)
+			for i := range acc {
+				acc[i] = make([]core.Cert, 0, rounds)
+			}
+			maxCert, wire := 0, int64(0)
+			for r := 0; r < rounds; r++ {
+				// The same coin stream every round: shards of one draw.
+				certs := mr.RoundCerts(r, view, labels[v], root.Fork(uint64(v)))
+				for i, h := range c.G.Adj(v) {
+					var msg core.Cert
+					if i < len(certs) {
+						msg = certs[i]
+					}
+					if b := msg.Len(); b > maxCert {
+						maxCert = b
+					}
+					wire += int64(msg.Len())
+					in[h.To][h.RevPort-1] <- msg
+				}
+				for i := range acc {
+					acc[i] = append(acc[i], <-in[v][i])
+				}
+			}
+			recv := e.sc.window(v)
+			for i := range recv {
+				recv[i] = bitstring.Concat(acc[i]...)
+			}
+			e.certMax[v], e.wireSent[v] = maxCert, wire
+			e.sc.votes[v] = mr.Decide(view, labels[v], recv)
+		}(v)
+	}
+	wg.Wait()
+
+	st := Stats{Rounds: rounds, MaxLabelBits: core.MaxBits(labels)}
+	for v := 0; v < n; v++ {
+		st.Messages += rounds * c.G.Degree(v)
+		st.TotalWireBits += e.wireSent[v]
 		if e.certMax[v] > st.MaxCertBits {
 			st.MaxCertBits = e.certMax[v]
 		}

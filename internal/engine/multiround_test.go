@@ -1,0 +1,266 @@
+package engine_test
+
+import (
+	"testing"
+
+	"rpls/internal/core"
+	"rpls/internal/engine"
+	"rpls/internal/experiments"
+	"rpls/internal/graph"
+	"rpls/internal/schemes/spanningtree"
+	"rpls/internal/schemes/uniform"
+)
+
+// The t-round golden-bits contract: sharded execution is part of the same
+// determinism guarantee as the single round. For the same seed and any
+// t ∈ {1, 2, 4}, all three executors at any parallelism level must report
+// bit-identical Summaries; the per-message maxima must be exactly the
+// ⌈κ/t⌉ shard width; totals must be conserved (sharding moves bits between
+// rounds, it does not create or destroy them); and the votes must equal
+// the base scheme's votes for the same seed, because the reassembled
+// strings are the base strings.
+
+func shardFixtures(t *testing.T) []struct {
+	name   string
+	base   engine.Scheme
+	cfg    *graph.Config
+	labels []core.Label
+} {
+	t.Helper()
+	out := []struct {
+		name   string
+		base   engine.Scheme
+		cfg    *graph.Config
+		labels []core.Label
+	}{}
+	add := func(name string, s engine.Scheme, cfg *graph.Config) {
+		labels, err := s.Label(cfg)
+		if err != nil {
+			t.Fatalf("%s prover: %v", name, err)
+		}
+		out = append(out, struct {
+			name   string
+			base   engine.Scheme
+			cfg    *graph.Config
+			labels []core.Label
+		}{name, s, cfg, labels})
+	}
+	add("spanningtree-det", engine.FromPLS(spanningtree.NewPLS()), experiments.BuildTreeConfig(30, 5))
+	add("uniform-det", engine.FromPLS(uniform.NewPLS()), experiments.BuildUniformConfig(20, 24, 6))
+	add("uniform-rand", engine.FromRPLS(uniform.NewRPLS()), experiments.BuildUniformConfig(20, 24, 6))
+	return out
+}
+
+// TestGoldenWireBitsSharded is the satellite golden test: per executor and
+// per t ∈ {1, 2, 4}, the wire Summary is bit-identical across executors
+// and parallelism levels, the per-round port maximum is exactly
+// ⌈base κ/t⌉, and the total bits and acceptance equal the base run's.
+func TestGoldenWireBitsSharded(t *testing.T) {
+	makeExecs := []func() engine.Executor{
+		func() engine.Executor { return engine.NewSequential() },
+		func() engine.Executor { return engine.NewPool(0) },
+		func() engine.Executor { return engine.NewGoroutines() },
+	}
+	for _, fx := range shardFixtures(t) {
+		base, err := engine.Estimate(fx.base, fx.cfg, engine.WithLabels(fx.labels),
+			engine.WithTrials(12), engine.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rounds := range []int{1, 2, 4} {
+			s, err := engine.Shard(fx.base, rounds)
+			if err != nil {
+				t.Fatalf("%s: Shard(t=%d): %v", fx.name, rounds, err)
+			}
+			if got := engine.Rounds(s); got != rounds {
+				t.Fatalf("%s: Rounds = %d, want %d", fx.name, got, rounds)
+			}
+			var ref engine.Summary
+			first := true
+			for _, mkExec := range makeExecs {
+				for _, p := range []int{1, 4} {
+					sum, err := engine.Estimate(s, fx.cfg, engine.WithLabels(fx.labels),
+						engine.WithTrials(12), engine.WithSeed(5),
+						engine.WithExecutor(mkExec()), engine.WithParallelism(p))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if first {
+						ref, first = sum, false
+						continue
+					}
+					if sum != ref {
+						t.Fatalf("%s t=%d: %T p=%d summary %+v != reference %+v",
+							fx.name, rounds, mkExec(), p, sum, ref)
+					}
+				}
+			}
+			if rounds == 1 {
+				// t = 1 must be the classic engine, bit for bit.
+				if ref != base {
+					t.Fatalf("%s: t=1 summary %+v != base %+v", fx.name, ref, base)
+				}
+				continue
+			}
+			if ref.Rounds != rounds {
+				t.Errorf("%s t=%d: Summary.Rounds = %d", fx.name, rounds, ref.Rounds)
+			}
+			if want := core.ShardWidth(base.MaxCertBits, rounds); ref.MaxPortBits != want {
+				t.Errorf("%s t=%d: bits-per-round %d, want ⌈κ/t⌉ = ⌈%d/%d⌉ = %d",
+					fx.name, rounds, ref.MaxPortBits, base.MaxCertBits, rounds, want)
+			}
+			if ref.MaxCertBits != ref.MaxPortBits {
+				t.Errorf("%s t=%d: κ %d != max port bits %d (one shard per port per round)",
+					fx.name, rounds, ref.MaxCertBits, ref.MaxPortBits)
+			}
+			// Trial budgets may differ (coin-free sharded det collapses to one
+			// trial elsewhere; here both ran 12), so compare per-trial totals.
+			if ref.TotalBits != base.TotalBits {
+				t.Errorf("%s t=%d: total bits %d != base %d (sharding must conserve bits)",
+					fx.name, rounds, ref.TotalBits, base.TotalBits)
+			}
+			if ref.TotalMessages != int64(rounds)*base.TotalMessages {
+				t.Errorf("%s t=%d: messages %d, want rounds × base = %d",
+					fx.name, rounds, ref.TotalMessages, int64(rounds)*base.TotalMessages)
+			}
+			if ref.Accepted != base.Accepted {
+				t.Errorf("%s t=%d: accepted %d/%d != base %d/%d",
+					fx.name, rounds, ref.Accepted, ref.Trials, base.Accepted, base.Trials)
+			}
+		}
+	}
+}
+
+// TestShardedVotesMatchBase pins the strongest form of the equivalence: on
+// honest and adversarial labels alike, per seed, the sharded scheme's
+// per-node votes equal the base scheme's — the reassembled strings are the
+// base strings, so the decisions cannot differ.
+func TestShardedVotesMatchBase(t *testing.T) {
+	cfg := experiments.BuildUniformConfig(18, 16, 9)
+	base := engine.FromRPLS(uniform.NewRPLS())
+	honest, err := base.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An adversarial assignment: node 0's payload flipped after labeling.
+	bad := append([]core.Label(nil), honest...)
+	bad[0] = honest[0].Truncate(honest[0].Len() - 1)
+	sharded, err := engine.Shard(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, labels := range [][]core.Label{honest, bad} {
+		for seed := uint64(1); seed <= 8; seed++ {
+			want := engine.Verify(base, cfg, labels, engine.WithSeed(seed), engine.WithStats(true))
+			got := engine.Verify(sharded, cfg, labels, engine.WithSeed(seed), engine.WithStats(true))
+			if len(got.Votes) != len(want.Votes) {
+				t.Fatalf("vote vector length %d != %d", len(got.Votes), len(want.Votes))
+			}
+			for v := range got.Votes {
+				if got.Votes[v] != want.Votes[v] {
+					t.Fatalf("seed %d node %d: sharded vote %v != base vote %v",
+						seed, v, got.Votes[v], want.Votes[v])
+				}
+			}
+		}
+	}
+}
+
+// TestShardEdgeCases covers the round-count edge cases at the engine
+// boundary: t <= 0 is rejected, t = 1 is the identity, and t far beyond κ
+// still verifies correctly with empty late rounds.
+func TestShardEdgeCases(t *testing.T) {
+	base := engine.FromPLS(spanningtree.NewPLS())
+	if _, err := engine.Shard(base, 0); err == nil {
+		t.Error("Shard(t=0) accepted, want error")
+	}
+	if _, err := engine.Shard(base, -3); err == nil {
+		t.Error("Shard(t=-3) accepted, want error")
+	}
+	same, err := engine.Shard(base, 1)
+	if err != nil || same != base {
+		t.Errorf("Shard(t=1) = (%v, %v), want the scheme unchanged", same, err)
+	}
+
+	cfg := experiments.BuildTreeConfig(12, 2)
+	labels, err := base.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kappa := core.MaxBits(labels)
+	huge, err := engine.Shard(base, kappa+50) // t > κ: late rounds are empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Verify(huge, cfg, labels, engine.WithSeed(2))
+	if !res.Accepted {
+		t.Fatalf("t=%d > κ=%d rejects an honest instance", kappa+50, kappa)
+	}
+	if res.Stats.MaxPortBits != 1 {
+		t.Errorf("t > κ: bits-per-round %d, want 1", res.Stats.MaxPortBits)
+	}
+	if res.Stats.Rounds != kappa+50 {
+		t.Errorf("Stats.Rounds = %d, want %d", res.Stats.Rounds, kappa+50)
+	}
+}
+
+// TestIsCoinFree pins the trial-collapse rule: deterministic schemes and
+// sharded deterministic schemes are coin-free; randomized schemes, sharded
+// or not, are not.
+func TestIsCoinFree(t *testing.T) {
+	det := engine.FromPLS(spanningtree.NewPLS())
+	rand := engine.FromRPLS(uniform.NewRPLS())
+	shardedDet, err := engine.Shard(det, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedRand, err := engine.Shard(rand, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		s    engine.Scheme
+		want bool
+	}{
+		{"det", det, true},
+		{"rand", rand, false},
+		{"sharded-det", shardedDet, true},
+		{"sharded-rand", shardedRand, false},
+	} {
+		if got := engine.IsCoinFree(tc.s); got != tc.want {
+			t.Errorf("IsCoinFree(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestShardedEstimateParallelDeterminism extends the estimator determinism
+// guarantee to the rounds axis with early stopping in play.
+func TestShardedEstimateParallelDeterminism(t *testing.T) {
+	cfg := experiments.BuildUniformConfig(16, 16, 3)
+	base := engine.FromRPLS(uniform.NewRPLS())
+	s, err := engine.Shard(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := s.Label(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref engine.Summary
+	for i, p := range []int{1, 2, 5, 16} {
+		sum, err := engine.Estimate(s, cfg, engine.WithLabels(labels),
+			engine.WithTrials(100), engine.WithSeed(17),
+			engine.WithParallelism(p), engine.WithMaxSE(0.08))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = sum
+			continue
+		}
+		if sum != ref {
+			t.Fatalf("p=%d sharded summary %+v != p=1 %+v", p, sum, ref)
+		}
+	}
+}

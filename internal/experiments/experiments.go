@@ -71,6 +71,7 @@ func All() []Spec {
 		{ID: "E17", Title: "s-t vertex connectivity (extension; §5.2)", Run: E17STConnectivity},
 		{ID: "E18", Title: "Label-shape scaling (gamma-coded acyclicity)", Run: E18LabelShape},
 		{ID: "E19", Title: "Wire accounting: per-edge det vs rand cost across graph families", Run: E19WireAccounting},
+		{ID: "E20", Title: "Multi-round verification: the κ/t tradeoff (t-PLS)", Run: E20RoundTradeoff},
 	}
 }
 

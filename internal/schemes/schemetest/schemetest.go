@@ -208,8 +208,8 @@ type BatterySpec struct {
 func (h *Harness) Battery(t *testing.T, s engine.Scheme, legal, illegal *graph.Config, spec BatterySpec) {
 	t.Helper()
 	trials := spec.Trials
-	if s.Deterministic() {
-		trials = 1 // every trial of a deterministic round is identical
+	if engine.IsCoinFree(s) {
+		trials = 1 // every trial of a coin-free execution is identical
 	}
 
 	// Completeness. One-sided schemes must accept every trial, so the run
@@ -255,7 +255,7 @@ func (h *Harness) Battery(t *testing.T, s engine.Scheme, legal, illegal *graph.C
 	}
 	for _, r := range results {
 		budget := spec.MaxAccepted
-		if s.Deterministic() {
+		if engine.IsCoinFree(s) {
 			budget = 0
 		}
 		if r.Worst.Accepted > budget {
