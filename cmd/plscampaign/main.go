@@ -32,17 +32,7 @@ import (
 	"rpls/internal/graph"
 
 	// Link every scheme package so the registry is complete.
-	_ "rpls/internal/schemes/acyclicity"
-	_ "rpls/internal/schemes/biconn"
-	_ "rpls/internal/schemes/coloring"
-	_ "rpls/internal/schemes/cycle"
-	_ "rpls/internal/schemes/flow"
-	_ "rpls/internal/schemes/leader"
-	_ "rpls/internal/schemes/mst"
-	_ "rpls/internal/schemes/spanningtree"
-	_ "rpls/internal/schemes/stconn"
-	_ "rpls/internal/schemes/symmetry"
-	_ "rpls/internal/schemes/uniform"
+	_ "rpls/internal/schemes/all"
 )
 
 func main() {

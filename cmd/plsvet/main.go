@@ -1,0 +1,62 @@
+// Command plsvet runs the repository's custom static-analysis suite
+// (internal/analysis/plsvet) over the module: the determinism, metering,
+// registry, map-order, and hot-path contracts the golden byte-compares and
+// the benchgate only check dynamically. CI runs it as part of the lint job;
+// a finding fails the build.
+//
+// Usage:
+//
+//	go run ./cmd/plsvet ./...     # analyze the whole module (the default)
+//	go run ./cmd/plsvet -list     # print the suite and each contract
+//
+// Exit status: 0 when clean, 1 on findings, 2 on a load or usage error.
+// Diagnostics print as file:line:col: analyzer: message, one per line.
+// Exceptions are granted per line with `//plsvet:allow <analyzer> — why`;
+// see DESIGN.md, "Static invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rpls/internal/analysis/plsvet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: plsvet [-list] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range plsvet.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// The loader always analyzes whole packages of the enclosing module;
+	// the only accepted pattern is ./... (or nothing, meaning the same).
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "plsvet: unsupported pattern %q (only ./... is supported)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	diags, err := plsvet.CheckModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plsvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "plsvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

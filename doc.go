@@ -47,15 +47,26 @@
 //   - internal/experiments — the E1–E20 harness behind EXPERIMENTS.md, and
 //     the instance catalog (builders + corruptors) the CLIs drive
 //   - internal/selfstab   — periodic re-verification and fault detection
+//   - internal/analysis/plsvet — the static gate over the engine's
+//     contracts: five go/ast+go/types analyzers (detrand, maporder,
+//     hotalloc, register, meterflow) enforce that deterministic packages
+//     touch no ambient randomness or clocks, map iteration never feeds
+//     order-sensitive output, //pls:hotpath functions stay
+//     allocation-free, every scheme package self-registers and is linked
+//     by internal/schemes/all, and the engine's wire meters are
+//     read-only outside internal/engine; run it with
+//     `go run ./cmd/plsvet ./...`, suppress a justified site with
+//     `//plsvet:allow <analyzer> — reason`
 //   - internal/graph      — the §2.1 network model, plus the name → builder
 //     family registry (gnp, grid, torus, hypercube, dregular, powerlawtree,
 //     barbell, …) behind the campaign scenario axis
-//   - cmd/plsrun, cmd/experiments, cmd/crossattack, cmd/plscampaign — CLIs;
+//   - cmd/plsrun, cmd/experiments, cmd/crossattack, cmd/plscampaign,
+//     cmd/plsvet — CLIs;
 //     plsrun -list enumerates the scheme and family registries, prints
 //     per-edge wire costs, and -rounds t runs any scheme sharded;
 //     plscampaign run/resume/describe/comm/tradeoff/list drives campaign
 //     specs and asserts the det/rand communication ratio and the κ/t
-//     bits-per-round curves
+//     bits-per-round curves; plsvet is the static-invariant gate
 //   - examples/           — runnable walkthroughs
 //
 // See DESIGN.md for the paper-to-code map and the engine architecture.

@@ -13,7 +13,7 @@ import (
 	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	_ "rpls/internal/schemes/spanningtree" // registers "spanningtree"
+	_ "rpls/internal/schemes/all" // registers every scheme, including "spanningtree"
 )
 
 func main() {

@@ -1,0 +1,217 @@
+package plsvet
+
+// A miniature analysistest: fixture packages live under testdata/src, are
+// mounted at engine-relative import paths (so package-path-scoped analyzers
+// like detrand and register see realistic paths and fixtures may import the
+// real rpls/internal/engine), and carry `// want "regexp"` comments on the
+// lines where a diagnostic is expected. The runner type-checks the fixture
+// against the real module, runs one analyzer, and requires an exact match
+// between expected and reported diagnostics.
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sharedLoaderState memoizes one loader per module root across fixture
+// runs, so the standard library and the module's packages are type-checked
+// once per test binary rather than once per fixture.
+var sharedLoaderState struct {
+	sync.Mutex
+	loaders map[string]*Loader
+}
+
+// sharedLoader returns the memoized loader for the module containing dir.
+func sharedLoader(dir string) (*Loader, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaderState.Lock()
+	defer sharedLoaderState.Unlock()
+	if sharedLoaderState.loaders == nil {
+		sharedLoaderState.loaders = map[string]*Loader{}
+	}
+	if l, ok := sharedLoaderState.loaders[root]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaderState.loaders[root] = l
+	return l, nil
+}
+
+// Fixture describes one analysistest run: the analyzer under test, the
+// fixture packages to mount (import path → directory under testdata/src),
+// and the import paths to analyze (all mounted packages when empty).
+type Fixture struct {
+	Analyzer *Analyzer
+	// Packages maps import paths to testdata/src-relative directories.
+	Packages map[string]string
+	// Analyze lists the mounted import paths to run the analyzer on;
+	// empty means every mounted package.
+	Analyze []string
+}
+
+// RunFixture type-checks the fixture's packages against the real module,
+// runs the analyzer, and fails the test unless the diagnostics match the
+// `// want` expectations exactly.
+func RunFixture(t *testing.T, fx Fixture) {
+	t.Helper()
+	loader, err := sharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixture mounts are per-run: shadow then restore the shared loader's
+	// override and package tables for the mounted paths.
+	sharedLoaderState.Lock()
+	defer sharedLoaderState.Unlock()
+	defer func() {
+		for path := range fx.Packages {
+			delete(loader.overrides, path)
+			delete(loader.pkgs, path)
+		}
+	}()
+
+	analyze := fx.Analyze
+	for path, dir := range fx.Packages {
+		// A mount must shadow any previously memoized package at the same
+		// import path (e.g. the real internal/schemes/all).
+		delete(loader.pkgs, path)
+		loader.Override(path, filepath.Join("testdata", "src", filepath.FromSlash(dir)))
+		if len(fx.Analyze) == 0 {
+			analyze = append(analyze, path)
+		}
+	}
+	sort.Strings(analyze)
+
+	pkgs := make([]*Package, 0, len(analyze))
+	allPaths := make([]string, 0, len(fx.Packages))
+	for path := range fx.Packages {
+		if _, err := loader.Load(path); err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		allPaths = append(allPaths, path)
+	}
+	sort.Strings(allPaths)
+	for _, path := range analyze {
+		pkgs = append(pkgs, loader.pkgs[path])
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Analyzer: fx.Analyzer,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Dir:      pkg.Dir,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			AllPaths: allPaths,
+			sink:     &diags,
+		}
+		pass.buildAllow()
+		if err := fx.Analyzer.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", fx.Analyzer.Name, pkg.Path, err)
+		}
+	}
+
+	want := map[token.Position][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		collectWants(t, loader.Fset, pkg, want)
+	}
+	checkDiagnostics(t, diags, want)
+}
+
+// wantRE matches `// want "re"` comments; each quoted string is one
+// expected diagnostic on that line.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgs = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// collectWants parses the `// want` expectations out of a fixture
+// package's comments, keyed by (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package, want map[token.Position][]*regexp.Regexp) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := token.Position{Filename: pos.Filename, Line: pos.Line}
+				for _, arg := range wantArgs.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, arg[1], err)
+					}
+					want[key] = append(want[key], re)
+				}
+			}
+		}
+	}
+}
+
+// checkDiagnostics matches reported diagnostics against expectations
+// one-to-one per line.
+func checkDiagnostics(t *testing.T, diags []Diagnostic, want map[token.Position][]*regexp.Regexp) {
+	t.Helper()
+	for _, d := range diags {
+		key := token.Position{Filename: d.Pos.Filename, Line: d.Pos.Line}
+		res := want[key]
+		matched := -1
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		want[key] = append(res[:matched], res[matched+1:]...)
+	}
+	keys := make([]token.Position, 0, len(want))
+	for key := range want {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Filename != keys[j].Filename {
+			return keys[i].Filename < keys[j].Filename
+		}
+		return keys[i].Line < keys[j].Line
+	})
+	for _, key := range keys {
+		for _, re := range want[key] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.Filename, key.Line, re)
+		}
+	}
+}
+
+// CheckModule loads every package of the module containing dir and runs
+// the full suite, returning the findings. The meta-test and cmd/plsvet
+// share this entry point.
+func CheckModule(dir string) ([]Diagnostic, error) {
+	loader, err := sharedLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaderState.Lock()
+	defer sharedLoaderState.Unlock()
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return Check(Suite(), pkgs)
+}

@@ -1,0 +1,92 @@
+package plsvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand enforces the determinism contract of the packages whose output is
+// byte-compared in CI: every coin flip must flow from an internal/prng
+// stream seeded by an explicit parameter, never from ambient randomness,
+// the clock, or the environment. A stray math/rand draw or time.Now-derived
+// seed in these packages silently breaks campaign resume, the parallelism
+// byte-compare, and every golden summary at once.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid ambient randomness, clocks, and environment reads in deterministic packages; " +
+		"coins come only from internal/prng streams seeded by explicit parameters",
+	Run: runDetRand,
+}
+
+// detRandPackages are the import-path prefixes the contract covers: the
+// engine and everything whose results feed byte-compared output.
+var detRandPackages = []string{
+	"rpls/internal/engine",
+	"rpls/internal/core",
+	"rpls/internal/campaign",
+	"rpls/internal/schemes",
+}
+
+// detRandImports are the packages whose import alone is a violation: every
+// use of them is a nondeterminism source here.
+var detRandImports = map[string]string{
+	"math/rand":    "ambient PRNG; use internal/prng with an explicit seed",
+	"math/rand/v2": "ambient PRNG; use internal/prng with an explicit seed",
+	"crypto/rand":  "nondeterministic entropy; use internal/prng with an explicit seed",
+}
+
+// detRandCalls are individual functions banned from otherwise-legitimate
+// packages (time is fine for durations, os for files — but not for seeding
+// or ordering anything).
+var detRandCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall clock",
+		"Since": "wall clock",
+		"Until": "wall clock",
+	},
+	"os": {
+		"Getenv":    "environment-derived value",
+		"LookupEnv": "environment-derived value",
+		"Environ":   "environment-derived value",
+	},
+}
+
+// isDeterministicPackage reports whether the contract covers path.
+func isDeterministicPackage(path string) bool {
+	for _, p := range detRandPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetRand(pass *Pass) error {
+	if !isDeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := detRandImports[path]; bad {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s: %s", path, pass.Path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := usedObject(pass.Info, call.Fun)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if why, bad := detRandCalls[obj.Pkg().Path()][obj.Name()]; bad {
+				pass.Reportf(call.Pos(), "call to %s.%s in deterministic package %s: %s",
+					obj.Pkg().Path(), obj.Name(), pass.Path, why)
+			}
+			return true
+		})
+	}
+	return nil
+}

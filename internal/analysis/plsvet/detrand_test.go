@@ -1,0 +1,35 @@
+package plsvet
+
+import "testing"
+
+// TestDetRand covers both sides of the determinism contract: a fixture
+// mounted at a deterministic import path where every ambient source is
+// flagged (and the //plsvet:allow escape hatch honored), and one mounted
+// outside the deterministic set where the same constructs are fine.
+func TestDetRand(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: DetRand,
+		Packages: map[string]string{
+			"rpls/internal/engine/detfixture": "detrand/det",
+			"rpls/cmd/freefixture":            "detrand/free",
+		},
+	})
+}
+
+// TestDeterministicPackageSet pins the package-path scope of the contract.
+func TestDeterministicPackageSet(t *testing.T) {
+	for path, want := range map[string]bool{
+		"rpls/internal/engine":          true,
+		"rpls/internal/engine/sub":      true,
+		"rpls/internal/core":            true,
+		"rpls/internal/campaign":        true,
+		"rpls/internal/schemes/uniform": true,
+		"rpls/cmd/plsrun":               false,
+		"rpls/internal/experiments":     false,
+		"rpls/internal/enginex":         false,
+	} {
+		if got := isDeterministicPackage(path); got != want {
+			t.Errorf("isDeterministicPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

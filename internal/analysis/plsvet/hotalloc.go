@@ -1,0 +1,78 @@
+package plsvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the allocation discipline of functions annotated
+// //pls:hotpath (the Sequential deterministic verify loop and the
+// estimator's inner trial loop): these run millions of times per campaign
+// and their zero-alloc steady state is what the benchgate allocation band
+// locks in dynamically. The analyzer flags the allocating constructs a
+// reviewer would otherwise have to spot by eye — make, new, append, any
+// fmt call, string concatenation, and closures. A deliberate, amortized
+// allocation (a guarded buffer grow) carries a //plsvet:allow hotalloc
+// justification.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocating constructs (make/new/append, fmt, string concatenation, closures) " +
+		"inside functions annotated //pls:hotpath",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isB := pass.Info.Uses[id].(*types.Builtin); isB {
+					switch id.Name {
+					case "make", "new", "append":
+						pass.Reportf(n.Pos(), "%s in //pls:hotpath function %s allocates", id.Name, name)
+					}
+				}
+			}
+			if obj := usedObject(pass.Info, n.Fun); objectFromPkg(obj, "fmt", "") {
+				pass.Reportf(n.Pos(), "fmt.%s in //pls:hotpath function %s allocates", obj.Name(), name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n.X) {
+				pass.Reportf(n.Pos(), "string concatenation in //pls:hotpath function %s allocates", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation in //pls:hotpath function %s allocates", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in //pls:hotpath function %s may allocate its captures", name)
+			return false // the literal's own body is not the annotated hot path
+		}
+		return true
+	})
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,15 @@
+package plsvet
+
+import "testing"
+
+// TestHotAlloc covers the annotated hot path (every allocating construct
+// flagged), the justified amortized-grow escape hatch, and an un-annotated
+// function that may allocate freely.
+func TestHotAlloc(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: HotAlloc,
+		Packages: map[string]string{
+			"rpls/internal/engine/hotfixture": "hotalloc",
+		},
+	})
+}

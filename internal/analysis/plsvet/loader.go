@@ -1,0 +1,289 @@
+package plsvet
+
+// The package loader. plsvet deliberately depends on nothing outside the
+// standard library (this module has no external dependencies and the build
+// environment has no module proxy), so instead of
+// golang.org/x/tools/go/packages it parses and type-checks the module
+// itself: module packages are located by walking the tree rooted at go.mod,
+// standard-library imports are type-checked from GOROOT source via the
+// go/importer "source" importer, and everything is memoized per Loader.
+// Only non-test files are loaded — the contracts plsvet enforces target
+// production code; _test.go files may freely use time.Now, map ranges, etc.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package of the run.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory on disk
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module, memoizing both
+// module packages and the standard library.
+type Loader struct {
+	Fset   *token.FileSet
+	root   string // module root (directory containing go.mod)
+	module string // module path from go.mod
+
+	// overrides maps import paths to directories outside the normal module
+	// layout; the fixture runner uses it to mount testdata/src packages
+	// under engine-relative import paths.
+	overrides map[string]string
+
+	std     types.ImporterFrom  // GOROOT source importer for the stdlib
+	pkgs    map[string]*Package // loaded module/override packages
+	loading map[string]bool     // cycle detection
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:      fset,
+		root:      root,
+		module:    mod,
+		overrides: map[string]string{},
+		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
+	}, nil
+}
+
+// Override mounts dir as the source of the given import path, shadowing
+// any module-layout resolution. Used by the fixture runner.
+func (l *Loader) Override(path, dir string) { l.overrides[path] = dir }
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("plsvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("plsvet: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("plsvet: no module line in %s", gomod)
+}
+
+// LoadAll loads every package of the module (every directory under the
+// root containing non-test .go files, skipping testdata and hidden
+// directories), in deterministic path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if ok, err := hasGoFiles(p); err != nil {
+			return err
+		} else if ok {
+			rel, err := filepath.Rel(l.root, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, l.module)
+			} else {
+				paths = append(paths, l.module+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// .go file.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the package with the given import path,
+// loading its module dependencies first. Standard-library paths are
+// delegated to the GOROOT source importer.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("plsvet: %s is not a module package", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("plsvet: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("plsvet: no Go files in %s", dir)
+	}
+
+	// Load module dependencies first so the type-checker finds them
+	// memoized; stdlib imports resolve lazily through the importer.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if _, isModule := l.dirFor(p); isModule {
+				if _, err := l.Load(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("plsvet: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// dirFor resolves an import path to a directory if it belongs to the
+// module or the override set.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if dir, ok := l.overrides[path]; ok {
+		return dir, true
+	}
+	if path == l.module {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// parseDir parses every non-test .go file of dir, with comments (the
+// annotation grammar lives in comments).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer for the checker:
+// module and override paths are served by the loader itself, everything
+// else by the GOROOT source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}

@@ -1,0 +1,176 @@
+package plsvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces the output-determinism contract: results.jsonl, the
+// BENCH_*.json aggregates, and every printed table must be byte-identical
+// run over run, so no Go map iteration (randomized order by the runtime)
+// may feed an order-sensitive accumulator. The analyzer flags a `range`
+// over a map whose body appends to a slice declared outside the loop,
+// writes through a writer/encoder-shaped method, or concatenates onto an
+// outer string. The fix is to iterate a sorted key slice and index the map
+// (which produces no diagnostic); a site that is genuinely order-free can
+// carry a //plsvet:allow maporder justification instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid ranging over a map while feeding order-sensitive output " +
+		"(appends to outer slices, writer/encoder calls, string building); iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+// orderSensitiveCalls are method/function names that emit or accumulate in
+// call order: stream writers, encoders, and printers.
+var orderSensitiveCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !strings.HasPrefix(pass.Path, "rpls") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if why := orderSensitiveUse(pass, rng); why != "" {
+				pass.Reportf(rng.Pos(), "map iteration feeds order-sensitive output (%s); iterate sorted keys instead", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitiveUse scans the range body for a construct whose result
+// depends on iteration order, returning a description of the first one
+// found ("" when the body is order-free).
+func orderSensitiveUse(pass *Pass, rng *ast.RangeStmt) string {
+	var why string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x outlives the loop. Appending only
+			// the range *keys* is exempt: it is the first half of the
+			// sanctioned fix (collect keys, sort, index the map), and a key
+			// slice is useless for output until sorted.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call.Fun, "append") {
+					continue
+				}
+				if appendsOnlyKey(pass, call, rng) {
+					continue
+				}
+				if i < len(n.Lhs) && outlivesLoop(pass, n.Lhs[i], rng) {
+					why = "append to a slice declared outside the loop"
+					return false
+				}
+			}
+			// s += ... on an outer string.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pass.Info.Types[n.Lhs[0]]; ok {
+					if b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if outlivesLoop(pass, n.Lhs[0], rng) {
+							why = "string concatenation onto a variable declared outside the loop"
+							return false
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := calleeName(n.Fun); ok && orderSensitiveCalls[name] {
+				why = "call to " + name + " inside the loop"
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// calleeName extracts the bare name of a call target.
+func calleeName(fun ast.Expr) (string, bool) {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isBuiltin reports whether fun names the given universe builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// appendsOnlyKey reports whether every appended element of the call is the
+// range statement's key variable — the collect-keys-for-sorting idiom.
+func appendsOnlyKey(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.Info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.Info.Uses[keyID]
+	}
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// outlivesLoop reports whether the assignment target lhs refers to storage
+// declared outside the range statement: a selector or index expression
+// (backing storage is elsewhere), or an identifier whose declaration
+// precedes the loop.
+func outlivesLoop(pass *Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return outlivesLoop(pass, lhs.X, rng)
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package plsvet
+
+import "testing"
+
+// TestMapOrder covers the order-sensitivity triggers (outer append, writer
+// calls, string building), the exemptions (sorted-keys idiom, commutative
+// folds, map-to-map rewrites), and the escape hatch.
+func TestMapOrder(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: MapOrder,
+		Packages: map[string]string{
+			"rpls/internal/campaign/mapfixture": "maporder",
+		},
+	})
+}

@@ -1,0 +1,86 @@
+package plsvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MeterFlow enforces the wire-accounting contract: engine.Stats and
+// engine.Summary are measurements, produced exclusively by the engine's
+// executors and estimator. If a scheme, driver, or aggregate could write
+// those fields, a single misplaced assignment would cook the very numbers
+// the paper's Θ(λ) vs O(log λ) separation and the ⌈κ/t⌉ tradeoff are read
+// from. Outside rpls/internal/engine the analyzer flags every field write
+// (assignment, compound assignment, increment) and every non-zero composite
+// literal of the two metering types; reading fields is of course free.
+var MeterFlow = &Analyzer{
+	Name: "meterflow",
+	Doc: "engine.Stats / engine.Summary metering fields may only be written inside " +
+		"rpls/internal/engine; everywhere else they are read-only measurements",
+	Run: runMeterFlow,
+}
+
+// meteredTypes are the engine measurement types whose fields are write-
+// protected outside the engine.
+var meteredTypes = []string{"Stats", "Summary"}
+
+func runMeterFlow(pass *Pass) error {
+	if pass.Path == enginePath || strings.HasPrefix(pass.Path, enginePath+"/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkMeterWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkMeterWrite(pass, n.X)
+			case *ast.CompositeLit:
+				if len(n.Elts) == 0 {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n]; ok {
+					if name := meteredTypeName(tv.Type); name != "" {
+						pass.Reportf(n.Pos(),
+							"construction of engine.%s with field values outside the engine; "+
+								"metering is produced only by internal/engine executors", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMeterWrite flags lhs when it is a field selection on one of the
+// metered engine types.
+func checkMeterWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	if name := meteredTypeName(s.Recv()); name != "" {
+		pass.Reportf(lhs.Pos(),
+			"write to engine.%s.%s outside the engine; "+
+				"metering fields are read-only measurements here", name, sel.Sel.Name)
+	}
+}
+
+// meteredTypeName returns "Stats" or "Summary" when t is (a pointer to)
+// that engine type, else "".
+func meteredTypeName(t types.Type) string {
+	for _, name := range meteredTypes {
+		if namedFromEngine(t, name) {
+			return name
+		}
+	}
+	return ""
+}

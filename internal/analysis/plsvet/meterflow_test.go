@@ -1,0 +1,16 @@
+package plsvet
+
+import "testing"
+
+// TestMeterFlow covers the write protection of the engine's metering types
+// outside rpls/internal/engine — field assignment, compound assignment,
+// increment, and non-zero construction — plus the free reads, the zero
+// value, and the escape hatch.
+func TestMeterFlow(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: MeterFlow,
+		Packages: map[string]string{
+			"rpls/internal/campaign/meterfixture": "meterflow",
+		},
+	})
+}

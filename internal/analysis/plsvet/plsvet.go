@@ -1,0 +1,280 @@
+// Package plsvet is a suite of static analyzers that machine-check the
+// engine-specific contracts this repository's headline results rest on:
+// determinism of everything feeding byte-compared output, honesty of the
+// wire-cost accounting, and allocation discipline on the measured hot
+// paths. The golden byte-compares, the conformance battery, and the
+// benchgate allocation gate verify these properties dynamically, minutes
+// after a violation lands; plsvet rejects the violating AST before it is
+// ever executed — the same move go vet and staticcheck make for generic
+// Go, specialized to this engine.
+//
+// The suite (see DESIGN.md, "Static invariants", for the full contracts):
+//
+//   - detrand   — no ambient randomness or environment inside deterministic
+//     packages: math/rand, crypto/rand, time.Now-style clocks, and
+//     os.Getenv-style environment reads are forbidden in internal/engine,
+//     internal/core, internal/campaign, and internal/schemes/...; coins
+//     come only from internal/prng streams seeded by explicit parameters.
+//   - maporder  — no Go map iteration may feed order-sensitive output:
+//     a `range` over a map whose body appends to an outer slice, writes
+//     through a writer/encoder, or concatenates onto an outer string is
+//     flagged; iterate a sorted key slice instead.
+//   - hotalloc  — functions annotated `//pls:hotpath` must not contain
+//     allocating constructs: make, new, append, fmt calls, string
+//     concatenation, or closures.
+//   - register  — every package under internal/schemes/ must self-register
+//     a scheme in an init() and be blank-imported by the
+//     internal/schemes/all registry, so a new scheme cannot silently skip
+//     the conformance battery.
+//   - meterflow — engine.Stats / engine.Summary metering fields may only
+//     be written inside internal/engine, so a scheme or driver cannot cook
+//     its own cost accounting.
+//
+// Annotation grammar. A justified exception is granted per line:
+//
+//	//plsvet:allow <analyzer> — <why this site is safe>
+//
+// placed either at the end of the flagged line or alone on the line
+// directly above it. Hot paths are opted in per function:
+//
+//	//pls:hotpath
+//
+// as a line of the function's doc comment.
+//
+// The framework is a deliberately small, dependency-free subset of the
+// golang.org/x/tools/go/analysis API (Analyzer / Pass / Reportf and an
+// analysistest-style fixture runner): this module has no external
+// dependencies and the build environment has no module proxy, so the
+// suite is built on go/ast + go/types + go/importer alone. Adding an
+// analyzer is three steps: declare an *Analyzer, append it to Suite,
+// and give it a fixture suite under testdata/src (see DESIGN.md).
+package plsvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named check over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //plsvet:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run executes the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Suite returns the full plsvet analyzer suite in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, HotAlloc, Register, MeterFlow}
+}
+
+// A Pass provides one analyzer with a single type-checked package and a
+// diagnostic sink. Mirrors the x/tools analysis.Pass surface we need.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Path is the package's import path; Dir its directory on disk.
+	Path string
+	Dir  string
+	Pkg  *types.Package
+	Info *types.Info
+	// AllPaths lists the import paths of every package in the run, so
+	// suite-level contracts (the register analyzer's registry check) need
+	// no filesystem access of their own.
+	AllPaths []string
+
+	allow map[allowKey]bool // (file, line, analyzer) exceptions
+	sink  *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowRE matches the exception grammar: //plsvet:allow <name> [— reason].
+var allowRE = regexp.MustCompile(`^//plsvet:allow\s+([a-z]+)\b`)
+
+// buildAllow indexes every //plsvet:allow comment of the pass's files. An
+// allow comment grants its named analyzer an exception on the comment's own
+// line and on the line directly below (so it can trail the flagged line or
+// sit alone above it).
+func (p *Pass) buildAllow() {
+	p.allow = map[allowKey]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.allow[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				p.allow[allowKey{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+}
+
+// allowed reports whether an exception covers the given position.
+func (p *Pass) allowed(pos token.Pos) bool {
+	pp := p.Fset.Position(pos)
+	return p.allow[allowKey{pp.Filename, pp.Line, p.Analyzer.Name}]
+}
+
+// Reportf records a finding at pos unless a //plsvet:allow comment for this
+// analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowed(pos) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// hotpathMarker is the per-function opt-in for the hotalloc analyzer.
+const hotpathMarker = "//pls:hotpath"
+
+// isHotpath reports whether the function declaration's doc comment carries
+// the //pls:hotpath marker.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// enginePath is the one package allowed to write metering fields; it also
+// anchors the deterministic-package set and the registry contract.
+const (
+	enginePath  = "rpls/internal/engine"
+	schemesPath = "rpls/internal/schemes"
+	// registryPath is the blank-import registry every scheme package must
+	// appear in so that registry-driven conformance sees it.
+	registryPath = schemesPath + "/all"
+	// harnessPath is the scheme test harness: under internal/schemes/ but
+	// not a scheme package itself.
+	harnessPath = schemesPath + "/schemetest"
+)
+
+// isSchemePackage reports whether path is a scheme implementation package
+// (under internal/schemes/, excluding the registry and the test harness).
+func isSchemePackage(path string) bool {
+	if !strings.HasPrefix(path, schemesPath+"/") {
+		return false
+	}
+	return path != registryPath && path != harnessPath &&
+		!strings.HasPrefix(path, harnessPath+"/")
+}
+
+// Check runs every analyzer of suite over every package, returning the
+// combined findings sorted by position. Packages are analyzed
+// independently; AllPaths carries the run's full package list to each pass.
+func Check(suite []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	paths := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		paths[i] = p.Path
+	}
+	sort.Strings(paths)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Dir:      pkg.Dir,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				AllPaths: paths,
+				sink:     &diags,
+			}
+			pass.buildAllow()
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("plsvet: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags, nil
+}
+
+// usedObject resolves an expression that names a function or variable — an
+// identifier or a package-qualified selector — to its types.Object.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return usedObject(info, e.X)
+	}
+	return nil
+}
+
+// objectFromPkg reports whether obj belongs to the package with the given
+// import path and has the given name; name "" matches any member.
+func objectFromPkg(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && (name == "" || obj.Name() == name)
+}
+
+// namedFromEngine unwraps aliases and pointers and reports whether t is the
+// named type rpls/internal/engine.<name>. Aliases matter: internal/runtime
+// re-exports engine types as `type Stats = engine.Stats`.
+func namedFromEngine(t types.Type, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return objectFromPkg(n.Obj(), enginePath, name)
+}

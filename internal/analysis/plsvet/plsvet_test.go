@@ -1,0 +1,34 @@
+package plsvet
+
+import "testing"
+
+// TestModuleIsClean is the meta-test the CI lint job mirrors: the whole
+// module must pass the full plsvet suite. A finding here means either new
+// code broke a contract (fix it) or a justified exception is missing its
+// //plsvet:allow annotation (add one, with the justification).
+func TestModuleIsClean(t *testing.T) {
+	diags, err := CheckModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteShape pins the suite: five analyzers, stable order, documented.
+func TestSuiteShape(t *testing.T) {
+	want := []string{"detrand", "maporder", "hotalloc", "register", "meterflow"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package plsvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Register enforces the registry contract that keeps the conformance
+// battery exhaustive: every scheme package under internal/schemes/ must
+// (a) call engine.Register from an init function, and (b) be blank-imported
+// by the internal/schemes/all registry package, which binaries and the
+// registry-driven conformance tests import. A scheme satisfying (a) but
+// not (b) would compile, pass its own unit tests, and silently never be
+// exercised by the battery, the campaign cross products, or the CLIs.
+var Register = &Analyzer{
+	Name: "register",
+	Doc: "every internal/schemes/ package must engine.Register itself in an init() " +
+		"and be blank-imported by internal/schemes/all",
+	Run: runRegister,
+}
+
+func runRegister(pass *Pass) error {
+	if isSchemePackage(pass.Path) {
+		checkSelfRegisters(pass)
+	}
+	if pass.Path == registryPath {
+		checkRegistryImports(pass)
+	}
+	if pass.Path == enginePath {
+		checkRegistryExists(pass)
+	}
+	return nil
+}
+
+// checkRegistryExists anchors the registry's existence on the engine
+// package (the registry's owner): if the run contains scheme packages but
+// no internal/schemes/all, the per-import check above never fires, so the
+// missing registry itself must be a finding.
+func checkRegistryExists(pass *Pass) {
+	schemes := false
+	for _, path := range pass.AllPaths {
+		if path == registryPath {
+			return
+		}
+		schemes = schemes || isSchemePackage(path)
+	}
+	if schemes {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"module has scheme packages but no %s registry package; "+
+				"binaries and conformance tests have nothing to import", registryPath)
+	}
+}
+
+// checkSelfRegisters requires an init() containing a call that resolves to
+// engine.Register.
+func checkSelfRegisters(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || fn.Name.Name != "init" || fn.Body == nil {
+				continue
+			}
+			registers := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if objectFromPkg(usedObject(pass.Info, call.Fun), enginePath, "Register") {
+					registers = true
+				}
+				return true
+			})
+			if registers {
+				return
+			}
+		}
+	}
+	pass.Reportf(pass.Files[0].Name.Pos(),
+		"scheme package %s never calls engine.Register from an init(); "+
+			"it will be invisible to the registry and skip the conformance battery", pass.Path)
+}
+
+// checkRegistryImports requires the registry package to import every scheme
+// package of the run.
+func checkRegistryImports(pass *Pass) {
+	imported := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			imported[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	for _, path := range pass.AllPaths {
+		if isSchemePackage(path) && !imported[path] {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"registry package %s does not import scheme package %s; "+
+					"add a blank import so the conformance battery sees it", registryPath, path)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package plsvet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegister covers both halves of the registry contract with one
+// fixture set: a scheme that self-registers and is imported (clean), a
+// scheme that neither registers nor is imported (flagged twice — once at
+// its own package clause, once at the registry's).
+func TestRegister(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: Register,
+		Packages: map[string]string{
+			"rpls/internal/schemes/goodscheme": "register/goodscheme",
+			"rpls/internal/schemes/badscheme":  "register/badscheme",
+			"rpls/internal/schemes/all":        "register/registry",
+		},
+	})
+}
+
+// TestRegisterMissingRegistry exercises the engine-anchored existence
+// check: a run containing scheme packages but no internal/schemes/all
+// must be a finding, and the same run with the registry present must not.
+func TestRegisterMissingRegistry(t *testing.T) {
+	loader, err := sharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedLoaderState.Lock()
+	defer sharedLoaderState.Unlock()
+	pkg, err := loader.Load(enginePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(allPaths []string) []Diagnostic {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer: Register,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Dir:      pkg.Dir,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			AllPaths: allPaths,
+			sink:     &diags,
+		}
+		pass.buildAllow()
+		if err := Register.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	diags := run([]string{enginePath, schemesPath + "/uniform"})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no "+registryPath) {
+		t.Fatalf("without the registry: got %v, want one missing-registry finding", diags)
+	}
+	if diags := run([]string{enginePath, schemesPath + "/uniform", registryPath}); len(diags) != 0 {
+		t.Fatalf("with the registry present: got %v, want none", diags)
+	}
+	if diags := run([]string{enginePath}); len(diags) != 0 {
+		t.Fatalf("with no scheme packages at all: got %v, want none", diags)
+	}
+}

@@ -1,0 +1,34 @@
+// Package det is a detrand fixture mounted at a deterministic import path
+// (under rpls/internal/engine/), so every ambient-randomness construct
+// below must be flagged.
+package det
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand in deterministic package"
+	"math/rand"         // want "import of math/rand in deterministic package"
+	"os"
+	"time"
+
+	"rpls/internal/prng"
+)
+
+// Seed draws from every forbidden source and one legitimate one.
+func Seed() uint64 {
+	s := uint64(rand.Int63())              // the import is the finding; uses are not re-flagged
+	s ^= uint64(time.Now().UnixNano())     // want "call to time.Now in deterministic package"
+	s ^= uint64(len(os.Getenv("PLSSEED"))) // want "call to os.Getenv in deterministic package"
+	var b [1]byte
+	crand.Read(b[:])
+	s ^= uint64(b[0])
+
+	// The sanctioned coin source: an explicit-parameter prng stream.
+	r := prng.New(42)
+	s ^= r.Uint64()
+
+	// The escape hatch: a justified exception is honored.
+	s ^= uint64(time.Now().Unix()) //plsvet:allow detrand — fixture demonstrating the escape hatch
+	return s
+}
+
+// Elapsed uses time legitimately (no wall-clock reads): durations are fine.
+func Elapsed(d time.Duration) time.Duration { return d * 2 }

@@ -1,0 +1,14 @@
+// Package free is a detrand fixture mounted at a non-deterministic import
+// path (under rpls/cmd/), where ambient randomness and clocks are fine:
+// nothing here may be flagged.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is allowed to use whatever it likes outside the deterministic set.
+func Jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Since(time.Now()) + 1)))
+}

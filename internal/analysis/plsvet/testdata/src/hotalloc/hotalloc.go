@@ -1,0 +1,49 @@
+// Package hotalloc is a hotalloc fixture: allocating constructs inside
+// //pls:hotpath functions are flagged; un-annotated functions and justified
+// amortized grows are not.
+package hotalloc
+
+import "fmt"
+
+type buf struct {
+	votes []bool
+	log   string
+}
+
+// Hot is the annotated hot path: every allocating construct is flagged.
+//
+//pls:hotpath
+func Hot(b *buf, n int) {
+	b.votes = make([]bool, n)         // want "make in //pls:hotpath function Hot allocates"
+	p := new(int)                     // want "new in //pls:hotpath function Hot allocates"
+	b.votes = append(b.votes, true)   // want "append in //pls:hotpath function Hot allocates"
+	s := fmt.Sprintf("n=%d", n)       // want "fmt.Sprintf in //pls:hotpath function Hot allocates"
+	b.log = s + "!"                   // want "string concatenation in //pls:hotpath function Hot allocates"
+	b.log += "x"                      // want "string concatenation in //pls:hotpath function Hot allocates"
+	f := func() { b.votes[0] = true } // want "closure in //pls:hotpath function Hot may allocate its captures"
+	f()
+	_ = p
+}
+
+// Grow shows the sanctioned amortized pattern: a capacity-guarded grow with
+// a justification is exempt; steady-state statements are clean.
+//
+//pls:hotpath
+func Grow(b *buf, n int) {
+	if cap(b.votes) < n {
+		b.votes = make([]bool, n) //plsvet:allow hotalloc — capacity-guarded grow, amortized across rounds
+	}
+	b.votes = b.votes[:n]
+	for i := range b.votes {
+		b.votes[i] = false
+	}
+}
+
+// Cold is not annotated: it may allocate freely.
+func Cold(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}

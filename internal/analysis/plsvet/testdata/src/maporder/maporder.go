@@ -1,0 +1,79 @@
+// Package maporder is a maporder fixture: map ranges feeding
+// order-sensitive output are flagged, the sorted-keys idiom and order-free
+// bodies are not.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CollectValues appends map values in iteration order — flagged.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration feeds order-sensitive output"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Dump writes in iteration order — flagged.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration feeds order-sensitive output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Join builds a string in iteration order — flagged.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration feeds order-sensitive output"
+		s += k
+	}
+	return s
+}
+
+// SortedValues is the sanctioned fix: collect the keys (exempt), sort,
+// index the map. Nothing here is flagged.
+func SortedValues(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Sum folds commutatively — order-free, not flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes only to another map — order-free for distinct values, and
+// genuinely order-dependent sites use the escape hatch.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Allowed demonstrates the escape hatch on a site the analyzer would flag.
+func Allowed(m map[string]int) []int {
+	var out []int
+	//plsvet:allow maporder — fixture demonstrating the escape hatch
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package meterflow is a meterflow fixture mounted outside
+// rpls/internal/engine: writes to the engine's metering types are flagged,
+// reads and zero-value construction are not.
+package meterflow
+
+import "rpls/internal/engine"
+
+// Cook tries every way of cooking the books — all flagged.
+func Cook(st *engine.Stats, sum *engine.Summary) {
+	st.MaxCertBits = 1                     // want "write to engine.Stats.MaxCertBits outside the engine"
+	st.TotalWireBits += 64                 // want "write to engine.Stats.TotalWireBits outside the engine"
+	st.Messages++                          // want "write to engine.Stats.Messages outside the engine"
+	sum.TotalBits = 0                      // want "write to engine.Summary.TotalBits outside the engine"
+	forged := engine.Stats{MaxPortBits: 3} // want "construction of engine.Stats with field values outside the engine"
+	*st = forged
+}
+
+// Read consumes measurements — reads are free, and so is the zero value.
+func Read(st engine.Stats) (int64, engine.Stats) {
+	perEdge := st.TotalWireBits / int64(max(st.Messages, 1))
+	return perEdge, engine.Stats{}
+}
+
+// Justified demonstrates the escape hatch.
+func Justified(st *engine.Stats) {
+	//plsvet:allow meterflow — fixture demonstrating the escape hatch
+	st.Messages = 0
+}

@@ -1,0 +1,12 @@
+// Package badscheme is a register fixture: it has an init, but never calls
+// engine.Register, and the fixture registry does not import it.
+package badscheme // want "scheme package rpls/internal/schemes/badscheme never calls engine.Register from an init"
+
+import "rpls/internal/engine"
+
+var entries int
+
+func init() {
+	// Counting entries is not registering.
+	entries = len(engine.Entries())
+}

@@ -1,0 +1,12 @@
+// Package goodscheme is a register fixture: it self-registers from init()
+// and is imported by the fixture registry, so nothing is flagged.
+package goodscheme
+
+import "rpls/internal/engine"
+
+func init() {
+	engine.Register(engine.Entry{
+		Name:        "goodscheme",
+		Description: "register-analyzer fixture",
+	})
+}

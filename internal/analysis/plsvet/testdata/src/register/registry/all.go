@@ -1,0 +1,7 @@
+// Package all is the register fixture's registry: it imports goodscheme
+// but not badscheme, so the missing blank import is flagged here.
+package all // want "registry package rpls/internal/schemes/all does not import scheme package rpls/internal/schemes/badscheme"
+
+import (
+	_ "rpls/internal/schemes/goodscheme"
+)

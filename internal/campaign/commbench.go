@@ -118,21 +118,30 @@ func AggregateComm(specName string, recs []Record) BenchComm {
 			c.fold(rec)
 		}
 	}
-	for _, row := range rows {
+	// Iterate the row keys in sorted order (never the map itself): the rows
+	// land in their final scheme/family/size order with no order-sensitive
+	// pass over randomized map iteration, as plsvet's maporder check
+	// requires.
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.scheme != kj.scheme {
+			return ki.scheme < kj.scheme
+		}
+		if ki.family != kj.family {
+			return ki.family < kj.family
+		}
+		return ki.n < kj.n
+	})
+	for _, k := range keys {
+		row := rows[k]
 		row.DetRandRatio = ratio(row.Variants, VariantDet, VariantRand)
 		row.DetCompiledRatio = ratio(row.Variants, VariantDet, VariantCompiled)
 		b.Rows = append(b.Rows, *row)
 	}
-	sort.Slice(b.Rows, func(i, j int) bool {
-		ri, rj := b.Rows[i], b.Rows[j]
-		if ri.Scheme != rj.Scheme {
-			return ri.Scheme < rj.Scheme
-		}
-		if ri.Family != rj.Family {
-			return ri.Family < rj.Family
-		}
-		return ri.N < rj.N
-	})
 	b.DetRandRatio = meanRatio(b.Rows, func(r CommRow) float64 { return r.DetRandRatio })
 	b.DetCompiledRatio = meanRatio(b.Rows, func(r CommRow) float64 { return r.DetCompiledRatio })
 	return b

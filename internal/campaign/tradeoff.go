@@ -98,8 +98,30 @@ func AggregateTradeoff(specName string, recs []Record) BenchTradeoff {
 		}
 	}
 
+	// Iterate the curve keys in sorted order (never the map itself): the
+	// curves land in their final scheme/variant/family/size order with no
+	// order-sensitive pass over randomized map iteration, as plsvet's
+	// maporder check requires.
+	keys := make([]curveKey, 0, len(curves))
+	for ck := range curves {
+		keys = append(keys, ck)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.scheme != kj.scheme {
+			return ki.scheme < kj.scheme
+		}
+		if ki.variant != kj.variant {
+			return ki.variant < kj.variant
+		}
+		if ki.family != kj.family {
+			return ki.family < kj.family
+		}
+		return ki.n < kj.n
+	})
 	decSchemes, decFamilies := map[string]bool{}, map[string]bool{}
-	for ck, ps := range curves {
+	for _, ck := range keys {
+		ps := curves[ck]
 		curve := TradeoffCurve{Scheme: ck.scheme, Variant: ck.variant, Family: ck.family, N: ck.n}
 		sort.Slice(ps, func(i, j int) bool { return ps[i].Rounds < ps[j].Rounds })
 		for _, p := range ps {
@@ -113,19 +135,6 @@ func AggregateTradeoff(specName string, recs []Record) BenchTradeoff {
 		}
 		b.Curves = append(b.Curves, curve)
 	}
-	sort.Slice(b.Curves, func(i, j int) bool {
-		ci, cj := b.Curves[i], b.Curves[j]
-		if ci.Scheme != cj.Scheme {
-			return ci.Scheme < cj.Scheme
-		}
-		if ci.Variant != cj.Variant {
-			return ci.Variant < cj.Variant
-		}
-		if ci.Family != cj.Family {
-			return ci.Family < cj.Family
-		}
-		return ci.N < cj.N
-	})
 	b.DecreasingSchemes = len(decSchemes)
 	b.DecreasingFamilies = len(decFamilies)
 	return b

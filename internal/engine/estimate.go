@@ -238,7 +238,12 @@ func runTrials(execs []Executor, s Scheme, c *graph.Config, labels []core.Label,
 	wg.Wait()
 }
 
-// oneWorker runs trials [lo, hi) on a single executor.
+// oneWorker runs trials [lo, hi) on a single executor. This is the
+// estimator's inner loop — every Monte-Carlo trial of every campaign cell
+// passes through it — so it carries the hotalloc contract: per-trial work
+// must stay on the executor's reused scratch.
+//
+//pls:hotpath
 func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
 	for t := lo; t < hi; t++ {
 		votes, st := exec.Round(s, c, labels, seed+uint64(t))

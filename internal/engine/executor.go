@@ -35,10 +35,14 @@ type scratch struct {
 
 // ensure resizes the scratch for the graph. Offsets are recomputed every
 // round because configurations are mutated in place by corruption helpers.
+// The makes below are capacity-guarded grows: they fire only when the graph
+// outgrows the scratch, so steady-state rounds never reach them.
+//
+//pls:hotpath
 func (sc *scratch) ensure(g *graph.Graph) {
 	n := g.N()
 	if cap(sc.offs) < n+1 {
-		sc.offs = make([]int, n+1)
+		sc.offs = make([]int, n+1) //plsvet:allow hotalloc — capacity-guarded grow, amortized across rounds
 	}
 	sc.offs = sc.offs[:n+1]
 	total := 0
@@ -48,26 +52,30 @@ func (sc *scratch) ensure(g *graph.Graph) {
 	}
 	sc.offs[n] = total
 	if cap(sc.recv) < total {
-		sc.recv = make([]core.Cert, total)
+		sc.recv = make([]core.Cert, total) //plsvet:allow hotalloc — capacity-guarded grow, amortized across rounds
 	}
 	sc.recv = sc.recv[:total]
 	if cap(sc.certs) < n {
-		sc.certs = make([][]core.Cert, n)
+		sc.certs = make([][]core.Cert, n) //plsvet:allow hotalloc — capacity-guarded grow, amortized across rounds
 	}
 	sc.certs = sc.certs[:n]
 	if cap(sc.votes) < n {
-		sc.votes = make([]bool, n)
+		sc.votes = make([]bool, n) //plsvet:allow hotalloc — capacity-guarded grow, amortized across rounds
 	}
 	sc.votes = sc.votes[:n]
 }
 
 // window returns node v's receive buffer, sized to its degree.
+//
+//pls:hotpath
 func (sc *scratch) window(v int) []core.Cert {
 	return sc.recv[sc.offs[v]:sc.offs[v+1]]
 }
 
 // gather fills node v's receive window from the generated certificates (or,
 // for deterministic schemes, from the neighbors' labels) and returns it.
+//
+//pls:hotpath
 func (sc *scratch) gather(det bool, c *graph.Config, labels []core.Label, v int) []core.Cert {
 	recv := sc.window(v)
 	for i := range recv {
@@ -87,8 +95,9 @@ func (sc *scratch) gather(det bool, c *graph.Config, labels []core.Label, v int)
 }
 
 // sendStats accumulates the cost of everything node v puts on the wire.
-// It only bumps scalar counters on the caller's Stats, so the hot path
-// stays allocation-free (asserted by TestSequentialRoundAllocs).
+// It only bumps scalar counters on the caller's Stats.
+//
+//pls:hotpath
 func sendStats(det bool, c *graph.Config, labels []core.Label, certs []core.Cert, v int, st *Stats) {
 	deg := c.G.Degree(v)
 	st.Messages += deg
@@ -136,7 +145,13 @@ func (e *Sequential) Name() string { return "sequential" }
 // Clone implements Cloneable: a fresh sequential executor with empty scratch.
 func (e *Sequential) Clone() Executor { return NewSequential() }
 
-// Round implements Executor.
+// Round implements Executor. This is the Sequential det hot path: the
+// plsvet hotalloc analyzer rejects allocating constructs in every
+// //pls:hotpath function at the AST level, and the benchgate allocation
+// band locks the measured zero-alloc steady state in CI — together they
+// replace the old ad-hoc "stays 0-alloc" assertion comments.
+//
+//pls:hotpath
 func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
 	if t := Rounds(s); t > 1 {
 		return e.multiRound(s.(MultiRound), t, c, labels, seed)

@@ -65,10 +65,14 @@ func Lookup(name string) (Entry, bool) {
 func Entries() []Entry {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
-	out := make([]Entry, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Strings(names)
+	out := make([]Entry, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
 	return out
 }

@@ -175,9 +175,11 @@ func (flatScheme) Decide(view core.View, own core.Label, received []core.Cert) b
 	return ok
 }
 
-// TestSequentialRoundAllocs pins the zero-alloc claim of the deterministic
-// hot path: once scratch is warm, a Sequential round — wire metering
-// included — performs zero allocations.
+// TestSequentialRoundAllocs is the dynamic half of the hot-path contract:
+// once scratch is warm, a deterministic Sequential round — wire metering
+// included — performs zero allocations. The static half is plsvet's
+// hotalloc analyzer over the //pls:hotpath annotations, and the benchgate
+// allocation band locks the measured value in CI.
 func TestSequentialRoundAllocs(t *testing.T) {
 	cfg := graph.NewConfig(graph.RandomTree(128, prng.New(3)))
 	s := flatScheme{}

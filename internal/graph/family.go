@@ -74,11 +74,15 @@ func LookupFamily(name string) (Family, bool) {
 func Families() []Family {
 	familyMu.RLock()
 	defer familyMu.RUnlock()
-	out := make([]Family, 0, len(families))
-	for _, f := range families {
-		out = append(out, f)
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Strings(names)
+	out := make([]Family, 0, len(names))
+	for _, name := range names {
+		out = append(out, families[name])
+	}
 	return out
 }
 

@@ -34,6 +34,10 @@ func VerifyShared(s core.SharedRPLS, c *graph.Config, labels []core.Label, seed 
 		}
 	}
 	votes := make([]bool, n)
+	// The shared-coin model is the one round shape the engine's executors do
+	// not run (SharedRPLS needs the public stream), so this compat path is
+	// the sole metering authority for its own round.
+	//plsvet:allow meterflow — shared-coin rounds are executed here, not by an engine executor; this is their metering source, not a consumer cooking engine numbers
 	stats := Stats{MaxLabelBits: core.MaxBits(labels), MaxCertBits: certBits}
 	for v := 0; v < n; v++ {
 		deg := c.G.Degree(v)
@@ -42,9 +46,11 @@ func VerifyShared(s core.SharedRPLS, c *graph.Config, labels []core.Label, seed 
 			h := c.G.Neighbor(v, i+1)
 			if h.RevPort-1 < len(all[h.To]) {
 				received[i] = all[h.To][h.RevPort-1]
+				//plsvet:allow meterflow — see above: this function executes the shared-coin round itself
 				stats.TotalWireBits += int64(received[i].Len())
 			}
 		}
+		//plsvet:allow meterflow — see above: this function executes the shared-coin round itself
 		stats.Messages += deg
 		votes[v] = s.DecideShared(core.ViewOf(c, v), labels[v], received, core.SharedCoins(seed))
 	}

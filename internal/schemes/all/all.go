@@ -1,0 +1,30 @@
+// Package all is the scheme registry: a blank import of every scheme
+// package under internal/schemes/, so that one import —
+//
+//	import _ "rpls/internal/schemes/all"
+//
+// — populates the engine registry with every predicate the module
+// implements. Binaries, examples, and the registry-driven conformance
+// battery import this package instead of hand-maintaining per-scheme
+// import lists that silently go stale when a scheme is added.
+//
+// The plsvet register analyzer enforces the contract from both sides:
+// every package under internal/schemes/ must call engine.Register from an
+// init() AND appear in this import block, so a new scheme cannot compile
+// without becoming visible to the conformance battery, the campaign cross
+// products, and the CLIs.
+package all
+
+import (
+	_ "rpls/internal/schemes/acyclicity"
+	_ "rpls/internal/schemes/biconn"
+	_ "rpls/internal/schemes/coloring"
+	_ "rpls/internal/schemes/cycle"
+	_ "rpls/internal/schemes/flow"
+	_ "rpls/internal/schemes/leader"
+	_ "rpls/internal/schemes/mst"
+	_ "rpls/internal/schemes/spanningtree"
+	_ "rpls/internal/schemes/stconn"
+	_ "rpls/internal/schemes/symmetry"
+	_ "rpls/internal/schemes/uniform"
+)

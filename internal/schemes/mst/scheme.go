@@ -211,6 +211,7 @@ func (pls) Label(c *graph.Config) ([]core.Label, error) {
 		}
 		// Record fragment info (leader = member with minimum identity;
 		// distance = tree distance to the leader within the fragment).
+		//plsvet:allow maporder — fragments partition the nodes, so each labels[v] gets exactly one append per phase; iteration order cannot reorder any node's label
 		for _, ms := range members {
 			leader := ms[0]
 			for _, v := range ms {
@@ -261,6 +262,7 @@ func (pls) Label(c *graph.Config) ([]core.Label, error) {
 			}
 		}
 		// Record choices and merge.
+		//plsvet:allow maporder — fragments partition the nodes, so each labels[v] gets exactly one append per phase; iteration order cannot reorder any node's label
 		for r, ms := range members {
 			ch := chosen[r]
 			for _, v := range ms {
