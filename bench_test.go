@@ -176,6 +176,7 @@ func engineExecutors() []engine.Executor {
 		engine.NewSequential(),
 		engine.NewPool(0),
 		engine.NewGoroutines(),
+		engine.NewBatched(),
 	}
 }
 

@@ -63,7 +63,7 @@ func TestGate(t *testing.T) {
 		"BenchmarkBrandNew":  {NsPerOp: 1, AllocsPerOp: 1},
 	}
 	base := Baseline{
-		MaxTimeRatio:  5,
+		MaxTimeRatio:  1.5,
 		MaxAllocRatio: 1.25,
 		Benchmarks: map[string]BaselineEntry{
 			"BenchmarkOK":        {NsPerOp: 2e6, AllocsPerOp: 10},

@@ -219,8 +219,10 @@ func executorFor(name string) (engine.Executor, error) {
 		return engine.NewPool(0), nil
 	case "goroutines", "go":
 		return engine.NewGoroutines(), nil
+	case "batched":
+		return engine.NewBatched(), nil
 	default:
-		return nil, fmt.Errorf("unknown executor %q (sequential, pool, goroutines)", name)
+		return nil, fmt.Errorf("unknown executor %q (sequential, pool, goroutines, batched)", name)
 	}
 }
 

@@ -47,6 +47,12 @@ func (s String) Bytes() []byte {
 	return d
 }
 
+// ByteAt returns byte i of the underlying storage without copying: bits
+// 8i..8i+7 of the string, most significant first, with any bits past Len
+// zero. It exists for batched polynomial evaluation, where per-bit Bit
+// calls dominate the Horner loop; ordinary decoding should use a Reader.
+func (s String) ByteAt(i int) byte { return s.data[i] }
+
 // Bit returns the i-th bit (0-indexed). It panics if i is out of range;
 // callers index only within Len, which is an invariant of decoding.
 func (s String) Bit(i int) byte {
@@ -136,9 +142,7 @@ func (s String) Slice(lo, hi int) String {
 func Concat(ss ...String) String {
 	var w Writer
 	for _, s := range ss {
-		for i := 0; i < s.n; i++ {
-			w.WriteBit(s.Bit(i))
-		}
+		w.WriteString(s)
 	}
 	return w.String()
 }
@@ -186,6 +190,28 @@ func (w *Writer) WriteBit(b byte) {
 	w.n++
 }
 
+// writeBits appends the width lowest bits of v, most significant first,
+// one byte-aligned chunk at a time. This is the shared fast path of
+// WriteUint and WriteString: appends work in up-to-8-bit chunks instead of
+// single bits, which matters because certificate framing (gamma prefixes,
+// fingerprint fields) runs inside the estimator's trial loop.
+func (w *Writer) writeBits(v uint64, width int) {
+	for width > 0 {
+		if w.n&7 == 0 {
+			w.data = append(w.data, 0)
+		}
+		free := 8 - (w.n & 7)
+		k := free
+		if width < k {
+			k = width
+		}
+		chunk := byte(v>>uint(width-k)) & (0xFF >> (8 - uint(k)))
+		w.data[w.n>>3] |= chunk << uint(free-k)
+		w.n += k
+		width -= k
+	}
+}
+
 // WriteUint appends the width lowest bits of v, most significant first.
 // It panics if v does not fit in width bits; label layouts are fixed by the
 // scheme designer and a misfit is a programming error, not an input error.
@@ -196,9 +222,7 @@ func (w *Writer) WriteUint(v uint64, width int) {
 	if width < 64 && v>>uint(width) != 0 {
 		panic(fmt.Sprintf("bitstring: value %d does not fit in %d bits", v, width))
 	}
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBit(byte(v >> uint(i)))
-	}
+	w.writeBits(v, width)
 }
 
 // WriteInt appends a signed value as a sign bit followed by width magnitude
@@ -213,10 +237,14 @@ func (w *Writer) WriteInt(v int64, width int) {
 	w.WriteUint(uint64(v), width)
 }
 
-// WriteString appends another bit string.
+// WriteString appends another bit string, byte-wise.
 func (w *Writer) WriteString(s String) {
-	for i := 0; i < s.n; i++ {
-		w.WriteBit(s.Bit(i))
+	full := s.n >> 3
+	for i := 0; i < full; i++ {
+		w.writeBits(uint64(s.data[i]), 8)
+	}
+	if rem := s.n & 7; rem != 0 {
+		w.writeBits(uint64(s.data[full]>>(8-uint(rem))), rem)
 	}
 }
 
@@ -238,6 +266,27 @@ func (w *Writer) String() String {
 	return String{data: d, n: w.n}
 }
 
+// ResetInto redirects the writer to assemble its next String inside buf's
+// storage, starting empty. A caller that carves disjoint regions out of one
+// slab — with full slice expressions, buf[k:k:k+size], so appends cannot
+// bleed into a neighboring region — builds many Strings with a single
+// allocation. Writing past the region's capacity falls back to a fresh
+// allocation: still correct, just no longer zero-copy.
+func (w *Writer) ResetInto(buf []byte) {
+	w.data, w.n = buf[:0], 0
+}
+
+// TakeString finalizes the writer into a String that takes ownership of the
+// writer's storage without copying, and resets the writer to empty. The
+// writer remains usable; its next write allocates (or reuses the buffer of
+// a following ResetInto). The certificate hot paths pair it with ResetInto
+// so framing a batch costs one slab allocation instead of one per String.
+func (w *Writer) TakeString() String {
+	s := String{data: w.data, n: w.n}
+	w.data, w.n = nil, 0
+	return s
+}
+
 // Reader consumes a String sequentially. Reads past the end return an error
 // rather than panicking: decoded labels come from (possibly adversarial)
 // peers and must be rejected, not crash the verifier.
@@ -248,6 +297,13 @@ type Reader struct {
 
 // NewReader returns a Reader positioned at the first bit of s.
 func NewReader(s String) *Reader { return &Reader{s: s} }
+
+// Reset repositions the reader at the first bit of s. It lets decode hot
+// paths keep value Readers in reused flat scratch instead of allocating one
+// per (lane, port).
+func (r *Reader) Reset(s String) {
+	r.s, r.pos = s, 0
+}
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.s.n - r.pos }
@@ -271,10 +327,19 @@ func (r *Reader) ReadUint(width int) (uint64, error) {
 		return 0, fmt.Errorf("bitstring: need %d bits, have %d", width, r.Remaining())
 	}
 	var v uint64
-	for i := 0; i < width; i++ {
-		b, _ := r.ReadBit()
-		v = v<<1 | uint64(b)
+	pos, rem := r.pos, width
+	for rem > 0 {
+		avail := 8 - (pos & 7)
+		k := avail
+		if rem < k {
+			k = rem
+		}
+		chunk := (r.s.data[pos>>3] >> uint(avail-k)) & (0xFF >> (8 - uint(k)))
+		v = v<<uint(k) | uint64(chunk)
+		pos += k
+		rem -= k
 	}
+	r.pos = pos
 	return v, nil
 }
 
@@ -294,15 +359,52 @@ func (r *Reader) ReadInt(width int) (int64, error) {
 	return int64(mag), nil
 }
 
-// ReadString consumes n bits as a sub-string.
+// ReadString consumes n bits as a sub-string (byte-wise, via Slice).
 func (r *Reader) ReadString(n int) (String, error) {
 	if r.Remaining() < n {
 		return String{}, fmt.Errorf("bitstring: need %d bits, have %d", n, r.Remaining())
 	}
-	var w Writer
-	for i := 0; i < n; i++ {
-		b, _ := r.ReadBit()
-		w.WriteBit(b)
+	if n <= 0 {
+		return String{}, nil
 	}
-	return w.String(), nil
+	out := r.s.Slice(r.pos, r.pos+n)
+	r.pos += n
+	return out, nil
+}
+
+// ReadStringInto consumes n bits like ReadString but assembles the result
+// inside buf when its capacity suffices, so a decode loop that unframes many
+// sub-certificates can hold them all in one reused slab. The returned
+// String aliases buf and is valid only until buf's next reuse; content and
+// padding are identical to ReadString's. A too-small buf degrades to the
+// allocating path.
+func (r *Reader) ReadStringInto(n int, buf []byte) (String, error) {
+	if r.Remaining() < n {
+		return String{}, fmt.Errorf("bitstring: need %d bits, have %d", n, r.Remaining())
+	}
+	if n <= 0 {
+		return String{}, nil
+	}
+	nb := (n + 7) / 8
+	if cap(buf) < nb {
+		return r.ReadString(n)
+	}
+	d := buf[:nb]
+	start, off := r.pos>>3, uint(r.pos&7)
+	if off == 0 {
+		copy(d, r.s.data[start:start+nb])
+	} else {
+		for i := 0; i < nb; i++ {
+			b := r.s.data[start+i] << off
+			if start+i+1 < len(r.s.data) {
+				b |= r.s.data[start+i+1] >> (8 - off)
+			}
+			d[i] = b
+		}
+	}
+	if rem := uint(n & 7); rem != 0 {
+		d[nb-1] &= byte(0xFF) << (8 - rem)
+	}
+	r.pos += n
+	return String{data: d, n: n}, nil
 }

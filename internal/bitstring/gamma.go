@@ -1,6 +1,9 @@
 package bitstring
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Elias-gamma coding of non-negative integers. A value v is stored as
 // gamma(v+1): ⌊log₂(v+1)⌋ zeros, then the binary expansion of v+1. The code
@@ -15,6 +18,14 @@ func (w *Writer) WriteGamma(v uint64) {
 	}
 	x := v + 1
 	n := UintBits(x)
+	if n <= 32 {
+		// The n−1 zeros followed by the n bits of x are just x in a
+		// 2n−1-bit window (the top bit of x lands at position n−1). One
+		// chunked append instead of a per-bit loop: gamma prefixes frame
+		// every certificate, so this runs per port per trial.
+		w.writeBits(x, 2*n-1)
+		return
+	}
 	for i := 0; i < n-1; i++ {
 		w.WriteBit(0)
 	}
@@ -26,30 +37,51 @@ func GammaBits(v uint64) int {
 	return 2*UintBits(v+1) - 1
 }
 
-// ReadGamma consumes an Elias-gamma code.
+// ReadGamma consumes an Elias-gamma code. The zero prefix is scanned one
+// storage byte at a time and the suffix read as one chunked ReadUint —
+// the per-bit loop it replaces showed up at the top of estimator profiles.
 func (r *Reader) ReadGamma() (uint64, error) {
+	pos, end := r.pos, r.s.n
 	zeros := 0
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, fmt.Errorf("gamma prefix: %w", err)
+		if pos >= end {
+			return 0, fmt.Errorf("gamma prefix: bitstring: read past end at bit %d", pos)
 		}
-		if b == 1 {
+		avail := 8 - (pos & 7)
+		if left := end - pos; left < avail {
+			avail = left
+		}
+		// The next avail bits, left-aligned in a byte; storage past Len is
+		// zero-padded, so mask to the valid window.
+		chunk := r.s.data[pos>>3] << uint(pos&7)
+		chunk &= 0xFF << uint(8-avail)
+		if chunk == 0 {
+			zeros += avail
+			pos += avail
+		} else {
+			lz := bits.LeadingZeros8(chunk)
+			zeros += lz
+			pos += lz + 1
 			break
 		}
-		zeros++
 		if zeros > 64 {
 			return 0, fmt.Errorf("gamma prefix too long (%d zeros)", zeros)
 		}
 	}
-	// The leading 1 already read is the top bit of x.
-	x := uint64(1)
-	for i := 0; i < zeros; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, fmt.Errorf("gamma suffix: %w", err)
-		}
-		x = x<<1 | uint64(b)
+	if zeros > 64 {
+		return 0, fmt.Errorf("gamma prefix too long (%d zeros)", zeros)
 	}
+	r.pos = pos
+	if zeros == 0 {
+		return 0, nil // x == 1
+	}
+	rest, err := r.ReadUint(zeros)
+	if err != nil {
+		return 0, fmt.Errorf("gamma suffix: %w", err)
+	}
+	// The leading 1 already consumed is the top bit of x. zeros == 64 can
+	// only come from adversarial input; the shift then wraps exactly like
+	// the bit-loop this replaces, preserving decode decisions.
+	x := uint64(1)<<uint(zeros) | rest
 	return x - 1, nil
 }

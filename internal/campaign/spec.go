@@ -336,7 +336,9 @@ func executorFor(name string) (func() engine.Executor, error) {
 		return func() engine.Executor { return engine.NewPool(0) }, nil
 	case "goroutines", "go":
 		return func() engine.Executor { return engine.NewGoroutines() }, nil
+	case "batched":
+		return func() engine.Executor { return engine.NewBatched() }, nil
 	default:
-		return nil, fmt.Errorf("campaign: unknown executor %q (sequential, pool, goroutines)", name)
+		return nil, fmt.Errorf("campaign: unknown executor %q (sequential, pool, goroutines, batched)", name)
 	}
 }

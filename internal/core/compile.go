@@ -73,7 +73,7 @@ func (c *compiled) Label(cfg *graph.Config) ([]Label, error) {
 	for v := range out {
 		var w bitstring.Writer
 		writeSub(&w, base[v])
-		for _, h := range cfg.G.Adj(v) {
+		for _, h := range cfg.G.AdjView(v) {
 			writeSub(&w, base[h.To])
 		}
 		out[v] = w.String()

@@ -1,0 +1,165 @@
+package core_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/uniform"
+)
+
+// laneSchemes enumerates the LaneRPLS implementations under test together
+// with a config on which their labels are valid. The compiled scheme
+// exercises the replica-splitting path, uniform the shared-polynomial
+// path, the truncated variant a fixed tiny field (p = 2), and Boost both
+// the lane-capable delegation (uniform inner) and the per-lane fallback
+// (coinRPLS inner, which does not implement LaneRPLS).
+func laneSchemes(t *testing.T) []struct {
+	name   string
+	scheme core.RPLS
+	cfg    *graph.Config
+	labels []core.Label
+} {
+	t.Helper()
+	legal := func(n int) *graph.Config {
+		g := graph.RandomTree(n, prng.New(77))
+		for i := 0; i < n/2; i++ {
+			u, v := int(prng.New(uint64(i)).Uint64n(uint64(n))), int(prng.New(uint64(i)+99).Uint64n(uint64(n)))
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		c := graph.NewConfig(g)
+		for v := range c.States {
+			c.States[v].Data = []byte("lane-test-payload")
+		}
+		return c
+	}
+	broken := legal(12)
+	broken.States[5].Data = []byte("lane-test-payloaX")
+
+	var out []struct {
+		name   string
+		scheme core.RPLS
+		cfg    *graph.Config
+		labels []core.Label
+	}
+	add := func(name string, s core.RPLS, c *graph.Config, mustLabel bool) {
+		labels, err := s.Label(c)
+		if err != nil {
+			if mustLabel {
+				t.Fatalf("%s: Label: %v", name, err)
+			}
+			labels = make([]core.Label, c.G.N())
+		}
+		out = append(out, struct {
+			name   string
+			scheme core.RPLS
+			cfg    *graph.Config
+			labels []core.Label
+		}{name, s, c, labels})
+	}
+	add("uniform", uniform.NewRPLS(), legal(14), true)
+	add("uniform-illegal", uniform.NewRPLS(), broken, false)
+	add("truncated", uniform.NewTruncatedRPLS(2), legal(10), true)
+	add("compiled", core.Compile(uniform.NewPLS()), legal(14), true)
+	add("boost3", core.Boost(uniform.NewRPLS(), 3), legal(12), true)
+	add("boost3-illegal", core.Boost(uniform.NewRPLS(), 3), broken, false)
+	add("boost5-two-sided", core.Boost(coinRPLS{bits: 2}, 5), legal(8), true)
+	return out
+}
+
+// TestLanesMatchPerLane pins the LaneRPLS contract: CertsLanes slot (l, i)
+// is bit-identical to Certs with rngs[l] (empty past the short tail), and
+// DecideLanes bit l equals Decide on lane l's certificates — both on the
+// honest exchange and with one lane's certificate corrupted.
+func TestLanesMatchPerLane(t *testing.T) {
+	for _, tc := range laneSchemes(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			ls, ok := tc.scheme.(core.LaneRPLS)
+			if !ok {
+				t.Fatalf("%s does not implement LaneRPLS", tc.scheme.Name())
+			}
+			for _, lanes := range []int{1, 3, 64} {
+				n := tc.cfg.G.N()
+				// Per-lane reference streams and batched streams: trial l at
+				// node v forks prng.New(seed+l).Fork(v), as the executors do.
+				want := make([][][]core.Cert, lanes) // lane -> node -> certs
+				for l := 0; l < lanes; l++ {
+					want[l] = make([][]core.Cert, n)
+					for v := 0; v < n; v++ {
+						rng := prng.New(uint64(1000 + l)).Fork(uint64(v))
+						want[l][v] = tc.scheme.Certs(core.ViewOf(tc.cfg, v), tc.labels[v], rng)
+					}
+				}
+				for v := 0; v < n; v++ {
+					view := core.ViewOf(tc.cfg, v)
+					rngs := make([]*prng.Rand, lanes)
+					out := make([][]core.Cert, lanes)
+					for l := 0; l < lanes; l++ {
+						rngs[l] = prng.New(uint64(1000 + l)).Fork(uint64(v))
+						out[l] = make([]core.Cert, view.Deg)
+						for i := range out[l] {
+							// Pre-fill with junk: every slot must be overwritten.
+							out[l][i] = core.Cert(bitstring.FromBytes([]byte{0xA5, 0x5A}))
+						}
+					}
+					ls.CertsLanes(view, tc.labels[v], rngs, out)
+					for l := 0; l < lanes; l++ {
+						for i := 0; i < view.Deg; i++ {
+							var ref core.Cert
+							if i < len(want[l][v]) {
+								ref = want[l][v][i]
+							}
+							if !out[l][i].Equal(ref) {
+								t.Fatalf("lanes=%d node %d lane %d port %d: CertsLanes != Certs", lanes, v, l, i)
+							}
+						}
+					}
+				}
+				// Exchange honestly, then decide — batch vs per-lane — and once
+				// more with a corrupted lane to hit the rejection paths.
+				for _, corrupt := range []bool{false, true} {
+					for v := 0; v < n; v++ {
+						view := core.ViewOf(tc.cfg, v)
+						recv := make([][]core.Cert, lanes)
+						for l := 0; l < lanes; l++ {
+							recv[l] = make([]core.Cert, view.Deg)
+							for i, h := range tc.cfg.G.AdjView(v) {
+								nbrCerts := want[l][h.To]
+								if h.RevPort-1 < len(nbrCerts) {
+									recv[l][i] = nbrCerts[h.RevPort-1]
+								}
+							}
+							if corrupt && l == lanes/2 && view.Deg > 0 {
+								recv[l][0] = recv[l][0].Truncate(recv[l][0].Len() / 2)
+							}
+						}
+						got := ls.DecideLanes(view, tc.labels[v], recv)
+						for l := 0; l < lanes; l++ {
+							ref := tc.scheme.Decide(view, tc.labels[v], recv[l])
+							if ref != (got&(1<<uint(l)) != 0) {
+								t.Fatalf("corrupt=%v lanes=%d node %d lane %d: DecideLanes bit %v, Decide %v",
+									corrupt, lanes, v, l, got&(1<<uint(l)) != 0, ref)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLaneMask checks the boundary lane counts.
+func TestLaneMask(t *testing.T) {
+	for _, tc := range []struct {
+		lanes int
+		want  uint64
+	}{{0, 0}, {1, 1}, {2, 3}, {63, 1<<63 - 1}, {64, ^uint64(0)}} {
+		if got := core.LaneMask(tc.lanes); got != tc.want {
+			t.Errorf("LaneMask(%d) = %#x, want %#x", tc.lanes, got, tc.want)
+		}
+	}
+}

@@ -21,8 +21,13 @@
 //     channel per directed edge, kept for fidelity tests: a verifier
 //     physically cannot read anything but its own state, its own label, and
 //     what arrived on its ports.
+//   - Batched — the Monte-Carlo throughput path: a CSR adjacency snapshot
+//     plus per-port certificate bit-planes push up to 64 trials through one
+//     graph traversal, AND-reducing per-node vote masks (see batched.go for
+//     the lane contract). Estimate detects it and hands whole trial chunks
+//     to RunBatch; outside a batch it behaves exactly like Sequential.
 //
-// All three executors produce identical votes and stats for the same seed;
+// All four executors produce identical votes and stats for the same seed;
 // the parity property test in this package enforces that.
 //
 // Entry points: Run (label and verify once), Verify (verify under arbitrary,
@@ -42,9 +47,10 @@
 // the wire — bits per port per message, at the sender — into Stats, and
 // Estimate folds the per-trial counters into Summary (TotalBits,
 // TotalMessages, MaxPortBits, AvgBitsPerEdge) under the same
-// bit-identical-under-parallelism guarantee as acceptance. This is the
-// paper's primary axis of comparison: per-edge verification cost Θ(λ)
-// deterministic vs O(log λ) randomized.
+// bit-identical-under-parallelism guarantee as acceptance — the parity
+// property test requires bit-identical Stats from all four executors.
+// This is the paper's primary axis of comparison: per-edge verification
+// cost Θ(λ) deterministic vs O(log λ) randomized.
 package engine
 
 import (
@@ -150,7 +156,7 @@ func AsRPLS(s Scheme) (core.RPLS, bool) {
 // largest string a node sends on any port. For deterministic schemes the
 // string sent is the label itself, so κ is the max label bits actually
 // transmitted, not zero. All counters are exact and executor-independent:
-// the parity property test requires bit-identical Stats from all three
+// the parity property test requires bit-identical Stats from all four
 // executors for the same seed.
 // A multi-round (t-PLS) scheme runs Rounds > 1 synchronous rounds: every
 // counter then covers all rounds of the execution — Messages is rounds × 2m

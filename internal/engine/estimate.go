@@ -22,11 +22,18 @@ import (
 // stopping trial is exactly the one a serial run would stop at, and any
 // speculatively computed later trials are discarded.
 
-// estimateChunk is the number of trials computed ahead of the serial
-// stopping scan when an early-stop rule is active. It is a fixed constant —
-// never derived from the worker count — so the stopping decision, and hence
-// the Summary, cannot depend on parallelism.
+// estimateChunk caps the number of trials computed ahead of the serial
+// stopping scan when an early-stop rule is active. Chunks follow the fixed
+// schedule estimateFirstChunk, 2×, 4×, … capped at estimateChunk — a
+// deterministic sequence never derived from the worker count — so the
+// stopping decision, and hence the Summary, cannot depend on parallelism.
+// The geometric ramp keeps runs that stop almost immediately (detection
+// latency of a freshly corrupted monitor) from speculating a full 64-trial
+// batch, while long runs still amortize toward full-width batches.
 const estimateChunk = 64
+
+// estimateFirstChunk is the first chunk size of the early-stop schedule.
+const estimateFirstChunk = 8
 
 // wilsonZ is the two-sided 95% normal quantile used for Summary's interval.
 const wilsonZ = 1.959963984540054
@@ -136,19 +143,23 @@ func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label)
 	}
 	execs := o.shardExecutors()
 
-	// With an early-stop rule active, compute trials ahead in fixed-size
-	// chunks; otherwise one chunk covers the whole run.
+	// With an early-stop rule active, compute trials ahead on the fixed
+	// geometric chunk schedule; otherwise one chunk covers the whole run.
 	chunk := o.trials
 	if o.maxSE > 0 || o.stopOnReject {
-		chunk = estimateChunk
+		chunk = estimateFirstChunk
 	}
 	out := make([]trialOutcome, min(chunk, o.trials))
 
 	accepted, certMax, portMax, done, rounds := 0, 0, 0, 0, 0
 	totalBits, totalMsgs := int64(0), int64(0)
 scan:
-	for lo := 0; lo < o.trials; lo += chunk {
+	for lo := 0; lo < o.trials; {
 		hi := min(lo+chunk, o.trials)
+		if cap(out) < hi-lo {
+			out = make([]trialOutcome, hi-lo)
+		}
+		out = out[:hi-lo]
 		runTrials(execs, s, c, labels, o.seed, lo, hi, out)
 		// Fold outcomes in serial trial order; the stopping rule sees
 		// exactly the prefix a serial run would have seen.
@@ -177,6 +188,10 @@ scan:
 					break scan
 				}
 			}
+		}
+		lo = hi
+		if chunk < estimateChunk {
+			chunk *= 2
 		}
 	}
 	sum.Trials, sum.Accepted, sum.MaxCertBits = done, accepted, certMax
@@ -245,6 +260,13 @@ func runTrials(execs []Executor, s Scheme, c *graph.Config, labels []core.Label,
 //
 //pls:hotpath
 func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
+	if b, ok := exec.(*Batched); ok {
+		// The batched executor consumes the whole range at once: chunks of
+		// up to 64 trials share one graph traversal. Outcomes are written
+		// per trial index, so the Summary is unchanged.
+		b.runBatch(s, c, labels, seed, lo, hi, out)
+		return
+	}
 	for t := lo; t < hi; t++ {
 		votes, st := exec.Round(s, c, labels, seed+uint64(t))
 		out[t-lo] = trialOutcome{

@@ -78,6 +78,7 @@ func TestEstimateParallelDeterminism(t *testing.T) {
 				func() engine.Executor { return engine.NewSequential() },
 				func() engine.Executor { return engine.NewPool(0) },
 				func() engine.Executor { return engine.NewGoroutines() },
+				func() engine.Executor { return engine.NewBatched() },
 			} {
 				for _, p := range []int{1, 4, 16} {
 					exec := mkExec()

@@ -449,7 +449,7 @@ func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 				certs = s.Certs(view, labels[v], root.Fork(uint64(v)))
 			}
 			maxCert, wire := 0, int64(0)
-			for i, h := range c.G.Adj(v) {
+			for i, h := range c.G.AdjView(v) {
 				var msg core.Cert
 				if det {
 					msg = labels[v]
@@ -515,7 +515,7 @@ func (e *Goroutines) multiRound(mr MultiRound, rounds int, c *graph.Config, labe
 			for r := 0; r < rounds; r++ {
 				// The same coin stream every round: shards of one draw.
 				certs := mr.RoundCerts(r, view, labels[v], root.Fork(uint64(v)))
-				for i, h := range c.G.Adj(v) {
+				for i, h := range c.G.AdjView(v) {
 					var msg core.Cert
 					if i < len(certs) {
 						msg = certs[i]

@@ -19,7 +19,7 @@ import (
 // deterministic: in every round of trial seed, node v's rng is a fresh
 // prng.New(seed).Fork(v) — the same stream each round — so a scheme
 // re-derives its base certificates identically per round and slices out
-// the round's shard. All three executors produce identical votes and Stats
+// the round's shard. All four executors produce identical votes and Stats
 // for the same seed at any parallelism level, exactly as in the one-round
 // case; the golden-bits test at t ∈ {1, 2, 4} enforces it.
 

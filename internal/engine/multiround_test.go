@@ -13,7 +13,7 @@ import (
 
 // The t-round golden-bits contract: sharded execution is part of the same
 // determinism guarantee as the single round. For the same seed and any
-// t ∈ {1, 2, 4}, all three executors at any parallelism level must report
+// t ∈ {1, 2, 4}, all four executors at any parallelism level must report
 // bit-identical Summaries; the per-message maxima must be exactly the
 // ⌈κ/t⌉ shard width; totals must be conserved (sharding moves bits between
 // rounds, it does not create or destroy them); and the votes must equal
@@ -60,6 +60,7 @@ func TestGoldenWireBitsSharded(t *testing.T) {
 		func() engine.Executor { return engine.NewSequential() },
 		func() engine.Executor { return engine.NewPool(0) },
 		func() engine.Executor { return engine.NewGoroutines() },
+		func() engine.Executor { return engine.NewBatched() },
 	}
 	for _, fx := range shardFixtures(t) {
 		base, err := engine.Estimate(fx.base, fx.cfg, engine.WithLabels(fx.labels),

@@ -23,6 +23,7 @@ func executors() []engine.Executor {
 		engine.NewPool(0),
 		engine.NewPool(3), // deliberately unaligned with GOMAXPROCS
 		engine.NewGoroutines(),
+		engine.NewBatched(),
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 )
 
 // The golden-bits contract: wire accounting is part of the determinism
-// guarantee. For the same seed, all three executors must report identical
+// guarantee. For the same seed, all four executors must report identical
 // TotalBits/MaxPortBits/AvgBitsPerEdge, at every parallelism level, for
 // deterministic and randomized schemes alike — and the numbers must be
 // nonzero, or the det-vs-rand communication gap is unmeasurable.
@@ -62,6 +62,7 @@ func TestGoldenWireBitsAcrossExecutors(t *testing.T) {
 			func() engine.Executor { return engine.NewSequential() },
 			func() engine.Executor { return engine.NewPool(0) },
 			func() engine.Executor { return engine.NewGoroutines() },
+			func() engine.Executor { return engine.NewBatched() },
 		} {
 			for _, p := range []int{1, 4, 16} {
 				exec := mkExec()

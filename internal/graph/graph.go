@@ -79,6 +79,13 @@ func (g *Graph) Adj(v int) []Half {
 	return out
 }
 
+// AdjView returns v's adjacency list ordered by port number without
+// copying (index i holds port i+1). The slice aliases the graph's own
+// storage: callers must not modify it and must not hold it across
+// AddEdge. It exists for per-round verification loops, where the copy
+// made by Adj is one allocation per node per round.
+func (g *Graph) AdjView(v int) []Half { return g.adj[v] }
+
 // adjView returns v's adjacency list without copying. For package-internal
 // hot paths only; callers must not modify it.
 func (g *Graph) adjView(v int) []Half { return g.adj[v] }

@@ -35,7 +35,7 @@ func (Predicate) Name() string { return "proper-coloring" }
 // Eval implements core.Predicate.
 func (Predicate) Eval(c *graph.Config) bool {
 	for v := 0; v < c.G.N(); v++ {
-		for _, h := range c.G.Adj(v) {
+		for _, h := range c.G.AdjView(v) {
 			if c.States[v].Color == c.States[h.To].Color {
 				return false
 			}

@@ -75,7 +75,7 @@ func MaxFlowUnit(c *graph.Config) (value int, flow [][]int8, sourceSide []bool, 
 		for len(queue) > 0 && prevNode[t] == -1 {
 			v := queue[0]
 			queue = queue[1:]
-			for i, h := range c.G.Adj(v) {
+			for i, h := range c.G.AdjView(v) {
 				if flow[v][i] < 1 && prevNode[h.To] == -1 {
 					prevNode[h.To] = v
 					prevPort[h.To] = i + 1
@@ -103,7 +103,7 @@ func MaxFlowUnit(c *graph.Config) (value int, flow [][]int8, sourceSide []bool, 
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for i, h := range c.G.Adj(v) {
+		for i, h := range c.G.AdjView(v) {
 			if flow[v][i] < 1 && !sourceSide[h.To] {
 				sourceSide[h.To] = true
 				queue = append(queue, h.To)
@@ -292,7 +292,7 @@ func flowPath(c *graph.Config, flow [][]int8, src, tgt int) []int {
 	for len(queue) > 0 && prevNode[tgt] == -1 {
 		v := queue[0]
 		queue = queue[1:]
-		for i := range c.G.Adj(v) {
+		for i := range c.G.AdjView(v) {
 			h := c.G.Neighbor(v, i+1)
 			if flow[v][i] == 1 && prevNode[h.To] == -1 {
 				prevNode[h.To] = v

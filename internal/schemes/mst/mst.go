@@ -139,7 +139,7 @@ func Prim(c *graph.Config) (int64, error) {
 		}
 		inTree[v] = true
 		total += best[v]
-		for i, h := range c.G.Adj(v) {
+		for i, h := range c.G.AdjView(v) {
 			w := c.EdgeWeight(v, i+1)
 			if !inTree[h.To] && w < best[h.To] {
 				best[h.To] = w

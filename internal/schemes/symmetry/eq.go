@@ -25,14 +25,53 @@ import (
 // It returns the protocol's decision and the number of bits exchanged (the
 // two bridge certificates).
 func EQFromRPLS(s core.RPLS, x, y bitstring.String, seed uint64) (equal bool, bits int, err error) {
+	combined, labels, err := eqInstance(s, x, y)
+	if err != nil {
+		return false, 0, err
+	}
+
+	// Simulate the verification round on the combined configuration. Only
+	// the two certificates on the bridge edge cross the Alice/Bob boundary.
+	res := engine.Verify(engine.FromRPLS(s), combined, labels, engine.WithSeed(seed))
+
+	ua, ub := BridgeEndpoints(x.Len())
+	bits = bridgeCertBits(s, combined, labels, ua, ub, seed) +
+		bridgeCertBits(s, combined, labels, ub, ua, seed)
+	return res.Accepted, bits, nil
+}
+
+// EQRejectionRate runs the Lemma C.1 protocol's verification `rounds`
+// times over the same inputs with fresh coins per run — seeds seed,
+// seed+1, … — and returns how many runs rejected. The combined instance
+// and the stitched labels are built once and the runs go through the
+// trial-batched estimator, so run r's decision is bit-identical to
+// EQFromRPLS(s, x, y, seed+r) at a fraction of its cost.
+func EQRejectionRate(s core.RPLS, x, y bitstring.String, rounds int, seed uint64) (int, error) {
+	combined, labels, err := eqInstance(s, x, y)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := engine.Estimate(engine.FromRPLS(s), combined,
+		engine.WithLabels(labels), engine.WithTrials(rounds),
+		engine.WithSeed(seed), engine.WithExecutor(engine.NewBatched()))
+	if err != nil {
+		return 0, err
+	}
+	return sum.Trials - sum.Accepted, nil
+}
+
+// eqInstance builds the protocol's combined configuration G(x,y) and the
+// stitched Alice/Bob label assignment: Alice labels G(x,x) and keeps her
+// V0 half, Bob labels G(y,y) and keeps his V1 half.
+func eqInstance(s core.RPLS, x, y bitstring.String) (*graph.Config, []core.Label, error) {
 	if x.Len() != y.Len() || x.Len() == 0 {
-		return false, 0, fmt.Errorf("symmetry: EQ inputs must be nonempty equal-length strings")
+		return nil, nil, fmt.Errorf("symmetry: EQ inputs must be nonempty equal-length strings")
 	}
 	lambda := x.Len()
 
 	combinedGraph, err := GZZ(x, y)
 	if err != nil {
-		return false, 0, err
+		return nil, nil, err
 	}
 	combined := graph.NewConfig(combinedGraph)
 
@@ -40,35 +79,27 @@ func EQFromRPLS(s core.RPLS, x, y bitstring.String, seed uint64) (equal bool, bi
 	// so her labels for V0 are exactly what the prover would emit there.
 	aGraph, err := GZZ(x, x)
 	if err != nil {
-		return false, 0, err
+		return nil, nil, err
 	}
 	aLabels, err := s.Label(graph.NewConfig(aGraph))
 	if err != nil {
-		return false, 0, fmt.Errorf("alice prover: %w", err)
+		return nil, nil, fmt.Errorf("alice prover: %w", err)
 	}
 	// Bob: G(y,y); his V1 half (nu..2nu−1) matches the combined graph.
 	bGraph, err := GZZ(y, y)
 	if err != nil {
-		return false, 0, err
+		return nil, nil, err
 	}
 	bLabels, err := s.Label(graph.NewConfig(bGraph))
 	if err != nil {
-		return false, 0, fmt.Errorf("bob prover: %w", err)
+		return nil, nil, fmt.Errorf("bob prover: %w", err)
 	}
 
 	nu := 2*lambda + 3
 	labels := make([]core.Label, 2*nu)
 	copy(labels[:nu], aLabels[:nu])
 	copy(labels[nu:], bLabels[nu:])
-
-	// Simulate the verification round on the combined configuration. Only
-	// the two certificates on the bridge edge cross the Alice/Bob boundary.
-	res := engine.Verify(engine.FromRPLS(s), combined, labels, engine.WithSeed(seed))
-
-	ua, ub := BridgeEndpoints(lambda)
-	bits = bridgeCertBits(s, combined, labels, ua, ub, seed) +
-		bridgeCertBits(s, combined, labels, ub, ua, seed)
-	return res.Accepted, bits, nil
+	return combined, labels, nil
 }
 
 // bridgeCertBits returns the size of the certificate from to via their

@@ -78,7 +78,7 @@ func (detPLS) Verify(view core.View, own core.Label, nbrs []core.Label) bool {
 // certificates are fingerprints of the node's own payload. One-sided and
 // edge-independent; verification complexity O(log k).
 func NewRPLS() core.RPLS {
-	return randRPLS{name: "uniform-rand", prime: field.PrimeForLength}
+	return randRPLS{name: "uniform-rand", prime: field.PrimeForLength, cache: &field.EvalCache{}}
 }
 
 // NewTruncatedRPLS returns the direct scheme with an adversarially small
@@ -95,12 +95,19 @@ func NewTruncatedRPLS(fieldBits int) core.RPLS {
 	return randRPLS{
 		name:  fmt.Sprintf("uniform-rand-truncated(%d-bit field)", fieldBits),
 		prime: func(int) uint64 { return p },
+		cache: &field.EvalCache{},
 	}
 }
 
 type randRPLS struct {
 	name  string
 	prime func(lambda int) uint64
+	// cache memoizes the payload polynomial's value table over the small
+	// fingerprint field. Every node of a legal configuration carries the
+	// same payload — the predicate being verified — so the memo is shared
+	// by all (node, port, trial) evaluations of a run. Lookups are
+	// bit-identical to direct evaluation.
+	cache *field.EvalCache
 }
 
 var _ core.RPLS = randRPLS{}
@@ -128,6 +135,62 @@ func (r randRPLS) Certs(view core.View, _ core.Label, rng *prng.Rand) []core.Cer
 		certs[i] = w.String()
 	}
 	return certs
+}
+
+var _ core.LaneRPLS = randRPLS{}
+
+// CertsLanes implements core.LaneRPLS: the payload's polynomial is shared
+// by every lane and port, so one batched evaluation replaces
+// lanes × deg Horner walks.
+func (r randRPLS) CertsLanes(view core.View, _ core.Label, rngs []*prng.Rand, out [][]core.Cert) {
+	data := bitstring.FromBytes(view.State.Data)
+	core.FingerprintLanes(data, r.prime(data.Len()), rngs, view.Deg, r.cache, out)
+}
+
+// DecideLanes implements core.LaneRPLS. Certificates are parsed per lane
+// (lanes fail independently), then all surviving fingerprints — every lane,
+// every port, one shared payload polynomial — are checked in a single
+// batched evaluation.
+func (r randRPLS) DecideLanes(view core.View, _ core.Label, recv [][]core.Cert) uint64 {
+	data := bitstring.FromBytes(view.State.Data)
+	p := r.prime(data.Len())
+	lanes := len(recv)
+	live := core.LaneMask(lanes)
+	slots := lanes * view.Deg
+	buf := make([]uint64, 3*slots)
+	xs := buf[:0:slots]
+	ys := buf[slots : slots : 2*slots]
+	owner := make([]int, 0, slots)
+	for l := 0; l < lanes; l++ {
+		if len(recv[l]) != view.Deg {
+			live &^= 1 << uint(l)
+			continue
+		}
+		for _, cert := range recv[l] {
+			rd := bitstring.NewReader(cert)
+			n, err := rd.ReadGamma()
+			if err != nil || int(n) != data.Len() {
+				live &^= 1 << uint(l)
+				break
+			}
+			fp, err := field.DecodeFingerprint(rd, p)
+			if err != nil || rd.Remaining() != 0 {
+				live &^= 1 << uint(l)
+				break
+			}
+			xs = append(xs, fp.X)
+			ys = append(ys, fp.Y)
+			owner = append(owner, l)
+		}
+	}
+	got := buf[2*slots : 2*slots+len(xs)]
+	r.cache.EvalMany(data, p, xs, got)
+	for k, l := range owner {
+		if got[k] != ys[k] {
+			live &^= 1 << uint(l)
+		}
+	}
+	return live
 }
 
 func (r randRPLS) Decide(view core.View, _ core.Label, received []core.Cert) bool {

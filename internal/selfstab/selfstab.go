@@ -28,12 +28,13 @@ type StepResult struct {
 }
 
 // Monitor drives repeated verification of a configuration. Rounds run on a
-// private sequential executor whose receive and vote buffers are reused
-// step to step (certificate generation and the per-step result still
-// allocate).
+// private batched executor whose buffers are reused step to step
+// (certificate generation and the per-step result still allocate); the
+// bulk helpers DetectionLatency and FalseAlarmRate run many rounds per
+// graph traversal through the same executor.
 type Monitor struct {
 	scheme engine.Scheme
-	exec   *engine.Sequential
+	exec   *engine.Batched
 	cfg    *graph.Config
 	labels []core.Label
 	seed   uint64
@@ -50,7 +51,7 @@ func NewMonitor(s core.RPLS, cfg *graph.Config, seed uint64) (*Monitor, error) {
 	}
 	return &Monitor{
 		scheme: scheme,
-		exec:   engine.NewSequential(),
+		exec:   engine.NewBatched(),
 		cfg:    cfg,
 		labels: labels,
 		seed:   seed,
@@ -109,25 +110,50 @@ func (m *Monitor) Repair() error {
 
 // DetectionLatency steps the monitor until some node rejects, returning
 // the number of rounds taken; it gives up after maxRounds (returning
-// maxRounds and false).
+// maxRounds and false). Rounds run in trial batches through the monitor's
+// executor: round i draws the coins of seed + round + i exactly as i
+// successive Step calls would, and the estimator's early-stop rule makes
+// the executed-round count — and hence the monitor's clock — identical to
+// the serial loop.
 func DetectionLatency(m *Monitor, maxRounds int) (int, bool) {
-	for i := 1; i <= maxRounds; i++ {
-		if res := m.Step(); !res.Accepted {
-			return i, true
+	sum, err := engine.Estimate(m.scheme, m.cfg,
+		engine.WithLabels(m.labels), engine.WithTrials(maxRounds),
+		engine.WithSeed(m.seed+m.round+1), engine.WithExecutor(m.exec),
+		engine.WithStopOnReject(true))
+	if err != nil {
+		// Labels are already resolved, so the estimator cannot fail; fall
+		// back to the serial loop defensively.
+		for i := 1; i <= maxRounds; i++ {
+			if res := m.Step(); !res.Accepted {
+				return i, true
+			}
 		}
+		return maxRounds, false
 	}
-	return maxRounds, false
+	m.round += uint64(sum.Trials)
+	if sum.Accepted == sum.Trials {
+		return maxRounds, false
+	}
+	return sum.Trials, true
 }
 
 // FalseAlarmRate runs rounds on an unmodified monitor and returns the
 // fraction that rejected — zero for the one-sided schemes of this
-// repository.
+// repository. Like DetectionLatency, the rounds run as trial batches with
+// the exact per-round coins of the serial Step loop.
 func FalseAlarmRate(m *Monitor, rounds int) float64 {
-	alarms := 0
-	for i := 0; i < rounds; i++ {
-		if res := m.Step(); !res.Accepted {
-			alarms++
+	sum, err := engine.Estimate(m.scheme, m.cfg,
+		engine.WithLabels(m.labels), engine.WithTrials(rounds),
+		engine.WithSeed(m.seed+m.round+1), engine.WithExecutor(m.exec))
+	if err != nil {
+		alarms := 0
+		for i := 0; i < rounds; i++ {
+			if res := m.Step(); !res.Accepted {
+				alarms++
+			}
 		}
+		return float64(alarms) / float64(rounds)
 	}
-	return float64(alarms) / float64(rounds)
+	m.round += uint64(sum.Trials)
+	return float64(sum.Trials-sum.Accepted) / float64(sum.Trials)
 }
