@@ -5,6 +5,7 @@
 // Usage:
 //
 //	plscampaign run -spec examples/campaign/smoke.json -out out/ [-parallel 0]
+//	plscampaign run ... [-metrics M.json] [-trace T.json] [-debug-addr :8797 [-debug-hold 45s]]
 //	plscampaign resume -out out/ [-parallel 0]
 //	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
 //	plscampaign comm -out out/ [-min-ratio 1]
@@ -20,16 +21,26 @@
 // aggregate (BENCH_tradeoff.json): bits-per-round × t curves from the
 // spec's rounds axis, and -assert-decreasing demands at least that many
 // distinct schemes and families with strictly decreasing curves.
+//
+// run and resume narrate progress as structured log/slog records on stdout
+// (phase=plan|execute|progress|aggregate|done) and, with -metrics/-trace,
+// write an internal/obs snapshot and a Chrome trace_event JSON after the
+// run; -debug-addr serves expvar, pprof, /metrics, and /trace live during
+// it. Telemetry never changes results: the campaign's metrics-on/off
+// byte-compare test enforces it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"time"
 
 	"rpls/internal/campaign"
 	"rpls/internal/engine"
 	"rpls/internal/graph"
+	"rpls/internal/obs"
 
 	// Link every scheme package so the registry is complete.
 	_ "rpls/internal/schemes/all"
@@ -70,11 +81,26 @@ func cmdRun(args []string, resume bool) error {
 	specPath := fs.String("spec", "", "spec JSON file (resume reads it from -out instead)")
 	out := fs.String("out", "", "campaign directory (created if missing)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = all cores); results are byte-identical at any level")
+	metrics := fs.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
+	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, and /trace on this address during the run")
+	debugHold := fs.Duration("debug-hold", 0, "keep the debug server alive this long after the run finishes (for live profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("-out directory required")
+	}
+	if *metrics != "" || *trace != "" || *debugAddr != "" {
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars (pprof, /metrics, /trace)\n", dbg.Addr)
 	}
 	var spec campaign.Spec
 	var err error
@@ -94,10 +120,30 @@ func cmdRun(args []string, resume bool) error {
 			return err
 		}
 	}
-	runner := &campaign.Runner{Dir: *out, Parallel: *parallel, Log: os.Stdout}
-	rep, err := runner.Run(spec)
-	if err != nil {
-		return err
+	runner := &campaign.Runner{
+		Dir:      *out,
+		Parallel: *parallel,
+		Logger:   slog.New(slog.NewTextHandler(os.Stdout, nil)),
+	}
+	rep, runErr := runner.Run(spec)
+	// Telemetry artifacts are written even when the run errors: a failed
+	// campaign is exactly when the metrics are wanted.
+	if *metrics != "" {
+		if err := obs.WriteSnapshotFile(*metrics); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if *trace != "" {
+		if err := obs.WriteTraceFile(*trace); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if *debugAddr != "" && *debugHold > 0 {
+		fmt.Fprintf(os.Stderr, "holding debug server for %v\n", *debugHold)
+		time.Sleep(*debugHold)
+	}
+	if runErr != nil {
+		return runErr
 	}
 	fmt.Println(rep)
 	if n := rep.Errors + rep.PriorErrors; n > 0 {
@@ -279,7 +325,7 @@ func cmdList() error {
 		fmt.Printf("  %-20s%-15s %s\n", f.Name, kind, f.Description)
 	}
 	fmt.Println("\nmeasures: estimate, soundness, comm")
-	fmt.Println("executors: sequential, pool, goroutines")
+	fmt.Println("executors: sequential, pool, goroutines, batched")
 	fmt.Println("rounds: any t >= 1 (t-PLS certificate sharding: ⌈κ/t⌉ bits per port per round)")
 	return nil
 }

@@ -7,7 +7,12 @@
 //	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200] [-exec pool]
 //	plsrun -scheme mst -n 64 -parallel 8 -maxse 0.02
 //	plsrun -scheme mst -sweep 64,256,1024 -parallel 0
+//	plsrun -scheme mst -n 64 -exec batched [-metrics M.json] [-trace T.json] [-debug-addr :8797]
 //	plsrun -list
+//
+// -exec batched additionally prints the executor's lane telemetry
+// (batches, mean lane occupancy, plane-budget narrowing, fallbacks) from
+// the internal/obs recorder; recording never changes results.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/graph"
+	"rpls/internal/obs"
 	"rpls/internal/prng"
 )
 
@@ -40,10 +46,13 @@ func run() error {
 	trials := flag.Int("trials", 200, "Monte-Carlo trials for randomized acceptance")
 	parallel := flag.Int("parallel", 1, "estimator workers (0 = all cores); summaries are bit-identical at any level")
 	maxSE := flag.Float64("maxse", 0, "stop an estimate once the 95% Wilson half-width is at most this (0 = off)")
-	execName := flag.String("exec", "sequential", "round executor: sequential, pool, or goroutines")
+	execName := flag.String("exec", "sequential", "round executor: sequential, pool, goroutines, or batched")
 	rounds := flag.Int("rounds", 1, "t-PLS verification rounds: shard every certificate into t rounds of ⌈κ/t⌉ bits per port")
 	sweep := flag.String("sweep", "", "comma-separated sizes; measure the randomized scheme across them")
 	list := flag.Bool("list", false, "list available schemes")
+	metrics := flag.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
+	trace := flag.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, and /trace on this address during the run")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +65,22 @@ func run() error {
 			fmt.Printf("  %-20s %s\n", f.Name, f.Description)
 		}
 		return nil
+	}
+
+	// The recorder turns on for any explicit telemetry flag, and for the
+	// batched executor unconditionally: its lane-occupancy counters are part
+	// of the human output (recording provably never changes results — see
+	// internal/engine's metrics-on/off golden tests).
+	if *metrics != "" || *trace != "" || *debugAddr != "" || *execName == "batched" {
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars (pprof, /metrics, /trace)\n", dbg.Addr)
 	}
 
 	reg, ok := engine.Lookup(*scheme)
@@ -109,7 +134,9 @@ func run() error {
 		if s == nil {
 			s = det
 		}
-		return runSweep(s, entry, *sweep, *trials, *seed, exec, *parallel, *maxSE)
+		err := runSweep(s, entry, *sweep, *trials, *seed, exec, *parallel, *maxSE)
+		reportBatched(*execName)
+		return writeObsArtifacts(*metrics, *trace, err)
 	}
 
 	cfg, err := entry.Build(*n, *seed)
@@ -172,7 +199,39 @@ func run() error {
 				detPerEdge/sum.AvgBitsPerEdge, detPerEdge, sum.AvgBitsPerEdge)
 		}
 	}
-	return nil
+	reportBatched(*execName)
+	return writeObsArtifacts(*metrics, *trace, nil)
+}
+
+// reportBatched prints the batched executor's lane telemetry, making the
+// batch shape — occupancy, plane-budget narrowing, fallbacks — visible in
+// the ordinary human output.
+func reportBatched(execName string) {
+	if execName != "batched" {
+		return
+	}
+	snap := obs.TakeSnapshot()
+	lanes, _ := snap.Histogram("engine.batched.lanes")
+	fmt.Printf("[obs ] batched: batches=%d mean-lanes=%.1f narrowed=%d fallback=%d coinfree=%d\n",
+		snap.Counter("engine.batched.batches"), lanes.Mean,
+		snap.Counter("engine.batched.narrowed"), snap.Counter("engine.batched.fallback"),
+		snap.Counter("engine.batched.coinfree"))
+}
+
+// writeObsArtifacts writes the -metrics and -trace files after a run; the
+// run's own error takes precedence over a write failure.
+func writeObsArtifacts(metrics, trace string, runErr error) error {
+	if metrics != "" {
+		if err := obs.WriteSnapshotFile(metrics); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if trace != "" {
+		if err := obs.WriteTraceFile(trace); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return runErr
 }
 
 // bitsPerEdge is the per-directed-edge per-round cost of one measured round.

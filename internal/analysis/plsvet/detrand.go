@@ -25,6 +25,10 @@ var detRandPackages = []string{
 	"rpls/internal/core",
 	"rpls/internal/campaign",
 	"rpls/internal/schemes",
+	// The telemetry package sits inside the deterministic zone so its two
+	// ambient sources — the clock seam and the shard-index PRNG — stay
+	// individually audited //plsvet:allow sites rather than a blanket pass.
+	"rpls/internal/obs",
 }
 
 // detRandImports are the packages whose import alone is a violation: every

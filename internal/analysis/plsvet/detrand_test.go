@@ -24,6 +24,8 @@ func TestDeterministicPackageSet(t *testing.T) {
 		"rpls/internal/core":            true,
 		"rpls/internal/campaign":        true,
 		"rpls/internal/schemes/uniform": true,
+		"rpls/internal/obs":             true,
+		"rpls/internal/obs/sub":         true,
 		"rpls/cmd/plsrun":               false,
 		"rpls/internal/experiments":     false,
 		"rpls/internal/enginex":         false,

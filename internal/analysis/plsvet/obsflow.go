@@ -1,0 +1,92 @@
+package plsvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ObsFlow enforces the observability contract's static half: telemetry is
+// strictly write-only from the packages whose output is byte-compared. The
+// internal/obs recorder guarantees that nothing recorded can influence a
+// result — but only if instrumented code never reads a counter, gauge,
+// histogram, or snapshot back. A single Value() call in the engine could
+// branch on timing and silently break the metrics-on/off byte-compare, so
+// the read surface of obs is banned from deterministic packages outright.
+//
+// The analyzer also closes the module-wide clock loophole: time.Now, Since,
+// and Until are forbidden everywhere outside internal/obs itself, so every
+// wall-clock reading flows through the audited obs.Clock seam (detrand
+// already bans them inside deterministic packages; obsflow extends the ban
+// to cmd/ and the remaining support packages).
+var ObsFlow = &Analyzer{
+	Name: "obsflow",
+	Doc: "telemetry is write-only from deterministic packages (no reading internal/obs " +
+		"counters, snapshots, or traces back) and wall-clock time is read only through " +
+		"the internal/obs clock seam",
+	Run: runObsFlow,
+}
+
+// obsPath is the telemetry package; it alone may read its own state and the
+// wall clock.
+const obsPath = "rpls/internal/obs"
+
+// obsWriteOnly is the allowlist of obs package members callable from
+// deterministic packages: constructors, recording methods, and the clock
+// seam. Everything else — Value, TakeSnapshot, WriteTrace, ServeDebug,
+// SetEnabled — is a read-back or control-plane surface that belongs in
+// cmd/ and tests.
+var obsWriteOnly = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+	"Add":          true,
+	"Inc":          true,
+	"Set":          true,
+	"SetMax":       true,
+	"Observe":      true,
+	"Start":        true,
+	"Stop":         true,
+	"Begin":        true,
+	"End":          true,
+	"Clock":        true,
+	"Since":        true,
+	"Enabled":      true,
+}
+
+// obsClockCalls are the wall-clock reads barred module-wide in favor of the
+// obs.Clock / obs.Since seam.
+var obsClockCalls = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runObsFlow(pass *Pass) error {
+	if pass.Path == obsPath || strings.HasPrefix(pass.Path, obsPath+"/") {
+		return nil // the seam itself
+	}
+	deterministic := isDeterministicPackage(pass.Path)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := usedObject(pass.Info, call.Fun)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "time" && obsClockCalls[obj.Name()] {
+				pass.Reportf(call.Pos(), "call to time.%s: wall-clock read outside the %s clock seam; use obs.Clock/obs.Since",
+					obj.Name(), obsPath)
+			}
+			if deterministic && obj.Pkg().Path() == obsPath && !obsWriteOnly[obj.Name()] {
+				pass.Reportf(call.Pos(), "call to obs.%s in deterministic package %s: telemetry read-back; "+
+					"obs is write-only here so recording provably cannot influence results",
+					obj.Name(), pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package plsvet
+
+import "testing"
+
+// TestObsFlow covers both halves of the observability contract: a fixture
+// mounted at a deterministic import path where telemetry read-backs and
+// direct wall-clock reads are flagged (write-only recording, spans, and the
+// obs clock seam pass), and one mounted under cmd/ where reading snapshots
+// is fine but the wall clock is still barred.
+func TestObsFlow(t *testing.T) {
+	RunFixture(t, Fixture{
+		Analyzer: ObsFlow,
+		Packages: map[string]string{
+			"rpls/internal/engine/obsfixture": "obsflow/eng",
+			"rpls/cmd/obsfixture":             "obsflow/free",
+		},
+	})
+}
+
+// TestObsFlowSkipsSeam pins that the seam package itself is exempt: obsflow
+// must report nothing on internal/obs, whose whole point is reading the
+// clock and its own state.
+func TestObsFlowSkipsSeam(t *testing.T) {
+	loader, err := sharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedLoaderState.Lock()
+	pkg, err := loader.Load(obsPath)
+	sharedLoaderState.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: ObsFlow,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Path:     pkg.Path,
+		Dir:      pkg.Dir,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		sink:     &diags,
+	}
+	pass.buildAllow()
+	if err := ObsFlow.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("obsflow flagged the seam package: %s", d)
+	}
+}

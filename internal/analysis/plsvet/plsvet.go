@@ -29,6 +29,13 @@
 //   - meterflow — engine.Stats / engine.Summary metering fields may only
 //     be written inside internal/engine, so a scheme or driver cannot cook
 //     its own cost accounting.
+//   - obsflow   — telemetry is write-only from deterministic packages: code
+//     in internal/engine, internal/core, internal/campaign, and
+//     internal/schemes/... may record into internal/obs (counters, gauges,
+//     histograms, spans, the obs clock) but never read telemetry back, so
+//     the recorder provably cannot influence byte-compared output; and
+//     time.Now/Since/Until are barred module-wide outside internal/obs —
+//     every wall-clock read flows through the audited obs.Clock seam.
 //
 // Annotation grammar. A justified exception is granted per line:
 //
@@ -73,7 +80,7 @@ type Analyzer struct {
 
 // Suite returns the full plsvet analyzer suite in stable order.
 func Suite() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, HotAlloc, Register, MeterFlow}
+	return []*Analyzer{DetRand, MapOrder, HotAlloc, Register, MeterFlow, ObsFlow}
 }
 
 // A Pass provides one analyzer with a single type-checked package and a

@@ -16,9 +16,9 @@ func TestModuleIsClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the suite: five analyzers, stable order, documented.
+// TestSuiteShape pins the suite: six analyzers, stable order, documented.
 func TestSuiteShape(t *testing.T) {
-	want := []string{"detrand", "maporder", "hotalloc", "register", "meterflow"}
+	want := []string{"detrand", "maporder", "hotalloc", "register", "meterflow", "obsflow"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

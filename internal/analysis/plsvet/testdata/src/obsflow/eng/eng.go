@@ -1,0 +1,53 @@
+// Package eng is an obsflow fixture mounted at a deterministic import path
+// (under rpls/internal/engine/): telemetry below must be write-only, and
+// wall-clock reads must go through the obs clock seam.
+package eng
+
+import (
+	"time"
+
+	"rpls/internal/obs"
+)
+
+// Write-only handles: constructors are part of the allowed surface.
+var (
+	trials = obs.NewCounter("fixture.trials")
+	depth  = obs.NewGauge("fixture.depth")
+	nanos  = obs.NewHistogram("fixture.batch", "ns")
+)
+
+// Instrument exercises every sanctioned recording call: none may be flagged.
+func Instrument(n int) {
+	trials.Inc()
+	trials.Add(uint64(n))
+	depth.Set(int64(n))
+	depth.SetMax(int64(n))
+	nanos.Observe(int64(n))
+
+	t0 := nanos.Start()
+	nanos.Stop(t0)
+
+	sp := obs.Begin("fixture.round")
+	sp.A, sp.B = int64(n), 0 // span field writes are writes, not read-backs
+	obs.End(sp)
+
+	if obs.Enabled() { // the gate itself is part of the write path
+		trials.Inc()
+	}
+	start := obs.Clock() // the sanctioned clock seam
+	_ = obs.Since(start)
+}
+
+// Cheat reads telemetry and the wall clock back inside the engine: every
+// site below must be flagged.
+func Cheat() int64 {
+	v := int64(trials.Value())   // want "call to obs.Value in deterministic package"
+	s := obs.TakeSnapshot()      // want "call to obs.TakeSnapshot in deterministic package"
+	t := time.Now().UnixNano()   // want "call to time.Now: wall-clock read outside"
+	d := time.Since(time.Time{}) // want "call to time.Since: wall-clock read outside"
+	v += int64(len(s.Counters)) + t + int64(d)
+
+	// The escape hatch: a justified exception is honored.
+	v += time.Now().Unix() //plsvet:allow obsflow — fixture demonstrating the escape hatch
+	return v
+}

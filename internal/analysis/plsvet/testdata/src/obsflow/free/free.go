@@ -1,0 +1,25 @@
+// Package free is an obsflow fixture mounted outside the deterministic set
+// (under rpls/cmd/): reading telemetry back is fine here — CLIs print
+// snapshots — but the wall clock is still barred module-wide in favor of
+// the obs clock seam.
+package free
+
+import (
+	"time"
+
+	"rpls/internal/obs"
+)
+
+// Report drives the read surface a CLI legitimately uses.
+func Report() uint64 {
+	obs.SetEnabled(true)
+	snap := obs.TakeSnapshot()
+	start := obs.Clock()
+	_ = obs.Since(start)
+	return snap.Counter("fixture.trials")
+}
+
+// Drift still may not read the wall clock directly.
+func Drift() int64 {
+	return time.Now().UnixNano() // want "call to time.Now: wall-clock read outside"
+}

@@ -39,4 +39,14 @@
 // generator failures (a d-regular pairing that never mixed) are retried
 // with derived seeds and the retry count is recorded on the cell instead
 // of surfacing a spurious incompatible hole.
+//
+// Observability: the scheduler narrates each run through a structured
+// log/slog logger (phase=plan|execute|progress|aggregate|done records with
+// throughput and ETA attributes — the CI smoke asserts the sequence) and
+// records write-only telemetry into internal/obs: per-cell duration and
+// per-status counters, worker busy time, reorder-buffer depth, and a
+// campaign.run span. Neither stream can perturb results — the logger only
+// wraps output writers, obs is write-only here by plsvet's obsflow
+// analyzer, and TestGoldenResultsWithMetricsOn byte-compares results.jsonl
+// metrics-on vs off. See DESIGN.md, "Observability contract".
 package campaign

@@ -1,0 +1,23 @@
+package campaign
+
+import "rpls/internal/obs"
+
+// Telemetry handles for the scheduler. Write-only from this package (the
+// obsflow analyzer enforces it): nothing recorded here may influence a
+// record, a results line, or an aggregate — the metrics-on/off
+// byte-compare test proves it stays that way.
+var (
+	obsCellsOK           = obs.NewCounter("campaign.cells.ok")
+	obsCellsIncompatible = obs.NewCounter("campaign.cells.incompatible")
+	obsCellsError        = obs.NewCounter("campaign.cells.error")
+	obsCellsSkipped      = obs.NewCounter("campaign.cells.skipped")
+	obsRetries           = obs.NewCounter("campaign.retries")
+
+	obsCellNanos  = obs.NewHistogram("campaign.cell", "ns")
+	obsWorkerBusy = obs.NewHistogram("campaign.worker.busy", "ns")
+
+	obsWorkers      = obs.NewGauge("campaign.workers")
+	obsReorderDepth = obs.NewGauge("campaign.reorder.depth.max")
+	obsEtaMillis    = obs.NewGauge("campaign.eta_ms")
+	obsRateMilli    = obs.NewGauge("campaign.cells_per_sec_x1000")
+)

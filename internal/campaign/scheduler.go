@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"rpls/internal/engine"
+	"rpls/internal/obs"
 )
 
 // File names inside a campaign directory.
@@ -120,13 +123,26 @@ func (r Report) String() string {
 // Runner executes campaign plans into a directory.
 type Runner struct {
 	Dir      string
-	Parallel int       // worker count; <= 0 selects GOMAXPROCS
-	Log      io.Writer // optional progress stream (one line per phase)
+	Parallel int // worker count; <= 0 selects GOMAXPROCS
+	// Log receives the progress stream as slog text records, one per phase
+	// event, each carrying a phase=plan|execute|progress|aggregate|done
+	// attribute (the CI smoke greps that sequence). Logger, when set, takes
+	// precedence and receives the structured records directly.
+	Log    io.Writer
+	Logger *slog.Logger
 }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
+// logger resolves the structured progress sink: Logger wins, a bare Log
+// writer gets a TextHandler (so pre-slog consumers keep greppable
+// key=value lines), and the default discards.
+func (r *Runner) logger() *slog.Logger {
+	switch {
+	case r.Logger != nil:
+		return r.Logger
+	case r.Log != nil:
+		return slog.New(slog.NewTextHandler(r.Log, nil))
+	default:
+		return slog.New(slog.DiscardHandler)
 	}
 }
 
@@ -186,11 +202,14 @@ func (r *Runner) Run(spec Spec) (Report, error) {
 		}
 	}
 	rep := Report{Cells: len(plan.Cells), Executed: len(todo), Skipped: len(plan.Cells) - len(todo), PriorErrors: priorErrors}
-	r.logf("campaign %s: %d cells, %d to execute, %d workers",
-		plan.Spec.Name, rep.Cells, rep.Executed, r.workers())
+	log := r.logger()
+	sp := obs.Begin("campaign.run")
+	obsCellsSkipped.Add(uint64(rep.Skipped))
+	log.Info("campaign", "phase", "plan", "spec", plan.Spec.Name,
+		"cells", rep.Cells, "execute", rep.Executed, "skipped", rep.Skipped, "workers", r.workers())
 
 	if len(todo) > 0 {
-		if err := r.execute(todo, &rep); err != nil {
+		if err := r.execute(todo, &rep, log); err != nil {
 			return rep, err
 		}
 	}
@@ -212,17 +231,22 @@ func (r *Runner) Run(spec Spec) (Report, error) {
 	if err := writeBenchJSON(filepath.Join(r.Dir, BenchTradeoffFile), tradeoff); err != nil {
 		return rep, err
 	}
-	r.logf("campaign %s: %s; aggregate over %d records in %s",
-		plan.Spec.Name, rep, bench.Records, BenchFile)
+	log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
+		"records", bench.Records, "file", BenchFile)
 	if comm.Records > 0 {
-		r.logf("campaign %s: wire accounting over %d records in %s; paired det/rand per-edge ratio %.2f",
-			plan.Spec.Name, comm.Records, BenchCommFile, comm.DetRandRatio)
+		log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
+			"records", comm.Records, "file", BenchCommFile, "detRandRatio", comm.DetRandRatio)
 	}
 	if tradeoff.DecreasingCurves > 0 {
-		r.logf("campaign %s: κ/t tradeoff over %d records in %s; %d strictly decreasing curves (%d schemes × %d families)",
-			plan.Spec.Name, tradeoff.Records, BenchTradeoffFile,
-			tradeoff.DecreasingCurves, tradeoff.DecreasingSchemes, tradeoff.DecreasingFamilies)
+		log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
+			"records", tradeoff.Records, "file", BenchTradeoffFile,
+			"decreasingCurves", tradeoff.DecreasingCurves,
+			"decreasingSchemes", tradeoff.DecreasingSchemes,
+			"decreasingFamilies", tradeoff.DecreasingFamilies)
 	}
+	sp.A, sp.B = int64(rep.Executed), int64(rep.Skipped)
+	obs.End(sp)
+	log.Info("campaign", "phase", "done", "spec", plan.Spec.Name, "report", rep.String())
 	return rep, nil
 }
 
@@ -240,7 +264,7 @@ func writeBenchJSON(path string, v any) error {
 
 // execute runs the incomplete cells through the worker pool and streams
 // their records out in plan order.
-func (r *Runner) execute(todo []Cell, rep *Report) error {
+func (r *Runner) execute(todo []Cell, rep *Report, log *slog.Logger) error {
 	results, err := os.OpenFile(filepath.Join(r.Dir, ResultsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("campaign: %w", err)
@@ -256,20 +280,31 @@ func (r *Runner) execute(todo []Cell, rep *Report) error {
 	if w > len(todo) {
 		w = len(todo)
 	}
+	log.Info("campaign", "phase", "execute", "cells", len(todo), "workers", w)
+	obsWorkers.Set(int64(w))
 	lines := make([][]byte, len(todo))
 	statuses := make([]string, len(todo))
 	ready := make([]bool, len(todo))
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
+	var completed atomic.Int64 // cells finished by workers, for reorder depth
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var busy int64 // nanoseconds spent inside RunCell, for utilization
 			for idx := range jobs {
+				sp := obs.Begin("campaign.cell")
+				sp.Tid, sp.A = int64(worker), int64(idx)
+				t0 := obsCellNanos.Start()
 				rec := RunCell(todo[idx])
+				obsCellNanos.Stop(t0)
+				busy += int64(obs.Since(t0))
+				obs.End(sp)
+				obsRetries.Add(uint64(rec.Retries))
 				line, err := json.Marshal(rec)
 				if err != nil { // a Record always marshals; keep it loud
 					panic(fmt.Sprintf("campaign: marshal record: %v", err))
@@ -278,10 +313,12 @@ func (r *Runner) execute(todo []Cell, rep *Report) error {
 				lines[idx] = line
 				statuses[idx] = rec.Status
 				ready[idx] = true
+				completed.Add(1)
 				cond.Broadcast()
 				mu.Unlock()
 			}
-		}()
+			obsWorkerBusy.Observe(busy)
+		}(i)
 	}
 	go func() {
 		for idx := range todo {
@@ -292,6 +329,13 @@ func (r *Runner) execute(todo []Cell, rep *Report) error {
 
 	// The reorder buffer: write cell idx only once every earlier cell is
 	// written, so the results stream is in plan order for any worker count.
+	// progressEvery spaces the phase=progress records (and there is always
+	// a final one when the last cell lands).
+	progressEvery := len(todo) / 8
+	if progressEvery < 1 {
+		progressEvery = 1
+	}
+	start := obs.Clock()
 	rw := bufio.NewWriter(results)
 	mw := bufio.NewWriter(manifest)
 	for idx := range todo {
@@ -318,10 +362,33 @@ func (r *Runner) execute(todo []Cell, rep *Report) error {
 		switch status {
 		case StatusOK:
 			rep.OK++
+			obsCellsOK.Inc()
 		case StatusIncompatible:
 			rep.Incompatible++
+			obsCellsIncompatible.Inc()
 		default:
 			rep.Errors++
+			obsCellsError.Inc()
+		}
+		written := idx + 1
+		// Reorder depth: cells finished by workers but not yet writable
+		// because an earlier cell is still running.
+		obsReorderDepth.SetMax(completed.Load() - int64(written))
+		if written%progressEvery == 0 || written == len(todo) {
+			elapsed := obs.Since(start)
+			rate := 0.0
+			if elapsed > 0 {
+				rate = float64(written) / elapsed.Seconds()
+			}
+			etaMs := int64(0)
+			if rate > 0 {
+				etaMs = int64(float64(len(todo)-written) / rate * 1000)
+			}
+			obsRateMilli.Set(int64(rate * 1000))
+			obsEtaMillis.Set(etaMs)
+			log.Info("campaign", "phase", "progress",
+				"done", written, "total", len(todo),
+				"cellsPerSec", fmt.Sprintf("%.1f", rate), "etaMs", etaMs)
 		}
 	}
 	wg.Wait()

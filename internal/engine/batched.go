@@ -93,6 +93,7 @@ func laneWidth(slots int) int {
 func (e *Batched) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
 	lane, ok := laneScheme(s)
 	if !ok {
+		obsBatchFallback.Inc()
 		return e.seq.Round(s, c, labels, seed)
 	}
 	e.runLanes(lane, c, labels, seed, 1, true)
@@ -115,6 +116,7 @@ func (e *Batched) Round(s Scheme, c *graph.Config, labels []core.Label, seed uin
 func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed uint64, lo, hi int, out []trialOutcome) {
 	if IsCoinFree(s) {
 		// Every trial of a coin-free scheme is the same execution.
+		obsBatchCoinFree.Inc()
 		votes, st := e.seq.Round(s, c, labels, seed+uint64(lo))
 		o := trialOutcome{
 			accepted:    AllTrue(votes),
@@ -131,8 +133,11 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 	}
 	lane, ok := laneScheme(s)
 	if !ok {
+		obsBatchFallback.Inc()
 		for t := lo; t < hi; t++ {
+			t0 := obsTrialSequential.Start()
 			votes, st := e.seq.Round(s, c, labels, seed+uint64(t))
+			obsTrialSequential.Stop(t0)
 			out[t-lo] = trialOutcome{
 				accepted:    AllTrue(votes),
 				rounds:      st.Rounds,
@@ -145,12 +150,20 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 		return
 	}
 	maxW := laneWidth(2 * c.G.M())
+	if maxW < 64 {
+		// The plane budget, not the trial count, capped the lane width.
+		obsBatchNarrowed.Inc()
+	}
 	for t := lo; t < hi; {
 		w := maxW
 		if hi-t < w {
 			w = hi - t
 		}
+		t0 := obsBatchNanos.Start()
 		e.runLanes(lane, c, labels, seed+uint64(t), w, false)
+		obsBatchNanos.Stop(t0)
+		obsBatches.Inc()
+		obsBatchLanes.Observe(int64(w))
 		slots := e.csr.Slots()
 		for l := 0; l < w; l++ {
 			out[t-lo+l] = trialOutcome{

@@ -51,6 +51,15 @@
 // property test requires bit-identical Stats from all four executors.
 // This is the paper's primary axis of comparison: per-edge verification
 // cost Θ(λ) deterministic vs O(log λ) randomized.
+//
+// Observability: the estimator, the batched lanes, and the soundness
+// fan-out record write-only telemetry into internal/obs (per-executor
+// trial timing, lane occupancy, early-stop and chunk events, spans). The
+// recorder is off by default and allocation-free when on; nothing in this
+// package may read telemetry back (plsvet's obsflow analyzer rejects it),
+// and the metrics-on/off golden tests in obs_test.go prove a live recorder
+// leaves every Summary, vote, and Stats field bit-identical. See DESIGN.md,
+// "Observability contract".
 package engine
 
 import (

@@ -6,6 +6,7 @@ import (
 
 	"rpls/internal/core"
 	"rpls/internal/graph"
+	"rpls/internal/obs"
 )
 
 // The trial-parallel Monte-Carlo estimator.
@@ -141,6 +142,8 @@ func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label)
 		sum.CILow, sum.CIHigh = WilsonInterval(0, 0)
 		return sum
 	}
+	obsEstimates.Inc()
+	sp := obs.Begin("engine.estimate")
 	execs := o.shardExecutors()
 
 	// With an early-stop rule active, compute trials ahead on the fixed
@@ -161,6 +164,7 @@ scan:
 		}
 		out = out[:hi-lo]
 		runTrials(execs, s, c, labels, o.seed, lo, hi, out)
+		obsChunkTrials.Observe(int64(hi - lo))
 		// Fold outcomes in serial trial order; the stopping rule sees
 		// exactly the prefix a serial run would have seen.
 		for t := lo; t < hi; t++ {
@@ -181,10 +185,12 @@ scan:
 			totalBits += res.wireBits
 			totalMsgs += int64(res.messages)
 			if o.stopOnReject && !res.accepted {
+				obsStopReject.Inc()
 				break scan
 			}
 			if o.maxSE > 0 {
 				if _, half := wilson(accepted, done); half <= o.maxSE {
+					obsStopMaxSE.Inc()
 					break scan
 				}
 			}
@@ -202,6 +208,9 @@ scan:
 	}
 	sum.Acceptance = float64(accepted) / float64(done)
 	sum.CILow, sum.CIHigh = WilsonInterval(accepted, done)
+	obsEstimateTrials.Add(uint64(done))
+	sp.A, sp.B = int64(done), int64(accepted)
+	obs.End(sp)
 	return sum
 }
 
@@ -267,8 +276,11 @@ func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, se
 		b.runBatch(s, c, labels, seed, lo, hi, out)
 		return
 	}
+	h := trialHistogram(exec)
 	for t := lo; t < hi; t++ {
+		t0 := h.Start()
 		votes, st := exec.Round(s, c, labels, seed+uint64(t))
+		h.Stop(t0)
 		out[t-lo] = trialOutcome{
 			accepted:    AllTrue(votes),
 			rounds:      st.Rounds,

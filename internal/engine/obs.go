@@ -1,0 +1,55 @@
+package engine
+
+import "rpls/internal/obs"
+
+// Telemetry handles. Every call site in this package is write-only — the
+// obsflow analyzer rejects any read of these values from engine code, and
+// the metrics-on/off golden tests prove recording never perturbs a
+// Summary, vote, or Stats field. Names are stable: the -metrics snapshot
+// schema and plsrun's human output key on them.
+var (
+	// Estimator shape: runs, executed trials, chunk schedule, early stops.
+	obsEstimates      = obs.NewCounter("engine.estimate.runs")
+	obsEstimateTrials = obs.NewCounter("engine.estimate.trials")
+	obsStopMaxSE      = obs.NewCounter("engine.estimate.earlystop.maxse")
+	obsStopReject     = obs.NewCounter("engine.estimate.earlystop.reject")
+	obsChunkTrials    = obs.NewHistogram("engine.estimate.chunk", "trials")
+
+	// Per-executor trial timing (one observation per Monte-Carlo trial;
+	// Batched times whole lane batches instead, see obsBatchNanos).
+	obsTrialSequential = obs.NewHistogram("engine.trial.sequential", "ns")
+	obsTrialPool       = obs.NewHistogram("engine.trial.pool", "ns")
+	obsTrialGoroutines = obs.NewHistogram("engine.trial.goroutines", "ns")
+	obsTrialOther      = obs.NewHistogram("engine.trial.other", "ns")
+
+	// Batched-executor shape: lane occupancy, plane-budget narrowing,
+	// fallback and coin-free collapses. plsrun surfaces these so an
+	// executor choice is explainable.
+	obsBatches       = obs.NewCounter("engine.batched.batches")
+	obsBatchLanes    = obs.NewHistogram("engine.batched.lanes", "lanes")
+	obsBatchNarrowed = obs.NewCounter("engine.batched.narrowed")
+	obsBatchFallback = obs.NewCounter("engine.batched.fallback")
+	obsBatchCoinFree = obs.NewCounter("engine.batched.coinfree")
+	obsBatchNanos    = obs.NewHistogram("engine.batched.batch", "ns")
+
+	// Soundness adversary fan-out.
+	obsSoundnessRuns        = obs.NewCounter("engine.soundness.runs")
+	obsSoundnessAssignments = obs.NewCounter("engine.soundness.assignments")
+)
+
+// trialHistogram picks the per-trial timing histogram for an executor.
+// Called from the estimator's hot loop, so it must stay allocation-free.
+//
+//pls:hotpath
+func trialHistogram(exec Executor) *obs.Histogram {
+	switch exec.(type) {
+	case *Sequential:
+		return obsTrialSequential
+	case *Pool:
+		return obsTrialPool
+	case *Goroutines:
+		return obsTrialGoroutines
+	default:
+		return obsTrialOther
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
 	"rpls/internal/graph"
+	"rpls/internal/obs"
 	"rpls/internal/prng"
 )
 
@@ -47,6 +48,7 @@ func Soundness(s Scheme, legal, illegal *graph.Config, opts ...Option) ([]Advers
 	o := buildOptions(opts)
 	o.stopOnReject = false
 	n := illegal.G.N()
+	obsSoundnessRuns.Inc()
 
 	var honest []core.Label
 	if legal != nil {
@@ -86,6 +88,8 @@ func Soundness(s Scheme, legal, illegal *graph.Config, opts ...Option) ([]Advers
 // worstAssignment estimates acceptance for o.assignments draws of the
 // adversary and keeps the one with the highest acceptance rate.
 func (o *options) worstAssignment(s Scheme, illegal *graph.Config, name string, draw func() []core.Label) AdversaryResult {
+	sp := obs.Begin("engine.soundness." + name)
+	obsSoundnessAssignments.Add(uint64(o.assignments))
 	r := AdversaryResult{Adversary: name, Assignments: o.assignments}
 	for a := 0; a < o.assignments; a++ {
 		sum := o.estimateLabels(s, illegal, draw())
@@ -93,6 +97,8 @@ func (o *options) worstAssignment(s Scheme, illegal *graph.Config, name string, 
 			r.WorstIndex, r.Worst = a, sum
 		}
 	}
+	sp.A = int64(o.assignments)
+	obs.End(sp)
 	return r
 }
 

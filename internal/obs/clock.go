@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// The clock seam: the one place in the module where wall-clock time is
+// read. Every other package is barred from time.Now/Since/Until by the
+// detrand and obsflow analyzers, so any timing a future change needs must
+// come through here — where it is visibly telemetry, never an input to a
+// verdict or a result.
+
+// clockBase anchors Time at process start so readings stay small and
+// monotonic (time.Since uses the monotonic clock reading of its argument).
+var clockBase = time.Now() //plsvet:allow detrand — the audited clock seam: this is the one sanctioned wall-clock read site of the module
+
+// A Time is an opaque reading of the obs clock: nanoseconds since process
+// start, offset by one so the zero Time is never a valid reading. Zero
+// means "recorder disabled" — Histogram.Start returns it and Stop treats
+// it as a no-op — so gated timing costs one branch when off.
+type Time int64
+
+// Clock reads the obs clock. It is always live (ungated): the seam itself
+// must work whether or not recording is on, because CLIs use it for
+// progress/ETA display even without -metrics.
+func Clock() Time {
+	return Time(time.Since(clockBase) + 1) //plsvet:allow detrand — the audited clock seam: this is the one sanctioned wall-clock read site of the module
+}
+
+// Since returns the elapsed duration since an earlier Clock reading; zero
+// for the zero Time, so disabled measurements stay inert.
+func Since(t Time) time.Duration {
+	if t == 0 {
+		return 0
+	}
+	return time.Duration(Clock() - t)
+}

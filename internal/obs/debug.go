@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The -debug-addr surface: a private HTTP mux (never the default ServeMux,
+// so importing this package does not silently expose handlers on servers
+// the caller owns) serving the standard Go debug endpoints plus this
+// package's snapshot and trace exports:
+//
+//	/debug/vars           expvar, including an "obs" var with the live snapshot
+//	/debug/pprof/...      the full net/http/pprof suite
+//	/metrics              the JSON Snapshot (same schema as -metrics files)
+//	/trace                the Chrome trace_event JSON of buffered spans
+
+// publishOnce guards the process-global expvar registration.
+var publishOnce sync.Once
+
+// A DebugServer is a running debug endpoint listener.
+type DebugServer struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug HTTP server on addr and returns immediately;
+// the caller owns the returned server and should Close it when done.
+func ServeDebug(addr string) (*DebugServer, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return TakeSnapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteSnapshot(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		Addr: lis.Addr().String(),
+		lis:  lis,
+		srv:  &http.Server{Handler: mux},
+	}
+	go d.srv.Serve(lis) //nolint:errcheck // Serve always returns non-nil on Close
+	return d, nil
+}
+
+// Close stops the server and releases its listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,68 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"rpls/internal/obs"
+)
+
+// TestDebugServerEndpoints is the hermetic half of the CI pprof smoke: the
+// -debug-addr server comes up on a loopback port and every documented
+// endpoint answers 200 with plausible content.
+func TestDebugServerEndpoints(t *testing.T) {
+	record(t)
+	obs.NewCounter("test.debug.counter").Add(5)
+	srv, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, body %.200s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	var snap obs.Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not a JSON snapshot: %v", err)
+	}
+	if snap.Counter("test.debug.counter") != 5 {
+		t.Fatalf("/metrics snapshot missing the counter: %+v", snap.Counters)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["obs"]; !ok {
+		t.Fatal("/debug/vars does not publish the obs snapshot")
+	}
+	var trace map[string]json.RawMessage
+	if err := json.Unmarshal(get("/trace"), &trace); err != nil {
+		t.Fatalf("/trace is not JSON: %v", err)
+	}
+	if _, ok := trace["traceEvents"]; !ok {
+		t.Fatal("/trace missing traceEvents")
+	}
+	get("/debug/pprof/")
+	get("/debug/pprof/cmdline")
+	if testing.Short() {
+		t.Skip("skipping the 1s CPU profile in -short")
+	}
+	if body := get("/debug/pprof/profile?seconds=1"); len(body) == 0 {
+		t.Fatal("empty CPU profile")
+	}
+}

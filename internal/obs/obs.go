@@ -1,0 +1,291 @@
+// Package obs is the determinism-safe observability layer: sharded atomic
+// counters, gauges, and fixed-bucket histograms with allocation-free
+// recording on //pls:hotpath code, span-style trace events exported as
+// Chrome trace_event JSON, and JSON metric snapshots written alongside the
+// BENCH_*.json aggregates.
+//
+// The layer is built around one contract, the no-influence guarantee: no
+// value recorded here may ever flow back into a verdict, a certificate, a
+// Summary, or a results line. Instrumented packages treat the obs API as
+// write-only — plsvet's obsflow analyzer enforces that statically, and the
+// metrics-on/off byte-compare tests in engine and campaign enforce it
+// dynamically. Recording is disabled by default: every Record call behind a
+// disabled recorder is a single predictable atomic-load branch, so
+// uninstrumented runs pay nothing measurable and golden byte-compares run
+// against exactly the code they always ran against.
+//
+// Wall-clock time enters the module only through this package's clock seam
+// (see clock.go); everywhere else time.Now is banned by detrand and obsflow.
+//
+// Concurrency: counters shard their adds across cache-line-padded slots
+// whose index is drawn from the runtime's per-P fastrand, so many workers
+// hammering one counter do not serialize on one cache line; gauges and
+// histogram cells are plain atomics. All recording methods are safe for
+// concurrent use and allocation-free once the recorder is enabled.
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2" //plsvet:allow detrand — shard-index selection only: the chosen shard is invisible (values are shard sums) and nothing here flows into results
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the recorder master switch. Disabled (the default), every
+// recording call returns after one atomic load — the "no-op recorder" is
+// the same recorder with this flag off, so call sites never branch on nil.
+var enabled atomic.Bool
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches recording on or off. Flip it before the workload:
+// values recorded while disabled are dropped, not buffered.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// counterShards is the number of cache-line-padded cells a counter spreads
+// its adds over. Power of two, so the shard pick is one mask.
+const counterShards = 16
+
+// counterShard pads each cell to its own cache line.
+type counterShard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// A Counter is a monotonically increasing event count. Add and Inc are
+// allocation-free and safe for concurrent use; the total is the sum over
+// shards, so it is exact even though the shard choice is random.
+type Counter struct {
+	name   string
+	shards [counterShards]counterShard
+}
+
+// NewCounter registers and returns a counter. Call it from package var
+// initialization; names must be unique per process.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	registry.Lock()
+	registry.counters = append(registry.counters, c)
+	registry.Unlock()
+	return c
+}
+
+// Add records n occurrences.
+//
+//pls:hotpath
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.shards[rand.Uint32()&(counterShards-1)].v.Add(n)
+}
+
+// Inc records one occurrence.
+//
+//pls:hotpath
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total. This is the read side of the API:
+// obsflow forbids calling it from the instrumented deterministic packages.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+func (c *Counter) reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// A Gauge is a last-written (or maximum) level: queue depths, worker
+// counts, ETA estimates.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	registry.Lock()
+	registry.gauges = append(registry.gauges, g)
+	registry.Unlock()
+	return g
+}
+
+// Set records the current level.
+//
+//pls:hotpath
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v exceeds the recorded level — the
+// high-water-mark idiom (peak reorder-buffer depth).
+//
+//pls:hotpath
+func (g *Gauge) SetMax(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (read side; see Counter.Value).
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// histBuckets is the fixed bucket count of every histogram: power-of-two
+// buckets 0, [1,1], [2,3], [4,7], … — bucket 39 starts at 2^38 (≈4.6 min
+// in nanoseconds), wide enough for every duration this module measures.
+const histBuckets = 40
+
+// A Histogram is a fixed-bucket distribution of non-negative int64
+// observations (durations in nanoseconds, sizes, widths). Observation is
+// allocation-free: one count increment, one sum add, one bucket increment,
+// one max CAS loop.
+type Histogram struct {
+	name    string
+	unit    string
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram registers and returns a histogram; unit is documentation
+// carried into snapshots ("ns", "lanes", "trials").
+func NewHistogram(name, unit string) *Histogram {
+	h := &Histogram{name: name, unit: unit}
+	registry.Lock()
+	registry.hists = append(registry.hists, h)
+	registry.Unlock()
+	return h
+}
+
+// bucketOf maps an observation to its power-of-two bucket.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketLo is the smallest value bucket i covers.
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one value.
+//
+//pls:hotpath
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Start begins a duration measurement, returning the zero Time when the
+// recorder is disabled so the paired Stop is a no-op. The hot-path timing
+// idiom: t := h.Start(); work(); h.Stop(t).
+//
+//pls:hotpath
+func (h *Histogram) Start() Time {
+	if !enabled.Load() {
+		return 0
+	}
+	return Clock()
+}
+
+// Stop completes a Start, recording the elapsed nanoseconds.
+//
+//pls:hotpath
+func (h *Histogram) Stop(t Time) {
+	if t == 0 {
+		return
+	}
+	h.Observe(int64(Clock() - t))
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// registry holds every metric registered in this process. Registration
+// happens from package var initialization; the mutex covers late dynamic
+// registration (tests) and snapshot iteration.
+var registry struct {
+	sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// Reset zeroes every registered metric and drops buffered trace events.
+// Tests and multi-phase CLI runs use it to scope what a snapshot covers;
+// registration is permanent.
+func Reset() {
+	registry.Lock()
+	counters, gauges, hists := registry.counters, registry.gauges, registry.hists
+	registry.Unlock()
+	for _, c := range counters {
+		c.reset()
+	}
+	for _, g := range gauges {
+		g.reset()
+	}
+	for _, h := range hists {
+		h.reset()
+	}
+	resetTrace()
+}
+
+// sortedByName returns names in stable order for snapshots; the metric
+// slices themselves stay in registration order.
+func sortCounters(cs []CounterValue) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+}
+
+func sortGauges(gs []GaugeValue) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+}
+
+func sortHists(hs []HistogramValue) {
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
+}

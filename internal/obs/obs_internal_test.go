@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// The bucket layout is part of the snapshot schema: bucket 0 holds v <= 0,
+// bucket i >= 1 holds values with bit length i, i.e. [2^(i-1), 2^i - 1].
+func TestBucketLayout(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {1 << 62, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if bucketLo(0) != 0 || bucketLo(1) != 1 || bucketLo(4) != 8 {
+		t.Errorf("bucketLo layout wrong: %d %d %d", bucketLo(0), bucketLo(1), bucketLo(4))
+	}
+	for i := 1; i < histBuckets; i++ {
+		if got := bucketOf(bucketLo(i)); got != i {
+			t.Errorf("bucketOf(bucketLo(%d)) = %d, want %d", i, got, i)
+		}
+	}
+}

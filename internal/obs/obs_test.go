@@ -1,0 +1,232 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"rpls/internal/obs"
+)
+
+// record enables the recorder for one test and restores the disabled
+// default (plus clean metric values) afterward.
+func record(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+	})
+}
+
+func TestCounterExactUnderSharding(t *testing.T) {
+	record(t)
+	c := obs.NewCounter("test.counter.exact")
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(24)
+	if got := c.Value(); got != 1024 {
+		t.Fatalf("counter total %d, want 1024 (shard sums must be exact)", got)
+	}
+}
+
+func TestDisabledRecorderDropsEverything(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(obs.Reset)
+	c := obs.NewCounter("test.counter.disabled")
+	g := obs.NewGauge("test.gauge.disabled")
+	h := obs.NewHistogram("test.hist.disabled", "ns")
+	c.Add(7)
+	g.Set(7)
+	g.SetMax(7)
+	h.Observe(7)
+	h.Stop(h.Start())
+	obs.End(obs.Begin("test.span.disabled"))
+	snap := obs.TakeSnapshot()
+	if snap.Enabled {
+		t.Fatal("recorder reports enabled; default must be off")
+	}
+	if v := snap.Counter("test.counter.disabled"); v != 0 {
+		t.Errorf("disabled counter recorded %d", v)
+	}
+	if v, _ := snap.Gauge("test.gauge.disabled"); v != 0 {
+		t.Errorf("disabled gauge recorded %d", v)
+	}
+	if hv, ok := snap.Histogram("test.hist.disabled"); !ok || hv.Count != 0 {
+		t.Errorf("disabled histogram recorded %+v", hv)
+	}
+	if snap.TraceEvents != 0 {
+		t.Errorf("disabled tracer buffered %d spans", snap.TraceEvents)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	record(t)
+	g := obs.NewGauge("test.gauge.max")
+	g.SetMax(5)
+	g.SetMax(3)
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax high-water mark %d, want 9", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	record(t)
+	h := obs.NewHistogram("test.hist.snap", "widgets")
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	hv, ok := obs.TakeSnapshot().Histogram("test.hist.snap")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hv.Count != 4 || hv.Sum != 106 || hv.Max != 100 || hv.Unit != "widgets" {
+		t.Fatalf("snapshot %+v, want count=4 sum=106 max=100 unit=widgets", hv)
+	}
+	if hv.Mean != 26.5 {
+		t.Fatalf("mean %v, want 26.5", hv.Mean)
+	}
+	var buckets uint64
+	for _, b := range hv.Buckets {
+		buckets += b.Count
+	}
+	if buckets != hv.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", buckets, hv.Count)
+	}
+}
+
+func TestHistogramStartStop(t *testing.T) {
+	record(t)
+	h := obs.NewHistogram("test.hist.timing", "ns")
+	tm := h.Start()
+	if tm == 0 {
+		t.Fatal("Start returned the disabled sentinel while enabled")
+	}
+	time.Sleep(time.Millisecond)
+	h.Stop(tm)
+	hv, _ := obs.TakeSnapshot().Histogram("test.hist.timing")
+	if hv.Count != 1 || hv.Max < int64(time.Millisecond) {
+		t.Fatalf("timed observation %+v, want one reading >= 1ms", hv)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	record(t)
+	obs.NewCounter("test.snapshot.counter").Add(3)
+	var buf bytes.Buffer
+	if err := obs.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counter("test.snapshot.counter") != 3 {
+		t.Fatalf("round-tripped snapshot lost the counter: %+v", snap.Counters)
+	}
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name > snap.Counters[i].Name {
+			t.Fatalf("counters not sorted: %q > %q", snap.Counters[i-1].Name, snap.Counters[i].Name)
+		}
+	}
+}
+
+// TestRecordAllocs is the hot-path contract of the tentpole: once the
+// recorder is warm, every recording call — counter add, gauge set,
+// histogram observe, timed start/stop, span begin/end — allocates nothing.
+// The static half of the same contract is plsvet's hotalloc analyzer over
+// the //pls:hotpath-annotated methods.
+func TestRecordAllocs(t *testing.T) {
+	record(t)
+	c := obs.NewCounter("test.allocs.counter")
+	g := obs.NewGauge("test.allocs.gauge")
+	h := obs.NewHistogram("test.allocs.hist", "ns")
+	obs.End(obs.Begin("test.allocs.warm")) // allocate the trace ring up front
+	assert := func(name string, f func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(100, f); n != 0 {
+			t.Errorf("%s allocates %v times per call, want 0", name, n)
+		}
+	}
+	assert("Counter.Add", func() { c.Add(2) })
+	assert("Counter.Inc", func() { c.Inc() })
+	assert("Gauge.Set", func() { g.Set(4) })
+	assert("Gauge.SetMax", func() { g.SetMax(4) })
+	assert("Histogram.Observe", func() { h.Observe(17) })
+	assert("Histogram.Start/Stop", func() { h.Stop(h.Start()) })
+	assert("Begin/End", func() { obs.End(obs.Begin("test.allocs.span")) })
+}
+
+// TestDisabledRecordAllocs pins the disabled fast path: one branch, zero
+// allocations — the price every uninstrumented run pays.
+func TestDisabledRecordAllocs(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(obs.Reset)
+	c := obs.NewCounter("test.allocs.off.counter")
+	h := obs.NewHistogram("test.allocs.off.hist", "ns")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Stop(h.Start())
+		obs.End(obs.Begin("test.allocs.off.span"))
+	}); n != 0 {
+		t.Fatalf("disabled recording allocates %v times per call, want 0", n)
+	}
+}
+
+// TestRecorderRaceStress hammers one recorder from many goroutines while a
+// reader snapshots and exports concurrently. Run under -race (CI's race
+// job does) this is the data-race proof; the exact counter total proves
+// sharded adds lose nothing.
+func TestRecorderRaceStress(t *testing.T) {
+	record(t)
+	const workers, perWorker = 16, 5000
+	c := obs.NewCounter("test.race.counter")
+	g := obs.NewGauge("test.race.gauge")
+	h := obs.NewHistogram("test.race.hist", "ns")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader: snapshots and trace exports
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.TakeSnapshot()
+				obs.WriteTrace(&bytes.Buffer{})
+			}
+		}
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					sp := obs.Begin("test.race.span")
+					sp.Tid = int64(w)
+					obs.End(sp)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	snap := obs.TakeSnapshot()
+	if got := snap.Counter("test.race.counter"); got != workers*perWorker {
+		t.Fatalf("counter total %d under contention, want %d", got, workers*perWorker)
+	}
+	if hv, _ := snap.Histogram("test.race.hist"); hv.Count != workers*perWorker {
+		t.Fatalf("histogram count %d under contention, want %d", hv.Count, workers*perWorker)
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Snapshots: the read side of the metric registry, serialized as indented
+// JSON so a -metrics file sits naturally next to the BENCH_*.json
+// aggregates. Everything is sorted slices, never maps, so the bytes are
+// stable for a given set of values.
+
+// CounterValue is one counter's total at snapshot time.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge's level at snapshot time.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one non-empty histogram bucket: Lo is the smallest value
+// the bucket covers (power-of-two buckets; the next bucket's Lo is the
+// exclusive upper bound).
+type BucketValue struct {
+	Lo    int64  `json:"lo"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram's distribution at snapshot time.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Unit    string        `json:"unit,omitempty"`
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Max     int64         `json:"max"`
+	Mean    float64       `json:"mean"`
+	Buckets []BucketValue `json:"buckets,omitempty"`
+}
+
+// A Snapshot is a point-in-time copy of every registered metric, sorted by
+// name.
+type Snapshot struct {
+	Enabled      bool             `json:"enabled"`
+	Counters     []CounterValue   `json:"counters"`
+	Gauges       []GaugeValue     `json:"gauges"`
+	Histograms   []HistogramValue `json:"histograms"`
+	TraceEvents  int              `json:"traceEvents"`
+	TraceDropped uint64           `json:"traceDropped,omitempty"`
+}
+
+// TakeSnapshot copies the current value of every registered metric.
+func TakeSnapshot() Snapshot {
+	registry.Lock()
+	counters, gauges, hists := registry.counters, registry.gauges, registry.hists
+	registry.Unlock()
+
+	s := Snapshot{Enabled: Enabled()}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hv := HistogramValue{
+			Name:  h.name,
+			Unit:  h.unit,
+			Count: h.count.Load(),
+			Sum:   h.sum.Load(),
+			Max:   h.max.Load(),
+		}
+		if hv.Count > 0 {
+			hv.Mean = float64(hv.Sum) / float64(hv.Count)
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hv.Buckets = append(hv.Buckets, BucketValue{Lo: bucketLo(i), Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sortCounters(s.Counters)
+	sortGauges(s.Gauges)
+	sortHists(s.Histograms)
+	s.TraceEvents, s.TraceDropped = traceCounts()
+	return s
+}
+
+// Counter returns the snapshot total of the named counter (0 if absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshot level of the named gauge.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the snapshot distribution of the named histogram.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// WriteSnapshot serializes a fresh snapshot as indented JSON.
+func WriteSnapshot(w io.Writer) error {
+	data, err := json.MarshalIndent(TakeSnapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSnapshotFile writes a fresh snapshot to a file, creating or
+// truncating it — the -metrics flag's implementation.
+func WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Span-style tracing. Spans mark coarse phases — one per estimate, per
+// campaign cell, per adversary sweep — never per-trial work, so the
+// recording path can afford a mutex-protected ring: it stays simple,
+// passes the race detector on merit, and appends nothing after the ring's
+// one lazy allocation. Export is the Chrome trace_event JSON array format,
+// loadable in chrome://tracing and Perfetto.
+
+// traceCapacity bounds the buffered span count; later spans are counted as
+// dropped rather than grown into (a long campaign would otherwise
+// accumulate without bound).
+const traceCapacity = 1 << 14
+
+// traceEvent is one buffered complete ("ph":"X") event.
+type traceEvent struct {
+	name  string
+	tid   int64
+	start Time
+	dur   int64 // nanoseconds
+	a, b  int64
+}
+
+var tracer struct {
+	sync.Mutex
+	events  []traceEvent
+	dropped uint64
+}
+
+// A Span is an in-flight trace region. It is a plain value: Begin fills
+// Name and the start time, the caller may set Tid (a worker index) and the
+// free-form A and B annotation fields, and End buffers it. The zero Span
+// (returned by Begin when recording is off) makes End a no-op.
+type Span struct {
+	Name  string
+	Tid   int64
+	A, B  int64
+	start Time
+}
+
+// Begin opens a span. Allocation-free; when recording is disabled it
+// returns the zero Span and the paired End does nothing.
+//
+//pls:hotpath
+func Begin(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	return Span{Name: name, start: Clock()}
+}
+
+// End closes and buffers a span begun with Begin.
+func End(sp Span) {
+	if sp.start == 0 || !enabled.Load() {
+		return
+	}
+	dur := int64(Clock() - sp.start)
+	tracer.Lock()
+	if tracer.events == nil {
+		tracer.events = make([]traceEvent, 0, traceCapacity)
+	}
+	if len(tracer.events) < traceCapacity {
+		tracer.events = append(tracer.events, traceEvent{
+			name: sp.Name, tid: sp.Tid, start: sp.start, dur: dur, a: sp.A, b: sp.B,
+		})
+	} else {
+		tracer.dropped++
+	}
+	tracer.Unlock()
+}
+
+// traceCounts reports the buffered and dropped event counts (read side).
+func traceCounts() (buffered int, dropped uint64) {
+	tracer.Lock()
+	defer tracer.Unlock()
+	return len(tracer.events), tracer.dropped
+}
+
+func resetTrace() {
+	tracer.Lock()
+	tracer.events = tracer.events[:0]
+	tracer.dropped = 0
+	tracer.Unlock()
+}
+
+// chromeEvent is one trace_event record: a complete event with explicit
+// duration, timestamps in microseconds as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON Object Format of the trace_event spec.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Dropped     uint64        `json:"droppedEvents,omitempty"`
+}
+
+// WriteTrace exports every buffered span as Chrome trace_event JSON,
+// sorted by start time.
+func WriteTrace(w io.Writer) error {
+	tracer.Lock()
+	events := make([]traceEvent, len(tracer.events))
+	copy(events, tracer.events)
+	dropped := tracer.dropped
+	tracer.Unlock()
+
+	sort.Slice(events, func(i, j int) bool { return events[i].start < events[j].start })
+	out := chromeTrace{TraceEvents: make([]chromeEvent, len(events)), Dropped: dropped}
+	for i, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name,
+			Ph:   "X",
+			Pid:  1,
+			Tid:  ev.tid,
+			Ts:   float64(ev.start) / 1e3,
+			Dur:  float64(ev.dur) / 1e3,
+		}
+		if ev.a != 0 || ev.b != 0 {
+			ce.Args = map[string]any{"a": ev.a, "b": ev.b}
+		}
+		out.TraceEvents[i] = ce
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceFile writes the Chrome trace to a file, creating or
+// truncating it.
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,82 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rpls/internal/obs"
+)
+
+// chrome mirrors the trace_event JSON Object Format for decoding.
+type chrome struct {
+	TraceEvents []struct {
+		Name string           `json:"name"`
+		Ph   string           `json:"ph"`
+		Pid  int              `json:"pid"`
+		Tid  int64            `json:"tid"`
+		Ts   float64          `json:"ts"`
+		Dur  float64          `json:"dur"`
+		Args map[string]int64 `json:"args"`
+	} `json:"traceEvents"`
+	Dropped uint64 `json:"droppedEvents"`
+}
+
+func TestTraceExportIsChromeFormat(t *testing.T) {
+	record(t)
+	sp := obs.Begin("phase.one")
+	sp.Tid = 3
+	sp.A, sp.B = 17, 4
+	obs.End(sp)
+	obs.End(obs.Begin("phase.two"))
+
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chrome
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(tr.TraceEvents))
+	}
+	first := tr.TraceEvents[0]
+	if first.Name != "phase.one" || first.Ph != "X" || first.Tid != 3 {
+		t.Fatalf("first event %+v, want name=phase.one ph=X tid=3", first)
+	}
+	if first.Args["a"] != 17 || first.Args["b"] != 4 {
+		t.Fatalf("annotation args %+v, want a=17 b=4", first.Args)
+	}
+	if first.Ts > tr.TraceEvents[1].Ts {
+		t.Fatal("events not sorted by start time")
+	}
+	if first.Dur < 0 {
+		t.Fatalf("negative duration %v", first.Dur)
+	}
+}
+
+func TestTraceRingDropsBeyondCapacity(t *testing.T) {
+	record(t)
+	const extra = 50
+	// traceCapacity is 1<<14; overfill and require exact drop accounting.
+	for i := 0; i < (1<<14)+extra; i++ {
+		obs.End(obs.Begin("flood"))
+	}
+	snap := obs.TakeSnapshot()
+	if snap.TraceEvents != 1<<14 {
+		t.Fatalf("buffered %d events, want the %d capacity", snap.TraceEvents, 1<<14)
+	}
+	if snap.TraceDropped != extra {
+		t.Fatalf("dropped %d events, want %d", snap.TraceDropped, extra)
+	}
+}
+
+func TestResetDropsTrace(t *testing.T) {
+	record(t)
+	obs.End(obs.Begin("gone"))
+	obs.Reset()
+	if snap := obs.TakeSnapshot(); snap.TraceEvents != 0 || snap.TraceDropped != 0 {
+		t.Fatalf("reset left %d events, %d dropped", snap.TraceEvents, snap.TraceDropped)
+	}
+}
