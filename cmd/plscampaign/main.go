@@ -7,6 +7,8 @@
 //	plscampaign run -spec examples/campaign/smoke.json -out out/ [-parallel 0]
 //	plscampaign run ... [-metrics M.json] [-trace T.json] [-debug-addr :8797 [-debug-hold 45s]]
 //	plscampaign resume -out out/ [-parallel 0]
+//	plscampaign serve -spec S.json -out out/ -addr :8799 [-lease 8] [-heartbeat 3s] [-window N] [-metrics M.json]
+//	plscampaign work -addr http://host:8799 [-workers 0] [-name w1]
 //	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
 //	plscampaign comm -out out/ [-min-ratio 1]
 //	plscampaign tradeoff -out out/ [-assert-decreasing 2]
@@ -22,6 +24,15 @@
 // spec's rounds axis, and -assert-decreasing demands at least that many
 // distinct schemes and families with strictly decreasing curves.
 //
+// serve and work distribute a campaign over HTTP: serve owns the campaign
+// directory and leases contiguous cell ranges to workers; work executes
+// leased cells with the ordinary engine and streams records back. Crashed
+// or stalled workers are handled by lease expiry and reclaim, a killed
+// coordinator restarts with `serve` against the same -out (the manifest
+// is the checkpoint), and the directory stays byte-identical to a
+// single-process run at any worker count. Omit -spec on serve to resume
+// from the directory's own spec, exactly like `resume`.
+//
 // run and resume narrate progress as structured log/slog records on stdout
 // (phase=plan|execute|progress|aggregate|done) and, with -metrics/-trace,
 // write an internal/obs snapshot and a Chrome trace_event JSON after the
@@ -31,13 +42,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"rpls/internal/campaign"
+	"rpls/internal/campaign/fabric"
 	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/obs"
@@ -55,7 +72,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: plscampaign run|resume|describe|list [flags]")
+		return fmt.Errorf("usage: plscampaign run|resume|serve|work|describe|list [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -63,6 +80,10 @@ func run(args []string) error {
 		return cmdRun(rest, false)
 	case "resume":
 		return cmdRun(rest, true)
+	case "serve":
+		return cmdServe(rest)
+	case "work":
+		return cmdWork(rest)
 	case "describe":
 		return cmdDescribe(rest)
 	case "comm":
@@ -72,7 +93,7 @@ func run(args []string) error {
 	case "list":
 		return cmdList()
 	default:
-		return fmt.Errorf("unknown subcommand %q (run, resume, describe, comm, tradeoff, list)", cmd)
+		return fmt.Errorf("unknown subcommand %q (run, resume, serve, work, describe, comm, tradeoff, list)", cmd)
 	}
 }
 
@@ -152,6 +173,134 @@ func cmdRun(args []string, resume bool) error {
 	return nil
 }
 
+// cmdServe runs the coordinator half of a distributed campaign: it owns
+// the -out directory, serves the lease protocol on -addr, and exits when
+// every cell is durably written and aggregated. Restarting it against the
+// same directory resumes, exactly like `plscampaign resume`.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "spec JSON file (omit to resume from the spec stored in -out)")
+	out := fs.String("out", "", "campaign directory (created if missing)")
+	addr := fs.String("addr", "127.0.0.1:8799", "address to serve the lease protocol on")
+	leaseSize := fs.Int("lease", 8, "cells per lease")
+	heartbeat := fs.Duration("heartbeat", 3*time.Second, "heartbeat interval asked of workers; leases expire after 4x this")
+	window := fs.Int("window", 0, "lease window in cells past the write low-water mark (0 = 4 leases)")
+	linger := fs.Duration("linger", 2*time.Second, "keep serving this long after completion so workers see done and exit")
+	metrics := fs.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
+	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	if *metrics != "" || *trace != "" {
+		obs.SetEnabled(true)
+	}
+	var spec campaign.Spec
+	var err error
+	if *specPath == "" {
+		if spec, err = campaign.ReadSpec(*out); err != nil {
+			return fmt.Errorf("no -spec given and none stored in -out: %w", err)
+		}
+	} else {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if spec, err = campaign.ParseSpec(data); err != nil {
+			return err
+		}
+	}
+	c, err := fabric.NewCoordinator(*out, spec, fabric.Options{
+		LeaseSize: *leaseSize,
+		LeaseTTL:  4 * *heartbeat,
+		Window:    *window,
+		Logger:    slog.New(slog.NewTextHandler(os.Stdout, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "coordinator on http://%s (lease=%d, ttl=%v, status: /v1/status)\n",
+		ln.Addr(), *leaseSize, 4**heartbeat)
+
+	waitErr := c.Wait(context.Background())
+	// Linger so polling workers get a Done answer instead of a dead socket.
+	if waitErr == nil && *linger > 0 {
+		time.Sleep(*linger)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	select {
+	case <-serveErr:
+	default:
+	}
+	if waitErr != nil {
+		return waitErr
+	}
+	rep, err := c.Finish()
+	if err != nil {
+		return err
+	}
+	if *metrics != "" {
+		if err := obs.WriteSnapshotFile(*metrics); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if *trace != "" {
+		if err := obs.WriteTraceFile(*trace); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	fmt.Println(rep)
+	if n := rep.Errors + rep.PriorErrors; n > 0 {
+		return fmt.Errorf("%d cells errored (see %s/%s)", n, *out, campaign.ResultsFile)
+	}
+	return nil
+}
+
+// cmdWork runs the worker half: it pulls leases from a coordinator,
+// executes the cells, and exits when the coordinator reports done.
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8799", "coordinator base URL")
+	workers := fs.Int("workers", 0, "concurrent lease loops (0 = all cores)")
+	name := fs.String("name", "", "worker name (default host-pid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	parallel := *workers
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	w := &fabric.Worker{
+		Coordinator: base,
+		Name:        *name,
+		Parallel:    parallel,
+		Logger:      slog.New(slog.NewTextHandler(os.Stdout, nil)),
+	}
+	return w.Run(context.Background())
+}
+
 func cmdDescribe(args []string) error {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "spec JSON file")
@@ -181,6 +330,7 @@ func cmdDescribe(args []string) error {
 		return nil
 	}
 	fmt.Printf("spec %s: %d cells\n", plan.Spec.Name, len(plan.Cells))
+	fmt.Printf("  breakdown: %s\n", plan.Breakdown())
 	fmt.Printf("  schemes:   %d axes\n", len(plan.Spec.Schemes))
 	fmt.Printf("  families:  %v\n", plan.Spec.Families)
 	fmt.Printf("  sizes:     %v\n", plan.Spec.Sizes)

@@ -23,6 +23,11 @@ var DetRand = &Analyzer{
 var detRandPackages = []string{
 	"rpls/internal/engine",
 	"rpls/internal/core",
+	// The prefix match keeps campaign's sub-packages in-zone — deliberately
+	// including campaign/fabric, the distributed transport: network I/O and
+	// lease timing (obs.Clock deadlines, time.NewTicker heartbeats) decide
+	// only scheduling there, and anything that could decide bytes stays
+	// under the same contract as the rest of the campaign layer.
 	"rpls/internal/campaign",
 	"rpls/internal/schemes",
 	// The telemetry package sits inside the deterministic zone so its two

@@ -10,8 +10,9 @@ func TestDetRand(t *testing.T) {
 	RunFixture(t, Fixture{
 		Analyzer: DetRand,
 		Packages: map[string]string{
-			"rpls/internal/engine/detfixture": "detrand/det",
-			"rpls/cmd/freefixture":            "detrand/free",
+			"rpls/internal/engine/detfixture":          "detrand/det",
+			"rpls/cmd/freefixture":                     "detrand/free",
+			"rpls/internal/campaign/fabric/detfixture": "detrand/fabric",
 		},
 	})
 }
@@ -23,6 +24,7 @@ func TestDeterministicPackageSet(t *testing.T) {
 		"rpls/internal/engine/sub":      true,
 		"rpls/internal/core":            true,
 		"rpls/internal/campaign":        true,
+		"rpls/internal/campaign/fabric": true,
 		"rpls/internal/schemes/uniform": true,
 		"rpls/internal/obs":             true,
 		"rpls/internal/obs/sub":         true,

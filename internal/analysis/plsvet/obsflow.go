@@ -51,6 +51,10 @@ var obsWriteOnly = map[string]bool{
 	"Clock":        true,
 	"Since":        true,
 	"Enabled":      true,
+	// Time is the opaque clock-reading type; a conversion into it (e.g.
+	// deadline arithmetic on obs.Clock values in campaign/fabric's lease
+	// table) neither reads telemetry back nor touches the wall clock.
+	"Time": true,
 }
 
 // obsClockCalls are the wall-clock reads barred module-wide in favor of the

@@ -1,0 +1,38 @@
+// Package fabric is a detrand fixture mounted under
+// rpls/internal/campaign/fabric/: the distributed-campaign transport sits
+// inside the deterministic zone on purpose, so ambient randomness and
+// wall-clock reads are flagged even though the package talks to a
+// network. Lease deadlines read time through the audited obs.Clock seam,
+// which must pass clean.
+package fabric
+
+import (
+	"math/rand" // want "import of math/rand in deterministic package"
+	"time"
+
+	"rpls/internal/obs"
+)
+
+// Deadline computes a lease deadline the sanctioned way: an obs.Clock
+// reading plus a duration, never a wall-clock read.
+func Deadline(ttl time.Duration) obs.Time {
+	return obs.Clock() + obs.Time(ttl)
+}
+
+// Expired compares against the seam clock; durations and timers
+// (time.NewTimer, time.NewTicker) stay legal — only wall-clock reads and
+// ambient coins are not.
+func Expired(deadline obs.Time) bool {
+	return deadline < obs.Clock()
+}
+
+// Cheat seeds scheduling from ambient sources: every source below is a
+// finding.
+func Cheat() int64 {
+	jitter := rand.Int63()       // the import is the finding; uses are not re-flagged
+	now := time.Now().UnixNano() // want "call to time.Now in deterministic package"
+
+	// The escape hatch: a justified, audited exception is honored.
+	now ^= time.Now().Unix() //plsvet:allow detrand — fixture demonstrating the audited escape hatch
+	return jitter + now
+}

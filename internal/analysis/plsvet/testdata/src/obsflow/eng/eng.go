@@ -36,6 +36,10 @@ func Instrument(n int) {
 	}
 	start := obs.Clock() // the sanctioned clock seam
 	_ = obs.Since(start)
+	// Conversions into the opaque Time domain (lease-deadline arithmetic)
+	// are neither read-backs nor clock reads.
+	deadline := start + obs.Time(time.Millisecond)
+	_ = deadline
 }
 
 // Cheat reads telemetry and the wall clock back inside the engine: every

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A crash mid-append leaves a partial final manifest line. Loading must
+// keep every complete record and discard only the torn tail.
+func TestLoadManifestToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestFile)
+	content := `{"cell":"a","status":"ok"}` + "\n" +
+		`{"cell":"b","status":"error"}` + "\n" +
+		`{"cell":"c","sta` // crash mid-append: no closing JSON, no newline
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, err := loadManifest(path)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the load: %v", err)
+	}
+	if len(done) != 2 || done["a"] != StatusOK || done["b"] != StatusError {
+		t.Errorf("done = %v, want the two complete records", done)
+	}
+}
+
+// Garbage anywhere before the final line is corruption, not a torn tail:
+// skipping it would re-execute the cell and append a duplicate record.
+func TestLoadManifestRejectsMidFileGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), ManifestFile)
+	content := `{"cell":"a","status":"ok"}` + "\n" +
+		`{"cell":"b","sta` + "\n" + // complete line, broken JSON
+		`{"cell":"c","status":"ok"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(path); err == nil || !strings.Contains(err.Error(), "manifest line 2") {
+		t.Errorf("got %v, want an error naming manifest line 2", err)
+	}
+}
+
+// End to end: resuming over a manifest with a torn tail succeeds, repairs
+// the file in place, and re-executes nothing whose record survived.
+func TestResumeRepairsTornManifestTail(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	spec.Sizes = []int{8}
+	rep := runInto(t, spec, dir, 2)
+
+	mpath := filepath.Join(dir, ManifestFile)
+	before := readFile(t, mpath)
+	f, err := os.OpenFile(mpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"cell":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep2 := runInto(t, spec, dir, 2)
+	if rep2.Executed != 0 || rep2.Skipped != rep.Cells {
+		t.Fatalf("resume over torn manifest executed %d, skipped %d (want 0, %d)", rep2.Executed, rep2.Skipped, rep.Cells)
+	}
+	after := readFile(t, mpath)
+	if string(after) != string(before) {
+		t.Error("resume did not repair the torn manifest tail back to the complete records")
+	}
+}
+
+// S2: the per-axis breakdown must multiply out to exactly the expanded
+// plan size, variants included.
+func TestPlanBreakdown(t *testing.T) {
+	plan, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := plan.Breakdown()
+	if b.Cells != len(plan.Cells) {
+		t.Fatalf("breakdown cells = %d, plan has %d", b.Cells, len(plan.Cells))
+	}
+	product := b.SchemeVariants * b.Families * b.Sizes * b.Seeds * b.Executors * b.Measures
+	if product != b.Cells {
+		t.Errorf("axis product %d != cells %d (%+v)", product, b.Cells, b)
+	}
+	// testSpec: spanningtree det+rand, coloring rand, acyclicity det+rand.
+	if b.SchemeVariants != 5 || b.Families != 3 || b.Sizes != 2 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	s := b.String()
+	if !strings.Contains(s, "scheme-variants") || !strings.Contains(s, "= 60 cells") {
+		t.Errorf("breakdown string = %q", s)
+	}
+}

@@ -22,6 +22,17 @@
 // in-order reorder buffer — so results.jsonl is byte-identical for any
 // worker count. The golden test in scheduler_test.go enforces this.
 //
+// The package is layered as a transport-agnostic core plus consumers:
+// Prepare reconciles a directory against a spec (torn-tail repair,
+// manifest load, todo computation), MarshalRecord is the one record
+// marshaler, Sink is the in-order reorder buffer with idempotent
+// first-write-wins delivery, and WriteAggregates rewrites the
+// BENCH_*.json tail. Runner drives those four primitives with an
+// in-process worker pool; the campaign/fabric sub-package drives the same
+// four over HTTP, leasing cell ranges to remote workers with crash
+// reclaim — and inherits byte-identity structurally instead of
+// re-deriving it per transport. See DESIGN.md, "Distributed campaigns".
+//
 // Resume contract: a campaign directory holds spec.json (provenance),
 // results.jsonl (one Record per executed cell, append-only),
 // manifest.jsonl (one line per completed cell ID, append-only), and

@@ -1,0 +1,21 @@
+package fabric
+
+import "rpls/internal/obs"
+
+// Telemetry handles for the fabric. Write-only from this package (the
+// obsflow analyzer enforces it): protocol decisions read coordinator
+// state under its own mutex (Status, lease table), never these.
+var (
+	obsLeaseGrants = obs.NewCounter("fabric.lease.grants")
+	obsLeaseCells  = obs.NewCounter("fabric.lease.cells")
+	obsReclaims    = obs.NewCounter("fabric.lease.reclaims")
+	obsHeartbeats  = obs.NewCounter("fabric.heartbeats")
+	obsRecords     = obs.NewCounter("fabric.records")
+	obsDuplicates  = obs.NewCounter("fabric.records.duplicate")
+	obsWindowFull  = obs.NewCounter("fabric.lease.window_full")
+
+	obsLeasesActive = obs.NewGauge("fabric.leases.active")
+	obsWorkersSeen  = obs.NewGauge("fabric.workers.seen")
+
+	obsWorkerCellNanos = obs.NewHistogram("fabric.worker.cell", "ns")
+)

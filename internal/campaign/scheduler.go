@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,7 +11,6 @@ import (
 	"path/filepath"
 	goruntime "runtime"
 	"sync"
-	"sync/atomic"
 
 	"rpls/internal/engine"
 	"rpls/internal/obs"
@@ -120,7 +118,10 @@ func (r Report) String() string {
 	return s
 }
 
-// Runner executes campaign plans into a directory.
+// Runner executes campaign plans into a directory with an in-process
+// worker pool. It is the single-machine driver over the transport-agnostic
+// core in core.go; the coordinator/worker fabric in campaign/fabric is the
+// distributed one, and both produce byte-identical directories.
 type Runner struct {
 	Dir      string
 	Parallel int // worker count; <= 0 selects GOMAXPROCS
@@ -155,126 +156,44 @@ func (r *Runner) workers() int {
 
 // Run expands the spec and executes every cell the manifest does not
 // already mark complete, streaming records to results.jsonl in cell order
-// (an in-order reorder buffer makes the file byte-identical for any worker
+// (the Sink's reorder buffer makes the file byte-identical for any worker
 // count), appending manifest lines as cells finish, and rewriting the
-// BENCH_campaign.json aggregate at the end.
+// BENCH_*.json aggregates at the end.
 func (r *Runner) Run(spec Spec) (Report, error) {
-	plan, err := Expand(spec)
+	p, err := Prepare(r.Dir, spec)
 	if err != nil {
 		return Report{}, err
 	}
-	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
-		return Report{}, fmt.Errorf("campaign: %w", err)
-	}
-	if err := writeSpec(filepath.Join(r.Dir, SpecFile), plan.Spec); err != nil {
-		return Report{}, err
-	}
-	done, err := loadManifest(filepath.Join(r.Dir, ManifestFile))
-	if err != nil {
-		return Report{}, err
-	}
-	// A crash mid-write can leave a torn trailing results line; drop it (its
-	// cell has no manifest line yet and simply re-executes).
-	if err := truncateTornTail(filepath.Join(r.Dir, ResultsFile)); err != nil {
-		return Report{}, err
-	}
-	// A crash between the results flush and the manifest flush leaves a
-	// record without a manifest line; treat recorded cells as complete too,
-	// or the resume would append a duplicate record.
-	recorded, err := ReadRecords(r.Dir)
-	if err != nil {
-		return Report{}, err
-	}
-	for _, rec := range recorded {
-		if _, ok := done[rec.Cell]; !ok {
-			done[rec.Cell] = rec.Status
-		}
-	}
-
-	var todo []Cell
-	priorErrors := 0
-	for _, c := range plan.Cells {
-		status, ok := done[c.ID()]
-		if !ok {
-			todo = append(todo, c)
-		} else if status == StatusError {
-			priorErrors++
-		}
-	}
-	rep := Report{Cells: len(plan.Cells), Executed: len(todo), Skipped: len(plan.Cells) - len(todo), PriorErrors: priorErrors}
+	rep := p.Report
 	log := r.logger()
 	sp := obs.Begin("campaign.run")
-	obsCellsSkipped.Add(uint64(rep.Skipped))
-	log.Info("campaign", "phase", "plan", "spec", plan.Spec.Name,
+	log.Info("campaign", "phase", "plan", "spec", p.Plan.Spec.Name,
 		"cells", rep.Cells, "execute", rep.Executed, "skipped", rep.Skipped, "workers", r.workers())
 
-	if len(todo) > 0 {
-		if err := r.execute(todo, &rep, log); err != nil {
+	if len(p.Todo) > 0 {
+		if err := r.execute(p.Todo, &rep, log); err != nil {
 			return rep, err
 		}
 	}
 
-	// One pass over the full results stream feeds both aggregates.
-	finalRecs, err := ReadRecords(r.Dir)
-	if err != nil {
+	if err := WriteAggregates(r.Dir, p.Plan.Spec.Name, log); err != nil {
 		return rep, err
-	}
-	bench := Aggregate(plan.Spec.Name, finalRecs)
-	if err := writeBenchJSON(filepath.Join(r.Dir, BenchFile), bench); err != nil {
-		return rep, err
-	}
-	comm := AggregateComm(plan.Spec.Name, finalRecs)
-	if err := writeBenchJSON(filepath.Join(r.Dir, BenchCommFile), comm); err != nil {
-		return rep, err
-	}
-	tradeoff := AggregateTradeoff(plan.Spec.Name, finalRecs)
-	if err := writeBenchJSON(filepath.Join(r.Dir, BenchTradeoffFile), tradeoff); err != nil {
-		return rep, err
-	}
-	log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
-		"records", bench.Records, "file", BenchFile)
-	if comm.Records > 0 {
-		log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
-			"records", comm.Records, "file", BenchCommFile, "detRandRatio", comm.DetRandRatio)
-	}
-	if tradeoff.DecreasingCurves > 0 {
-		log.Info("campaign", "phase", "aggregate", "spec", plan.Spec.Name,
-			"records", tradeoff.Records, "file", BenchTradeoffFile,
-			"decreasingCurves", tradeoff.DecreasingCurves,
-			"decreasingSchemes", tradeoff.DecreasingSchemes,
-			"decreasingFamilies", tradeoff.DecreasingFamilies)
 	}
 	sp.A, sp.B = int64(rep.Executed), int64(rep.Skipped)
 	obs.End(sp)
-	log.Info("campaign", "phase", "done", "spec", plan.Spec.Name, "report", rep.String())
+	log.Info("campaign", "phase", "done", "spec", p.Plan.Spec.Name, "report", rep.String())
 	return rep, nil
 }
 
-// writeBenchJSON writes one aggregate file as indented JSON.
-func writeBenchJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return fmt.Errorf("campaign: marshal %s: %w", filepath.Base(path), err)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("campaign: %w", err)
-	}
-	return nil
-}
-
 // execute runs the incomplete cells through the worker pool and streams
-// their records out in plan order.
+// their records out in plan order through the Sink.
 func (r *Runner) execute(todo []Cell, rep *Report, log *slog.Logger) error {
-	results, err := os.OpenFile(filepath.Join(r.Dir, ResultsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	sink, err := NewSink(r.Dir, todo, rep)
 	if err != nil {
-		return fmt.Errorf("campaign: %w", err)
+		return err
 	}
-	defer results.Close()
-	manifest, err := os.OpenFile(filepath.Join(r.Dir, ManifestFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("campaign: %w", err)
-	}
-	defer manifest.Close()
+	defer sink.Close()
+	sink.SetProgress(ProgressFunc(log, len(todo)))
 
 	w := r.workers()
 	if w > len(todo) {
@@ -282,12 +201,6 @@ func (r *Runner) execute(todo []Cell, rep *Report, log *slog.Logger) error {
 	}
 	log.Info("campaign", "phase", "execute", "cells", len(todo), "workers", w)
 	obsWorkers.Set(int64(w))
-	lines := make([][]byte, len(todo))
-	statuses := make([]string, len(todo))
-	ready := make([]bool, len(todo))
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	var completed atomic.Int64 // cells finished by workers, for reorder depth
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -305,94 +218,17 @@ func (r *Runner) execute(todo []Cell, rep *Report, log *slog.Logger) error {
 				busy += int64(obs.Since(t0))
 				obs.End(sp)
 				obsRetries.Add(uint64(rec.Retries))
-				line, err := json.Marshal(rec)
-				if err != nil { // a Record always marshals; keep it loud
-					panic(fmt.Sprintf("campaign: marshal record: %v", err))
-				}
-				mu.Lock()
-				lines[idx] = line
-				statuses[idx] = rec.Status
-				ready[idx] = true
-				completed.Add(1)
-				cond.Broadcast()
-				mu.Unlock()
+				sink.Put(idx, MarshalRecord(rec), rec.Status)
 			}
 			obsWorkerBusy.Observe(busy)
 		}(i)
 	}
-	go func() {
-		for idx := range todo {
-			jobs <- idx
-		}
-		close(jobs)
-	}()
-
-	// The reorder buffer: write cell idx only once every earlier cell is
-	// written, so the results stream is in plan order for any worker count.
-	// progressEvery spaces the phase=progress records (and there is always
-	// a final one when the last cell lands).
-	progressEvery := len(todo) / 8
-	if progressEvery < 1 {
-		progressEvery = 1
-	}
-	start := obs.Clock()
-	rw := bufio.NewWriter(results)
-	mw := bufio.NewWriter(manifest)
 	for idx := range todo {
-		mu.Lock()
-		for !ready[idx] {
-			cond.Wait()
-		}
-		line, status := lines[idx], statuses[idx]
-		lines[idx] = nil
-		mu.Unlock()
-
-		rw.Write(line)
-		rw.WriteByte('\n')
-		ml, _ := json.Marshal(manifestLine{Cell: todo[idx].ID(), Status: status})
-		mw.Write(ml)
-		mw.WriteByte('\n')
-		// Flush both so an interrupted run resumes from its last whole cell.
-		if err := rw.Flush(); err != nil {
-			return fmt.Errorf("campaign: write results: %w", err)
-		}
-		if err := mw.Flush(); err != nil {
-			return fmt.Errorf("campaign: write manifest: %w", err)
-		}
-		switch status {
-		case StatusOK:
-			rep.OK++
-			obsCellsOK.Inc()
-		case StatusIncompatible:
-			rep.Incompatible++
-			obsCellsIncompatible.Inc()
-		default:
-			rep.Errors++
-			obsCellsError.Inc()
-		}
-		written := idx + 1
-		// Reorder depth: cells finished by workers but not yet writable
-		// because an earlier cell is still running.
-		obsReorderDepth.SetMax(completed.Load() - int64(written))
-		if written%progressEvery == 0 || written == len(todo) {
-			elapsed := obs.Since(start)
-			rate := 0.0
-			if elapsed > 0 {
-				rate = float64(written) / elapsed.Seconds()
-			}
-			etaMs := int64(0)
-			if rate > 0 {
-				etaMs = int64(float64(len(todo)-written) / rate * 1000)
-			}
-			obsRateMilli.Set(int64(rate * 1000))
-			obsEtaMillis.Set(etaMs)
-			log.Info("campaign", "phase", "progress",
-				"done", written, "total", len(todo),
-				"cellsPerSec", fmt.Sprintf("%.1f", rate), "etaMs", etaMs)
-		}
+		jobs <- idx
 	}
+	close(jobs)
 	wg.Wait()
-	return nil
+	return sink.Err()
 }
 
 // RunCell executes one scenario cell. It never returns an error: failures
@@ -513,19 +349,6 @@ func fillComm(rec *Record, sum engine.Summary) {
 	rec.MaxPortBits, rec.AvgBitsPerEdge = sum.MaxPortBits, sum.AvgBitsPerEdge
 }
 
-// writeSpec stores the effective spec for provenance and for `plscampaign
-// resume`, which re-reads it from the directory.
-func writeSpec(path string, spec Spec) error {
-	data, err := json.MarshalIndent(spec, "", "  ")
-	if err != nil {
-		return fmt.Errorf("campaign: marshal spec: %w", err)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("campaign: %w", err)
-	}
-	return nil
-}
-
 // ReadSpec loads the spec stored in a campaign directory.
 func ReadSpec(dir string) (Spec, error) {
 	data, err := os.ReadFile(filepath.Join(dir, SpecFile))
@@ -533,54 +356,6 @@ func ReadSpec(dir string) (Spec, error) {
 		return Spec{}, fmt.Errorf("campaign: %w", err)
 	}
 	return ParseSpec(data)
-}
-
-// loadManifest reads the completed-cell set of a campaign directory. A
-// missing manifest is an empty one; a trailing partial line (a run killed
-// mid-write) is ignored, which at worst re-executes that one cell.
-func loadManifest(path string) (map[string]string, error) {
-	done := map[string]string{}
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return done, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("campaign: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var ml manifestLine
-		if err := json.Unmarshal(sc.Bytes(), &ml); err != nil {
-			continue // partial trailing line from an interrupted run
-		}
-		done[ml.Cell] = ml.Status
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("campaign: read manifest: %w", err)
-	}
-	return done, nil
-}
-
-// truncateTornTail removes a partial trailing line (no terminating newline)
-// left by a run killed mid-write, so the stream stays valid JSONL.
-func truncateTornTail(path string) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("campaign: %w", err)
-	}
-	if len(data) == 0 || data[len(data)-1] == '\n' {
-		return nil
-	}
-	cut := bytes.LastIndexByte(data, '\n') + 1
-	if err := os.Truncate(path, int64(cut)); err != nil {
-		return fmt.Errorf("campaign: repair torn results tail: %w", err)
-	}
-	return nil
 }
 
 // ReadRecords loads every record from a campaign directory's results file.

@@ -274,6 +274,46 @@ type Plan struct {
 	Cells []Cell
 }
 
+// Breakdown is the per-axis factorization of a plan's cell count: the
+// product of its fields equals len(Plan.Cells). It exists so a user can
+// see where a distributed campaign's size comes from (and which axis to
+// trim) before leasing cells to a worker fleet.
+type Breakdown struct {
+	SchemeVariants int // selected variants summed across scheme axes
+	Families       int
+	Sizes          int
+	Seeds          int
+	Executors      int
+	Measures       int
+	Rounds         int
+	Cells          int // the product
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%d scheme-variants × %d families × %d sizes × %d seeds × %d executors × %d measures × %d rounds = %d cells",
+		b.SchemeVariants, b.Families, b.Sizes, b.Seeds, b.Executors, b.Measures, b.Rounds, b.Cells)
+}
+
+// Breakdown factors the expanded cell count per axis. The plan's spec has
+// its defaults filled in by Expand, so every axis length is the one that
+// actually multiplied in.
+func (p *Plan) Breakdown() Breakdown {
+	b := Breakdown{
+		Families:  len(p.Spec.Families),
+		Sizes:     len(p.Spec.Sizes),
+		Seeds:     len(p.Spec.Seeds),
+		Executors: len(p.Spec.Executors),
+		Measures:  len(p.Spec.Measures),
+		Rounds:    len(p.Spec.Rounds),
+	}
+	for _, ax := range p.Spec.Schemes {
+		e, _ := engine.Lookup(ax.Name)
+		b.SchemeVariants += len(variantsFor(ax, e))
+	}
+	b.Cells = b.SchemeVariants * b.Families * b.Sizes * b.Seeds * b.Executors * b.Measures * b.Rounds
+	return b
+}
+
 // Expand validates the spec and produces its plan. The nesting order —
 // scheme, variant, family, size, seed, executor, measure, rounds — is part
 // of the output contract: results.jsonl is written in this order. Rounds
