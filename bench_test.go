@@ -12,7 +12,6 @@ import (
 	"rpls/internal/field"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/mst"
 	"rpls/internal/schemes/spanningtree"
@@ -111,7 +110,7 @@ func BenchmarkVerificationRound(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("det/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if !runtime.VerifyPLS(det, cfg, detLabels).Accepted {
+				if !engine.Verify(engine.FromPLS(det), cfg, detLabels).Accepted {
 					b.Fatal("rejected")
 				}
 			}
@@ -119,11 +118,11 @@ func BenchmarkVerificationRound(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("rand/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if !runtime.VerifyRPLS(rand, cfg, randLabels, uint64(i)).Accepted {
+				if !engine.Verify(engine.FromRPLS(rand), cfg, randLabels, engine.WithSeed(uint64(i))).Accepted {
 					b.Fatal("rejected")
 				}
 			}
-			b.ReportMetric(float64(runtime.MaxCertBitsOver(rand, cfg, randLabels, 1, 1)), "certbits")
+			b.ReportMetric(float64(engine.MaxCertBits(engine.FromRPLS(rand), cfg, randLabels, 1, 1)), "certbits")
 		})
 	}
 }
@@ -301,14 +300,14 @@ func BenchmarkAblationRoundExecution(b *testing.B) {
 	}
 	b.Run("goroutines", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if !runtime.VerifyRPLS(s, cfg, labels, uint64(i)).Accepted {
+			if !engine.Verify(engine.FromRPLS(s), cfg, labels, engine.WithSeed(uint64(i))).Accepted {
 				b.Fatal("rejected")
 			}
 		}
 	})
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if runtime.EstimateAcceptance(s, cfg, labels, 1, uint64(i)) != 1.0 {
+			if engine.Acceptance(engine.FromRPLS(s), cfg, labels, 1, uint64(i)) != 1.0 {
 				b.Fatal("rejected")
 			}
 		}
@@ -328,11 +327,11 @@ func BenchmarkAblationBoost(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if !runtime.VerifyRPLS(s, cfg, labels, uint64(i)).Accepted {
+				if !engine.Verify(engine.FromRPLS(s), cfg, labels, engine.WithSeed(uint64(i))).Accepted {
 					b.Fatal("rejected")
 				}
 			}
-			b.ReportMetric(float64(runtime.MaxCertBitsOver(s, cfg, labels, 1, 2)), "certbits")
+			b.ReportMetric(float64(engine.MaxCertBits(engine.FromRPLS(s), cfg, labels, 1, 2)), "certbits")
 		})
 	}
 }

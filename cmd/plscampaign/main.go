@@ -7,11 +7,17 @@
 //	plscampaign run -spec examples/campaign/smoke.json -out out/ [-parallel 0]
 //	plscampaign run ... [-metrics M.json] [-trace T.json] [-debug-addr :8797 [-debug-hold 45s]]
 //	plscampaign resume -out out/ [-parallel 0]
-//	plscampaign serve -spec S.json -out out/ -addr :8799 [-lease 8] [-heartbeat 3s] [-window N] [-metrics M.json]
+//	plscampaign serve -spec S.json -out out/ -addr :8799 [-lease 8] [-heartbeat 3s] [-window N]
 //	plscampaign work -addr http://host:8799 [-workers 0] [-name w1]
+//
+// run, resume, serve, and work all take the shared observability flags
+// (-metrics, -trace, -debug-addr, -debug-hold) from internal/cliutil,
+// identical to plsrun's.
+//
 //	plscampaign describe -spec examples/campaign/e1_e6.json [-cells]
 //	plscampaign comm -out out/ [-min-ratio 1]
 //	plscampaign tradeoff -out out/ [-assert-decreasing 2]
+//	plscampaign congest -out out/ [-assert-non-increasing] [-min-separated 1]
 //	plscampaign list
 //
 // run is idempotent: cells the directory's manifest marks complete are
@@ -22,7 +28,11 @@
 // overall det/rand ratio into an assertion for CI. tradeoff prints the κ/t
 // aggregate (BENCH_tradeoff.json): bits-per-round × t curves from the
 // spec's rounds axis, and -assert-decreasing demands at least that many
-// distinct schemes and families with strictly decreasing curves.
+// distinct schemes and families with strictly decreasing curves. congest
+// prints the congestion aggregate (BENCH_congest.json): verified-bits × m
+// curves from the spec's multiplicity axis, -assert-non-increasing fails
+// on any curve that rises toward unicast, and -min-separated demands
+// schemes with a genuine broadcast/unicast gap.
 //
 // serve and work distribute a campaign over HTTP: serve owns the campaign
 // directory and leases contiguous cell ranges to workers; work executes
@@ -55,9 +65,9 @@ import (
 
 	"rpls/internal/campaign"
 	"rpls/internal/campaign/fabric"
+	"rpls/internal/cliutil"
 	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/obs"
 
 	// Link every scheme package so the registry is complete.
 	_ "rpls/internal/schemes/all"
@@ -90,10 +100,12 @@ func run(args []string) error {
 		return cmdComm(rest)
 	case "tradeoff":
 		return cmdTradeoff(rest)
+	case "congest":
+		return cmdCongest(rest)
 	case "list":
 		return cmdList()
 	default:
-		return fmt.Errorf("unknown subcommand %q (run, resume, serve, work, describe, comm, tradeoff, list)", cmd)
+		return fmt.Errorf("unknown subcommand %q (run, resume, serve, work, describe, comm, tradeoff, congest, list)", cmd)
 	}
 }
 
@@ -102,26 +114,15 @@ func cmdRun(args []string, resume bool) error {
 	specPath := fs.String("spec", "", "spec JSON file (resume reads it from -out instead)")
 	out := fs.String("out", "", "campaign directory (created if missing)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = all cores); results are byte-identical at any level")
-	metrics := fs.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
-	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, and /trace on this address during the run")
-	debugHold := fs.Duration("debug-hold", 0, "keep the debug server alive this long after the run finishes (for live profiling)")
+	obsFlags := cliutil.RegisterObs(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("-out directory required")
 	}
-	if *metrics != "" || *trace != "" || *debugAddr != "" {
-		obs.SetEnabled(true)
-	}
-	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr)
-		if err != nil {
-			return fmt.Errorf("debug server: %w", err)
-		}
-		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars (pprof, /metrics, /trace)\n", dbg.Addr)
+	if err := obsFlags.Start(); err != nil {
+		return err
 	}
 	var spec campaign.Spec
 	var err error
@@ -147,23 +148,7 @@ func cmdRun(args []string, resume bool) error {
 		Logger:   slog.New(slog.NewTextHandler(os.Stdout, nil)),
 	}
 	rep, runErr := runner.Run(spec)
-	// Telemetry artifacts are written even when the run errors: a failed
-	// campaign is exactly when the metrics are wanted.
-	if *metrics != "" {
-		if err := obs.WriteSnapshotFile(*metrics); err != nil && runErr == nil {
-			runErr = fmt.Errorf("write metrics: %w", err)
-		}
-	}
-	if *trace != "" {
-		if err := obs.WriteTraceFile(*trace); err != nil && runErr == nil {
-			runErr = fmt.Errorf("write trace: %w", err)
-		}
-	}
-	if *debugAddr != "" && *debugHold > 0 {
-		fmt.Fprintf(os.Stderr, "holding debug server for %v\n", *debugHold)
-		time.Sleep(*debugHold)
-	}
-	if runErr != nil {
+	if runErr = obsFlags.Finish(runErr); runErr != nil {
 		return runErr
 	}
 	fmt.Println(rep)
@@ -186,16 +171,15 @@ func cmdServe(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 3*time.Second, "heartbeat interval asked of workers; leases expire after 4x this")
 	window := fs.Int("window", 0, "lease window in cells past the write low-water mark (0 = 4 leases)")
 	linger := fs.Duration("linger", 2*time.Second, "keep serving this long after completion so workers see done and exit")
-	metrics := fs.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
-	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
+	obsFlags := cliutil.RegisterObs(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("-out directory required")
 	}
-	if *metrics != "" || *trace != "" {
-		obs.SetEnabled(true)
+	if err := obsFlags.Start(); err != nil {
+		return err
 	}
 	var spec campaign.Spec
 	var err error
@@ -243,22 +227,12 @@ func cmdServe(args []string) error {
 	case <-serveErr:
 	default:
 	}
-	if waitErr != nil {
+	if waitErr = obsFlags.Finish(waitErr); waitErr != nil {
 		return waitErr
 	}
 	rep, err := c.Finish()
 	if err != nil {
 		return err
-	}
-	if *metrics != "" {
-		if err := obs.WriteSnapshotFile(*metrics); err != nil {
-			return fmt.Errorf("write metrics: %w", err)
-		}
-	}
-	if *trace != "" {
-		if err := obs.WriteTraceFile(*trace); err != nil {
-			return fmt.Errorf("write trace: %w", err)
-		}
 	}
 	fmt.Println(rep)
 	if n := rep.Errors + rep.PriorErrors; n > 0 {
@@ -274,7 +248,11 @@ func cmdWork(args []string) error {
 	addr := fs.String("addr", "http://127.0.0.1:8799", "coordinator base URL")
 	workers := fs.Int("workers", 0, "concurrent lease loops (0 = all cores)")
 	name := fs.String("name", "", "worker name (default host-pid)")
+	obsFlags := cliutil.RegisterObs(fs, true)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obsFlags.Start(); err != nil {
 		return err
 	}
 	base := *addr
@@ -298,7 +276,7 @@ func cmdWork(args []string) error {
 		Parallel:    parallel,
 		Logger:      slog.New(slog.NewTextHandler(os.Stdout, nil)),
 	}
-	return w.Run(context.Background())
+	return obsFlags.Finish(w.Run(context.Background()))
 }
 
 func cmdDescribe(args []string) error {
@@ -337,6 +315,7 @@ func cmdDescribe(args []string) error {
 	fmt.Printf("  seeds:     %v\n", plan.Spec.Seeds)
 	fmt.Printf("  measures:  %v\n", plan.Spec.Measures)
 	fmt.Printf("  rounds:    %v\n", plan.Spec.Rounds)
+	fmt.Printf("  multiplicity: %v\n", plan.Spec.Multiplicity)
 	fmt.Printf("  executors: %v\n", plan.Spec.Executors)
 	fmt.Printf("  trials:    %d (soundness assignments: %d)\n", plan.Spec.Trials, plan.Spec.Assignments)
 	limit := 12
@@ -451,6 +430,65 @@ func cmdTradeoff(args []string) error {
 	return nil
 }
 
+// cmdCongest prints the congestion aggregate of a campaign directory and
+// optionally asserts its shape: -assert-non-increasing fails if any
+// multi-point curve's verified bits rise along the broadcast → unicast
+// axis (verified-bits(m=1) >= verified-bits(m=deg) on every curve), and
+// -min-separated N demands at least N distinct schemes and N families
+// with a strict broadcast/unicast gap — the Patt-Shamir–Perry separation.
+func cmdCongest(args []string) error {
+	fs := flag.NewFlagSet("congest", flag.ContinueOnError)
+	out := fs.String("out", "", "campaign directory holding "+campaign.BenchCongestFile)
+	assertNonInc := fs.Bool("assert-non-increasing", false, "fail if any curve's verified bits rise along the multiplicity axis")
+	minSep := fs.Int("min-separated", 0, "fail unless at least this many schemes AND families show a strict broadcast/unicast gap (0 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out directory required")
+	}
+	bench, err := campaign.ReadBenchCongest(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("congestion (broadcast ⇄ unicast) for spec %s: %d comm-bearing records, %d curves\n",
+		bench.Spec, bench.Records, len(bench.Curves))
+	fmt.Println("scheme          | variant  | family               |    n | verified bits by m               | non-incr | separated")
+	fmt.Println("----------------+----------+----------------------+------+----------------------------------+----------+----------")
+	for _, c := range bench.Curves {
+		points := ""
+		for i, p := range c.Points {
+			if i > 0 {
+				points += " "
+			}
+			if p.Multiplicity == 0 {
+				points += fmt.Sprintf("m=∞:%d", p.VerifiedBits)
+			} else {
+				points += fmt.Sprintf("m=%d:%d", p.Multiplicity, p.VerifiedBits)
+			}
+		}
+		fmt.Printf("%-15s | %-8s | %-20s | %4d | %-32s | %-8v | %v\n",
+			c.Scheme, c.Variant, c.Family, c.N, points, c.NonIncreasing, c.Separated)
+	}
+	fmt.Printf("separated: %d curves across %d schemes and %d families; %d violating curves\n",
+		bench.SeparatedCurves, bench.SeparatedSchemes, bench.SeparatedFamilies, bench.ViolatingCurves)
+	if *assertNonInc && bench.ViolatingCurves > 0 {
+		return fmt.Errorf("%d curves have verified bits RISING toward unicast — congestion metering or cap degradation regressed", bench.ViolatingCurves)
+	}
+	if *minSep > 0 {
+		if bench.SeparatedSchemes < *minSep || bench.SeparatedFamilies < *minSep {
+			return fmt.Errorf("only %d schemes × %d families show a broadcast/unicast gap (want >= %d × %d) — the congestion separation regressed or the campaign has no multiplicity axis",
+				bench.SeparatedSchemes, bench.SeparatedFamilies, *minSep, *minSep)
+		}
+		fmt.Printf("separation assertion passed: %d schemes × %d families >= %d × %d\n",
+			bench.SeparatedSchemes, bench.SeparatedFamilies, *minSep, *minSep)
+	}
+	if *assertNonInc {
+		fmt.Println("non-increasing assertion passed: every curve falls (weakly) from broadcast to unicast")
+	}
+	return nil
+}
+
 func cmdList() error {
 	fmt.Println("schemes (engine registry):")
 	for _, e := range engine.Entries() {
@@ -477,5 +515,6 @@ func cmdList() error {
 	fmt.Println("\nmeasures: estimate, soundness, comm")
 	fmt.Println("executors: sequential, pool, goroutines, batched")
 	fmt.Println("rounds: any t >= 1 (t-PLS certificate sharding: ⌈κ/t⌉ bits per port per round)")
+	fmt.Println("multiplicity: any m >= 0 (message cap per round: 1 = broadcast, 0 = unconstrained unicast)")
 	return nil
 }

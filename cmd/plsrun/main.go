@@ -6,9 +6,14 @@
 //
 //	plsrun -scheme mst -n 64 [-seed 7] [-mode rand] [-corrupt] [-trials 200] [-exec pool]
 //	plsrun -scheme mst -n 64 -parallel 8 -maxse 0.02
+//	plsrun -scheme mst -n 64 -rounds 4 -multiplicity 1
 //	plsrun -scheme mst -sweep 64,256,1024 -parallel 0
 //	plsrun -scheme mst -n 64 -exec batched [-metrics M.json] [-trace T.json] [-debug-addr :8797]
 //	plsrun -list
+//
+// The observability flags (-metrics, -trace, -debug-addr, -debug-hold)
+// are the shared internal/cliutil block, identical across plsrun and the
+// plscampaign subcommands.
 //
 // -exec batched additionally prints the executor's lane telemetry
 // (batches, mean lane occupancy, plane-budget narrowing, fallbacks) from
@@ -22,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rpls/internal/cliutil"
 	"rpls/internal/core"
 	"rpls/internal/engine"
 	"rpls/internal/experiments"
@@ -48,11 +54,10 @@ func run() error {
 	maxSE := flag.Float64("maxse", 0, "stop an estimate once the 95% Wilson half-width is at most this (0 = off)")
 	execName := flag.String("exec", "sequential", "round executor: sequential, pool, goroutines, or batched")
 	rounds := flag.Int("rounds", 1, "t-PLS verification rounds: shard every certificate into t rounds of ⌈κ/t⌉ bits per port")
+	multiplicity := flag.Int("multiplicity", 0, "message-multiplicity cap m per round: 1 = broadcast, 0 = unconstrained unicast")
 	sweep := flag.String("sweep", "", "comma-separated sizes; measure the randomized scheme across them")
 	list := flag.Bool("list", false, "list available schemes")
-	metrics := flag.String("metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
-	trace := flag.String("trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, and /trace on this address during the run")
+	obsFlags := cliutil.RegisterObs(flag.CommandLine, true)
 	flag.Parse()
 
 	if *list {
@@ -67,20 +72,15 @@ func run() error {
 		return nil
 	}
 
-	// The recorder turns on for any explicit telemetry flag, and for the
-	// batched executor unconditionally: its lane-occupancy counters are part
-	// of the human output (recording provably never changes results — see
-	// internal/engine's metrics-on/off golden tests).
-	if *metrics != "" || *trace != "" || *debugAddr != "" || *execName == "batched" {
+	// The recorder turns on for any explicit telemetry flag (obsFlags), and
+	// for the batched executor unconditionally: its lane-occupancy counters
+	// are part of the human output (recording provably never changes
+	// results — see internal/engine's metrics-on/off golden tests).
+	if *execName == "batched" {
 		obs.SetEnabled(true)
 	}
-	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr)
-		if err != nil {
-			return fmt.Errorf("debug server: %w", err)
-		}
-		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars (pprof, /metrics, /trace)\n", dbg.Addr)
+	if err := obsFlags.Start(); err != nil {
+		return err
 	}
 
 	reg, ok := engine.Lookup(*scheme)
@@ -134,9 +134,9 @@ func run() error {
 		if s == nil {
 			s = det
 		}
-		err := runSweep(s, entry, *sweep, *trials, *seed, exec, *parallel, *maxSE)
+		err := runSweep(s, entry, *sweep, *trials, *seed, exec, *parallel, *maxSE, *multiplicity)
 		reportBatched(*execName)
-		return writeObsArtifacts(*metrics, *trace, err)
+		return obsFlags.Finish(err)
 	}
 
 	cfg, err := entry.Build(*n, *seed)
@@ -147,6 +147,9 @@ func run() error {
 		cfg.G.N(), cfg.G.M(), cfg.G.MaxDegree(), entry.Pred.Name(), exec.Name())
 	if *rounds != 1 {
 		fmt.Printf("verification: t=%d rounds (certificates sharded to ⌈κ/t⌉ bits per port per round)\n", *rounds)
+	}
+	if *multiplicity > 0 {
+		fmt.Printf("verification: multiplicity cap m=%d (ports partitioned into <= m classes of identical payloads)\n", *multiplicity)
 	}
 
 	// Label before any corruption: faults strike after certification.
@@ -172,7 +175,8 @@ func run() error {
 	var detPerEdge float64
 	if det != nil {
 		res := engine.Verify(det, cfg, detLabels,
-			engine.WithExecutor(exec), engine.WithStats(true))
+			engine.WithExecutor(exec), engine.WithStats(true),
+			engine.WithMultiplicity(*multiplicity))
 		detPerEdge = bitsPerEdge(res.Stats)
 		fmt.Printf("[det ] scheme=%s accepted=%v labelBits=%d κ=%d portBits=%d wireBits=%d messages=%d bits/edge=%.1f\n",
 			det.Name(), res.Accepted, res.Stats.MaxLabelBits, res.Stats.MaxCertBits,
@@ -183,10 +187,12 @@ func run() error {
 	}
 	if rand != nil {
 		res := engine.Verify(rand, cfg, randLabels,
-			engine.WithSeed(*seed+2), engine.WithExecutor(exec))
+			engine.WithSeed(*seed+2), engine.WithExecutor(exec),
+			engine.WithMultiplicity(*multiplicity))
 		sum, err := engine.Estimate(rand, cfg, engine.WithLabels(randLabels),
 			engine.WithTrials(*trials), engine.WithSeed(*seed+3), engine.WithExecutor(exec),
-			engine.WithParallelism(*parallel), engine.WithMaxSE(*maxSE))
+			engine.WithParallelism(*parallel), engine.WithMaxSE(*maxSE),
+			engine.WithMultiplicity(*multiplicity))
 		if err != nil {
 			return fmt.Errorf("acceptance estimate: %w", err)
 		}
@@ -200,7 +206,7 @@ func run() error {
 		}
 	}
 	reportBatched(*execName)
-	return writeObsArtifacts(*metrics, *trace, nil)
+	return obsFlags.Finish(nil)
 }
 
 // reportBatched prints the batched executor's lane telemetry, making the
@@ -218,22 +224,6 @@ func reportBatched(execName string) {
 		snap.Counter("engine.batched.coinfree"))
 }
 
-// writeObsArtifacts writes the -metrics and -trace files after a run; the
-// run's own error takes precedence over a write failure.
-func writeObsArtifacts(metrics, trace string, runErr error) error {
-	if metrics != "" {
-		if err := obs.WriteSnapshotFile(metrics); err != nil && runErr == nil {
-			runErr = fmt.Errorf("write metrics: %w", err)
-		}
-	}
-	if trace != "" {
-		if err := obs.WriteTraceFile(trace); err != nil && runErr == nil {
-			runErr = fmt.Errorf("write trace: %w", err)
-		}
-	}
-	return runErr
-}
-
 // bitsPerEdge is the per-directed-edge per-round cost of one measured round.
 func bitsPerEdge(st engine.Stats) float64 {
 	if st.Messages == 0 {
@@ -244,7 +234,7 @@ func bitsPerEdge(st engine.Stats) float64 {
 
 // runSweep measures one scheme across instance sizes with engine.Sweep,
 // sharding the sizes across the requested workers.
-func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, trials int, seed uint64, exec engine.Executor, parallel int, maxSE float64) error {
+func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, trials int, seed uint64, exec engine.Executor, parallel int, maxSE float64, multiplicity int) error {
 	var ns []int
 	for _, part := range strings.Split(sizes, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
@@ -255,7 +245,8 @@ func runSweep(s engine.Scheme, entry experiments.CatalogEntry, sizes string, tri
 	}
 	points, err := engine.Sweep(engine.Fixed(s), entry.Build, ns,
 		engine.WithTrials(trials), engine.WithSeed(seed), engine.WithExecutor(exec),
-		engine.WithParallelism(parallel), engine.WithMaxSE(maxSE))
+		engine.WithParallelism(parallel), engine.WithMaxSE(maxSE),
+		engine.WithMultiplicity(multiplicity))
 	if err != nil {
 		return err
 	}

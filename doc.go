@@ -41,10 +41,8 @@
 //     schemes, boosting
 //   - internal/schemes/…  — one package per predicate; each registers its
 //     schemes with the engine from init
-//   - internal/runtime    — compatibility layer over the engine, preserving
-//     the original goroutine-per-node entry points
 //   - internal/crossing   — lower-bound attacks
-//   - internal/experiments — the E1–E20 harness behind EXPERIMENTS.md, and
+//   - internal/experiments — the E1–E21 harness behind EXPERIMENTS.md, and
 //     the instance catalog (builders + corruptors) the CLIs drive
 //   - internal/selfstab   — periodic re-verification and fault detection
 //   - internal/analysis/plsvet — the static gate over the engine's

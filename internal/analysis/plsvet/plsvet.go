@@ -272,8 +272,9 @@ func objectFromPkg(obj types.Object, pkgPath, name string) bool {
 }
 
 // namedFromEngine unwraps aliases and pointers and reports whether t is the
-// named type rpls/internal/engine.<name>. Aliases matter: internal/runtime
-// re-exports engine types as `type Stats = engine.Stats`.
+// named type rpls/internal/engine.<name>. Aliases are unwrapped so a
+// package re-exporting an engine type (`type Stats = engine.Stats`)
+// cannot smuggle meter writes past the check.
 func namedFromEngine(t types.Type, name string) bool {
 	t = types.Unalias(t)
 	if ptr, ok := t.(*types.Pointer); ok {

@@ -1,0 +1,207 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The congestion aggregate: BENCH_congest.json condenses every
+// comm-bearing single-round record into verified-bits × m curves, the
+// broadcast ⇄ unicast axis of Patt-Shamir–Perry. One curve covers one
+// (scheme, variant, family, size) point across the campaign's
+// multiplicity axis; each curve point is the exact metered wire cost of
+// verifying under cap m. Points are ordered along the congestion axis —
+// capped values ascending, the unconstrained m = 0 cell (classic unicast)
+// last — so "non-increasing" reads left-to-right from broadcast toward
+// unicast. A payload-merging scheme's verified bits fall like Σ class²
+// along the axis; the replication fallback is flat. CI asserts the
+// conservation direction on every curve (verified-bits(m=1) >= the
+// unicast extreme) and counts the schemes showing a genuine separation.
+
+// BenchCongestFile is the congestion aggregate's file name.
+const BenchCongestFile = "BENCH_congest.json"
+
+// CongestPoint is one multiplicity value of a curve.
+type CongestPoint struct {
+	// Multiplicity is the cap m; 0 is the unconstrained classic round,
+	// which sorts last on the axis (it is the unicast extreme).
+	Multiplicity int `json:"multiplicity"`
+	// VerifiedBits sums the wire bits of the point's cells: the total
+	// communication the verification round put on the wire under honest
+	// labels, over the cell's executed trials.
+	VerifiedBits int64 `json:"verifiedBits"`
+	// DistinctMessages sums the structurally distinct payloads minted
+	// (<= Messages; the conservation law of the congestion axis).
+	DistinctMessages int64 `json:"distinctMessages"`
+	// AvgBitsPerEdge is the mean bits one directed edge carries, averaged
+	// over the point's cells.
+	AvgBitsPerEdge float64 `json:"avgBitsPerEdge"`
+	Cells          int     `json:"cells"`
+}
+
+// CongestCurve is the verified-bits × m curve of one scenario point.
+type CongestCurve struct {
+	Scheme  string         `json:"scheme"`
+	Variant string         `json:"variant"`
+	Family  string         `json:"family"`
+	N       int            `json:"n"`
+	Points  []CongestPoint `json:"points"` // axis order: capped m ascending, then m=0
+	// NonIncreasing reports that the curve has at least two points and
+	// VerifiedBits never rises along the axis — the acceptance criterion
+	// every scheme must satisfy (replication fallback included).
+	NonIncreasing bool `json:"nonIncreasing"`
+	// Separated reports that the curve's broadcast end costs strictly more
+	// than its unicast end: the scheme degrades by genuine payload
+	// merging, not flat replication.
+	Separated bool `json:"separated"`
+}
+
+// BenchCongest is the BENCH_congest.json layout.
+type BenchCongest struct {
+	Spec    string         `json:"spec"`
+	Records int            `json:"records"` // comm-bearing ok records folded
+	Curves  []CongestCurve `json:"curves"`
+	// ViolatingCurves counts multi-point curves that are NOT
+	// non-increasing — the CI gate requires 0. SeparatedCurves counts
+	// curves with a strict broadcast/unicast gap; SeparatedSchemes and
+	// SeparatedFamilies count the distinct schemes and families
+	// contributing at least one.
+	ViolatingCurves   int `json:"violatingCurves"`
+	SeparatedCurves   int `json:"separatedCurves"`
+	SeparatedSchemes  int `json:"separatedSchemes"`
+	SeparatedFamilies int `json:"separatedFamilies"`
+}
+
+// congestAxisPos orders multiplicities along the congestion axis:
+// broadcast (1) first, larger caps after, the unconstrained classic round
+// (0) last as the unicast extreme.
+func congestAxisPos(m int) int {
+	if m == 0 {
+		return math.MaxInt
+	}
+	return m
+}
+
+// AggregateCongest folds records into the congestion summary. Like
+// AggregateComm, only single-round records are folded: the multiplicity
+// cap composes with t-PLS sharding, but mixing shard widths into one
+// curve would compare different wire formats.
+func AggregateCongest(specName string, recs []Record) BenchCongest {
+	b := BenchCongest{Spec: specName}
+	type curveKey struct {
+		scheme, variant, family string
+		n                       int
+	}
+	type pointKey struct {
+		curveKey
+		mult int
+	}
+	points := map[pointKey]*CongestPoint{}
+	curves := map[curveKey][]*CongestPoint{}
+	for _, rec := range recs {
+		if !commBearing(rec) || rec.RoundCount() != 1 {
+			continue
+		}
+		b.Records++
+		ck := curveKey{rec.Scheme, rec.Variant, rec.Family, rec.N}
+		pk := pointKey{ck, rec.Multiplicity}
+		p := points[pk]
+		if p == nil {
+			p = &CongestPoint{Multiplicity: pk.mult}
+			points[pk] = p
+			curves[ck] = append(curves[ck], p)
+		}
+		p.AvgBitsPerEdge = (p.AvgBitsPerEdge*float64(p.Cells) + rec.AvgBitsPerEdge) / float64(p.Cells+1)
+		p.Cells++
+		p.VerifiedBits += rec.TotalBits
+		p.DistinctMessages += rec.TotalDistinct
+	}
+
+	// Iterate the curve keys in sorted order (never the map itself), per
+	// plsvet's maporder check.
+	keys := make([]curveKey, 0, len(curves))
+	for ck := range curves {
+		keys = append(keys, ck)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.scheme != kj.scheme {
+			return ki.scheme < kj.scheme
+		}
+		if ki.variant != kj.variant {
+			return ki.variant < kj.variant
+		}
+		if ki.family != kj.family {
+			return ki.family < kj.family
+		}
+		return ki.n < kj.n
+	})
+	sepSchemes, sepFamilies := map[string]bool{}, map[string]bool{}
+	for _, ck := range keys {
+		ps := curves[ck]
+		curve := CongestCurve{Scheme: ck.scheme, Variant: ck.variant, Family: ck.family, N: ck.n}
+		sort.Slice(ps, func(i, j int) bool {
+			return congestAxisPos(ps[i].Multiplicity) < congestAxisPos(ps[j].Multiplicity)
+		})
+		for _, p := range ps {
+			curve.Points = append(curve.Points, *p)
+		}
+		curve.NonIncreasing = nonIncreasingBits(curve.Points)
+		if len(curve.Points) >= 2 && !curve.NonIncreasing {
+			b.ViolatingCurves++
+		}
+		curve.Separated = len(curve.Points) >= 2 &&
+			curve.Points[0].VerifiedBits > curve.Points[len(curve.Points)-1].VerifiedBits
+		if curve.Separated {
+			b.SeparatedCurves++
+			sepSchemes[ck.scheme] = true
+			sepFamilies[ck.family] = true
+		}
+		b.Curves = append(b.Curves, curve)
+	}
+	b.SeparatedSchemes = len(sepSchemes)
+	b.SeparatedFamilies = len(sepFamilies)
+	return b
+}
+
+// nonIncreasingBits reports whether the curve spans at least two
+// multiplicity values and its verified bits never rise along the axis.
+func nonIncreasingBits(ps []CongestPoint) bool {
+	if len(ps) < 2 {
+		return false
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].VerifiedBits > ps[i-1].VerifiedBits {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteBenchCongest regenerates BENCH_congest.json from the directory's
+// full results stream.
+func WriteBenchCongest(dir, specName string) (BenchCongest, error) {
+	recs, err := ReadRecords(dir)
+	if err != nil {
+		return BenchCongest{}, err
+	}
+	b := AggregateCongest(specName, recs)
+	return b, writeBenchJSON(filepath.Join(dir, BenchCongestFile), b)
+}
+
+// ReadBenchCongest loads a campaign directory's congestion aggregate.
+func ReadBenchCongest(dir string) (BenchCongest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, BenchCongestFile))
+	if err != nil {
+		return BenchCongest{}, fmt.Errorf("campaign: %w", err)
+	}
+	var b BenchCongest
+	if err := json.Unmarshal(data, &b); err != nil {
+		return BenchCongest{}, fmt.Errorf("campaign: parse %s: %w", BenchCongestFile, err)
+	}
+	return b, nil
+}

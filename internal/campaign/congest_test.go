@@ -1,0 +1,188 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// crec builds a minimal comm-bearing record at a multiplicity point.
+func crec(scheme, variant, family string, n, mult int, bits, distinct int64) Record {
+	return Record{
+		Scheme: scheme, Variant: variant, Family: family, N: n,
+		Multiplicity: mult, Status: StatusOK, Measure: MeasureComm,
+		TotalBits: bits, TotalDistinct: distinct,
+		TotalMessages: 100, AvgBitsPerEdge: float64(bits) / 100,
+	}
+}
+
+func TestAggregateCongestCurves(t *testing.T) {
+	recs := []Record{
+		// A merging scheme: bits fall strictly from broadcast (m=1) through
+		// m=2 to the unconstrained unicast extreme (m=0, sorted last).
+		crec("a", "rand", "path", 16, 1, 400, 100),
+		crec("a", "rand", "path", 16, 2, 220, 200),
+		crec("a", "rand", "path", 16, 0, 100, 400),
+		// A flat replication-fallback curve: non-increasing but not separated.
+		crec("b", "rand", "path", 16, 1, 50, 100),
+		crec("b", "rand", "path", 16, 0, 50, 400),
+		// A single-point curve can witness nothing.
+		crec("c", "rand", "grid", 16, 1, 30, 10),
+		// A violating curve: bits rise from m=1 to m=0.
+		crec("d", "rand", "grid", 16, 1, 10, 10),
+		crec("d", "rand", "grid", 16, 0, 20, 40),
+		// Multi-round and non-comm records must not be folded.
+		{Scheme: "a", Variant: "rand", Family: "path", N: 16, Rounds: 3, Status: StatusOK, Measure: MeasureComm, TotalBits: 999, TotalMessages: 1},
+		{Scheme: "a", Variant: "rand", Family: "path", N: 16, Status: StatusOK, Measure: MeasureSoundness, TotalBits: 999, TotalMessages: 1},
+	}
+	b := AggregateCongest("spec", recs)
+	if b.Records != 8 {
+		t.Fatalf("folded %d records, want 8", b.Records)
+	}
+	if len(b.Curves) != 4 {
+		t.Fatalf("%d curves, want 4", len(b.Curves))
+	}
+	byScheme := map[string]CongestCurve{}
+	for _, c := range b.Curves {
+		byScheme[c.Scheme] = c
+	}
+	a := byScheme["a"]
+	if !a.NonIncreasing || !a.Separated {
+		t.Errorf("curve a should be non-increasing and separated: %+v", a)
+	}
+	// Axis order: m=1 first, capped ascending, m=0 (unicast) last.
+	if len(a.Points) != 3 || a.Points[0].Multiplicity != 1 ||
+		a.Points[1].Multiplicity != 2 || a.Points[2].Multiplicity != 0 {
+		t.Errorf("curve a axis order wrong: %+v", a.Points)
+	}
+	if a.Points[0].VerifiedBits != 400 || a.Points[2].DistinctMessages != 400 {
+		t.Errorf("curve a point sums wrong: %+v", a.Points)
+	}
+	if bb := byScheme["b"]; !bb.NonIncreasing || bb.Separated {
+		t.Errorf("flat curve b should be non-increasing but not separated: %+v", bb)
+	}
+	if cc := byScheme["c"]; cc.NonIncreasing || cc.Separated {
+		t.Errorf("single-point curve c can witness nothing: %+v", cc)
+	}
+	if dd := byScheme["d"]; dd.NonIncreasing || dd.Separated {
+		t.Errorf("violating curve d wrongly classified: %+v", dd)
+	}
+	if b.ViolatingCurves != 1 {
+		t.Errorf("ViolatingCurves = %d, want 1 (curve d)", b.ViolatingCurves)
+	}
+	if b.SeparatedCurves != 1 || b.SeparatedSchemes != 1 || b.SeparatedFamilies != 1 {
+		t.Errorf("separated counts = %d curves, %d schemes, %d families; want 1, 1, 1",
+			b.SeparatedCurves, b.SeparatedSchemes, b.SeparatedFamilies)
+	}
+}
+
+func TestSpecMultiplicityValidation(t *testing.T) {
+	base := Spec{
+		Name:     "m",
+		Schemes:  []SchemeAxis{{Name: "spanningtree"}},
+		Families: []FamilyAxis{{Name: "path"}},
+		Sizes:    []int{8},
+		Seeds:    []uint64{1},
+		Measures: []string{MeasureComm},
+	}
+	for _, bad := range [][]int{{-1}, {2, -3}} {
+		s := base
+		s.Multiplicity = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("multiplicity %v accepted, want rejection", bad)
+		}
+	}
+	s := base
+	s.Multiplicity = []int{1, 2, 0} // 0 = unconstrained is legal
+	if err := s.Validate(); err != nil {
+		t.Errorf("multiplicity %v rejected: %v", s.Multiplicity, err)
+	}
+}
+
+// TestCellIDMultiplicitySuffix pins resume compatibility: an unconstrained
+// cell's ID is byte-identical to the pre-congestion engine, and capped
+// cells get a distinct /m= marker.
+func TestCellIDMultiplicitySuffix(t *testing.T) {
+	c := Cell{Scheme: "s", Variant: "rand", Family: FamilyAxis{Name: "path"},
+		N: 8, Seed: 1, Executor: "sequential", Measure: MeasureComm, Trials: 4, Rounds: 1}
+	if got, want := c.ID(), "s/rand/path/n=8/seed=1/sequential/comm/t=4"; got != want {
+		t.Errorf("m=0 cell ID %q, want the pre-congestion form %q", got, want)
+	}
+	c.Multiplicity = 2
+	if got, want := c.ID(), "s/rand/path/n=8/seed=1/sequential/comm/t=4/m=2"; got != want {
+		t.Errorf("m=2 cell ID %q, want %q", got, want)
+	}
+}
+
+// TestExpandMultiplicityAxis checks the multiplicity axis nests innermost
+// and defaults to the single unconstrained cell.
+func TestExpandMultiplicityAxis(t *testing.T) {
+	spec := Spec{
+		Name:         "m",
+		Schemes:      []SchemeAxis{{Name: "uniform", Variants: []string{VariantRand}}},
+		Families:     []FamilyAxis{{Name: "path"}},
+		Sizes:        []int{8},
+		Seeds:        []uint64{1},
+		Measures:     []string{MeasureComm},
+		Multiplicity: []int{1, 2, 0},
+	}
+	plan, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(plan.Cells))
+	}
+	for i, want := range []int{1, 2, 0} {
+		if plan.Cells[i].Multiplicity != want {
+			t.Errorf("cell %d multiplicity = %d, want %d (innermost nesting)", i, plan.Cells[i].Multiplicity, want)
+		}
+	}
+
+	spec.Multiplicity = nil
+	plan, err = Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cells) != 1 || plan.Cells[0].Multiplicity != 0 {
+		t.Fatalf("default multiplicity plan = %+v, want one unconstrained cell", plan.Cells)
+	}
+}
+
+// TestRunCellMultiplicity executes the uniform randomized scheme at
+// m ∈ {1, 2, 0} and checks the records chart the congestion axis:
+// verified bits non-increasing toward unicast with a strict
+// broadcast/unicast separation, distinct messages non-decreasing, and the
+// conservation law TotalDistinct <= TotalMessages everywhere.
+func TestRunCellMultiplicity(t *testing.T) {
+	mk := func(m int) Cell {
+		return Cell{Scheme: "uniform", Variant: VariantRand,
+			Family: FamilyAxis{Name: CatalogFamily}, N: 12, Seed: 3,
+			Executor: "sequential", Measure: MeasureComm, Rounds: 1, Trials: 8,
+			Multiplicity: m}
+	}
+	var prev Record
+	for i, m := range []int{1, 2, 0} {
+		r := RunCell(mk(m))
+		if r.Status != StatusOK {
+			t.Fatalf("m=%d cell failed: %s (%s)", m, r.Status, r.Reason)
+		}
+		if r.Multiplicity != m {
+			t.Errorf("m=%d record Multiplicity = %d", m, r.Multiplicity)
+		}
+		if r.TotalDistinct <= 0 || r.TotalDistinct > r.TotalMessages {
+			t.Errorf("m=%d: distinct %d outside (0, messages=%d]", m, r.TotalDistinct, r.TotalMessages)
+		}
+		if i > 0 {
+			if r.TotalBits > prev.TotalBits {
+				t.Errorf("m=%d: verified bits %d rose above previous point's %d", m, r.TotalBits, prev.TotalBits)
+			}
+			if r.TotalDistinct < prev.TotalDistinct {
+				t.Errorf("m=%d: distinct %d fell below previous point's %d", m, r.TotalDistinct, prev.TotalDistinct)
+			}
+		}
+		prev = r
+	}
+	broadcast := RunCell(mk(1))
+	if broadcast.TotalBits <= prev.TotalBits {
+		t.Errorf("no separation: broadcast %d bits vs unicast %d", broadcast.TotalBits, prev.TotalBits)
+	}
+}

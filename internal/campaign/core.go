@@ -320,7 +320,7 @@ func ProgressFunc(log *slog.Logger, total int) func(written int) {
 }
 
 // WriteAggregates re-reads the directory's full results stream and
-// rewrites the three aggregate files, logging one phase=aggregate record
+// rewrites the four aggregate files, logging one phase=aggregate record
 // per non-empty aggregate. Every driver calls it exactly once, after its
 // last cell is written.
 func WriteAggregates(dir, specName string, log *slog.Logger) error {
@@ -343,6 +343,10 @@ func WriteAggregates(dir, specName string, log *slog.Logger) error {
 	if err := writeBenchJSON(filepath.Join(dir, BenchTradeoffFile), tradeoff); err != nil {
 		return err
 	}
+	congest := AggregateCongest(specName, recs)
+	if err := writeBenchJSON(filepath.Join(dir, BenchCongestFile), congest); err != nil {
+		return err
+	}
 	log.Info("campaign", "phase", "aggregate", "spec", specName,
 		"records", bench.Records, "file", BenchFile)
 	if comm.Records > 0 {
@@ -355,6 +359,14 @@ func WriteAggregates(dir, specName string, log *slog.Logger) error {
 			"decreasingCurves", tradeoff.DecreasingCurves,
 			"decreasingSchemes", tradeoff.DecreasingSchemes,
 			"decreasingFamilies", tradeoff.DecreasingFamilies)
+	}
+	if congest.Records > 0 {
+		log.Info("campaign", "phase", "aggregate", "spec", specName,
+			"records", congest.Records, "file", BenchCongestFile,
+			"violatingCurves", congest.ViolatingCurves,
+			"separatedCurves", congest.SeparatedCurves,
+			"separatedSchemes", congest.SeparatedSchemes,
+			"separatedFamilies", congest.SeparatedFamilies)
 	}
 	return nil
 }

@@ -51,6 +51,16 @@
 // with derived seeds and the retry count is recorded on the cell instead
 // of surfacing a spurious incompatible hole.
 //
+// Congestion: specs may add a multiplicity axis (message-multiplicity
+// caps, 0 = unconstrained unicast, 1 = broadcast), nested innermost so
+// pre-congestion cell IDs — which carry no /m= marker — stay
+// resume-compatible. Comm cells record the cap and the engine's
+// distinct-message counter, and every run rewrites BENCH_congest.json:
+// verified-bits vs m curves per (scheme, variant, family, size) ordered
+// broadcast-first/unicast-last, with non-increase and
+// broadcast-vs-unicast separation flags that `plscampaign congest` turns
+// into CI assertions. See DESIGN.md, "Congestion-bounded verification".
+//
 // Observability: the scheduler narrates each run through a structured
 // log/slog logger (phase=plan|execute|progress|aggregate|done records with
 // throughput and ETA attributes — the CI smoke asserts the sequence) and

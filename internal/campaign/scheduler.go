@@ -61,7 +61,8 @@ type Record struct {
 	Seed           uint64            `json:"seed"`
 	Executor       string            `json:"executor"`
 	Measure        string            `json:"measure"`
-	Rounds         int               `json:"rounds,omitempty"` // t-PLS rounds; omitted means 1 (see RoundCount)
+	Rounds         int               `json:"rounds,omitempty"`       // t-PLS rounds; omitted means 1 (see RoundCount)
+	Multiplicity   int               `json:"multiplicity,omitempty"` // message cap m; omitted means unconstrained
 	Status         string            `json:"status"`
 	Reason         string            `json:"reason,omitempty"`
 	Retries        int               `json:"retries,omitempty"`
@@ -74,6 +75,7 @@ type Record struct {
 	CertBits       int               `json:"certBits,omitempty"`
 	TotalBits      int64             `json:"totalBits,omitempty"`
 	TotalMessages  int64             `json:"totalMessages,omitempty"`
+	TotalDistinct  int64             `json:"totalDistinct,omitempty"` // structurally distinct messages (<= TotalMessages)
 	MaxPortBits    int               `json:"maxPortBits,omitempty"`
 	AvgBitsPerEdge float64           `json:"avgBitsPerEdge,omitempty"`
 	Adversaries    []AdversaryRecord `json:"adversaries,omitempty"`
@@ -289,6 +291,12 @@ func RunCell(c Cell) Record {
 		engine.WithExecutor(newExec()),
 		engine.WithMaxSE(c.MaxSE),
 	}
+	if c.Multiplicity > 0 {
+		// The congestion cell: the scheme runs under a message-multiplicity
+		// cap, degrading natively or by replication (engine withCap).
+		rec.Multiplicity = c.Multiplicity
+		opts = append(opts, engine.WithMultiplicity(c.Multiplicity))
+	}
 
 	switch c.Measure {
 	case MeasureEstimate:
@@ -346,6 +354,7 @@ func RunCell(c Cell) Record {
 // fillComm copies the estimator's wire aggregates into the record.
 func fillComm(rec *Record, sum engine.Summary) {
 	rec.TotalBits, rec.TotalMessages = sum.TotalBits, sum.TotalMessages
+	rec.TotalDistinct = sum.TotalDistinct
 	rec.MaxPortBits, rec.AvgBitsPerEdge = sum.MaxPortBits, sum.AvgBitsPerEdge
 }
 

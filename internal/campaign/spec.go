@@ -73,11 +73,16 @@ type Spec struct {
 	// scheme variant sharded over t rounds of ⌈κ/t⌉ bits per port
 	// (core.ShardCompile / core.ShardPLS). Empty selects [1], the classic
 	// single round; every entry must be >= 1.
-	Rounds      []int    `json:"rounds,omitempty"`
-	Executors   []string `json:"executors,omitempty"`
-	Trials      int      `json:"trials,omitempty"`
-	Assignments int      `json:"assignments,omitempty"`
-	MaxSE       float64  `json:"maxse,omitempty"`
+	Rounds []int `json:"rounds,omitempty"`
+	// Multiplicity is the congestion axis: each cell caps the number of
+	// distinct messages a node may mint per round at m (engine
+	// WithMultiplicity). 0 is the classic unconstrained round (unicast),
+	// 1 is broadcast. Empty selects [0]; every entry must be >= 0.
+	Multiplicity []int    `json:"multiplicity,omitempty"`
+	Executors    []string `json:"executors,omitempty"`
+	Trials       int      `json:"trials,omitempty"`
+	Assignments  int      `json:"assignments,omitempty"`
+	MaxSE        float64  `json:"maxse,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON spec. Unknown fields are errors so
@@ -102,6 +107,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.Rounds) == 0 {
 		s.Rounds = []int{1}
+	}
+	if len(s.Multiplicity) == 0 {
+		s.Multiplicity = []int{0}
 	}
 	if s.Trials <= 0 {
 		s.Trials = 64
@@ -195,6 +203,14 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: rounds value %d invalid (need t >= 1)", r)
 		}
 	}
+	for _, m := range s.Multiplicity {
+		// m = 0 is the classic unconstrained round; negative caps are
+		// rejected here with the same message the engine's validated
+		// options layer would produce at run time.
+		if m < 0 {
+			return fmt.Errorf("campaign: multiplicity value %d invalid (need m >= 0; 0 = unconstrained)", m)
+		}
+	}
 	for _, e := range s.Executors {
 		if _, err := executorFor(e); err != nil {
 			return err
@@ -231,18 +247,19 @@ func variantsFor(ax SchemeAxis, e engine.Entry) []string {
 // Cell is one fully resolved scenario: everything a worker needs to run it,
 // and a pure function of these fields alone — no shared state, no clock.
 type Cell struct {
-	Index       int
-	Scheme      string
-	Variant     string
-	Family      FamilyAxis
-	N           int
-	Seed        uint64
-	Executor    string
-	Measure     string
-	Rounds      int // verification rounds t; 1 is the classic single round
-	Trials      int
-	Assignments int
-	MaxSE       float64
+	Index        int
+	Scheme       string
+	Variant      string
+	Family       FamilyAxis
+	N            int
+	Seed         uint64
+	Executor     string
+	Measure      string
+	Rounds       int // verification rounds t; 1 is the classic single round
+	Multiplicity int // message-multiplicity cap m; 0 is unconstrained
+	Trials       int
+	Assignments  int
+	MaxSE        float64
 }
 
 // ID is the cell's stable identity: the resolved axes plus the measurement
@@ -258,6 +275,11 @@ func (c Cell) ID() string {
 	// campaign directory resumes with its completed cells still recognized.
 	if c.Rounds > 1 {
 		id += fmt.Sprintf("/r=%d", c.Rounds)
+	}
+	// Likewise the unconstrained cap: pre-congestion directories resume
+	// cleanly, and only genuinely capped cells carry the marker.
+	if c.Multiplicity > 0 {
+		id += fmt.Sprintf("/m=%d", c.Multiplicity)
 	}
 	if c.Measure == MeasureSoundness {
 		id += fmt.Sprintf("/a=%d", c.Assignments)
@@ -286,12 +308,13 @@ type Breakdown struct {
 	Executors      int
 	Measures       int
 	Rounds         int
+	Multiplicity   int
 	Cells          int // the product
 }
 
 func (b Breakdown) String() string {
-	return fmt.Sprintf("%d scheme-variants × %d families × %d sizes × %d seeds × %d executors × %d measures × %d rounds = %d cells",
-		b.SchemeVariants, b.Families, b.Sizes, b.Seeds, b.Executors, b.Measures, b.Rounds, b.Cells)
+	return fmt.Sprintf("%d scheme-variants × %d families × %d sizes × %d seeds × %d executors × %d measures × %d rounds × %d multiplicities = %d cells",
+		b.SchemeVariants, b.Families, b.Sizes, b.Seeds, b.Executors, b.Measures, b.Rounds, b.Multiplicity, b.Cells)
 }
 
 // Breakdown factors the expanded cell count per axis. The plan's spec has
@@ -299,26 +322,28 @@ func (b Breakdown) String() string {
 // actually multiplied in.
 func (p *Plan) Breakdown() Breakdown {
 	b := Breakdown{
-		Families:  len(p.Spec.Families),
-		Sizes:     len(p.Spec.Sizes),
-		Seeds:     len(p.Spec.Seeds),
-		Executors: len(p.Spec.Executors),
-		Measures:  len(p.Spec.Measures),
-		Rounds:    len(p.Spec.Rounds),
+		Families:     len(p.Spec.Families),
+		Sizes:        len(p.Spec.Sizes),
+		Seeds:        len(p.Spec.Seeds),
+		Executors:    len(p.Spec.Executors),
+		Measures:     len(p.Spec.Measures),
+		Rounds:       len(p.Spec.Rounds),
+		Multiplicity: len(p.Spec.Multiplicity),
 	}
 	for _, ax := range p.Spec.Schemes {
 		e, _ := engine.Lookup(ax.Name)
 		b.SchemeVariants += len(variantsFor(ax, e))
 	}
-	b.Cells = b.SchemeVariants * b.Families * b.Sizes * b.Seeds * b.Executors * b.Measures * b.Rounds
+	b.Cells = b.SchemeVariants * b.Families * b.Sizes * b.Seeds * b.Executors * b.Measures * b.Rounds * b.Multiplicity
 	return b
 }
 
 // Expand validates the spec and produces its plan. The nesting order —
-// scheme, variant, family, size, seed, executor, measure, rounds — is part
-// of the output contract: results.jsonl is written in this order. Rounds
-// nests innermost, so a spec that adds a rounds axis keeps every existing
-// cell's relative order.
+// scheme, variant, family, size, seed, executor, measure, rounds,
+// multiplicity — is part of the output contract: results.jsonl is written
+// in this order. Each newly grown axis nests innermost (rounds, then
+// multiplicity), so a spec that adds one keeps every existing cell's
+// relative order.
 func Expand(spec Spec) (*Plan, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -335,28 +360,31 @@ func Expand(spec Spec) (*Plan, error) {
 						for _, exec := range spec.Executors {
 							for _, measure := range spec.Measures {
 								for _, rounds := range spec.Rounds {
-									c := Cell{
-										Index:       len(p.Cells),
-										Scheme:      ax.Name,
-										Variant:     variant,
-										Family:      fam,
-										N:           n,
-										Seed:        seed,
-										Executor:    exec,
-										Measure:     measure,
-										Rounds:      rounds,
-										Trials:      spec.Trials,
-										Assignments: spec.Assignments,
-										MaxSE:       spec.MaxSE,
+									for _, mult := range spec.Multiplicity {
+										c := Cell{
+											Index:        len(p.Cells),
+											Scheme:       ax.Name,
+											Variant:      variant,
+											Family:       fam,
+											N:            n,
+											Seed:         seed,
+											Executor:     exec,
+											Measure:      measure,
+											Rounds:       rounds,
+											Multiplicity: mult,
+											Trials:       spec.Trials,
+											Assignments:  spec.Assignments,
+											MaxSE:        spec.MaxSE,
+										}
+										// Duplicate axis values (seeds [1, 1], a family
+										// listed twice) would write duplicate records
+										// under one ID; reject them at expansion.
+										if seen[c.ID()] {
+											return nil, fmt.Errorf("campaign: spec %q expands to duplicate cell %s (duplicate axis values)", spec.Name, c.ID())
+										}
+										seen[c.ID()] = true
+										p.Cells = append(p.Cells, c)
 									}
-									// Duplicate axis values (seeds [1, 1], a family
-									// listed twice) would write duplicate records
-									// under one ID; reject them at expansion.
-									if seen[c.ID()] {
-										return nil, fmt.Errorf("campaign: spec %q expands to duplicate cell %s (duplicate axis values)", spec.Name, c.ID())
-									}
-									seen[c.ID()] = true
-									p.Cells = append(p.Cells, c)
 								}
 							}
 						}

@@ -1,0 +1,100 @@
+// Package cliutil holds flag wiring shared by the repository's CLIs, so
+// plsrun and every plscampaign subcommand expose identical observability
+// flags with identical help text. The flags drive internal/obs: -metrics
+// and -trace write post-run artifacts, -debug-addr serves the live debug
+// endpoints (expvar, pprof, /metrics, /trace) for the run's duration, and
+// -debug-hold keeps them up afterwards for profiling. Telemetry never
+// changes results — the engine's metrics-on/off byte-compare tests and
+// the campaign smoke enforce it — so every command can offer the full set
+// unconditionally.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rpls/internal/obs"
+)
+
+// ObsFlags is the shared observability flag block. Register it on a
+// command's FlagSet, call Start after parsing and Finish on the way out:
+//
+//	o := cliutil.RegisterObs(fs, true)
+//	...fs.Parse...
+//	if err := o.Start(); err != nil { return err }
+//	...run...
+//	return o.Finish(runErr)
+type ObsFlags struct {
+	Metrics   string        // -metrics: obs snapshot JSON path
+	Trace     string        // -trace: Chrome trace_event JSON path
+	DebugAddr string        // -debug-addr: live debug endpoints (when registered)
+	DebugHold time.Duration // -debug-hold: linger after the run (when registered)
+
+	srv *obs.DebugServer
+}
+
+// RegisterObs registers the shared flags on fs. withDebug additionally
+// registers -debug-addr/-debug-hold; commands that cannot host a debug
+// server (a worker loop bound to a coordinator, say) pass false and keep
+// the artifact flags only.
+func RegisterObs(fs *flag.FlagSet, withDebug bool) *ObsFlags {
+	o := &ObsFlags{}
+	fs.StringVar(&o.Metrics, "metrics", "", "write an obs metrics snapshot (JSON) to this file after the run")
+	fs.StringVar(&o.Trace, "trace", "", "write a Chrome trace_event JSON of the run's spans to this file")
+	if withDebug {
+		fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars, /debug/pprof, /metrics, and /trace on this address during the run")
+		fs.DurationVar(&o.DebugHold, "debug-hold", 0, "keep the debug server alive this long after the run finishes (for live profiling)")
+	}
+	return o
+}
+
+// Requested reports whether any observability flag was set, i.e. whether
+// the run wants the recorder on.
+func (o *ObsFlags) Requested() bool {
+	return o.Metrics != "" || o.Trace != "" || o.DebugAddr != ""
+}
+
+// Start enables the obs recorder if any flag asked for it and brings up
+// the debug server when -debug-addr is set. Call once, after flag parsing.
+func (o *ObsFlags) Start() error {
+	if o.Requested() {
+		obs.SetEnabled(true)
+	}
+	if o.DebugAddr != "" {
+		dbg, err := obs.ServeDebug(o.DebugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		o.srv = dbg
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/vars (pprof, /metrics, /trace)\n", dbg.Addr)
+	}
+	return nil
+}
+
+// Finish writes the requested artifacts, holds the debug server for
+// -debug-hold, and shuts it down. Artifacts are written even when the run
+// errored — a failed run is exactly when the metrics are wanted — and the
+// run's own error takes precedence over a write failure.
+func (o *ObsFlags) Finish(runErr error) error {
+	if o.Metrics != "" {
+		if err := obs.WriteSnapshotFile(o.Metrics); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if o.Trace != "" {
+		if err := obs.WriteTraceFile(o.Trace); err != nil && runErr == nil {
+			runErr = fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if o.srv != nil {
+		if o.DebugHold > 0 {
+			fmt.Fprintf(os.Stderr, "holding debug server for %v\n", o.DebugHold)
+			time.Sleep(o.DebugHold)
+		}
+		o.srv.Close()
+		o.srv = nil
+	}
+	return runErr
+}

@@ -33,9 +33,19 @@ import (
 // already know the lengths differ without exchanging anything. The tests
 // pin both halves of the convention for the deterministic, fingerprint,
 // and truncated protocols alike.
+//
+// Distinct is the congestion-axis counter, mirroring the engine's
+// Stats.DistinctMessages convention: Bits and Messages are wire counts —
+// a payload replicated to several receivers is charged per crossing —
+// while Distinct counts the messages structurally minted. A 2-party run
+// mints both of its messages (Distinct = 2); a Multicast run under cap m
+// mints at most m payloads however many wires carry them. The
+// conservation law Distinct <= Messages holds everywhere, with equality
+// exactly in the unicast regime.
 type Transcript struct {
-	Bits     int // total bits exchanged
-	Messages int // number of messages
+	Bits     int // total bits crossing all wires
+	Messages int // number of point-to-point messages
+	Distinct int // structurally distinct messages minted (<= Messages)
 }
 
 // EQProtocol decides whether two bit strings of equal length are identical.
@@ -63,7 +73,12 @@ func (deterministicEQ) Run(a, b bitstring.String, _ *prng.Rand) (bool, Transcrip
 		return false, Transcript{Bits: 0, Messages: 0}
 	}
 	// Alice → Bob: the full string (λ bits); Bob replies with the verdict.
-	return a.Equal(b), Transcript{Bits: a.Len() + 1, Messages: 2}
+	return a.Equal(b), Transcript{Bits: a.Len() + 1, Messages: 2, Distinct: 2}
+}
+
+// mint implements minter: Alice's message is the whole string.
+func (deterministicEQ) mint(a bitstring.String, _ *prng.Rand) (func(bitstring.String) bool, int) {
+	return a.Equal, a.Len()
 }
 
 // Randomized returns the Lemma A.1 protocol with the paper's parameters:
@@ -112,7 +127,76 @@ func (f fingerprintEQ) Run(a, b bitstring.String, rng *prng.Rand) (bool, Transcr
 	p := f.prime(a.Len())
 	fp := field.NewFingerprint(a, p, rng)
 	// Alice → Bob: (x, A(x)); Bob replies with the verdict bit.
-	return fp.Matches(b), Transcript{Bits: fp.Bits() + 1, Messages: 2}
+	return fp.Matches(b), Transcript{Bits: fp.Bits() + 1, Messages: 2, Distinct: 2}
+}
+
+// mint implements minter: Alice's message is one fingerprint of a, valid
+// against any receiver's string.
+func (f fingerprintEQ) mint(a bitstring.String, rng *prng.Rand) (func(bitstring.String) bool, int) {
+	fp := field.NewFingerprint(a, f.prime(a.Len()), rng)
+	return fp.Matches, fp.Bits()
+}
+
+// minter is the hook behind Multicast: a protocol that can commit to one
+// Alice-side message and evaluate it against any Bob implements it. The
+// returned check must be coin-free — all the randomness is spent minting —
+// which is exactly what lets one minted message serve a whole port class.
+type minter interface {
+	mint(a bitstring.String, rng *prng.Rand) (check func(b bitstring.String) bool, payloadBits int)
+}
+
+// Multicast runs the protocol between one Alice and k Bobs under a
+// message-multiplicity cap m: Alice may mint at most m distinct payload
+// messages per round, so the Bobs are partitioned round-robin into
+// min(m, k) classes (class of Bob i = i mod m, matching core.PortClass)
+// and every Bob of a class is served by the same minted message. m <= 0
+// means unicast (every Bob its own class). Wire accounting follows the
+// Transcript convention: the class payload is charged once per Bob whose
+// wire it crosses, each verdict is 1 bit, and Distinct counts minted
+// messages — used class payloads plus verdicts. Bobs whose length differs
+// from Alice's are decided for free, and a class with only such Bobs
+// mints nothing.
+func Multicast(pr EQProtocol, a bitstring.String, bs []bitstring.String, m int, rng *prng.Rand) ([]bool, Transcript) {
+	mt, ok := pr.(minter)
+	if !ok {
+		// Every protocol in this package mints; an external EQProtocol
+		// degenerates to k independent 2-party runs (unicast semantics).
+		equal := make([]bool, len(bs))
+		var tr Transcript
+		for i, b := range bs {
+			got, one := pr.Run(a, b, rng)
+			equal[i] = got
+			tr.Bits += one.Bits
+			tr.Messages += one.Messages
+			tr.Distinct += one.Distinct
+		}
+		return equal, tr
+	}
+	k := len(bs)
+	classes := k
+	if m >= 1 && m < k {
+		classes = m
+	}
+	equal := make([]bool, k)
+	var tr Transcript
+	for c := 0; c < classes; c++ {
+		var check func(bitstring.String) bool
+		payloadBits := 0
+		for i := c; i < k; i += classes {
+			if bs[i].Len() != a.Len() {
+				continue // decided for free; mints nothing on this Bob's account
+			}
+			if check == nil {
+				check, payloadBits = mt.mint(a, rng)
+				tr.Distinct++ // the class payload, minted once
+			}
+			equal[i] = check(bs[i])
+			tr.Bits += payloadBits + 1 // payload crosses this Bob's wire + verdict
+			tr.Messages += 2
+			tr.Distinct++ // each Bob's verdict is its own message
+		}
+	}
+	return equal, tr
 }
 
 // MeasureError estimates the probability that the protocol errs on the

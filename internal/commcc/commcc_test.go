@@ -166,9 +166,9 @@ func TestLengthMismatchDecidedForFree(t *testing.T) {
 		if eq {
 			t.Errorf("%s: length mismatch accepted", p.Name())
 		}
-		if tr.Bits != 0 || tr.Messages != 0 {
-			t.Errorf("%s: length mismatch cost %d bits / %d messages, want 0 / 0",
-				p.Name(), tr.Bits, tr.Messages)
+		if tr.Bits != 0 || tr.Messages != 0 || tr.Distinct != 0 {
+			t.Errorf("%s: length mismatch cost %d bits / %d messages / %d distinct, want 0 / 0 / 0",
+				p.Name(), tr.Bits, tr.Messages, tr.Distinct)
 		}
 	}
 }
@@ -186,6 +186,9 @@ func TestTranscriptConventionConsistent(t *testing.T) {
 			if tr.Messages != 2 {
 				t.Errorf("%s λ=%d: %d messages, want 2", p.Name(), lambda, tr.Messages)
 			}
+			if tr.Distinct != 2 {
+				t.Errorf("%s λ=%d: %d distinct, want 2 (both messages minted)", p.Name(), lambda, tr.Distinct)
+			}
 			if tr.Bits < 2 { // at least 1 payload bit + the verdict bit
 				t.Errorf("%s λ=%d: %d bits, want >= 2", p.Name(), lambda, tr.Bits)
 			}
@@ -194,6 +197,88 @@ func TestTranscriptConventionConsistent(t *testing.T) {
 		if det.Bits != lambda+1 {
 			t.Errorf("deterministic λ=%d: %d bits, want λ+1 = %d", lambda, det.Bits, lambda+1)
 		}
+	}
+}
+
+func TestMulticastCompleteAndConserved(t *testing.T) {
+	// One Alice, k Bobs with Alice's string: every Bob accepts at every cap,
+	// the wire cost is charged per crossing (so it is invariant in m), and
+	// the Distinct <= Messages conservation law holds with equality exactly
+	// at unicast.
+	rng := prng.New(13)
+	const k = 7
+	a := randomString(rng, 64)
+	bs := make([]bitstring.String, k)
+	for i := range bs {
+		bs[i] = a
+	}
+	for _, p := range []EQProtocol{Deterministic(), Randomized(), Truncated(6)} {
+		for _, m := range []int{0, 1, 2, 3, k, k + 5} {
+			equal, tr := Multicast(p, a, bs, m, rng)
+			for i, eq := range equal {
+				if !eq {
+					t.Fatalf("%s m=%d: Bob %d rejected Alice's own string", p.Name(), m, i)
+				}
+			}
+			if tr.Messages != 2*k {
+				t.Errorf("%s m=%d: %d messages, want %d", p.Name(), m, tr.Messages, 2*k)
+			}
+			classes := k
+			if m >= 1 && m < k {
+				classes = m
+			}
+			if want := classes + k; tr.Distinct != want {
+				t.Errorf("%s m=%d: %d distinct, want %d payloads + %d verdicts", p.Name(), m, tr.Distinct, classes, k)
+			}
+			if tr.Distinct > tr.Messages {
+				t.Errorf("%s m=%d: conservation violated: %d distinct > %d messages", p.Name(), m, tr.Distinct, tr.Messages)
+			}
+			if (tr.Distinct == tr.Messages) != (classes == k) {
+				t.Errorf("%s m=%d: distinct==messages must hold exactly at unicast", p.Name(), m)
+			}
+			_, unicast := Multicast(p, a, bs, 0, rng)
+			if tr.Bits != unicast.Bits && p.Name() == Deterministic().Name() {
+				t.Errorf("%s m=%d: %d bits, want the per-crossing cost %d at any cap", p.Name(), m, tr.Bits, unicast.Bits)
+			}
+		}
+	}
+}
+
+func TestMulticastBroadcastStillSound(t *testing.T) {
+	// Under m=1 a single fingerprint serves every Bob; a Bob holding a
+	// worst-case distinct string must still be caught well over 2/3 of the
+	// time, and mismatched-length Bobs are decided for free without
+	// spending a mint on their class.
+	const lambda, k = 256, 5
+	a, bad := WorstCasePair(lambda)
+	rng := prng.New(14)
+	caught := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		bs := []bitstring.String{a, a, bad, a, a}
+		equal, tr := Multicast(Randomized(), a, bs, 1, rng)
+		if equal[0] != true || equal[1] != true || equal[3] != true || equal[4] != true {
+			t.Fatal("broadcast rejected an equal Bob")
+		}
+		if !equal[2] {
+			caught++
+		}
+		if tr.Distinct != 1+k {
+			t.Fatalf("m=1: %d distinct, want 1 payload + %d verdicts", tr.Distinct, k)
+		}
+	}
+	if rate := float64(caught) / trials; rate < 2.0/3 {
+		t.Errorf("broadcast caught the bad Bob at rate %v, want > 2/3", rate)
+	}
+	short := randomString(rng, 10)
+	equal, tr := Multicast(Randomized(), a, []bitstring.String{short, short, short}, 1, rng)
+	for i, eq := range equal {
+		if eq {
+			t.Errorf("mismatched-length Bob %d accepted", i)
+		}
+	}
+	if tr.Bits != 0 || tr.Messages != 0 || tr.Distinct != 0 {
+		t.Errorf("all-mismatch multicast cost %d/%d/%d, want free", tr.Bits, tr.Messages, tr.Distinct)
 	}
 }
 

@@ -6,9 +6,9 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -90,7 +90,7 @@ func TestBoostPreservesOneSidedCompleteness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rate := runtime.EstimateAcceptance(s, c, labels, 100, 1); rate != 1.0 {
+		if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 100, 1); rate != 1.0 {
 			t.Errorf("t=%d: acceptance %v on legal config, want 1.0", reps, rate)
 		}
 	}
@@ -109,7 +109,7 @@ func TestBoostConjunctionDrivesErrorDown(t *testing.T) {
 	prev := 1.1
 	for _, reps := range []int{1, 2, 4, 8} {
 		s := core.Boost(inner, reps)
-		rate := runtime.EstimateAcceptance(s, c, labels, 3000, 42)
+		rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 3000, 42)
 		if rate > prev+0.02 {
 			t.Errorf("t=%d: acceptance %v rose from %v", reps, rate, prev)
 		}
@@ -128,16 +128,16 @@ func TestBoostMajorityAmplifiesAdvantage(t *testing.T) {
 	// p = 1/4 per node per round.
 	low := coinRPLS{bits: 2}
 	labels := make([]core.Label, 2)
-	base := runtime.EstimateAcceptance(low, cfg, labels, 4000, 7)
-	boosted := runtime.EstimateAcceptance(core.Boost(low, 9), cfg, labels, 4000, 8)
+	base := engine.Acceptance(engine.FromRPLS(low), cfg, labels, 4000, 7)
+	boosted := engine.Acceptance(engine.FromRPLS(core.Boost(low, 9)), cfg, labels, 4000, 8)
 	if !(boosted < base) {
 		t.Errorf("below-half acceptance should shrink: base %v, boosted %v", base, boosted)
 	}
 
 	// p = 3/4 per node per round.
 	high := coinRPLS{bits: 2, invert: true}
-	base = runtime.EstimateAcceptance(high, cfg, labels, 4000, 9)
-	boosted = runtime.EstimateAcceptance(core.Boost(high, 9), cfg, labels, 4000, 10)
+	base = engine.Acceptance(engine.FromRPLS(high), cfg, labels, 4000, 9)
+	boosted = engine.Acceptance(engine.FromRPLS(core.Boost(high, 9)), cfg, labels, 4000, 10)
 	if !(boosted > base) {
 		t.Errorf("above-half acceptance should grow: base %v, boosted %v", base, boosted)
 	}
@@ -156,10 +156,10 @@ func TestBoostCertificateSizeScalesLinearly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := runtime.MaxCertBitsOver(inner, c, labels, 3, 3)
+	base := engine.MaxCertBits(engine.FromRPLS(inner), c, labels, 3, 3)
 	for _, reps := range []int{2, 4} {
 		s := core.Boost(inner, reps)
-		got := runtime.MaxCertBitsOver(s, c, labels, 3, 3)
+		got := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 3, 3)
 		// Linear in t with small framing overhead per repetition.
 		if got < reps*base || got > reps*(base+16) {
 			t.Errorf("t=%d: boosted cert %d bits, base %d", reps, got, base)

@@ -151,24 +151,73 @@ func (c *compiled) Decide(view View, own Label, received []Cert) bool {
 		return false
 	}
 	for i, cert := range received {
-		r := bitstring.NewReader(cert)
-		n, err := r.ReadGamma()
+		if !checkFingerprint(cert, replicas[i]) {
+			return false
+		}
+	}
+	return c.inner.Verify(view, self, replicas)
+}
+
+// checkFingerprint verifies one transmitted certificate — gamma length
+// prefix plus (x, A(x)) — against the receiver's stored replica of the
+// sender's label.
+func checkFingerprint(cert Cert, replica Label) bool {
+	r := bitstring.NewReader(cert)
+	n, err := r.ReadGamma()
+	if err != nil {
+		return false
+	}
+	if int(n) != replica.Len() {
+		return false // length mismatch: replica cannot equal sender's label
+	}
+	p := field.PrimeForLength(int(n))
+	fp, err := field.DecodeFingerprint(r, p)
+	if err != nil {
+		return false
+	}
+	if r.Remaining() != 0 {
+		return false
+	}
+	return fp.Matches(replica)
+}
+
+var _ CappedRPLS = (*compiled)(nil)
+
+// CapCerts implements CappedRPLS by payload merging: every port's
+// fingerprint is a fingerprint of the SAME string — the node's own
+// sub-label, drawn with the unicast coins rng.Fork(port) — so the class
+// messages are just CapMerge bundles of the unicast certificates. Any
+// deterministic scheme run through Compile therefore degrades natively
+// under a multiplicity cap.
+func (c *compiled) CapCerts(m int, view View, own Label, rng *prng.Rand) []Cert {
+	return CapMerge(c.Certs(view, own, rng), m)
+}
+
+// CapDecide mirrors Decide for the merged wire format: every member of
+// the class message received on port i fingerprints the sender's own
+// sub-label, so all of them must match the stored replica of that label.
+// Equal strings always match (one-sided completeness); the reverse edge's
+// own fingerprint is among the members, so soundness is at least unicast.
+func (c *compiled) CapDecide(_ int, view View, own Label, received []Cert) bool {
+	self, replicas, err := c.splitLabel(own, view.Deg)
+	if err != nil {
+		return false
+	}
+	if len(received) != view.Deg {
+		return false
+	}
+	for i, msg := range received {
+		members, err := CapSplit(msg)
 		if err != nil {
 			return false
 		}
-		if int(n) != replicas[i].Len() {
-			return false // length mismatch: replica cannot equal sender's label
+		if len(members) == 0 {
+			return false // the reverse edge's fingerprint must be present
 		}
-		p := field.PrimeForLength(int(n))
-		fp, err := field.DecodeFingerprint(r, p)
-		if err != nil {
-			return false
-		}
-		if r.Remaining() != 0 {
-			return false
-		}
-		if !fp.Matches(replicas[i]) {
-			return false
+		for _, cert := range members {
+			if !checkFingerprint(cert, replicas[i]) {
+				return false
+			}
 		}
 	}
 	return c.inner.Verify(view, self, replicas)

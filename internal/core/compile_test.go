@@ -6,10 +6,10 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/field"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -44,7 +44,7 @@ func TestCompiledCompleteness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rate := runtime.EstimateAcceptance(s, c, labels, 50, uint64(trial)); rate != 1.0 {
+		if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 50, uint64(trial)); rate != 1.0 {
 			t.Fatalf("trial %d: acceptance %v on legal config, want 1.0", trial, rate)
 		}
 	}
@@ -65,7 +65,7 @@ func TestCompiledSoundnessOnIllegalConfig(t *testing.T) {
 	}
 	illegal := legal.Clone()
 	illegal.States[3].Data = []byte("evil")
-	if rate := runtime.EstimateAcceptance(s, illegal, labels, 200, 7); rate != 0 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), illegal, labels, 200, 7); rate != 0 {
 		t.Errorf("acceptance = %v on illegal config with transplanted labels", rate)
 	}
 }
@@ -102,7 +102,7 @@ func TestCompiledSoundnessAgainstInconsistentReplicas(t *testing.T) {
 		w.WriteString(main)
 	}
 	labels[2] = w.String()
-	rate := runtime.EstimateAcceptance(s, illegal, labels, 2000, 11)
+	rate := engine.Acceptance(engine.FromRPLS(s), illegal, labels, 2000, 11)
 	if rate > 1.0/3 {
 		t.Errorf("acceptance = %v with inconsistent replicas, want <= 1/3", rate)
 	}
@@ -122,7 +122,7 @@ func TestCompiledCertificatesAreLogarithmicInKappa(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bits := runtime.MaxCertBitsOver(s, c, labels, 3, 5)
+		bits := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 3, 5)
 		rows = append(rows, row{kappa: kBytes * 8, bits: bits})
 	}
 	for _, r := range rows {
@@ -147,7 +147,7 @@ func TestCompiledCertBitsPredictsMeasuredCost(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		measured := runtime.MaxCertBitsOver(s, c, labels, 3, 5)
+		measured := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 3, 5)
 		if want := core.CompiledCertBits(kappa); measured != want {
 			t.Errorf("κ=%d: measured %d cert bits, CompiledCertBits predicts %d",
 				kappa, measured, want)

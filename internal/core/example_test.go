@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -25,8 +25,8 @@ func ExampleCompile() {
 
 	detLabels, _ := det.Label(cfg)
 	randLabels, _ := rand.Label(cfg)
-	detRes := runtime.VerifyPLS(det, cfg, detLabels)
-	randRes := runtime.VerifyRPLS(rand, cfg, randLabels, 1)
+	detRes := engine.Verify(engine.FromPLS(det), cfg, detLabels, engine.WithStats(true))
+	randRes := engine.Verify(engine.FromRPLS(rand), cfg, randLabels, engine.WithSeed(1), engine.WithStats(true))
 
 	fmt.Println("deterministic accepted:", detRes.Accepted, "- bits on wire per message:", detRes.Stats.MaxLabelBits)
 	fmt.Println("randomized accepted:", randRes.Accepted, "- bits on wire per message:", randRes.Stats.MaxCertBits)
@@ -46,7 +46,7 @@ func ExampleBoost() {
 	labels := make([]core.Label, 2)
 	for _, t := range []int{1, 4} {
 		s := core.Boost(weak, t)
-		rate := runtime.EstimateAcceptance(s, cfg, labels, 4000, 9)
+		rate := engine.Acceptance(engine.FromRPLS(s), cfg, labels, 4000, 9)
 		fmt.Printf("t=%d: illegal acceptance ≈ %.2f\n", t, rate)
 	}
 	// Output:

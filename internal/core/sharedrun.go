@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+)
+
+// The shared-coin round runner. SharedRPLS is the one round shape the
+// engine's executors do not run — every node must see the identical
+// public stream before drawing its private fork — so the model keeps its
+// own reference runner here, next to the SharedRPLS interface and
+// SharedCoins stream it executes. The runner is the sole metering
+// authority for its rounds: its SharedStats is deliberately a distinct
+// type from the engine's metered Stats, so the engine's meter-flow
+// invariants (and the plsvet analyzer enforcing them) keep their single
+// authority per round shape.
+
+// SharedStats records the measured communication cost of one shared-coin
+// verification round.
+type SharedStats struct {
+	MaxLabelBits  int   // largest label in the assignment
+	MaxCertBits   int   // largest certificate any node generated
+	TotalWireBits int64 // bits on the wire across all directed edges
+	Messages      int   // directed-edge sends (one per port per round)
+}
+
+// SharedResult is the outcome of one shared-coin verification round.
+type SharedResult struct {
+	Accepted bool   // AND of all votes
+	Votes    []bool // per-node verdicts
+	Stats    SharedStats
+}
+
+// RunShared labels the configuration with the scheme's prover and runs
+// one shared-randomness verification round.
+func RunShared(s SharedRPLS, c *graph.Config, seed uint64) (SharedResult, error) {
+	labels, err := s.Label(c)
+	if err != nil {
+		return SharedResult{}, fmt.Errorf("prover %s: %w", s.Name(), err)
+	}
+	return VerifyShared(s, c, labels, seed), nil
+}
+
+// VerifyShared runs one round of the shared-coin model: every node
+// receives an identically seeded public stream plus a private fork.
+func VerifyShared(s SharedRPLS, c *graph.Config, labels []Label, seed uint64) SharedResult {
+	n := c.G.N()
+	root := prng.New(seed)
+	all := make([][]Cert, n)
+	certBits := 0
+	for v := 0; v < n; v++ {
+		certs := s.CertsShared(ViewOf(c, v), labels[v], SharedCoins(seed), root.Fork(uint64(v)))
+		all[v] = certs
+		if b := MaxBits(certs); b > certBits {
+			certBits = b
+		}
+	}
+	votes := make([]bool, n)
+	accepted := true
+	stats := SharedStats{MaxLabelBits: MaxBits(labels), MaxCertBits: certBits}
+	for v := 0; v < n; v++ {
+		deg := c.G.Degree(v)
+		received := make([]Cert, deg)
+		for i := 0; i < deg; i++ {
+			h := c.G.Neighbor(v, i+1)
+			if h.RevPort-1 < len(all[h.To]) {
+				received[i] = all[h.To][h.RevPort-1]
+				stats.TotalWireBits += int64(received[i].Len())
+			}
+		}
+		stats.Messages += deg
+		votes[v] = s.DecideShared(ViewOf(c, v), labels[v], received, SharedCoins(seed))
+		accepted = accepted && votes[v]
+	}
+	return SharedResult{Accepted: accepted, Votes: votes, Stats: stats}
+}
+
+// EstimateAcceptanceShared is the Monte-Carlo acceptance estimator for
+// the shared-coin model. Seeds are seed, seed+1, … so estimates are
+// reproducible.
+func EstimateAcceptanceShared(s SharedRPLS, c *graph.Config, labels []Label, trials int, seed uint64) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	accepted := 0
+	for t := 0; t < trials; t++ {
+		if VerifyShared(s, c, labels, seed+uint64(t)).Accepted {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(trials)
+}

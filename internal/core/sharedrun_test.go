@@ -1,4 +1,4 @@
-package runtime_test
+package core_test
 
 import (
 	"testing"
@@ -7,7 +7,6 @@ import (
 	"rpls/internal/core"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -55,7 +54,7 @@ func TestSharedCoinsAreGloballyConsistent(t *testing.T) {
 		n := 2 + rng.Intn(20)
 		g := graph.RandomConnected(n, rng.Intn(n), rng)
 		c := graph.NewConfig(g)
-		res, err := runtime.RunShared(echoShared{}, c, uint64(trial))
+		res, err := core.RunShared(echoShared{}, c, uint64(trial))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,33 +88,14 @@ func TestEstimateAcceptanceShared(t *testing.T) {
 	}
 	s := uniform.NewSharedRPLS()
 	labels := make([]core.Label, 4)
-	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 50, 3); rate != 1.0 {
+	if rate := core.EstimateAcceptanceShared(s, c, labels, 50, 3); rate != 1.0 {
 		t.Errorf("legal shared acceptance %v, want 1.0", rate)
 	}
-	if got := runtime.EstimateAcceptanceShared(s, c, labels, 0, 3); got != 0 {
+	if got := core.EstimateAcceptanceShared(s, c, labels, 0, 3); got != 0 {
 		t.Errorf("zero trials should return 0, got %v", got)
 	}
 	c.States[2].Data = []byte("diff")
-	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 400, 5); rate > 1.0/3 {
+	if rate := core.EstimateAcceptanceShared(s, c, labels, 400, 5); rate > 1.0/3 {
 		t.Errorf("illegal shared acceptance %v, want <= 1/3", rate)
-	}
-}
-
-func TestMaxCertBitsOver(t *testing.T) {
-	c := graph.NewConfig(graph.Path(3))
-	for v := range c.States {
-		c.States[v].Data = []byte{0xAB, 0xCD}
-	}
-	s := uniform.NewRPLS()
-	labels := make([]core.Label, 3)
-	bits := runtime.MaxCertBitsOver(s, c, labels, 5, 7)
-	if bits <= 0 {
-		t.Fatal("no certificate bits measured")
-	}
-	// Must match what a verification round actually transmits.
-	res := runtime.VerifyRPLS(s, c, labels, 7)
-	if res.Stats.MaxCertBits > bits {
-		t.Errorf("round transmitted %d bits but MaxCertBitsOver reported %d",
-			res.Stats.MaxCertBits, bits)
 	}
 }

@@ -5,9 +5,9 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -25,7 +25,7 @@ func TestUniversalPLSCompleteness(t *testing.T) {
 		n := 2 + rng.Intn(12)
 		c := uniformConfig(graph.RandomConnected(n, rng.Intn(n), rng), []byte("zz"))
 		c.AssignRandomIDs(rng)
-		res, err := runtime.RunPLS(s, c)
+		res, err := engine.Run(engine.FromPLS(s), c, engine.WithStats(true))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func TestUniversalSoundTransplantFromLegalTwin(t *testing.T) {
 	}
 	illegal := legal.Clone()
 	illegal.States[2].Data = []byte("y")
-	res := runtime.VerifyPLS(s, illegal, labels)
+	res := engine.Verify(engine.FromPLS(s), illegal, labels, engine.WithStats(true))
 	if res.Accepted {
 		t.Error("universal scheme fooled by legal-twin transplant")
 	}
@@ -77,7 +77,7 @@ func TestUniversalSoundAgainstHonestRButIllegalConfig(t *testing.T) {
 		labels[v] = w.String()
 	}
 	s := core.UniversalPLS(uniform.Predicate{})
-	res := runtime.VerifyPLS(s, illegal, labels)
+	res := engine.Verify(engine.FromPLS(s), illegal, labels, engine.WithStats(true))
 	if res.Accepted {
 		t.Fatal("illegal config accepted with honest self-description")
 	}
@@ -98,7 +98,7 @@ func TestUniversalSoundAgainstIndexSwap(t *testing.T) {
 		t.Fatal(err)
 	}
 	labels[0], labels[4] = labels[4], labels[0]
-	if runtime.VerifyPLS(s, legal, labels).Accepted {
+	if engine.Verify(engine.FromPLS(s), legal, labels).Accepted {
 		t.Error("index swap accepted")
 	}
 }
@@ -122,7 +122,7 @@ func TestUniversalSoundAgainstDisagreeingR(t *testing.T) {
 	copy(mixed, labelsA[:3])
 	copy(mixed[3:], labelsB[3:])
 	// Run on cfgB: nodes 0..2 describe cfgA, nodes 3..5 describe cfgB.
-	res := runtime.VerifyPLS(s, cfgB, mixed)
+	res := engine.Verify(engine.FromPLS(s), cfgB, mixed)
 	if res.Accepted {
 		t.Error("disagreeing representations accepted")
 	}
@@ -140,7 +140,7 @@ func TestUniversalSoundAgainstPhantomNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 	labels := bigLabels[:3]
-	res := runtime.VerifyPLS(s, small, labels)
+	res := engine.Verify(engine.FromPLS(s), small, labels, engine.WithStats(true))
 	if res.Accepted {
 		t.Error("phantom-node representation accepted")
 	}
@@ -156,7 +156,7 @@ func TestUniversalRejectsGarbageLabels(t *testing.T) {
 	for i := range garbage {
 		garbage[i] = bitstring.FromBytes([]byte{0xDE, 0xAD, 0xBE, 0xEF})
 	}
-	res := runtime.VerifyPLS(s, c, garbage)
+	res := engine.Verify(engine.FromPLS(s), c, garbage, engine.WithStats(true))
 	if res.Accepted {
 		t.Error("garbage labels accepted")
 	}
@@ -179,14 +179,14 @@ func TestUniversalRPLSCertificateSize(t *testing.T) {
 			t.Fatal(err)
 		}
 		labelBits := core.MaxBits(labels)
-		certBits := runtime.MaxCertBitsOver(s, c, labels, 3, 3)
+		certBits := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 3, 3)
 		if labelBits < n*100 {
 			t.Errorf("n=%d: universal labels suspiciously small (%d bits)", n, labelBits)
 		}
 		if certBits > 6*log2ceil(labelBits)+20 {
 			t.Errorf("n=%d: certificates %d bits for κ=%d, want O(log κ)", n, certBits, labelBits)
 		}
-		if rate := runtime.EstimateAcceptance(s, c, labels, 20, 4); rate != 1.0 {
+		if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 20, 4); rate != 1.0 {
 			t.Errorf("n=%d: acceptance %v on legal config", n, rate)
 		}
 	}
@@ -201,7 +201,7 @@ func TestUniversalRPLSSoundOnIllegal(t *testing.T) {
 	}
 	illegal := legal.Clone()
 	illegal.States[2].Data = []byte("y")
-	if rate := runtime.EstimateAcceptance(s, illegal, labels, 200, 5); rate > 1.0/3 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), illegal, labels, 200, 5); rate > 1.0/3 {
 		t.Errorf("acceptance %v on illegal config, want <= 1/3", rate)
 	}
 }

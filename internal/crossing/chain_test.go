@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"rpls/internal/crossing"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/cycle"
 )
 
@@ -19,7 +19,7 @@ func TestModularChainCompleteness(t *testing.T) {
 		}
 		cfg := graph.NewConfig(g)
 		s := crossing.ModularChainCyclePLS{C: tc.c, Bits: tc.bits}
-		res, err := runtime.RunPLS(s, cfg)
+		res, err := engine.Run(engine.FromPLS(s), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func TestModularChainRejectsManualSplice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.VerifyPLS(s, crossed, labels).Accepted {
+	if engine.Verify(engine.FromPLS(s), crossed, labels).Accepted {
 		t.Error("splice across distinct ids accepted")
 	}
 }

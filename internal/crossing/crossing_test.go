@@ -5,8 +5,8 @@ import (
 
 	"rpls/internal/core"
 	"rpls/internal/crossing"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/cycle"
 )
@@ -54,7 +54,7 @@ func TestModularDistCompletenessOnPaths(t *testing.T) {
 	for _, bits := range []int{2, 3, 5} {
 		s := crossing.ModularDistPLS{Bits: bits}
 		c := graph.NewConfig(graph.Path(50))
-		res, err := runtime.RunPLS(s, c)
+		res, err := engine.Run(engine.FromPLS(s), c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func TestModularDistRejectsShortCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.VerifyPLS(s, illegal, pathLabels).Accepted {
+	if engine.Verify(engine.FromPLS(s), illegal, pathLabels).Accepted {
 		t.Error("10-cycle accepted by mod-8 scheme")
 	}
 }

@@ -41,10 +41,13 @@ type Batched struct {
 	rootVals []prng.Rand
 	votes    []bool
 
-	// Per-lane counters of the last runLanes call.
-	accept  uint64
-	wire    [64]int64
-	maxCert [64]int
+	// Per-lane counters of the last runLanes call. The structural
+	// distinct-message count is lane-invariant (it depends on degrees and
+	// the cap, not coins), so one counter covers the whole batch.
+	accept   uint64
+	wire     [64]int64
+	maxCert  [64]int
+	distinct int64
 }
 
 // NewBatched returns a batched executor with empty scratch.
@@ -56,18 +59,30 @@ func (e *Batched) Name() string { return "batched" }
 // Clone implements Cloneable: a fresh batched executor with empty scratch.
 func (e *Batched) Clone() Executor { return NewBatched() }
 
-// laneScheme returns the LaneRPLS behind s when the batch path applies:
-// a single-round, non-deterministic scheme adapting a lane-aware RPLS.
-func laneScheme(s Scheme) (core.LaneRPLS, bool) {
+// laneScheme returns the LaneRPLS behind s when the batch path applies: a
+// single-round, non-deterministic scheme adapting a lane-aware RPLS. A
+// multiplicity cap using the generic replication fallback rides the lane
+// path — the transform is applied to each lane's plane rows, byte-for-byte
+// what capScheme.Certs does sequentially — and its cap is returned; a
+// scheme with a native CapCerts degradation has no generic lane transform
+// and falls back to the embedded Sequential.
+func laneScheme(s Scheme) (core.LaneRPLS, int, bool) {
+	m := 0
+	if w, ok := s.(capScheme); ok {
+		if w.capped != nil {
+			return nil, 0, false
+		}
+		m, s = w.m, w.inner
+	}
 	if s.Deterministic() || Rounds(s) > 1 {
-		return nil, false
+		return nil, 0, false
 	}
 	r, ok := AsRPLS(s)
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	lr, ok := r.(core.LaneRPLS)
-	return lr, ok
+	return lr, m, ok
 }
 
 // laneWidth returns the widest batch the plane budget allows for a graph
@@ -91,19 +106,20 @@ func laneWidth(slots int) int {
 // parity tests exercise it — and everything else delegates to the
 // embedded Sequential.
 func (e *Batched) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64) ([]bool, Stats) {
-	lane, ok := laneScheme(s)
+	lane, mult, ok := laneScheme(s)
 	if !ok {
 		obsBatchFallback.Inc()
 		return e.seq.Round(s, c, labels, seed)
 	}
-	e.runLanes(lane, c, labels, seed, 1, true)
+	e.runLanes(lane, mult, c, labels, seed, 1, true)
 	return e.votes, Stats{
-		Rounds:        1,
-		MaxLabelBits:  core.MaxBits(labels),
-		MaxCertBits:   e.maxCert[0],
-		MaxPortBits:   e.maxCert[0],
-		TotalWireBits: e.wire[0],
-		Messages:      e.csr.Slots(),
+		Rounds:           1,
+		MaxLabelBits:     core.MaxBits(labels),
+		MaxCertBits:      e.maxCert[0],
+		MaxPortBits:      e.maxCert[0],
+		TotalWireBits:    e.wire[0],
+		Messages:         e.csr.Slots(),
+		DistinctMessages: e.distinct,
 	}
 }
 
@@ -125,13 +141,14 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 			maxPortBits: st.MaxPortBits,
 			wireBits:    st.TotalWireBits,
 			messages:    st.Messages,
+			distinct:    st.DistinctMessages,
 		}
 		for t := lo; t < hi; t++ {
 			out[t-lo] = o
 		}
 		return
 	}
-	lane, ok := laneScheme(s)
+	lane, mult, ok := laneScheme(s)
 	if !ok {
 		obsBatchFallback.Inc()
 		for t := lo; t < hi; t++ {
@@ -145,6 +162,7 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 				maxPortBits: st.MaxPortBits,
 				wireBits:    st.TotalWireBits,
 				messages:    st.Messages,
+				distinct:    st.DistinctMessages,
 			}
 		}
 		return
@@ -160,7 +178,7 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 			w = hi - t
 		}
 		t0 := obsBatchNanos.Start()
-		e.runLanes(lane, c, labels, seed+uint64(t), w, false)
+		e.runLanes(lane, mult, c, labels, seed+uint64(t), w, false)
 		obsBatchNanos.Stop(t0)
 		obsBatches.Inc()
 		obsBatchLanes.Observe(int64(w))
@@ -173,6 +191,7 @@ func (e *Batched) runBatch(s Scheme, c *graph.Config, labels []core.Label, seed 
 				maxPortBits: e.maxCert[l],
 				wireBits:    e.wire[l],
 				messages:    slots,
+				distinct:    e.distinct,
 			}
 		}
 		t += w
@@ -226,10 +245,15 @@ func (e *Batched) ensure(width int) {
 // traversal writing straight into the lane-major plane, one metering scan,
 // and one decide traversal gathering via RevEdge and AND-reducing the
 // per-node vote masks. Lane l draws the node streams of trial firstSeed+l.
-// When needVotes is set, per-node votes of lane 0 land in e.votes.
+// When needVotes is set, per-node votes of lane 0 land in e.votes. Under a
+// multiplicity cap (mult >= 1, always the generic replication fallback —
+// laneScheme rejects native degradations), each node's plane row of every
+// lane is rewritten by core.CapReplicate right after generation: the same
+// in-place transform capScheme.Certs applies on the sequential path, so
+// planes — and therefore votes and stats — stay byte-identical.
 //
 //pls:hotpath
-func (e *Batched) runLanes(lane core.LaneRPLS, c *graph.Config, labels []core.Label, firstSeed uint64, width int, needVotes bool) {
+func (e *Batched) runLanes(lane core.LaneRPLS, mult int, c *graph.Config, labels []core.Label, firstSeed uint64, width int, needVotes bool) {
 	e.csr.Reset(c.G)
 	e.ensure(width)
 	n, slots := e.csr.N(), e.csr.Slots()
@@ -237,6 +261,7 @@ func (e *Batched) runLanes(lane core.LaneRPLS, c *graph.Config, labels []core.La
 		*e.roots[l] = *prng.New(firstSeed + uint64(l))
 	}
 
+	e.distinct = 0
 	for v := 0; v < n; v++ {
 		base, deg := e.csr.RowStart[v], e.csr.Degree(v)
 		for l := 0; l < width; l++ {
@@ -244,6 +269,12 @@ func (e *Batched) runLanes(lane core.LaneRPLS, c *graph.Config, labels []core.La
 			e.planeTop[l] = e.plane[l*slots+base : l*slots+base+deg]
 		}
 		lane.CertsLanes(core.ViewOf(c, v), labels[v], e.rngs, e.planeTop)
+		if mult > 0 {
+			for l := 0; l < width; l++ {
+				core.CapReplicate(e.planeTop[l], mult)
+			}
+		}
+		e.distinct += distinctCount(false, mult, deg)
 	}
 
 	for l := 0; l < width; l++ {

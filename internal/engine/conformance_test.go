@@ -181,6 +181,19 @@ func TestRegistryConformance(t *testing.T) {
 					}
 					h.Battery(t, sharded, fx.legal, fx.illegal, spec)
 				})
+				// The congestion axis: the whole battery must survive any
+				// message-multiplicity cap — broadcast, an interior point,
+				// and the per-port extreme (m = max degree, where capped
+				// rounds carry exactly one class per port).
+				deg := maxDegree(fx.legal)
+				for _, m := range []int{1, 2, deg} {
+					m := m
+					t.Run(fmt.Sprintf("m=%d", m), func(t *testing.T) {
+						hm := *h
+						hm.Multiplicity = m
+						hm.Battery(t, s, fx.legal, fx.illegal, spec)
+					})
+				}
 			}
 			if e.Det != nil {
 				t.Run("det", func(t *testing.T) {
@@ -262,4 +275,16 @@ func TestFamilyConformance(t *testing.T) {
 	if ran == len(families)*len(entries) && compatible < 20 {
 		t.Errorf("only %d compatible (family, scheme) pairs; the preparation layer lost coverage", compatible)
 	}
+}
+
+// maxDegree is the largest node degree in a configuration (at least 1,
+// so m = maxDegree is always a valid cap).
+func maxDegree(c *graph.Config) int {
+	deg := 1
+	for v := 0; v < c.G.N(); v++ {
+		if d := c.G.Degree(v); d > deg {
+			deg = d
+		}
+	}
+	return deg
 }

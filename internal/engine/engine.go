@@ -52,6 +52,17 @@
 // This is the paper's primary axis of comparison: per-edge verification
 // cost Θ(λ) deterministic vs O(log λ) randomized.
 //
+// Congestion: WithMultiplicity(m) caps how many distinct messages a node
+// may send per round (Patt-Shamir–Perry's broadcast ⇄ unicast axis; m=1
+// is broadcast, 0 leaves classic unicast). Ports are partitioned
+// round-robin into core.PortClass classes; schemes implementing
+// core.CappedRPLS merge their certificates natively (core.CapMerge wire
+// format), others degrade through max-length replication
+// (core.CapReplicate), and deterministic label broadcast satisfies every
+// cap as is. Stats.DistinctMessages / Summary.TotalDistinct meter the
+// constrained quantity under the same byte-identity guarantee as the
+// other counters. See DESIGN.md, "Congestion-bounded verification".
+//
 // Observability: the estimator, the batched lanes, and the soundness
 // fan-out record write-only telemetry into internal/obs (per-executor
 // trial timing, lane occupancy, early-stop and chunk events, spans). The
@@ -172,13 +183,24 @@ func AsRPLS(s Scheme) (core.RPLS, bool) {
 // and TotalWireBits sums every round — while MaxCertBits and MaxPortBits
 // remain per-message maxima, i.e. the exact bits-per-round of the κ/t
 // tradeoff (a sharded scheme's largest message is the ⌈κ/t⌉-bit shard).
+//
+// DistinctMessages is the congestion axis counter: per node and per round
+// it adds the number of distinct payloads the scheme structurally
+// guarantees — 1 for a deterministic broadcast, min(m, deg) under a
+// WithMultiplicity cap, deg for an unconstrained randomized round — never
+// a byte comparison of what happened to coincide. The conservation law is
+// DistinctMessages <= Messages, with equality exactly in the unicast
+// regime; the per-round count is DistinctMessages / Rounds, since the
+// structural count of a node is round-invariant. Like every other counter
+// it is exact and bit-identical across executors, parallelism, and lanes.
 type Stats struct {
-	Rounds        int // verification rounds executed (1 for classic schemes)
-	MaxLabelBits  int
-	MaxCertBits   int   // κ of Definition 2.1: largest string sent on any port in any round
-	MaxPortBits   int   // largest message that crossed a single port in any round
-	TotalWireBits int64 // sum of bits crossing all directed edges, all rounds
-	Messages      int   // number of point-to-point messages (rounds × 2m)
+	Rounds           int // verification rounds executed (1 for classic schemes)
+	MaxLabelBits     int
+	MaxCertBits      int   // κ of Definition 2.1: largest string sent on any port in any round
+	MaxPortBits      int   // largest message that crossed a single port in any round
+	TotalWireBits    int64 // sum of bits crossing all directed edges, all rounds
+	Messages         int   // number of point-to-point messages (rounds × 2m)
+	DistinctMessages int64 // structurally distinct payloads minted, all rounds (<= Messages)
 }
 
 // Result is the outcome of one verification round. Votes is populated only

@@ -73,6 +73,7 @@ type Summary struct {
 	MaxPortBits    int     // largest single message observed across all trials
 	TotalBits      int64   // bits on the wire summed over all executed trials
 	TotalMessages  int64   // messages (directed-edge sends) over all executed trials
+	TotalDistinct  int64   // structurally distinct payloads minted over all trials (<= TotalMessages)
 	AvgBitsPerEdge float64 // TotalBits / TotalMessages (0 when no messages)
 }
 
@@ -113,12 +114,15 @@ func wilson(accepted, trials int) (center, half float64) {
 // across workers; WithMaxSE and WithStopOnReject stop the run early. The
 // Summary is bit-identical for any parallelism level and any executor.
 func Estimate(s Scheme, c *graph.Config, opts ...Option) (Summary, error) {
-	o := buildOptions(opts)
+	o, err := buildValidated(s, opts)
+	if err != nil {
+		return Summary{}, err
+	}
 	labels, err := o.resolveLabels(s, c)
 	if err != nil {
 		return Summary{}, err
 	}
-	return o.estimateLabels(s, c, labels), nil
+	return o.estimateLabels(withCap(s, o.multiplicity), c, labels), nil
 }
 
 // trialOutcome is the per-trial data the merge needs: the acceptance vote
@@ -132,6 +136,7 @@ type trialOutcome struct {
 	maxPortBits int
 	wireBits    int64
 	messages    int
+	distinct    int64
 }
 
 // estimateLabels is the estimator core shared by Estimate, Soundness,
@@ -155,7 +160,7 @@ func (o *options) estimateLabels(s Scheme, c *graph.Config, labels []core.Label)
 	out := make([]trialOutcome, min(chunk, o.trials))
 
 	accepted, certMax, portMax, done, rounds := 0, 0, 0, 0, 0
-	totalBits, totalMsgs := int64(0), int64(0)
+	totalBits, totalMsgs, totalDistinct := int64(0), int64(0), int64(0)
 scan:
 	for lo := 0; lo < o.trials; {
 		hi := min(lo+chunk, o.trials)
@@ -184,6 +189,7 @@ scan:
 			}
 			totalBits += res.wireBits
 			totalMsgs += int64(res.messages)
+			totalDistinct += res.distinct
 			if o.stopOnReject && !res.accepted {
 				obsStopReject.Inc()
 				break scan
@@ -203,6 +209,7 @@ scan:
 	sum.Trials, sum.Accepted, sum.MaxCertBits = done, accepted, certMax
 	sum.Rounds = rounds
 	sum.MaxPortBits, sum.TotalBits, sum.TotalMessages = portMax, totalBits, totalMsgs
+	sum.TotalDistinct = totalDistinct
 	if totalMsgs > 0 {
 		sum.AvgBitsPerEdge = float64(totalBits) / float64(totalMsgs)
 	}
@@ -288,6 +295,7 @@ func oneWorker(exec Executor, s Scheme, c *graph.Config, labels []core.Label, se
 			maxPortBits: st.MaxPortBits,
 			wireBits:    st.TotalWireBits,
 			messages:    st.Messages,
+			distinct:    st.DistinctMessages,
 		}
 	}
 }
@@ -305,4 +313,18 @@ func MaxCertBits(s Scheme, c *graph.Config, labels []core.Label, trials int, see
 	}
 	o := buildOptions([]Option{WithSeed(seed), WithTrials(trials)})
 	return o.estimateLabels(s, c, labels).MaxCertBits
+}
+
+// Acceptance is the one-call Monte-Carlo acceptance estimator: the
+// fraction of `trials` independent rounds (seeds seed, seed+1, …) the
+// scheme accepts under the given (possibly adversarial) labels. Zero
+// trials report 0. With explicit labels the only Estimate failure is a
+// label/node count mismatch — a programming error that fails loudly
+// rather than reading as zero acceptance.
+func Acceptance(s Scheme, c *graph.Config, labels []core.Label, trials int, seed uint64) float64 {
+	sum, err := Estimate(s, c, WithLabels(labels), WithTrials(trials), WithSeed(seed))
+	if err != nil {
+		panic(err)
+	}
+	return sum.Acceptance
 }

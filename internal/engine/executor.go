@@ -95,12 +95,15 @@ func (sc *scratch) gather(det bool, c *graph.Config, labels []core.Label, v int)
 }
 
 // sendStats accumulates the cost of everything node v puts on the wire.
-// It only bumps scalar counters on the caller's Stats.
+// It only bumps scalar counters on the caller's Stats. mult is the
+// scheme's multiplicity cap (0 = unconstrained); the structural
+// distinct-message count is derived from it, never from payload bytes.
 //
 //pls:hotpath
-func sendStats(det bool, c *graph.Config, labels []core.Label, certs []core.Cert, v int, st *Stats) {
+func sendStats(det bool, mult int, c *graph.Config, labels []core.Label, certs []core.Cert, v int, st *Stats) {
 	deg := c.G.Degree(v)
 	st.Messages += deg
+	st.DistinctMessages += distinctCount(det, mult, deg)
 	if det {
 		// The message on every port is the node's label: κ (Definition 2.1)
 		// is the largest label actually transmitted, not zero.
@@ -159,7 +162,7 @@ func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 	n := c.G.N()
 	e.sc.ensure(c.G)
 	st := Stats{Rounds: 1, MaxLabelBits: core.MaxBits(labels)}
-	det := s.Deterministic()
+	det, mult := s.Deterministic(), Multiplicity(s)
 	if !det {
 		root := prng.New(seed)
 		for v := 0; v < n; v++ {
@@ -167,7 +170,7 @@ func (e *Sequential) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 		}
 	}
 	for v := 0; v < n; v++ {
-		sendStats(det, c, labels, e.sc.certs[v], v, &st)
+		sendStats(det, mult, c, labels, e.sc.certs[v], v, &st)
 	}
 	for v := 0; v < n; v++ {
 		recv := e.sc.gather(det, c, labels, v)
@@ -187,6 +190,7 @@ func (e *Sequential) multiRound(mr MultiRound, rounds int, c *graph.Config, labe
 	n := c.G.N()
 	e.sc.ensure(c.G)
 	st := Stats{Rounds: rounds, MaxLabelBits: core.MaxBits(labels)}
+	mult := Multiplicity(mr)
 	shards := newShardAcc(e.sc.offs[n], rounds)
 	root := prng.New(seed)
 	for r := 0; r < rounds; r++ {
@@ -194,7 +198,7 @@ func (e *Sequential) multiRound(mr MultiRound, rounds int, c *graph.Config, labe
 			e.sc.certs[v] = mr.RoundCerts(r, core.ViewOf(c, v), labels[v], root.Fork(uint64(v)))
 		}
 		for v := 0; v < n; v++ {
-			sendStats(false, c, labels, e.sc.certs[v], v, &st)
+			sendStats(false, mult, c, labels, e.sc.certs[v], v, &st)
 			shards.gather(&e.sc, c, v)
 		}
 	}
@@ -285,6 +289,7 @@ func (e *Pool) shardWorkers(n int) int {
 func (e *Pool) mergeParts(st Stats) Stats {
 	for _, p := range e.parts {
 		st.Messages += p.Messages
+		st.DistinctMessages += p.DistinctMessages
 		st.TotalWireBits += p.TotalWireBits
 		if p.MaxCertBits > st.MaxCertBits {
 			st.MaxCertBits = p.MaxCertBits
@@ -304,7 +309,7 @@ func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64
 	n := c.G.N()
 	e.sc.ensure(c.G)
 	w := e.shardWorkers(n)
-	det := s.Deterministic()
+	det, mult := s.Deterministic(), Multiplicity(s)
 
 	var wg sync.WaitGroup
 	if !det {
@@ -327,7 +332,7 @@ func (e *Pool) Round(s Scheme, c *graph.Config, labels []core.Label, seed uint64
 			defer wg.Done()
 			st := Stats{}
 			for v := shard * n / w; v < (shard+1)*n/w; v++ {
-				sendStats(det, c, labels, e.sc.certs[v], v, &st)
+				sendStats(det, mult, c, labels, e.sc.certs[v], v, &st)
 				recv := e.sc.gather(det, c, labels, v)
 				e.sc.votes[v] = s.Decide(core.ViewOf(c, v), labels[v], recv)
 			}
@@ -348,6 +353,7 @@ func (e *Pool) multiRound(mr MultiRound, rounds int, c *graph.Config, labels []c
 	n := c.G.N()
 	e.sc.ensure(c.G)
 	w := e.shardWorkers(n)
+	mult := Multiplicity(mr)
 	for i := range e.parts {
 		e.parts[i] = Stats{}
 	}
@@ -373,7 +379,7 @@ func (e *Pool) multiRound(mr MultiRound, rounds int, c *graph.Config, labels []c
 				defer wg.Done()
 				st := &e.parts[shard]
 				for v := shard * n / w; v < (shard+1)*n/w; v++ {
-					sendStats(false, c, labels, e.sc.certs[v], v, st)
+					sendStats(false, mult, c, labels, e.sc.certs[v], v, st)
 					shards.gather(&e.sc, c, v)
 				}
 			}(shard)
@@ -473,8 +479,10 @@ func (e *Goroutines) Round(s Scheme, c *graph.Config, labels []core.Label, seed 
 	wg.Wait()
 
 	st := Stats{Rounds: 1, MaxLabelBits: core.MaxBits(labels)}
+	mult := Multiplicity(s)
 	for v := 0; v < n; v++ {
 		st.Messages += c.G.Degree(v)
+		st.DistinctMessages += distinctCount(det, mult, c.G.Degree(v))
 		st.TotalWireBits += e.wireSent[v]
 		// certMax[v] is the largest message v sent — the label for
 		// deterministic schemes — so it feeds κ and the port maximum alike.
@@ -541,8 +549,10 @@ func (e *Goroutines) multiRound(mr MultiRound, rounds int, c *graph.Config, labe
 	wg.Wait()
 
 	st := Stats{Rounds: rounds, MaxLabelBits: core.MaxBits(labels)}
+	mult := Multiplicity(mr)
 	for v := 0; v < n; v++ {
 		st.Messages += rounds * c.G.Degree(v)
+		st.DistinctMessages += int64(rounds) * distinctCount(false, mult, c.G.Degree(v))
 		st.TotalWireBits += e.wireSent[v]
 		if e.certMax[v] > st.MaxCertBits {
 			st.MaxCertBits = e.certMax[v]

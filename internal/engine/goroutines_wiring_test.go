@@ -1,15 +1,19 @@
-package runtime_test
+package engine_test
 
 import (
 	"testing"
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
+
+// Port-exactness tests for the goroutine-per-node executor: each node runs
+// concurrently and messages travel per directed edge, so a scheme that
+// plants its expected neighbor IDs by port catches any wiring slip.
 
 // echoPLS checks that the runtime delivers exactly the right label on
 // exactly the right port: the label of v is its 64-bit ID, and the expected
@@ -102,13 +106,18 @@ func wiredConfig(g *graph.Graph, rng *prng.Rand) *graph.Config {
 	return c
 }
 
-func TestPLSDeliversLabelsOnCorrectPorts(t *testing.T) {
+func goroutineOpts(extra ...engine.Option) []engine.Option {
+	return append([]engine.Option{
+		engine.WithExecutor(engine.NewGoroutines()), engine.WithStats(true)}, extra...)
+}
+
+func TestGoroutinesDeliverLabelsOnCorrectPorts(t *testing.T) {
 	rng := prng.New(1)
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(30)
 		g := graph.RandomConnected(n, rng.Intn(2*n), rng)
 		c := wiredConfig(g, rng)
-		res, err := runtime.RunPLS(echoPLS{}, c)
+		res, err := engine.Run(engine.FromPLS(echoPLS{}), c, goroutineOpts()...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,13 +127,14 @@ func TestPLSDeliversLabelsOnCorrectPorts(t *testing.T) {
 	}
 }
 
-func TestRPLSDeliversCertsOnCorrectPorts(t *testing.T) {
+func TestGoroutinesDeliverCertsOnCorrectPorts(t *testing.T) {
 	rng := prng.New(2)
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(30)
 		g := graph.RandomConnected(n, rng.Intn(2*n), rng)
 		c := wiredConfig(g, rng)
-		res, err := runtime.RunRPLS(echoRPLS{}, c, uint64(trial))
+		res, err := engine.Run(engine.FromRPLS(echoRPLS{}), c,
+			goroutineOpts(engine.WithSeed(uint64(trial)))...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,10 +144,10 @@ func TestRPLSDeliversCertsOnCorrectPorts(t *testing.T) {
 	}
 }
 
-func TestStatsCountsMessagesAndBits(t *testing.T) {
+func TestGoroutinesStatsCountMessagesAndBits(t *testing.T) {
 	g := graph.Path(4) // 3 edges
 	c := wiredConfig(g, prng.New(3))
-	res, err := runtime.RunPLS(echoPLS{}, c)
+	res, err := engine.Run(engine.FromPLS(echoPLS{}), c, goroutineOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +161,7 @@ func TestStatsCountsMessagesAndBits(t *testing.T) {
 		t.Errorf("TotalWireBits = %d, want %d", res.Stats.TotalWireBits, 6*64)
 	}
 
-	rres, err := runtime.RunRPLS(echoRPLS{}, c, 0)
+	rres, err := engine.Run(engine.FromRPLS(echoRPLS{}), c, goroutineOpts(engine.WithSeed(0))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +170,35 @@ func TestStatsCountsMessagesAndBits(t *testing.T) {
 	}
 	if rres.Stats.Messages != 6 {
 		t.Errorf("Messages = %d, want 6", rres.Stats.Messages)
+	}
+}
+
+func TestGoroutinesMatchSequentialEstimate(t *testing.T) {
+	// Acceptance (sequential path) and the goroutine executor must agree
+	// for identical seeds.
+	rng := prng.New(5)
+	g := graph.RandomConnected(12, 6, rng)
+	c := graph.NewConfig(g)
+	for v := range c.States {
+		c.States[v].Data = []byte("u")
+	}
+	c.States[7].Data = []byte("v") // illegal: outcomes now depend on coins
+	s := engine.FromRPLS(uniform.NewRPLS())
+	labels := make([]core.Label, 12)
+	for seed := uint64(0); seed < 50; seed++ {
+		concurrent := engine.Verify(s, c, labels, goroutineOpts(engine.WithSeed(seed))...).Accepted
+		sequential := engine.Acceptance(s, c, labels, 1, seed) == 1.0
+		if concurrent != sequential {
+			t.Fatalf("seed %d: concurrent=%v sequential=%v", seed, concurrent, sequential)
+		}
+	}
+}
+
+func TestAcceptanceZeroTrials(t *testing.T) {
+	c := graph.NewConfig(graph.Path(2))
+	s := engine.FromRPLS(uniform.NewRPLS())
+	if got := engine.Acceptance(s, c, make([]core.Label, 2), 0, 0); got != 0 {
+		t.Errorf("zero trials should return 0, got %v", got)
 	}
 }
 
@@ -176,7 +215,7 @@ func TestVotesPinpointRejectingNode(t *testing.T) {
 		bitstring.FromBytes([]byte("same")),
 		bitstring.FromBytes([]byte("same")),
 	}
-	res := runtime.VerifyPLS(uniform.NewPLS(), c, labels)
+	res := engine.Verify(engine.FromPLS(uniform.NewPLS()), c, labels, goroutineOpts()...)
 	if res.Accepted {
 		t.Fatal("inconsistent label accepted")
 	}
@@ -190,52 +229,34 @@ func TestVotesPinpointRejectingNode(t *testing.T) {
 	}
 }
 
-func TestSequentialMatchesConcurrent(t *testing.T) {
-	// EstimateAcceptance (sequential path) and VerifyRPLS (goroutine path)
-	// must agree for identical seeds.
-	rng := prng.New(5)
-	g := graph.RandomConnected(12, 6, rng)
-	c := graph.NewConfig(g)
-	for v := range c.States {
-		c.States[v].Data = []byte("u")
-	}
-	c.States[7].Data = []byte("v") // illegal: outcomes now depend on coins
-	s := uniform.NewRPLS()
-	labels := make([]core.Label, 12)
-	for seed := uint64(0); seed < 50; seed++ {
-		concurrent := runtime.VerifyRPLS(s, c, labels, seed).Accepted
-		sequential := runtime.EstimateAcceptance(s, c, labels, 1, seed) == 1.0
-		if concurrent != sequential {
-			t.Fatalf("seed %d: concurrent=%v sequential=%v", seed, concurrent, sequential)
-		}
-	}
-}
-
-func TestRunPLSPropagatesProverError(t *testing.T) {
-	c := graph.NewConfig(graph.Path(3))
-	c.States[1].Data = []byte("odd one out")
-	if _, err := runtime.RunPLS(uniform.NewPLS(), c); err == nil {
-		t.Error("prover error not propagated")
-	}
-}
-
-func TestEstimateAcceptanceEdgeCases(t *testing.T) {
-	c := graph.NewConfig(graph.Path(2))
-	s := uniform.NewRPLS()
-	if got := runtime.EstimateAcceptance(s, c, make([]core.Label, 2), 0, 0); got != 0 {
-		t.Errorf("zero trials should return 0, got %v", got)
-	}
-}
-
 func TestSingleNodeGraphAccepts(t *testing.T) {
 	// A single node has no neighbors; verification is purely local.
 	c := graph.NewConfig(graph.New(1))
 	c.States[0].Data = []byte("x")
-	res, err := runtime.RunPLS(uniform.NewPLS(), c)
+	res, err := engine.Run(engine.FromPLS(uniform.NewPLS()), c, goroutineOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Accepted {
 		t.Error("single-node legal config rejected")
+	}
+}
+
+func TestMaxCertBitsBoundsRoundTransmission(t *testing.T) {
+	c := graph.NewConfig(graph.Path(3))
+	for v := range c.States {
+		c.States[v].Data = []byte{0xAB, 0xCD}
+	}
+	s := engine.FromRPLS(uniform.NewRPLS())
+	labels := make([]core.Label, 3)
+	bits := engine.MaxCertBits(s, c, labels, 5, 7)
+	if bits <= 0 {
+		t.Fatal("no certificate bits measured")
+	}
+	// Must match what a verification round actually transmits.
+	res := engine.Verify(s, c, labels, goroutineOpts(engine.WithSeed(7))...)
+	if res.Stats.MaxCertBits > bits {
+		t.Errorf("round transmitted %d bits but MaxCertBits reported %d",
+			res.Stats.MaxCertBits, bits)
 	}
 }

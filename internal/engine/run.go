@@ -20,6 +20,7 @@ type options struct {
 	maxSE        float64 // stop when the Wilson half-width is at most this
 	stopOnReject bool    // stop at the first rejected trial
 	assignments  int     // adversarial assignments per Soundness adversary
+	multiplicity int     // message-multiplicity cap m; 0 = unconstrained
 }
 
 // Option configures Run, Verify, Estimate, and Sweep.
@@ -74,6 +75,16 @@ func WithStopOnReject(v bool) Option { return func(o *options) { o.stopOnReject 
 // randomized adversary (default 8).
 func WithAssignments(k int) Option { return func(o *options) { o.assignments = k } }
 
+// WithMultiplicity caps the number of distinct messages a node may send
+// per verification round (the congestion axis of core/congestion.go):
+// m = 1 is the broadcast model, m >= deg is classic unicast, 0 (the
+// default) disables the cap entirely. Randomized schemes degrade via
+// core.CappedRPLS when they implement it and by payload replication
+// (core.CapReplicate) otherwise; deterministic schemes already broadcast
+// and are unaffected. Negative m is rejected by the validated entry
+// points.
+func WithMultiplicity(m int) Option { return func(o *options) { o.multiplicity = m } }
+
 func buildOptions(opts []Option) options {
 	o := options{seed: 1, trials: 1, parallelism: 1, assignments: 8}
 	for _, opt := range opts {
@@ -115,22 +126,27 @@ func (o *options) resolveLabels(s Scheme, c *graph.Config) ([]core.Label, error)
 }
 
 // Run labels the configuration (or uses WithLabels) and executes one
-// verification round.
+// verification round. Option combinations are validated up front; a
+// rejected combination returns an error matching ErrOption.
 func Run(s Scheme, c *graph.Config, opts ...Option) (Result, error) {
-	o := buildOptions(opts)
+	o, err := buildValidated(s, opts)
+	if err != nil {
+		return Result{}, err
+	}
 	labels, err := o.resolveLabels(s, c)
 	if err != nil {
 		return Result{}, err
 	}
-	return o.round(s, c, labels), nil
+	return o.round(withCap(s, o.multiplicity), c, labels), nil
 }
 
 // Verify executes one round under an arbitrary (possibly adversarial) label
 // assignment. It is Run without the prover and without an error path;
-// WithLabels is ignored in favor of the explicit argument.
+// WithLabels is ignored in favor of the explicit argument, and options are
+// clamped rather than validated (m <= 0 runs uncapped).
 func Verify(s Scheme, c *graph.Config, labels []core.Label, opts ...Option) Result {
 	o := buildOptions(opts)
-	return o.round(s, c, labels)
+	return o.round(withCap(s, o.multiplicity), c, labels)
 }
 
 func (o *options) round(s Scheme, c *graph.Config, labels []core.Label) Result {
@@ -162,7 +178,12 @@ type SweepPoint struct {
 // index, so the result is bit-identical to a serial sweep. On error, the
 // points before the first failing size are returned with it.
 func Sweep(scheme func(c *graph.Config) (Scheme, error), build func(n int, seed uint64) (*graph.Config, error), sizes []int, opts ...Option) ([]SweepPoint, error) {
-	o := buildOptions(opts)
+	// Schemes are constructed per point, so only the scheme-independent
+	// option checks can run at entry.
+	o, err := buildValidated(nil, opts)
+	if err != nil {
+		return nil, err
+	}
 	w := o.workers()
 	if w > len(sizes) {
 		w = len(sizes)
@@ -222,6 +243,7 @@ func (o *options) sweepPoint(scheme func(c *graph.Config) (Scheme, error), build
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("sweep n=%d: %w", n, err)
 	}
+	s = withCap(s, o.multiplicity)
 	return SweepPoint{N: cfg.G.N(), M: cfg.G.M(), Summary: o.estimateLabels(s, cfg, labels)}, nil
 }
 

@@ -45,8 +45,12 @@ type AdversaryResult struct {
 // wants the acceptance rate, not the first rejection. Results are listed
 // in transplant, random, bitflip order.
 func Soundness(s Scheme, legal, illegal *graph.Config, opts ...Option) ([]AdversaryResult, error) {
-	o := buildOptions(opts)
+	o, err := buildValidated(s, opts)
+	if err != nil {
+		return nil, err
+	}
 	o.stopOnReject = false
+	s = withCap(s, o.multiplicity)
 	n := illegal.G.N()
 	obsSoundnessRuns.Inc()
 

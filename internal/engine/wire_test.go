@@ -55,41 +55,52 @@ func wireSchemes(t *testing.T) []struct {
 // yields bit-identical wire counters on every executor at every
 // parallelism level, and the counters are nonzero for det and rand alike.
 func TestGoldenWireBitsAcrossExecutors(t *testing.T) {
+	// The multiplicity dimension: every cell of the executor × parallelism
+	// matrix must also be byte-identical under every message-multiplicity
+	// cap, and the distinct-message meter must obey its conservation law
+	// (DistinctMessages <= Messages, with equality only at unicast).
 	for _, sc := range wireSchemes(t) {
-		var ref engine.Summary
-		first := true
-		for _, mkExec := range []func() engine.Executor{
-			func() engine.Executor { return engine.NewSequential() },
-			func() engine.Executor { return engine.NewPool(0) },
-			func() engine.Executor { return engine.NewGoroutines() },
-			func() engine.Executor { return engine.NewBatched() },
-		} {
-			for _, p := range []int{1, 4, 16} {
-				exec := mkExec()
-				sum, err := engine.Estimate(sc.s, sc.cfg, engine.WithLabels(sc.labels),
-					engine.WithTrials(24), engine.WithSeed(9),
-					engine.WithExecutor(exec), engine.WithParallelism(p))
-				if err != nil {
-					t.Fatal(err)
-				}
-				if first {
-					ref, first = sum, false
-					if ref.TotalBits <= 0 || ref.MaxPortBits <= 0 || ref.AvgBitsPerEdge <= 0 {
-						t.Fatalf("%s: wire counters not measured: %+v", sc.name, ref)
+		for _, mult := range []int{0, 1, 2, 4} {
+			var ref engine.Summary
+			first := true
+			for _, mkExec := range []func() engine.Executor{
+				func() engine.Executor { return engine.NewSequential() },
+				func() engine.Executor { return engine.NewPool(0) },
+				func() engine.Executor { return engine.NewGoroutines() },
+				func() engine.Executor { return engine.NewBatched() },
+			} {
+				for _, p := range []int{1, 4, 16} {
+					exec := mkExec()
+					sum, err := engine.Estimate(sc.s, sc.cfg, engine.WithLabels(sc.labels),
+						engine.WithTrials(24), engine.WithSeed(9),
+						engine.WithMultiplicity(mult),
+						engine.WithExecutor(exec), engine.WithParallelism(p))
+					if err != nil {
+						t.Fatal(err)
 					}
-					if ref.TotalMessages != int64(ref.Trials)*int64(2*sc.cfg.G.M()) {
-						t.Fatalf("%s: %d messages, want trials × 2m = %d",
-							sc.name, ref.TotalMessages, ref.Trials*2*sc.cfg.G.M())
+					if first {
+						ref, first = sum, false
+						if ref.TotalBits <= 0 || ref.MaxPortBits <= 0 || ref.AvgBitsPerEdge <= 0 {
+							t.Fatalf("%s m=%d: wire counters not measured: %+v", sc.name, mult, ref)
+						}
+						if ref.TotalMessages != int64(ref.Trials)*int64(2*sc.cfg.G.M()) {
+							t.Fatalf("%s m=%d: %d messages, want trials × 2m = %d",
+								sc.name, mult, ref.TotalMessages, ref.Trials*2*sc.cfg.G.M())
+						}
+						if ref.MaxCertBits != ref.MaxPortBits {
+							t.Fatalf("%s m=%d: κ %d != max port bits %d (one message per port per round)",
+								sc.name, mult, ref.MaxCertBits, ref.MaxPortBits)
+						}
+						if ref.TotalDistinct <= 0 || ref.TotalDistinct > ref.TotalMessages {
+							t.Fatalf("%s m=%d: distinct messages %d outside (0, messages=%d]",
+								sc.name, mult, ref.TotalDistinct, ref.TotalMessages)
+						}
+						continue
 					}
-					if ref.MaxCertBits != ref.MaxPortBits {
-						t.Fatalf("%s: κ %d != max port bits %d (one message per port per round)",
-							sc.name, ref.MaxCertBits, ref.MaxPortBits)
+					if sum != ref {
+						t.Fatalf("%s m=%d: %s p=%d wire summary %+v != reference %+v",
+							sc.name, mult, exec.Name(), p, sum, ref)
 					}
-					continue
-				}
-				if sum != ref {
-					t.Fatalf("%s: %s p=%d wire summary %+v != reference %+v",
-						sc.name, exec.Name(), p, sum, ref)
 				}
 			}
 		}

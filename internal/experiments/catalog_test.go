@@ -3,9 +3,9 @@ package experiments_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 func TestCatalogEntriesAreSelfConsistent(t *testing.T) {
@@ -25,7 +25,7 @@ func TestCatalogEntriesAreSelfConsistent(t *testing.T) {
 				}
 			}
 			if e.Det != nil {
-				res, err := runtime.RunPLS(e.Det, cfg)
+				res, err := engine.Run(engine.FromPLS(e.Det), cfg)
 				if err != nil {
 					t.Fatalf("det run: %v", err)
 				}
@@ -38,7 +38,7 @@ func TestCatalogEntriesAreSelfConsistent(t *testing.T) {
 				if err != nil {
 					t.Fatalf("rand prover: %v", err)
 				}
-				if rate := runtime.EstimateAcceptance(e.Rand, cfg, labels, 10, 5); rate != 1.0 {
+				if rate := engine.Acceptance(engine.FromRPLS(e.Rand), cfg, labels, 10, 5); rate != 1.0 {
 					t.Errorf("randomized acceptance %v on legal config", rate)
 				}
 			}

@@ -5,9 +5,9 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/experiments"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 // The conformance suite drives every catalogued scheme through the same
@@ -55,9 +55,9 @@ func TestConformanceGarbageLabelsNeverPanic(t *testing.T) {
 			for trial := 0; trial < 50; trial++ {
 				labels := fuzzLabels(rng, cfg.G.N(), 300)
 				// A panic here fails the test via the testing framework.
-				_ = runtime.VerifyPLS(e.Det, cfg, labels)
+				_ = engine.Verify(engine.FromPLS(e.Det), cfg, labels)
 				if e.Rand != nil {
-					_ = runtime.VerifyRPLS(e.Rand, cfg, labels, uint64(trial))
+					_ = engine.Verify(engine.FromRPLS(e.Rand), cfg, labels, engine.WithSeed(uint64(trial)))
 				}
 			}
 		})
@@ -85,7 +85,7 @@ func TestConformanceIllegalConfigsRejectGarbage(t *testing.T) {
 			rng := prng.New(23)
 			for trial := 0; trial < 60; trial++ {
 				labels := fuzzLabels(rng, bad.G.N(), 200)
-				if runtime.VerifyPLS(e.Det, bad, labels).Accepted {
+				if engine.Verify(engine.FromPLS(e.Det), bad, labels).Accepted {
 					t.Fatalf("garbage labels accepted on an illegal %s configuration", e.Name)
 				}
 			}
@@ -125,7 +125,7 @@ func TestConformanceBitFlippedHonestLabels(t *testing.T) {
 				copy(labels, honest)
 				v := rng.Intn(len(labels))
 				labels[v] = flipRandomBit(labels[v], rng)
-				if runtime.VerifyPLS(e.Det, bad, labels).Accepted {
+				if engine.Verify(engine.FromPLS(e.Det), bad, labels).Accepted {
 					t.Fatalf("bit-flipped transplant accepted on illegal %s config", e.Name)
 				}
 			}
@@ -185,7 +185,7 @@ func TestConformanceStatsAreConsistent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := runtime.RunPLS(e.Det, cfg)
+			res, err := engine.Run(engine.FromPLS(e.Det), cfg, engine.WithStats(true))
 			if err != nil {
 				t.Fatal(err)
 			}

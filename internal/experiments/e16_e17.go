@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/stconn"
 	"rpls/internal/schemes/uniform"
 )
@@ -35,12 +35,12 @@ func E16SharedRandomness(seed uint64, quick bool) (Table, error) {
 		shared := uniform.NewSharedRPLS()
 		labels := make([]core.Label, cfg.G.N()) // both schemes are label-free
 		privBits := maxCertBits(private, cfg, labels, 3, seed)
-		sharedBits := runtime.VerifyShared(shared, cfg, labels, seed).Stats.MaxCertBits
-		legal := runtime.EstimateAcceptanceShared(shared, cfg, labels, trials/5, seed+1)
+		sharedBits := core.VerifyShared(shared, cfg, labels, seed).Stats.MaxCertBits
+		legal := core.EstimateAcceptanceShared(shared, cfg, labels, trials/5, seed+1)
 
 		bad := cfg.Clone()
 		bad.States[3].Data[0] ^= 0x01
-		illegal := runtime.EstimateAcceptanceShared(shared, bad, labels, trials, seed+2)
+		illegal := core.EstimateAcceptanceShared(shared, bad, labels, trials, seed+2)
 		t.Rows = append(t.Rows, []string{
 			itoa(kb * 8), itoa(privBits), itoa(sharedBits), ftoa(legal), ftoa(illegal)})
 	}
@@ -83,8 +83,8 @@ func E17STConnectivity(seed uint64, quick bool) (Table, error) {
 		}
 		// Wrong-k claims must be unprovable: the honest labels of the true
 		// k are the strongest available transplant.
-		under := !runtime.VerifyPLS(stconn.NewPLS(k-1), cfg, labels).Accepted
-		over := !runtime.VerifyPLS(stconn.NewPLS(k+1), cfg, labels).Accepted
+		under := !engine.Verify(engine.FromPLS(stconn.NewPLS(k-1)), cfg, labels).Accepted
+		over := !engine.Verify(engine.FromPLS(stconn.NewPLS(k+1)), cfg, labels).Accepted
 		t.Rows = append(t.Rows, []string{
 			itoa(p.n), itoa(k), itoa(core.MaxBits(labels)),
 			itoa(maxCertBits(rand, cfg, randLabels, 2, seed)),

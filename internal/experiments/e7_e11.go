@@ -5,8 +5,8 @@ import (
 
 	"rpls/internal/core"
 	"rpls/internal/crossing"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/biconn"
 	"rpls/internal/schemes/cycle"
 	"rpls/internal/schemes/mst"
@@ -51,7 +51,7 @@ func E7MST(seed uint64, quick bool) (Table, error) {
 		// tree is stale.
 		bad := cfg.Clone()
 		corruptMSTWeight(bad)
-		detCaught := !runtime.VerifyPLS(det, bad, labels).Accepted
+		detCaught := !engine.Verify(engine.FromPLS(det), bad, labels).Accepted
 		randRate := estimateAcceptance(rand, bad, randLabels, trials, seed+2)
 
 		logn := log2ceil(n)
@@ -114,7 +114,7 @@ func E8Biconnectivity(seed uint64, quick bool) (Table, error) {
 			return t, err
 		}
 		crossedLegal := (biconn.Predicate{}).Eval(crossed)
-		fooled := runtime.VerifyPLS(det, crossed, labels).Accepted
+		fooled := engine.Verify(engine.FromPLS(det), crossed, labels).Accepted
 		rejRate := 1 - estimateAcceptance(rand, crossed, randLabels, trials, seed)
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(core.MaxBits(labels)),
@@ -235,7 +235,7 @@ func E10IteratedCrossing(seed uint64, quick bool) (Table, error) {
 				longest = l
 			}
 		}
-		accepted := runtime.VerifyPLS(weak, cur, labels).Accepted
+		accepted := engine.Verify(engine.FromPLS(weak), cur, labels).Accepted
 		t.Rows = append(t.Rows, []string{
 			itoa(step), fmt.Sprintf("%v", lengths), itoa(longest),
 			fmt.Sprintf("%v", accepted), fmt.Sprintf("%v", longest < c-1)})
@@ -295,7 +295,7 @@ func E11CycleAtMost(seed uint64, quick bool) (Table, error) {
 			return t, err
 		}
 		fused := cycle.LongestCycle(crossed.G)
-		rejected := !runtime.VerifyPLS(det, crossed, labels).Accepted
+		rejected := !engine.Verify(engine.FromPLS(det), crossed, labels).Accepted
 
 		// The Ω(log n/c) bound made constructive: cycle ids modulo 2^b
 		// with fewer than log₂ r bits collide, and the splice hides.

@@ -72,6 +72,7 @@ func All() []Spec {
 		{ID: "E18", Title: "Label-shape scaling (gamma-coded acyclicity)", Run: E18LabelShape},
 		{ID: "E19", Title: "Wire accounting: per-edge det vs rand cost across graph families", Run: E19WireAccounting},
 		{ID: "E20", Title: "Multi-round verification: the κ/t tradeoff (t-PLS)", Run: E20RoundTradeoff},
+		{ID: "E21", Title: "Congestion-bounded verification: broadcast ⇄ unicast (multiplicity cap)", Run: E21Congestion},
 	}
 }
 

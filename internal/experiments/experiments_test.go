@@ -49,8 +49,8 @@ func cellFloat(t *testing.T, table experiments.Table, row, col int) float64 {
 
 func TestAllRegistered(t *testing.T) {
 	specs := experiments.All()
-	if len(specs) != 20 {
-		t.Fatalf("registered %d experiments, want 20", len(specs))
+	if len(specs) != 21 {
+		t.Fatalf("registered %d experiments, want 21", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

@@ -3,9 +3,9 @@ package acyclicity_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/schemetest"
 )
@@ -97,7 +97,7 @@ func TestSoundnessStructuredDistanceAttack(t *testing.T) {
 	}
 	// Path labels on the cycle: distances 0..7 around the ring; the edge
 	// {7, 0} connects distances 7 and 0, which differ by more than one.
-	if runtime.VerifyPLS(det, illegal, labels).Accepted {
+	if engine.Verify(engine.FromPLS(det), illegal, labels).Accepted {
 		t.Error("path-distance labels fooled the cycle verifier")
 	}
 }
@@ -120,7 +120,7 @@ func TestSoundnessCrossedPathBecomesCycle(t *testing.T) {
 	if (acyclicity.Predicate{}).Eval(crossed) {
 		t.Fatal("crossing should have created a cycle")
 	}
-	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+	if engine.Verify(engine.FromPLS(det), crossed, labels).Accepted {
 		t.Error("crossed configuration accepted with original labels")
 	}
 	rand := acyclicity.NewRPLS()
@@ -128,7 +128,7 @@ func TestSoundnessCrossedPathBecomesCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 9); rate > 1.0/3 {
+	if rate := engine.Acceptance(engine.FromRPLS(rand), crossed, randLabels, 300, 9); rate > 1.0/3 {
 		t.Errorf("randomized scheme accepted crossed configuration at %v", rate)
 	}
 }

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/acyclicity"
 	"rpls/internal/schemes/schemetest"
 )
@@ -20,7 +20,7 @@ func TestCompactCompleteness(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 1 + rng.Intn(40)
 		c := graph.NewConfig(graph.RandomTree(n, rng))
-		res, err := runtime.RunPLS(det, c)
+		res, err := engine.Run(engine.FromPLS(det), c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +31,7 @@ func TestCompactCompleteness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rate := runtime.EstimateAcceptance(rand, c, labels, 20, uint64(trial)); rate != 1.0 {
+		if rate := engine.Acceptance(engine.FromRPLS(rand), c, labels, 20, uint64(trial)); rate != 1.0 {
 			t.Fatalf("trial %d: randomized acceptance %v", trial, rate)
 		}
 	}
@@ -48,7 +48,7 @@ func TestCompactSoundnessOnCycles(t *testing.T) {
 		illegal := graph.NewConfig(g)
 		for trial := 0; trial < 100; trial++ {
 			labels := schemetest.RandomLabels(rng, n, 80)
-			if runtime.VerifyPLS(det, illegal, labels).Accepted {
+			if engine.Verify(engine.FromPLS(det), illegal, labels).Accepted {
 				t.Fatalf("n=%d: random labels accepted a cycle", n)
 			}
 		}

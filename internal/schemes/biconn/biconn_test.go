@@ -3,9 +3,9 @@ package biconn_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/biconn"
 	"rpls/internal/schemes/schemetest"
 )
@@ -133,7 +133,7 @@ func TestSoundnessCrossedFigure2(t *testing.T) {
 	if (biconn.Predicate{}).Eval(crossed) {
 		t.Fatal("crossing should have broken biconnectivity")
 	}
-	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+	if engine.Verify(engine.FromPLS(det), crossed, labels).Accepted {
 		t.Error("crossed Figure 2 accepted with original labels")
 	}
 	rand := biconn.NewRPLS()
@@ -141,7 +141,7 @@ func TestSoundnessCrossedFigure2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 3); rate > 1.0/3 {
+	if rate := engine.Acceptance(engine.FromRPLS(rand), crossed, randLabels, 300, 3); rate > 1.0/3 {
 		t.Errorf("randomized scheme accepted crossed Figure 2 at rate %v", rate)
 	}
 }
@@ -189,7 +189,7 @@ func TestSoundnessForgedLowpt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.VerifyPLS(biconn.NewPLS(), illegal, legalLabels).Accepted {
+	if engine.Verify(engine.FromPLS(biconn.NewPLS()), illegal, legalLabels).Accepted {
 		t.Error("cycle labels fooled the figure-eight")
 	}
 }

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 // White-box attacks on the P1–P8 verifier: decode honest labels, forge one
@@ -41,7 +41,7 @@ func verifyAll(c *graph.Config, decoded []label) bool {
 	for v, d := range decoded {
 		labels[v] = d.encode()
 	}
-	return runtime.VerifyPLS(NewPLS(), c, labels).Accepted
+	return engine.Verify(engine.FromPLS(NewPLS()), c, labels).Accepted
 }
 
 func TestWhiteboxHonestRoundTrip(t *testing.T) {

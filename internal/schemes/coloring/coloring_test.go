@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/coloring"
 	"rpls/internal/schemes/schemetest"
 )
@@ -74,7 +74,7 @@ func TestRandomizedCompletenessAboveTwoThirds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rate := runtime.EstimateAcceptance(s, c, labels, 400, uint64(trial)); rate < 2.0/3 {
+		if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 400, uint64(trial)); rate < 2.0/3 {
 			t.Errorf("trial %d: legal acceptance %v < 2/3", trial, rate)
 		}
 	}
@@ -88,7 +88,7 @@ func TestRandomizedPerfectSoundness(t *testing.T) {
 	c.States[3].Color = c.States[2].Color
 	s := coloring.NewRPLS(c.G.M())
 	labels := make([]core.Label, 6)
-	if rate := runtime.EstimateAcceptance(s, c, labels, 300, 5); rate != 0 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 300, 5); rate != 0 {
 		t.Errorf("illegal coloring accepted at rate %v, want 0", rate)
 	}
 }
@@ -110,8 +110,8 @@ func TestUnionBoundTuning(t *testing.T) {
 
 	tuned := coloring.NewRPLS(g.M())
 	bad := coloring.NewRPLS(1)
-	rateTuned := runtime.EstimateAcceptance(tuned, c, labels, 300, 11)
-	rateBad := runtime.EstimateAcceptance(bad, c, labels, 300, 12)
+	rateTuned := engine.Acceptance(engine.FromRPLS(tuned), c, labels, 300, 11)
+	rateBad := engine.Acceptance(engine.FromRPLS(bad), c, labels, 300, 12)
 	if rateTuned < 2.0/3 {
 		t.Errorf("tuned scheme acceptance %v < 2/3", rateTuned)
 	}
@@ -130,14 +130,14 @@ func TestBoostingRecoversConfidence(t *testing.T) {
 	labels := make([]core.Label, g.N())
 	base := coloring.NewRPLS(g.M())
 	boosted := core.Boost(base, 7)
-	rBase := runtime.EstimateAcceptance(base, c, labels, 300, 13)
-	rBoost := runtime.EstimateAcceptance(boosted, c, labels, 300, 14)
+	rBase := engine.Acceptance(engine.FromRPLS(base), c, labels, 300, 13)
+	rBoost := engine.Acceptance(engine.FromRPLS(boosted), c, labels, 300, 14)
 	if rBoost < rBase {
 		t.Errorf("boosting lowered legal acceptance: %v -> %v", rBase, rBoost)
 	}
 	// Soundness unaffected: monochromatic edge still always rejected.
 	c.States[1].Color = c.States[0].Color
-	if rate := runtime.EstimateAcceptance(boosted, c, labels, 200, 15); rate != 0 {
+	if rate := engine.Acceptance(engine.FromRPLS(boosted), c, labels, 200, 15); rate != 0 {
 		t.Errorf("boosted scheme accepted illegal coloring at %v", rate)
 	}
 }
@@ -154,7 +154,7 @@ func TestCertificateSizeLogarithmicInM(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bits := runtime.MaxCertBitsOver(s, c, labels, 3, 3)
+		bits := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 3, 3)
 		if prev > 0 && bits > prev+20 {
 			t.Errorf("n=%d: certificate jumped %d -> %d bits", n, prev, bits)
 		}

@@ -3,9 +3,9 @@ package cycle_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/cycle"
 	"rpls/internal/schemes/schemetest"
 )
@@ -184,7 +184,7 @@ func TestSoundnessTransplantCrossedHub(t *testing.T) {
 	if (cycle.AtLeastPredicate{C: 12}).Eval(crossed) {
 		t.Fatal("crossing failed to destroy all 12-cycles")
 	}
-	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+	if engine.Verify(engine.FromPLS(det), crossed, labels).Accepted {
 		t.Error("crossed hub accepted with original labels")
 	}
 	rand := cycle.NewRPLS(12)
@@ -192,7 +192,7 @@ func TestSoundnessTransplantCrossedHub(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rate := runtime.EstimateAcceptance(rand, crossed, randLabels, 300, 5); rate > 1.0/3 {
+	if rate := engine.Acceptance(engine.FromRPLS(rand), crossed, randLabels, 300, 5); rate > 1.0/3 {
 		t.Errorf("randomized scheme accepted crossed hub at rate %v", rate)
 	}
 }
@@ -252,7 +252,7 @@ func TestAtMostUniversalScheme(t *testing.T) {
 	if (cycle.AtMostPredicate{C: 4}).Eval(crossed) {
 		t.Fatal("crossing failed to create a long cycle")
 	}
-	if runtime.VerifyPLS(det, crossed, labels).Accepted {
+	if engine.Verify(engine.FromPLS(det), crossed, labels).Accepted {
 		t.Error("crossed chain accepted by universal scheme with stale labels")
 	}
 }

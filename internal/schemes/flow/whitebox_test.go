@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 )
 
 // White-box attacks on the k-flow certificate: forge path entries and cut
@@ -41,7 +41,7 @@ func verifyAll(c *graph.Config, decoded []label, k int) bool {
 	for v, d := range decoded {
 		labels[v] = d.encode()
 	}
-	return runtime.VerifyPLS(NewPLS(k), c, labels).Accepted
+	return engine.Verify(engine.FromPLS(NewPLS(k)), c, labels).Accepted
 }
 
 func TestWhiteboxHonestRoundTrip(t *testing.T) {

@@ -3,9 +3,9 @@ package mst_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/mst"
 	"rpls/internal/schemes/schemetest"
 )
@@ -235,7 +235,7 @@ func TestSoundnessWeightLie(t *testing.T) {
 	if (mst.Predicate{}).Eval(stale) {
 		t.Fatal("stale config unexpectedly still an MST")
 	}
-	if runtime.VerifyPLS(mst.NewPLS(), stale, labels).Accepted {
+	if engine.Verify(engine.FromPLS(mst.NewPLS()), stale, labels).Accepted {
 		t.Error("stale labels accepted after weight change")
 	}
 }

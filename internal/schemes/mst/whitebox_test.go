@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 )
 
 // White-box attacks: decode the honest Borůvka-hierarchy labels, forge
@@ -78,7 +78,7 @@ func TestWhiteboxHonestLabelsRoundTrip(t *testing.T) {
 			t.Fatalf("node %d: decode/encode not a round trip", v)
 		}
 	}
-	if !runtime.VerifyPLS(NewPLS(), c, again).Accepted {
+	if !engine.Verify(engine.FromPLS(NewPLS()), c, again).Accepted {
 		t.Fatal("re-encoded honest labels rejected")
 	}
 }
@@ -98,7 +98,7 @@ func TestWhiteboxForgedFragmentID(t *testing.T) {
 		t.Skip("no multi-phase node in this instance")
 	}
 	decoded[victim].fragID[1] ^= 0xDEADBEEF
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("forged fragment identity accepted")
 	}
 }
@@ -115,7 +115,7 @@ func TestWhiteboxForgedChosenWeight(t *testing.T) {
 	// Understate the weight for node 0 only: mates still carry the true
 	// record, so F2 (mate equality) must also fire somewhere.
 	target.chosenW[0] -= 1000
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("understated chosen weight accepted")
 	}
 }
@@ -135,7 +135,7 @@ func TestWhiteboxForgedChosenWeightWholeFragment(t *testing.T) {
 			d.chosenW[0] = w - 777
 		}
 	}
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("fragment-wide weight lie accepted (F4 failed to bind the edge)")
 	}
 }
@@ -187,7 +187,7 @@ func TestWhiteboxDroppedCoverage(t *testing.T) {
 			d.chosenOut[f] = 0
 		}
 	}
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("erased sole coverage accepted (F5 failed)")
 	}
 }
@@ -202,7 +202,7 @@ func TestWhiteboxForgedSpanningTreeDistance(t *testing.T) {
 			break
 		}
 	}
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("forged spanning-tree distance accepted")
 	}
 }
@@ -229,7 +229,7 @@ func TestWhiteboxPhaseCountMismatch(t *testing.T) {
 	d.chosenW = d.chosenW[:d.phases]
 	d.chosenIn = d.chosenIn[:d.phases]
 	d.chosenOut = d.chosenOut[:d.phases]
-	if runtime.VerifyPLS(NewPLS(), c, reencode(t, decoded)).Accepted {
+	if engine.Verify(engine.FromPLS(NewPLS()), c, reencode(t, decoded)).Accepted {
 		t.Error("truncated phase list accepted")
 	}
 }

@@ -34,6 +34,10 @@ type Harness struct {
 	// Summaries are bit-identical at every level, so tests may crank this
 	// up freely for speed.
 	Parallelism int
+	// Multiplicity, when >= 1, runs every round under that message-
+	// multiplicity cap (engine.WithMultiplicity): m = 1 is the broadcast
+	// model, m >= deg is classic unicast. 0 leaves rounds unconstrained.
+	Multiplicity int
 }
 
 // New returns a harness rooted at seed on the engine's default executor.
@@ -54,6 +58,9 @@ func (h *Harness) opts(extra ...engine.Option) []engine.Option {
 	}
 	if h.Parallelism > 1 {
 		opts = append(opts, engine.WithParallelism(h.Parallelism))
+	}
+	if h.Multiplicity >= 1 {
+		opts = append(opts, engine.WithMultiplicity(h.Multiplicity))
 	}
 	return append(opts, extra...)
 }

@@ -3,9 +3,9 @@ package spanningtree_test
 import (
 	"testing"
 
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/schemetest"
 	"rpls/internal/schemes/spanningtree"
 )
@@ -125,7 +125,7 @@ func TestSoundnessPointerCycleAllLabelings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if runtime.VerifyPLS(spanningtree.NewPLS(), illegal, labels).Accepted {
+	if engine.Verify(engine.FromPLS(spanningtree.NewPLS()), illegal, labels).Accepted {
 		t.Error("path labels fooled the cycle")
 	}
 }

@@ -1,0 +1,159 @@
+package uniform_test
+
+import (
+	"testing"
+
+	"rpls/internal/bitstring"
+	"rpls/internal/core"
+	"rpls/internal/graph"
+	"rpls/internal/prng"
+	"rpls/internal/schemes/uniform"
+)
+
+// The native congestion degradation of the uniform scheme: CapCerts merges
+// the unicast fingerprints per port class, CapDecide checks every member of
+// every received class message. These tests pin the wire-format contract
+// the engine's capScheme relies on.
+
+func cappedUniform(t *testing.T) core.CappedRPLS {
+	t.Helper()
+	cr, ok := uniform.NewRPLS().(core.CappedRPLS)
+	if !ok {
+		t.Fatal("uniform rand scheme no longer implements core.CappedRPLS")
+	}
+	return cr
+}
+
+func uniformStar(n int, payload []byte) *graph.Config {
+	c := graph.NewConfig(graph.Star(n))
+	for v := range c.States {
+		c.States[v].Data = append([]byte(nil), payload...)
+	}
+	return c
+}
+
+// TestCapCertsClassUniform checks the port-class contract: under cap m all
+// ports of one round-robin class carry byte-identical payloads, and the
+// members recovered from a class message are exactly the unicast
+// fingerprints (same coins, rng.Fork per port).
+func TestCapCertsClassUniform(t *testing.T) {
+	s := cappedUniform(t)
+	c := uniformStar(7, []byte("payload"))
+	view := core.ViewOf(c, 0) // hub: degree 6
+	var labels []core.Label
+	labels = make([]core.Label, c.G.N())
+	for m := 1; m <= view.Deg+1; m++ {
+		unicast := s.Certs(view, labels[0], prng.New(9).Fork(0))
+		capped := s.CapCerts(m, view, labels[0], prng.New(9).Fork(0))
+		if len(capped) != view.Deg {
+			t.Fatalf("m=%d: %d certs, want one per port (%d)", m, len(capped), view.Deg)
+		}
+		for i := range capped {
+			k := core.PortClass(i, m)
+			if !capped[i].Equal(capped[k]) {
+				t.Fatalf("m=%d: port %d differs from class representative %d", m, i, k)
+			}
+			members, err := core.CapSplit(capped[k])
+			if err != nil {
+				t.Fatalf("m=%d class %d: %v", m, k, err)
+			}
+			pos := 0
+			for j := k; j < i; j += m {
+				pos++
+			}
+			if !members[pos].Equal(unicast[i]) {
+				t.Fatalf("m=%d: class member for port %d is not the unicast fingerprint", m, i)
+			}
+		}
+	}
+}
+
+// TestCapDecideCompleteAndSound: honest merged messages are always
+// accepted (one-sided completeness at every m), and tampering with any
+// single member of a class message — or its framing — is caught.
+func TestCapDecideCompleteAndSound(t *testing.T) {
+	s := cappedUniform(t)
+	c := uniformStar(7, []byte("payload"))
+	labels := make([]core.Label, c.G.N())
+	hub := core.ViewOf(c, 0)
+
+	for m := 1; m <= 3; m++ {
+		// The hub receives, from each leaf, the class message that leaf
+		// minted for the class containing its single port back to the hub.
+		received := make([]core.Cert, hub.Deg)
+		for i := 0; i < hub.Deg; i++ {
+			leaf := core.ViewOf(c, i+1)
+			leafCerts := s.CapCerts(m, leaf, labels[i+1], prng.New(3).Fork(uint64(i+1)))
+			received[i] = leafCerts[0] // the leaf's only port leads to the hub
+		}
+		if !s.CapDecide(m, hub, labels[0], received) {
+			t.Fatalf("m=%d: honest class messages rejected", m)
+		}
+
+		// Tamper: replace one member with a fingerprint of different data.
+		other := uniformStar(7, []byte("tampered"))
+		badLeaf := core.ViewOf(other, 1)
+		bad := s.CapCerts(m, badLeaf, labels[1], prng.New(3).Fork(1))[0]
+		tampered := append([]core.Cert(nil), received...)
+		tampered[2] = bad
+		if s.CapDecide(m, hub, labels[0], tampered) {
+			t.Fatalf("m=%d: mismatched member fingerprint accepted", m)
+		}
+
+		// Malformed framing: raw unicast certs are not class messages.
+		raw := s.Certs(hub, labels[0], prng.New(3).Fork(9))
+		if s.CapDecide(m, hub, labels[0], raw[:hub.Deg]) {
+			t.Fatalf("m=%d: unframed unicast certificates accepted", m)
+		}
+
+		// Trailing garbage.
+		var w bitstring.Writer
+		w.WriteString(received[0])
+		w.WriteUint(1, 1)
+		garbled := append([]core.Cert(nil), received...)
+		garbled[0] = w.String()
+		if s.CapDecide(m, hub, labels[0], garbled) {
+			t.Fatalf("m=%d: trailing bits accepted", m)
+		}
+	}
+}
+
+// TestCompiledCapDecide: the §3.1 compiler's generic capped path — merged
+// label-replica fingerprints — must satisfy the same contract, so every
+// compiled scheme degrades natively too.
+func TestCompiledCapDecide(t *testing.T) {
+	pls := uniform.NewPLS()
+	rp := core.Compile(pls)
+	cr, ok := rp.(core.CappedRPLS)
+	if !ok {
+		t.Fatal("compiled scheme does not implement core.CappedRPLS")
+	}
+	c := uniformStar(5, []byte("xy"))
+	labels, err := rp.Label(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := core.ViewOf(c, 0)
+	for m := 1; m <= 2; m++ {
+		received := make([]core.Cert, hub.Deg)
+		for i := 0; i < hub.Deg; i++ {
+			leaf := core.ViewOf(c, i+1)
+			received[i] = cr.CapCerts(m, leaf, labels[i+1], prng.New(4).Fork(uint64(i+1)))[0]
+		}
+		if !cr.CapDecide(m, hub, labels[0], received) {
+			t.Fatalf("m=%d: compiled honest class messages rejected", m)
+		}
+		// A member fingerprinting a different (same-length) label must be
+		// caught against the stored replica.
+		wrongCfg := uniformStar(5, []byte("zz"))
+		wrongLabels, err := rp.Label(wrongCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tampered := append([]core.Cert(nil), received...)
+		tampered[0] = cr.CapCerts(m, core.ViewOf(wrongCfg, 1), wrongLabels[1], prng.New(4).Fork(1))[0]
+		if cr.CapDecide(m, hub, labels[0], tampered) {
+			t.Fatalf("m=%d: compiled fingerprint of a different label accepted", m)
+		}
+	}
+}

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -17,7 +17,7 @@ func TestSharedCompleteness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 200, 3); rate != 1.0 {
+	if rate := core.EstimateAcceptanceShared(s, c, labels, 200, 3); rate != 1.0 {
 		t.Errorf("legal acceptance %v, want 1.0 (one-sided)", rate)
 	}
 }
@@ -27,7 +27,7 @@ func TestSharedSoundness(t *testing.T) {
 	c.States[3].Data = []byte("aaaaaaab")
 	s := uniform.NewSharedRPLS()
 	labels := make([]core.Label, 6)
-	if rate := runtime.EstimateAcceptanceShared(s, c, labels, 2000, 5); rate > 1.0/3 {
+	if rate := core.EstimateAcceptanceShared(s, c, labels, 2000, 5); rate > 1.0/3 {
 		t.Errorf("illegal acceptance %v, want <= 1/3", rate)
 	}
 }
@@ -40,8 +40,8 @@ func TestSharedCertificatesAreSmaller(t *testing.T) {
 	private := uniform.NewRPLS()
 	labels := make([]core.Label, 4)
 
-	sharedBits := runtime.VerifyShared(shared, c, labels, 7).Stats.MaxCertBits
-	privateBits := runtime.MaxCertBitsOver(private, c, labels, 5, 7)
+	sharedBits := core.VerifyShared(shared, c, labels, 7).Stats.MaxCertBits
+	privateBits := engine.MaxCertBits(engine.FromRPLS(private), c, labels, 5, 7)
 	if sharedBits >= privateBits {
 		t.Errorf("shared certs %d bits, private %d bits; shared should be smaller", sharedBits, privateBits)
 	}

@@ -5,8 +5,8 @@ import (
 
 	"rpls/internal/commcc"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -49,12 +49,12 @@ func TestTruncatedFieldIsPerfectlyFooled(t *testing.T) {
 	}
 	s := uniform.NewTruncatedRPLS(fieldBits)
 	labels := make([]core.Label, 2)
-	if rate := runtime.EstimateAcceptance(s, c, labels, 300, 1); rate != 1.0 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 300, 1); rate != 1.0 {
 		t.Errorf("acceptance %v, want 1.0 (perfect fooling below the bound)", rate)
 	}
 	// The properly sized scheme is immune on the same configuration.
 	full := uniform.NewRPLS()
-	if rate := runtime.EstimateAcceptance(full, c, labels, 300, 2); rate > 1.0/3 {
+	if rate := engine.Acceptance(engine.FromRPLS(full), c, labels, 300, 2); rate > 1.0/3 {
 		t.Errorf("full scheme accepted the fooling pair at rate %v", rate)
 	}
 }
@@ -68,7 +68,7 @@ func TestTruncatedFieldStillCompleteOnLegal(t *testing.T) {
 	}
 	s := uniform.NewTruncatedRPLS(4)
 	labels := make([]core.Label, 4)
-	if rate := runtime.EstimateAcceptance(s, c, labels, 100, 3); rate != 1.0 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 100, 3); rate != 1.0 {
 		t.Errorf("legal acceptance %v under truncation, want 1.0", rate)
 	}
 }

@@ -5,9 +5,9 @@ import (
 
 	"rpls/internal/bitstring"
 	"rpls/internal/core"
+	"rpls/internal/engine"
 	"rpls/internal/graph"
 	"rpls/internal/prng"
-	"rpls/internal/runtime"
 	"rpls/internal/schemes/uniform"
 )
 
@@ -34,7 +34,7 @@ func TestPredicate(t *testing.T) {
 
 func TestPLSAcceptsLegal(t *testing.T) {
 	c := uniformConfig(graph.RandomConnected(20, 10, prng.New(1)), []byte("payload"))
-	res, err := runtime.RunPLS(uniform.NewPLS(), c)
+	res, err := engine.Run(engine.FromPLS(uniform.NewPLS()), c, engine.WithStats(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestPLSSoundAgainstTransplantedLabels(t *testing.T) {
 	}
 	illegal := legal.Clone()
 	illegal.States[3].Data = []byte("aaab")
-	res := runtime.VerifyPLS(uniform.NewPLS(), illegal, labels)
+	res := engine.Verify(engine.FromPLS(uniform.NewPLS()), illegal, labels)
 	if res.Accepted {
 		t.Error("transplanted labels fooled the deterministic verifier")
 	}
@@ -76,7 +76,7 @@ func TestPLSSoundAgainstRandomLabels(t *testing.T) {
 	illegal.States[2].Data = []byte("bbbb")
 	for trial := 0; trial < 100; trial++ {
 		labels := randomLabels(rng, 5, 64)
-		if runtime.VerifyPLS(uniform.NewPLS(), illegal, labels).Accepted {
+		if engine.Verify(engine.FromPLS(uniform.NewPLS()), illegal, labels).Accepted {
 			t.Fatal("random labels fooled the deterministic verifier")
 		}
 	}
@@ -90,7 +90,7 @@ func TestRPLSOneSidedCompleteness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rate := runtime.EstimateAcceptance(s, c, labels, 300, 10); rate != 1.0 {
+	if rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 300, 10); rate != 1.0 {
 		t.Errorf("acceptance on legal config = %v, want 1.0 (one-sided)", rate)
 	}
 }
@@ -101,7 +101,7 @@ func TestRPLSSoundness(t *testing.T) {
 	c.States[3].Data = []byte("aaaaaaab")
 	s := uniform.NewRPLS()
 	labels := make([]core.Label, 6) // scheme is label-free
-	rate := runtime.EstimateAcceptance(s, c, labels, 2000, 20)
+	rate := engine.Acceptance(engine.FromRPLS(s), c, labels, 2000, 20)
 	if rate > 1.0/3 {
 		t.Errorf("acceptance on illegal config = %v, want <= 1/3", rate)
 	}
@@ -117,7 +117,7 @@ func TestRPLSCertificateSizeLogarithmic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bits := runtime.MaxCertBitsOver(s, c, labels, 5, 30)
+		bits := engine.MaxCertBits(engine.FromRPLS(s), c, labels, 5, 30)
 		k := kBytes * 8
 		if bits > 6*log2ceil(k)+20 {
 			t.Errorf("k=%d bits: certificate %d bits, want O(log k)", k, bits)
@@ -141,7 +141,7 @@ func TestRPLSDetectsMostDisagreements(t *testing.T) {
 		v := rng.Intn(n)
 		c.States[v].Data = []byte("basebasf")
 		labels := make([]core.Label, n)
-		if runtime.EstimateAcceptance(s, c, labels, 30, uint64(100+i)) > 1.0/3 {
+		if engine.Acceptance(engine.FromRPLS(s), c, labels, 30, uint64(100+i)) > 1.0/3 {
 			fooled++
 		}
 	}
